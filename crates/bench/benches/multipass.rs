@@ -1,0 +1,25 @@
+//! Cost of the MULTIPASS construction (Section 4.2) as the y domain grows —
+//! its pass count is logarithmic in `y_max`, so the wall-clock cost per stored
+//! tuple grows only logarithmically too.
+
+use cora_stream::{multipass_f2, StoredStream, StreamTuple};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_multipass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multipass_construction");
+    group.sample_size(10);
+    for log_y in [8u32, 12, 16] {
+        let y_max = (1u64 << log_y) - 1;
+        let tuples: Vec<StreamTuple> = (0..20_000u64)
+            .map(|i| StreamTuple::weighted(i % 500, (i * 2654435761) % (y_max + 1), 1))
+            .collect();
+        let stream = StoredStream::new(tuples);
+        group.bench_with_input(BenchmarkId::from_parameter(log_y), &log_y, |b, _| {
+            b.iter(|| multipass_f2(&stream, 0.3, 0.1, y_max, 7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multipass);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Per-record update cost of the correlated sketches (experiment E7) and of
+//! the exact baseline, on the paper's workloads.
+
+use cora_core::{correlated_f2_seeded, CorrelatedF0, ExactCorrelated};
+use cora_stream::{DatasetGenerator, UniformGenerator, ZipfGenerator};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+const N: usize = 20_000;
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+
+    let mut uniform = UniformGenerator::new(500_000, 1_000_000, 7);
+    let uniform_tuples = uniform.generate(N);
+    let mut zipf = ZipfGenerator::new(1.0, 500_000, 1_000_000, 7);
+    let zipf_tuples = zipf.generate(N);
+
+    for (name, tuples) in [("uniform", &uniform_tuples), ("zipf1", &zipf_tuples)] {
+        group.bench_function(format!("correlated_f2/{name}"), |b| {
+            b.iter_batched(
+                || correlated_f2_seeded(0.2, 0.05, 1_000_000, N as u64, 3).unwrap(),
+                |mut sketch| {
+                    for t in tuples {
+                        sketch.insert(t.x, t.y).unwrap();
+                    }
+                    sketch
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        group.bench_function(format!("correlated_f0/{name}"), |b| {
+            b.iter_batched(
+                || CorrelatedF0::with_seed(0.1, 0.05, 20, 1_000_000, 3).unwrap(),
+                |mut sketch| {
+                    for t in tuples {
+                        sketch.insert(t.x, t.y).unwrap();
+                    }
+                    sketch
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        group.bench_function(format!("exact_baseline/{name}"), |b| {
+            b.iter_batched(
+                ExactCorrelated::new,
+                |mut exact| {
+                    for t in tuples {
+                        exact.insert(t.x, t.y);
+                    }
+                    exact
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Experiment E8: measured relative error of the correlated F2 and F0 sketches
+//! against the exact linear-storage baseline, validating the paper's claim
+//! that "the relative error of the algorithm was almost always within the
+//! desired approximation error ε".
+//!
+//! `cargo run -p cora-bench --release --bin accuracy_report -- [--scale N]`
+
+use cora_bench::{emit, measure_correlated_f0, measure_correlated_f2, ExperimentOptions};
+use cora_stream::{f0_experiment_generators, f2_experiment_generators};
+
+fn main() {
+    let opts = ExperimentOptions::from_args();
+    // Accuracy probing builds the exact baseline, so cap the default scale.
+    let n = opts.scale.min(500_000);
+    println!("# Accuracy report: measured relative error vs requested epsilon (stream size {n})");
+    let mut reports = Vec::new();
+    for eps in [0.15, 0.2, 0.25] {
+        for generator in &mut f2_experiment_generators(opts.seed) {
+            reports.push(measure_correlated_f2(generator.as_mut(), n, eps, opts.seed, true));
+        }
+        for generator in &mut f0_experiment_generators(opts.seed) {
+            reports.push(measure_correlated_f0(generator.as_mut(), n, eps, opts.seed, true));
+        }
+    }
+    emit(&reports, opts.json);
+    let worst = reports
+        .iter()
+        .filter_map(|r| r.max_relative_error())
+        .fold(0.0f64, f64::max);
+    println!("# worst measured relative error across all runs: {worst:.4}");
+}

@@ -1,0 +1,20 @@
+//! Experiment E1 (Figure 2 of the paper): space of the correlated F2 sketch
+//! versus the relative error ε, on the Uniform, Zipf(1) and Zipf(2) datasets.
+//!
+//! `cargo run -p cora-bench --release --bin fig2_f2_space_vs_eps -- [--scale N] [--json]`
+
+use cora_bench::{emit, measure_correlated_f2, ExperimentOptions};
+use cora_stream::f2_experiment_generators;
+
+fn main() {
+    let opts = ExperimentOptions::from_args();
+    let n = opts.scale;
+    println!("# Figure 2: correlated-F2 sketch space vs epsilon (stream size {n})");
+    let mut reports = Vec::new();
+    for eps in [0.14, 0.16, 0.18, 0.20, 0.22, 0.25] {
+        for generator in &mut f2_experiment_generators(opts.seed) {
+            reports.push(measure_correlated_f2(generator.as_mut(), n, eps, opts.seed, false));
+        }
+    }
+    emit(&reports, opts.json);
+}

@@ -1,0 +1,22 @@
+//! Experiments E2–E4 (Figures 3, 4 and 5): space of the correlated F2 sketch
+//! versus the stream size, for a fixed ε (0.15, 0.20 or 0.25).
+//!
+//! `cargo run -p cora-bench --release --bin fig3_5_f2_space_vs_n -- --eps 0.15 [--scale N]`
+
+use cora_bench::{emit, measure_correlated_f2, ExperimentOptions};
+use cora_stream::f2_experiment_generators;
+
+fn main() {
+    let opts = ExperimentOptions::from_args();
+    let eps = opts.epsilon.unwrap_or(0.20);
+    let max_n = opts.scale;
+    println!("# Figures 3-5: correlated-F2 sketch space vs stream size (epsilon {eps})");
+    let sizes: Vec<usize> = (1..=5).map(|i| max_n / 5 * i).collect();
+    let mut reports = Vec::new();
+    for &n in &sizes {
+        for generator in &mut f2_experiment_generators(opts.seed) {
+            reports.push(measure_correlated_f2(generator.as_mut(), n, eps, opts.seed, false));
+        }
+    }
+    emit(&reports, opts.json);
+}

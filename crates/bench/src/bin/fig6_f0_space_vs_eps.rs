@@ -1,0 +1,20 @@
+//! Experiment E5 (Figure 6): space of the correlated F0 sketch versus ε, on
+//! the Ethernet, Uniform, Zipf(1) and Zipf(2) datasets.
+//!
+//! `cargo run -p cora-bench --release --bin fig6_f0_space_vs_eps -- [--scale N] [--json]`
+
+use cora_bench::{emit, measure_correlated_f0, ExperimentOptions};
+use cora_stream::f0_experiment_generators;
+
+fn main() {
+    let opts = ExperimentOptions::from_args();
+    let n = opts.scale.min(2_000_000); // the paper uses 2M tuples for F0
+    println!("# Figure 6: correlated-F0 sketch space vs epsilon (stream size {n})");
+    let mut reports = Vec::new();
+    for eps in [0.05, 0.1, 0.15, 0.2, 0.25, 0.3] {
+        for generator in &mut f0_experiment_generators(opts.seed) {
+            reports.push(measure_correlated_f0(generator.as_mut(), n, eps, opts.seed, false));
+        }
+    }
+    emit(&reports, opts.json);
+}

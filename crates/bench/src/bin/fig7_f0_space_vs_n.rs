@@ -1,0 +1,22 @@
+//! Experiment E6 (Figure 7): space of the correlated F0 sketch versus the
+//! stream size, ε = 0.1.
+//!
+//! `cargo run -p cora-bench --release --bin fig7_f0_space_vs_n -- [--scale N] [--json]`
+
+use cora_bench::{emit, measure_correlated_f0, ExperimentOptions};
+use cora_stream::f0_experiment_generators;
+
+fn main() {
+    let opts = ExperimentOptions::from_args();
+    let eps = opts.epsilon.unwrap_or(0.1);
+    let max_n = opts.scale;
+    println!("# Figure 7: correlated-F0 sketch space vs stream size (epsilon {eps})");
+    let sizes: Vec<usize> = (1..=5).map(|i| max_n / 5 * i).collect();
+    let mut reports = Vec::new();
+    for &n in &sizes {
+        for generator in &mut f0_experiment_generators(opts.seed) {
+            reports.push(measure_correlated_f0(generator.as_mut(), n, eps, opts.seed, false));
+        }
+    }
+    emit(&reports, opts.json);
+}

@@ -1,0 +1,53 @@
+//! Experiment E10: the turnstile-model trade-off — the MULTIPASS algorithm's
+//! pass count and space versus the exact baseline, on streams with deletions.
+//!
+//! `cargo run -p cora-bench --release --bin multipass_report -- [--scale N]`
+
+use cora_bench::ExperimentOptions;
+use cora_core::ExactCorrelated;
+use cora_stream::{multipass_f2, StoredStream, StreamTuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let opts = ExperimentOptions::from_args();
+    let n = opts.scale.min(500_000);
+    let y_max = (1u64 << 16) - 1;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    let mut tuples = Vec::with_capacity(n + n / 2);
+    for _ in 0..n {
+        tuples.push(StreamTuple::weighted(
+            rng.gen_range(0..5_000u64),
+            rng.gen_range(0..=y_max),
+            1,
+        ));
+    }
+    for i in (0..n).step_by(2) {
+        let t = tuples[i];
+        tuples.push(StreamTuple::weighted(t.x, t.y, -1));
+    }
+    let stream = StoredStream::new(tuples);
+
+    println!("# Multipass report: turnstile stream of {} tuples (half later deleted)", stream.len());
+    println!("epsilon\tpasses\tladder_positions\ttau\testimate\texact\tratio");
+    for eps in [0.15, 0.25, 0.4] {
+        let estimator = multipass_f2(&stream, eps, 0.05, y_max, opts.seed);
+        let mut exact = ExactCorrelated::new();
+        for t in stream.tuples() {
+            exact.update(t.x, t.y, t.weight);
+        }
+        for tau in [y_max / 4, y_max] {
+            let truth = exact.frequency_moment(2, tau);
+            let est = estimator.query(tau);
+            println!(
+                "{eps}\t{}\t{}\t{tau}\t{est:.0}\t{truth:.0}\t{:.3}",
+                estimator.passes_used(),
+                estimator.positions().len(),
+                est / truth.max(1.0)
+            );
+        }
+    }
+    println!("# single-pass sketches reject deletions (see the turnstile_lower_bound example);");
+    println!("# MULTIPASS pays O(log y_max) passes instead of linear space.");
+}

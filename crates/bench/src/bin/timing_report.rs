@@ -1,0 +1,24 @@
+//! Experiment E7: per-record processing cost of the correlated sketches and
+//! the exact baseline (the paper's "fast per-record processing time" claim).
+//!
+//! `cargo run -p cora-bench --release --bin timing_report -- [--scale N]`
+
+use cora_bench::{
+    emit, measure_correlated_f0, measure_correlated_f2, measure_exact_baseline, ExperimentOptions,
+};
+use cora_stream::{f0_experiment_generators, f2_experiment_generators};
+
+fn main() {
+    let opts = ExperimentOptions::from_args();
+    let n = opts.scale.min(1_000_000);
+    println!("# Timing report: amortised nanoseconds per record (stream size {n})");
+    let mut reports = Vec::new();
+    for generator in &mut f2_experiment_generators(opts.seed) {
+        reports.push(measure_correlated_f2(generator.as_mut(), n, 0.2, opts.seed, false));
+        reports.push(measure_exact_baseline(generator.as_mut(), n));
+    }
+    for generator in &mut f0_experiment_generators(opts.seed) {
+        reports.push(measure_correlated_f0(generator.as_mut(), n, 0.1, opts.seed, false));
+    }
+    emit(&reports, opts.json);
+}

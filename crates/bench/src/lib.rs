@@ -1,0 +1,240 @@
+//! # cora-bench
+//!
+//! The experiment harness that regenerates every figure of the paper's
+//! evaluation section (Section 5) plus the additional reports listed in
+//! DESIGN.md's per-experiment index. The figure binaries in `src/bin/` are
+//! thin wrappers around the functions here; the Criterion benches in
+//! `benches/` cover the time-based measurements (per-record update cost,
+//! query latency, whole-stream sketch throughput, multipass passes).
+//!
+//! Space experiments are run at a configurable `--scale` (default well below
+//! the paper's 40–50 million tuples so a laptop regenerates every series in
+//! minutes); the *shape* of each curve — how space moves with ε and with the
+//! stream size, and who wins against linear storage — is what reproduces the
+//! paper, not the absolute tuple counts. See EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use cora_core::{correlated_f2_seeded, CorrelatedF0, ExactCorrelated};
+use cora_stream::{default_thresholds, DatasetGenerator, RunReport, StreamTuple};
+
+/// Common command-line options for the figure binaries (parsed by hand to
+/// avoid an argument-parsing dependency).
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Stream size for the largest configuration.
+    pub scale: usize,
+    /// Random seed shared by generators and sketches.
+    pub seed: u64,
+    /// Emit machine-readable JSON lines in addition to the table.
+    pub json: bool,
+    /// Override epsilon (used by the space-vs-n binaries).
+    pub epsilon: Option<f64>,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        Self {
+            scale: 2_000_000,
+            seed: 0xC04A,
+            json: false,
+            epsilon: None,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Parse `--scale N`, `--seed N`, `--eps X`, `--json` from the process
+    /// arguments, ignoring anything else.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" if i + 1 < args.len() => {
+                    opts.scale = args[i + 1].parse().unwrap_or(opts.scale);
+                    i += 1;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    opts.seed = args[i + 1].parse().unwrap_or(opts.seed);
+                    i += 1;
+                }
+                "--eps" if i + 1 < args.len() => {
+                    opts.epsilon = args[i + 1].parse().ok();
+                    i += 1;
+                }
+                "--json" => opts.json = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// Print a series of reports as a table (and JSON lines when requested).
+pub fn emit(reports: &[RunReport], json: bool) {
+    println!("{}", RunReport::tsv_header());
+    for r in reports {
+        println!("{}", r.tsv_row());
+    }
+    if json {
+        for r in reports {
+            println!("{}", serde_json::to_string(r).expect("reports serialise"));
+        }
+    }
+}
+
+/// Measure a correlated-F2 sketch on one generated dataset.
+///
+/// Returns the run report; the relative errors are probed against the exact
+/// baseline only when `check_accuracy` is set (the exact baseline is the
+/// expensive part at large scales).
+pub fn measure_correlated_f2(
+    generator: &mut dyn DatasetGenerator,
+    n: usize,
+    epsilon: f64,
+    seed: u64,
+    check_accuracy: bool,
+) -> RunReport {
+    let name = generator.name();
+    let y_max = generator.y_max();
+    let tuples = generator.generate(n);
+    let mut sketch =
+        correlated_f2_seeded(epsilon, 0.05, y_max, n as u64, seed).expect("valid parameters");
+    let ns_per_record =
+        cora_stream::time_ingest(&tuples, |t| sketch.insert(t.x, t.y).expect("y in range"));
+    let errors = if check_accuracy {
+        let exact = exact_baseline(&tuples);
+        cora_stream::relative_errors(&default_thresholds(y_max, 5), |c| {
+            let truth = exact.frequency_moment(2, c);
+            if truth == 0.0 {
+                None
+            } else {
+                Some((sketch.query(c).expect("answerable"), truth))
+            }
+        })
+    } else {
+        Vec::new()
+    };
+    let stats = sketch.stats();
+    RunReport {
+        dataset: name,
+        sketch: "correlated-F2".into(),
+        epsilon,
+        stream_len: tuples.len(),
+        stored_tuples: stats.stored_tuples,
+        space_bytes: stats.space_bytes,
+        ns_per_record,
+        relative_errors: errors,
+    }
+}
+
+/// Measure a correlated-F0 sketch on one generated dataset.
+pub fn measure_correlated_f0(
+    generator: &mut dyn DatasetGenerator,
+    n: usize,
+    epsilon: f64,
+    seed: u64,
+    check_accuracy: bool,
+) -> RunReport {
+    let name = generator.name();
+    let y_max = generator.y_max();
+    let x_domain_log2 = (64 - generator.x_max().leading_zeros()).max(1);
+    let tuples = generator.generate(n);
+    let mut sketch =
+        CorrelatedF0::with_seed(epsilon, 0.05, x_domain_log2, y_max, seed).expect("valid parameters");
+    let ns_per_record =
+        cora_stream::time_ingest(&tuples, |t| sketch.insert(t.x, t.y).expect("y in range"));
+    let errors = if check_accuracy {
+        let exact = exact_baseline(&tuples);
+        cora_stream::relative_errors(&default_thresholds(y_max, 5), |c| {
+            let truth = exact.distinct_count(c);
+            if truth < 50.0 {
+                None
+            } else {
+                Some((sketch.query(c).expect("answerable"), truth))
+            }
+        })
+    } else {
+        Vec::new()
+    };
+    RunReport {
+        dataset: name,
+        sketch: "correlated-F0".into(),
+        epsilon,
+        stream_len: tuples.len(),
+        stored_tuples: sketch.stored_tuples(),
+        space_bytes: sketch.space_bytes(),
+        ns_per_record,
+        relative_errors: errors,
+    }
+}
+
+/// Measure the exact (linear-storage) baseline on one generated dataset.
+pub fn measure_exact_baseline(generator: &mut dyn DatasetGenerator, n: usize) -> RunReport {
+    let name = generator.name();
+    let tuples = generator.generate(n);
+    let mut exact = ExactCorrelated::new();
+    let ns_per_record = cora_stream::time_ingest(&tuples, |t| exact.insert(t.x, t.y));
+    RunReport {
+        dataset: name,
+        sketch: "exact-baseline".into(),
+        epsilon: 0.0,
+        stream_len: tuples.len(),
+        stored_tuples: exact.stored_tuples(),
+        space_bytes: exact.stored_tuples() * std::mem::size_of::<(u64, u64, i64)>(),
+        ns_per_record,
+        relative_errors: Vec::new(),
+    }
+}
+
+fn exact_baseline(tuples: &[StreamTuple]) -> ExactCorrelated {
+    let mut exact = ExactCorrelated::new();
+    for t in tuples {
+        exact.update(t.x, t.y, t.weight);
+    }
+    exact
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cora_stream::UniformGenerator;
+
+    #[test]
+    fn options_defaults_and_parsing_fallbacks() {
+        let o = ExperimentOptions::default();
+        assert_eq!(o.scale, 2_000_000);
+        assert!(!o.json);
+        assert!(o.epsilon.is_none());
+    }
+
+    #[test]
+    fn f2_measurement_produces_consistent_report() {
+        let mut generator = UniformGenerator::new(10_000, 100_000, 3);
+        let report = measure_correlated_f2(&mut generator, 20_000, 0.25, 7, true);
+        assert_eq!(report.stream_len, 20_000);
+        assert!(report.stored_tuples > 0);
+        assert!(report.ns_per_record > 0.0);
+        assert!(report.max_relative_error().unwrap() < 0.3);
+    }
+
+    #[test]
+    fn f0_measurement_produces_consistent_report() {
+        let mut generator = UniformGenerator::new(100_000, 100_000, 4);
+        let report = measure_correlated_f0(&mut generator, 20_000, 0.2, 7, true);
+        assert_eq!(report.sketch, "correlated-F0");
+        assert!(report.stored_tuples > 0);
+        assert!(report.max_relative_error().unwrap() < 0.6);
+    }
+
+    #[test]
+    fn exact_baseline_is_linear() {
+        let mut generator = UniformGenerator::new(1_000, 10_000, 5);
+        let report = measure_exact_baseline(&mut generator, 5_000);
+        assert_eq!(report.stored_tuples, 5_000);
+    }
+}

@@ -1,0 +1,263 @@
+//! The aggregate abstraction: the paper's Conditions I–V as a trait.
+//!
+//! Section 2 of the paper states five conditions an aggregation function `f`
+//! must satisfy for the reduction to whole-stream sketching to apply:
+//!
+//! * **I** — `f(R)` is bounded by a polynomial in `|R|` (captured here by
+//!   [`CorrelatedAggregate::f_max_log2`], a bound on `log2 f` used to size the
+//!   number of levels);
+//! * **II** — superadditivity: `f(R1 ∪ R2) ≥ f(R1) + f(R2)`;
+//! * **III** — there is `c1(·)` with `f(∪ R_i) ≤ c1(j) · max_i f(R_i)` for `j`
+//!   sets ([`CorrelatedAggregate::c1`]);
+//! * **IV** — there is `c2(ε)` such that removing a subset with
+//!   `f(B) ≤ c2(ε) f(A)` changes `f` by at most a `(1−ε)` factor
+//!   ([`CorrelatedAggregate::c2`]);
+//! * **V** — `f` has a composable sketching function
+//!   ([`CorrelatedAggregate::new_sketch`] + the sketch's
+//!   [`MergeableSketch`][cora_sketch::MergeableSketch] impl).
+//!
+//! Conditions II–IV are mathematical facts about `f` established once per
+//! aggregate (see the instantiations in [`crate::f2`], [`crate::fk`],
+//! [`crate::sum`]); the trait records the resulting constants so the generic
+//! framework ([`crate::framework::CorrelatedSketch`]) can derive its bucket
+//! budget and thresholds from them.
+
+use cora_sketch::{Estimate, ExactFrequencies, MergeableSketch, SpaceUsage, StreamSketch};
+
+/// An aggregation function usable with the correlated-aggregation framework.
+///
+/// Implementations are small, cloneable descriptor objects (they carry the
+/// accuracy parameters and seed needed to build per-bucket sketches); the
+/// actual stream state lives in the sketches they create.
+pub trait CorrelatedAggregate: Clone {
+    /// The whole-stream sketch type used inside each bucket (Property V).
+    type Sketch: StreamSketch + Estimate + MergeableSketch + SpaceUsage + Clone + std::fmt::Debug;
+
+    /// Human-readable name ("F2", "F_k(3)", "sum", ...) used in reports.
+    fn name(&self) -> String;
+
+    /// Condition III: `f(∪_{i=1..j} R_i) ≤ c1(j) · max_i f(R_i)`.
+    fn c1(&self, j: f64) -> f64;
+
+    /// Condition IV: if `f(B) ≤ c2(ε) · f(A)` for `B ⊆ A` then
+    /// `f(A − B) ≥ (1 − ε) f(A)`.
+    fn c2(&self, eps: f64) -> f64;
+
+    /// Condition I: an upper bound on `log2 f(S)` for any stream `S` this
+    /// aggregate will be asked to process, given a bound on the number of
+    /// stream elements. Used to size the number of levels.
+    fn f_max_log2(&self, max_stream_len: u64) -> u32;
+
+    /// Property V: create a fresh, empty whole-stream sketch. Every sketch
+    /// created by the same aggregate instance must be mergeable with every
+    /// other (they share hash seeds).
+    fn new_sketch(&self) -> Self::Sketch;
+
+    /// The (approximate) number of stored tuples a fully-populated sketch from
+    /// [`Self::new_sketch`] occupies. Used by the hybrid bucket store to decide
+    /// when an exact frequency vector stops being the cheaper representation;
+    /// it must be cheap to compute (no sketch construction).
+    fn sketch_size_hint(&self) -> usize;
+
+    /// Evaluate the aggregate exactly from a frequency vector. Used by the
+    /// hybrid bucket store (exact small buckets), by the exact baseline and by
+    /// the accuracy harness.
+    fn exact_value(&self, freqs: &ExactFrequencies) -> f64;
+}
+
+/// A bucket's storage: exact while small, sketched once the exact
+/// representation would outgrow the sketch.
+///
+/// The paper's level-0 structure stores singleton buckets exactly; in the same
+/// spirit every bucket in this implementation starts as an exact frequency
+/// vector and is converted to the aggregate's sketch the first time the exact
+/// form would use more space than the sketch would. This never increases
+/// space relative to the pure-sketch design, removes all estimation error from
+/// small buckets (the common case at low levels, where the closing threshold
+/// `2^{ℓ+1}` is tiny), and is transparent to the framework.
+#[derive(Debug, Clone)]
+pub enum BucketStore<A: CorrelatedAggregate> {
+    /// Exact frequency vector (small buckets).
+    Exact(ExactFrequencies),
+    /// The aggregate's whole-stream sketch (large buckets).
+    Sketched(A::Sketch),
+}
+
+impl<A: CorrelatedAggregate> BucketStore<A> {
+    /// A new, empty store (starts exact).
+    pub fn new() -> Self {
+        BucketStore::Exact(ExactFrequencies::new())
+    }
+
+    /// Insert an item with a weight.
+    pub fn update(&mut self, agg: &A, item: u64, weight: i64) {
+        match self {
+            BucketStore::Exact(freqs) => {
+                freqs.update(item, weight);
+                // Convert when the exact representation is no longer the
+                // cheaper one.
+                if freqs.stored_tuples() > 16
+                    && freqs.stored_tuples() >= agg.sketch_size_hint().max(1)
+                {
+                    self.convert(agg);
+                }
+            }
+            BucketStore::Sketched(sketch) => sketch.update(item, weight),
+        }
+    }
+
+    /// Force conversion to the sketched representation.
+    pub fn convert(&mut self, agg: &A) {
+        if let BucketStore::Exact(freqs) = self {
+            let mut sketch = agg.new_sketch();
+            for (item, f) in freqs.iter() {
+                sketch.update(item, f);
+            }
+            *self = BucketStore::Sketched(sketch);
+        }
+    }
+
+    /// Estimate the aggregate of the items in this store.
+    pub fn estimate(&self, agg: &A) -> f64 {
+        match self {
+            BucketStore::Exact(freqs) => agg.exact_value(freqs),
+            BucketStore::Sketched(sketch) => sketch.estimate(),
+        }
+    }
+
+    /// True if this store holds an exact frequency vector.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, BucketStore::Exact(_))
+    }
+
+    /// Merge `other` into `self` (used at query time to compose buckets).
+    pub fn merge_from(&mut self, agg: &A, other: &Self) -> crate::error::Result<()> {
+        match (&mut *self, other) {
+            (BucketStore::Exact(a), BucketStore::Exact(b)) => {
+                a.merge_from(b)?;
+                Ok(())
+            }
+            (BucketStore::Sketched(a), BucketStore::Sketched(b)) => {
+                a.merge_from(b)?;
+                Ok(())
+            }
+            (BucketStore::Sketched(a), BucketStore::Exact(b)) => {
+                for (item, f) in b.iter() {
+                    a.update(item, f);
+                }
+                Ok(())
+            }
+            (BucketStore::Exact(_), BucketStore::Sketched(_)) => {
+                // Promote self to a sketch, then merge sketch-to-sketch.
+                self.convert(agg);
+                self.merge_from(agg, other)
+            }
+        }
+    }
+
+    /// Number of stored tuples (counters or exact entries).
+    pub fn stored_tuples(&self) -> usize {
+        match self {
+            BucketStore::Exact(freqs) => freqs.stored_tuples(),
+            BucketStore::Sketched(sketch) => sketch.stored_tuples(),
+        }
+    }
+
+    /// Approximate heap bytes.
+    pub fn space_bytes(&self) -> usize {
+        match self {
+            BucketStore::Exact(freqs) => freqs.space_bytes(),
+            BucketStore::Sketched(sketch) => sketch.space_bytes(),
+        }
+    }
+}
+
+impl<A: CorrelatedAggregate> Default for BucketStore<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::f2::F2Aggregate;
+
+    fn agg() -> F2Aggregate {
+        F2Aggregate::new(0.3, 0.1, 7)
+    }
+
+    #[test]
+    fn store_starts_exact_and_is_accurate() {
+        let agg = agg();
+        let mut store: BucketStore<F2Aggregate> = BucketStore::new();
+        store.update(&agg, 1, 3);
+        store.update(&agg, 2, 4);
+        assert!(store.is_exact());
+        assert_eq!(store.estimate(&agg), 25.0);
+        assert_eq!(store.stored_tuples(), 2);
+    }
+
+    #[test]
+    fn store_converts_when_large() {
+        let agg = agg();
+        let sketch_size = agg.new_sketch().stored_tuples();
+        let mut store: BucketStore<F2Aggregate> = BucketStore::new();
+        for x in 0..(sketch_size as u64 + 20) {
+            store.update(&agg, x, 1);
+        }
+        assert!(!store.is_exact(), "store should have converted to a sketch");
+        assert!(store.stored_tuples() <= sketch_size);
+    }
+
+    #[test]
+    fn conversion_preserves_estimate_accuracy() {
+        let agg = agg();
+        let mut store: BucketStore<F2Aggregate> = BucketStore::new();
+        for x in 0..10u64 {
+            store.update(&agg, x, 5);
+        }
+        let exact = store.estimate(&agg);
+        store.convert(&agg);
+        let sketched = store.estimate(&agg);
+        let rel = (sketched - exact).abs() / exact;
+        assert!(rel < 0.3, "conversion changed estimate too much: {exact} -> {sketched}");
+    }
+
+    #[test]
+    fn merge_all_combinations() {
+        let agg = agg();
+        // exact + exact
+        let mut a: BucketStore<F2Aggregate> = BucketStore::new();
+        let mut b: BucketStore<F2Aggregate> = BucketStore::new();
+        a.update(&agg, 1, 2);
+        b.update(&agg, 1, 3);
+        a.merge_from(&agg, &b).unwrap();
+        assert_eq!(a.estimate(&agg), 25.0);
+
+        // sketched + exact
+        let mut s: BucketStore<F2Aggregate> = BucketStore::new();
+        s.update(&agg, 7, 4);
+        s.convert(&agg);
+        s.merge_from(&agg, &b).unwrap();
+        assert!(s.estimate(&agg) > 0.0);
+
+        // exact + sketched (self promotes)
+        let mut e: BucketStore<F2Aggregate> = BucketStore::new();
+        e.update(&agg, 9, 1);
+        let mut sk: BucketStore<F2Aggregate> = BucketStore::new();
+        sk.update(&agg, 9, 1);
+        sk.convert(&agg);
+        e.merge_from(&agg, &sk).unwrap();
+        assert!(!e.is_exact());
+        assert!((e.estimate(&agg) - 4.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn default_is_empty_exact() {
+        let store: BucketStore<F2Aggregate> = BucketStore::default();
+        assert!(store.is_exact());
+        assert_eq!(store.stored_tuples(), 0);
+        assert_eq!(store.estimate(&agg()), 0.0);
+    }
+}

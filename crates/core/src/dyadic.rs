@@ -1,0 +1,234 @@
+//! Dyadic intervals over the y domain `[0, y_max]`.
+//!
+//! The paper's bucket structure (Section 2.1) assigns every bucket a dyadic
+//! interval: `[0, y_max]` is dyadic, and if `[a, b]` is dyadic with `a ≠ b`
+//! then `[a, (a+b−1)/2]` and `[(a+b+1)/2, b]` are dyadic. `y_max` is padded to
+//! `2^β − 1` so every dyadic interval has a power-of-two length and the tree
+//! is a perfect binary tree of height `β`.
+
+use crate::error::{CoreError, Result};
+
+/// A dyadic interval `[lo, hi]` (inclusive on both ends).
+#[allow(clippy::len_without_is_empty)] // a closed interval is never empty
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DyadicInterval {
+    /// Inclusive lower endpoint.
+    pub lo: u64,
+    /// Inclusive upper endpoint.
+    pub hi: u64,
+}
+
+impl DyadicInterval {
+    /// The root interval `[0, padded_y_max]` for a given `y_max`.
+    ///
+    /// `y_max` is rounded up to the next value of the form `2^β − 1` as the
+    /// paper assumes ("without loss of generality, assume that `y_max` is of
+    /// the form `2^β − 1`").
+    pub fn root(y_max: u64) -> Self {
+        Self {
+            lo: 0,
+            hi: pad_y_max(y_max),
+        }
+    }
+
+    /// Construct an interval after validating `lo ≤ hi`.
+    pub fn new(lo: u64, hi: u64) -> Result<Self> {
+        if lo > hi {
+            return Err(CoreError::InvalidParameter {
+                name: "interval",
+                detail: format!("lo {lo} > hi {hi}"),
+            });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Number of y values covered.
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo + 1
+    }
+
+    /// True iff the interval covers a single y value (a leaf of the dyadic tree).
+    pub fn is_unit(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// True iff `y` falls inside the interval.
+    #[inline]
+    pub fn contains(&self, y: u64) -> bool {
+        self.lo <= y && y <= self.hi
+    }
+
+    /// True iff this interval is entirely inside `[0, c]`.
+    #[inline]
+    pub fn within_threshold(&self, c: u64) -> bool {
+        self.hi <= c
+    }
+
+    /// True iff this interval intersects `[0, c]` but is not contained in it.
+    #[inline]
+    pub fn straddles_threshold(&self, c: u64) -> bool {
+        self.lo <= c && self.hi > c
+    }
+
+    /// The two dyadic children, or `None` for a unit interval.
+    pub fn children(&self) -> Option<(DyadicInterval, DyadicInterval)> {
+        if self.is_unit() {
+            return None;
+        }
+        let mid = self.lo + (self.hi - self.lo) / 2;
+        Some((
+            DyadicInterval { lo: self.lo, hi: mid },
+            DyadicInterval { lo: mid + 1, hi: self.hi },
+        ))
+    }
+
+    /// The child containing `y`, or `None` for a unit interval or `y` outside.
+    pub fn child_containing(&self, y: u64) -> Option<DyadicInterval> {
+        let (left, right) = self.children()?;
+        if left.contains(y) {
+            Some(left)
+        } else if right.contains(y) {
+            Some(right)
+        } else {
+            None
+        }
+    }
+
+    /// The dyadic parent within the tree rooted at `[0, root_hi]`, or `None`
+    /// if this is the root.
+    pub fn parent(&self, root_hi: u64) -> Option<DyadicInterval> {
+        if self.lo == 0 && self.hi == root_hi {
+            return None;
+        }
+        let len = self.len();
+        let parent_len = len * 2;
+        let parent_lo = (self.lo / parent_len) * parent_len;
+        Some(DyadicInterval {
+            lo: parent_lo,
+            hi: parent_lo + parent_len - 1,
+        })
+    }
+
+    /// The number of dyadic intervals of the canonical decomposition of
+    /// `[0, c]` that straddle `c` at any one depth is at most one; across all
+    /// depths it is at most `log2(y_max)+1`. This helper returns the dyadic
+    /// intervals (one per depth, from the root down) on the root-to-leaf path
+    /// of `y` — exactly the intervals that can straddle a threshold at `y`.
+    pub fn path_to(root: DyadicInterval, y: u64) -> Vec<DyadicInterval> {
+        let mut path = Vec::new();
+        let mut current = root;
+        loop {
+            path.push(current);
+            match current.child_containing(y) {
+                Some(child) => current = child,
+                None => break,
+            }
+        }
+        path
+    }
+}
+
+/// Round `y_max` up to the next value of the form `2^β − 1` (minimum 1).
+pub fn pad_y_max(y_max: u64) -> u64 {
+    let mut v: u64 = 2;
+    while v - 1 < y_max && v < (1 << 62) {
+        v <<= 1;
+    }
+    v - 1
+}
+
+/// `log2(padded y_max + 1)`: the height of the dyadic tree.
+pub fn tree_height(y_max: u64) -> u32 {
+    (pad_y_max(y_max) + 1).trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_produces_all_ones() {
+        assert_eq!(pad_y_max(0), 1); // minimum non-degenerate domain
+        assert_eq!(pad_y_max(1), 1);
+        assert_eq!(pad_y_max(2), 3);
+        assert_eq!(pad_y_max(7), 7);
+        assert_eq!(pad_y_max(8), 15);
+        assert_eq!(pad_y_max(1_000_000), (1 << 20) - 1);
+    }
+
+    #[test]
+    fn tree_height_matches_padding() {
+        assert_eq!(tree_height(1), 1);
+        assert_eq!(tree_height(7), 3);
+        assert_eq!(tree_height(1_000_000), 20);
+    }
+
+    #[test]
+    fn new_validates_order() {
+        assert!(DyadicInterval::new(3, 2).is_err());
+        assert!(DyadicInterval::new(2, 3).is_ok());
+    }
+
+    #[test]
+    fn children_split_evenly() {
+        let root = DyadicInterval::root(7);
+        assert_eq!(root, DyadicInterval { lo: 0, hi: 7 });
+        let (l, r) = root.children().unwrap();
+        assert_eq!(l, DyadicInterval { lo: 0, hi: 3 });
+        assert_eq!(r, DyadicInterval { lo: 4, hi: 7 });
+        assert_eq!(l.len(), r.len());
+        assert!(DyadicInterval { lo: 5, hi: 5 }.children().is_none());
+    }
+
+    #[test]
+    fn child_containing_selects_correctly() {
+        let root = DyadicInterval::root(15);
+        assert_eq!(root.child_containing(3).unwrap(), DyadicInterval { lo: 0, hi: 7 });
+        assert_eq!(root.child_containing(8).unwrap(), DyadicInterval { lo: 8, hi: 15 });
+        assert!(DyadicInterval { lo: 4, hi: 4 }.child_containing(4).is_none());
+    }
+
+    #[test]
+    fn parent_inverts_children() {
+        let root = DyadicInterval::root(31);
+        let (l, r) = root.children().unwrap();
+        assert_eq!(l.parent(root.hi).unwrap(), root);
+        assert_eq!(r.parent(root.hi).unwrap(), root);
+        assert!(root.parent(root.hi).is_none());
+        let (ll, lr) = l.children().unwrap();
+        assert_eq!(ll.parent(root.hi).unwrap(), l);
+        assert_eq!(lr.parent(root.hi).unwrap(), l);
+    }
+
+    #[test]
+    fn threshold_predicates() {
+        let iv = DyadicInterval { lo: 4, hi: 7 };
+        assert!(iv.within_threshold(7));
+        assert!(iv.within_threshold(100));
+        assert!(!iv.within_threshold(6));
+        assert!(iv.straddles_threshold(5));
+        assert!(!iv.straddles_threshold(3)); // entirely above
+        assert!(!iv.straddles_threshold(7)); // entirely below or equal
+        assert!(iv.contains(4) && iv.contains(7) && !iv.contains(8));
+    }
+
+    #[test]
+    fn path_to_walks_root_to_leaf() {
+        let root = DyadicInterval::root(15);
+        let path = DyadicInterval::path_to(root, 5);
+        assert_eq!(path.len(), 5); // heights 16, 8, 4, 2, 1
+        assert_eq!(path[0], root);
+        assert_eq!(*path.last().unwrap(), DyadicInterval { lo: 5, hi: 5 });
+        for w in path.windows(2) {
+            assert!(w[0].len() == w[1].len() * 2);
+            assert!(w[0].contains(5) && w[1].contains(5));
+        }
+    }
+
+    #[test]
+    fn unit_interval_properties() {
+        let u = DyadicInterval { lo: 9, hi: 9 };
+        assert!(u.is_unit());
+        assert_eq!(u.len(), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Exact correlated aggregates: the linear-storage baseline.
+//!
+//! [`ExactCorrelated`] stores every tuple, exactly as the "existing linear
+//! storage solutions" the paper's experiments compare against. It answers any
+//! correlated aggregate exactly and is the ground truth used by the accuracy
+//! harness (experiment E8) and the integration tests.
+
+use std::collections::BTreeMap;
+
+use cora_sketch::ExactFrequencies;
+
+/// Exact, linear-space store of an `(x, y, w)` stream, indexed by y.
+#[derive(Debug, Clone, Default)]
+pub struct ExactCorrelated {
+    /// y -> list of (x, weight) tuples carrying that y value.
+    by_y: BTreeMap<u64, Vec<(u64, i64)>>,
+    tuples: usize,
+}
+
+impl ExactCorrelated {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a tuple with unit weight.
+    pub fn insert(&mut self, x: u64, y: u64) {
+        self.update(x, y, 1);
+    }
+
+    /// Insert a tuple with an arbitrary (possibly negative) weight.
+    pub fn update(&mut self, x: u64, y: u64, weight: i64) {
+        self.by_y.entry(y).or_default().push((x, weight));
+        self.tuples += 1;
+    }
+
+    /// Number of stored tuples (linear in the stream length by design).
+    pub fn stored_tuples(&self) -> usize {
+        self.tuples
+    }
+
+    /// The exact frequency vector of the selection `{x : y ≤ c}`.
+    pub fn frequencies_upto(&self, c: u64) -> ExactFrequencies {
+        let mut freqs = ExactFrequencies::new();
+        for (_, tuples) in self.by_y.range(..=c) {
+            for &(x, w) in tuples {
+                cora_sketch::StreamSketch::update(&mut freqs, x, w);
+            }
+        }
+        freqs
+    }
+
+    /// Exact correlated frequency moment `F_k({x : y ≤ c})`.
+    pub fn frequency_moment(&self, k: u32, c: u64) -> f64 {
+        self.frequencies_upto(c).frequency_moment(k)
+    }
+
+    /// Exact correlated distinct count.
+    pub fn distinct_count(&self, c: u64) -> f64 {
+        self.frequency_moment(0, c)
+    }
+
+    /// Exact correlated sum of weights.
+    pub fn sum(&self, c: u64) -> i64 {
+        self.by_y
+            .range(..=c)
+            .flat_map(|(_, tuples)| tuples.iter())
+            .map(|&(_, w)| w)
+            .sum()
+    }
+
+    /// Exact correlated count of tuples.
+    pub fn count(&self, c: u64) -> usize {
+        self.by_y.range(..=c).map(|(_, tuples)| tuples.len()).sum()
+    }
+
+    /// Exact correlated `F_2`-heavy hitters: items whose squared frequency is
+    /// at least `phi · F_2(c)`.
+    pub fn f2_heavy_hitters(&self, c: u64, phi: f64) -> Vec<(u64, i64)> {
+        self.frequencies_upto(c).f2_heavy_hitters(phi)
+    }
+
+    /// Exact correlated rarity.
+    pub fn rarity(&self, c: u64) -> f64 {
+        self.frequencies_upto(c).rarity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExactCorrelated {
+        let mut e = ExactCorrelated::new();
+        // y=10: items 1,1,2 ; y=20: items 2,3 ; y=30: item 3.
+        e.insert(1, 10);
+        e.insert(1, 10);
+        e.insert(2, 10);
+        e.insert(2, 20);
+        e.insert(3, 20);
+        e.insert(3, 30);
+        e
+    }
+
+    #[test]
+    fn moments_by_threshold() {
+        let e = sample();
+        // c=10: freqs {1:2, 2:1} -> F2 = 5, F0 = 2, F1 = 3.
+        assert_eq!(e.frequency_moment(2, 10), 5.0);
+        assert_eq!(e.distinct_count(10), 2.0);
+        assert_eq!(e.count(10), 3);
+        assert_eq!(e.sum(10), 3);
+        // c=20: freqs {1:2, 2:2, 3:1} -> F2 = 9.
+        assert_eq!(e.frequency_moment(2, 20), 9.0);
+        // c=30 (everything): freqs {1:2, 2:2, 3:2} -> F2 = 12, F3 = 24.
+        assert_eq!(e.frequency_moment(2, 30), 12.0);
+        assert_eq!(e.frequency_moment(3, 30), 24.0);
+        // Below every y value: empty selection.
+        assert_eq!(e.frequency_moment(2, 5), 0.0);
+        assert_eq!(e.distinct_count(5), 0.0);
+    }
+
+    #[test]
+    fn heavy_hitters_and_rarity() {
+        let e = sample();
+        // c=10: item 1 has share 4/5 >= 0.5.
+        let hh = e.f2_heavy_hitters(10, 0.5);
+        assert_eq!(hh, vec![(1, 2)]);
+        // c=10 rarity: {1:2, 2:1} -> one singleton out of two items.
+        assert!((e.rarity(10) - 0.5).abs() < 1e-12);
+        // c=30 rarity: all items occur twice -> 0.
+        assert_eq!(e.rarity(30), 0.0);
+    }
+
+    #[test]
+    fn weighted_and_negative_updates() {
+        let mut e = ExactCorrelated::new();
+        e.update(1, 5, 10);
+        e.update(1, 8, -10);
+        assert_eq!(e.sum(5), 10);
+        assert_eq!(e.sum(8), 0);
+        assert_eq!(e.frequency_moment(2, 8), 0.0);
+        assert_eq!(e.stored_tuples(), 2);
+    }
+
+    #[test]
+    fn storage_is_linear() {
+        let mut e = ExactCorrelated::new();
+        for i in 0..1000u64 {
+            e.insert(i % 10, i);
+        }
+        assert_eq!(e.stored_tuples(), 1000);
+    }
+}

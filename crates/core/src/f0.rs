@@ -1,0 +1,374 @@
+//! Correlated distinct counting `F_0` (Section 3.2 of the paper).
+//!
+//! The paper adapts the Gibbons–Tirthapura distinct sampler: maintain samples
+//! `S_0, S_1, …, S_k` (`k = log m`); item `(x, y)` is placed in level `i` iff
+//! `h(x) < 2^{-i}`. Each level has a capacity `α`; instead of the FIFO
+//! eviction of the sliding-window algorithm, the correlated variant keeps the
+//! entries with the **smallest y values** (a priority queue keyed by y), and
+//! each retained identifier remembers the smallest y it has been seen with.
+//!
+//! A query for `|{x : (x, y) ∈ S, y ≤ c}|` picks the smallest level that has
+//! not evicted any entry with y ≤ c (tracked by a per-level watermark, the
+//! analogue of `Y_ℓ`), counts the sampled identifiers with `y_min ≤ c`, and
+//! scales by `2^{level}`.
+
+use crate::config::DEFAULT_SEED;
+use crate::error::{CoreError, Result};
+use cora_hash::mix::derive_seed;
+use cora_hash::polynomial::PolynomialHash;
+use cora_hash::traits::HashFunction64;
+use std::collections::{BTreeSet, HashMap};
+
+/// One sampling level: identifiers sampled at this level, keyed for y-priority
+/// eviction.
+#[derive(Debug, Clone)]
+struct SampleLevel {
+    /// item -> smallest y seen for that item (at this level).
+    by_item: HashMap<u64, u64>,
+    /// (y, item) pairs ordered by y for eviction of the largest y.
+    by_y: BTreeSet<(u64, u64)>,
+    /// Smallest y ever evicted from this level (`None` = nothing evicted).
+    evicted_watermark: Option<u64>,
+}
+
+impl SampleLevel {
+    fn new() -> Self {
+        Self {
+            by_item: HashMap::new(),
+            by_y: BTreeSet::new(),
+            evicted_watermark: None,
+        }
+    }
+
+    /// Insert / refresh an item with a y value, then enforce the capacity.
+    fn insert(&mut self, item: u64, y: u64, capacity: usize) {
+        match self.by_item.get(&item) {
+            Some(&existing) if existing <= y => {}
+            Some(&existing) => {
+                self.by_y.remove(&(existing, item));
+                self.by_y.insert((y, item));
+                self.by_item.insert(item, y);
+            }
+            None => {
+                self.by_item.insert(item, y);
+                self.by_y.insert((y, item));
+            }
+        }
+        while self.by_item.len() > capacity {
+            let &(largest_y, victim) = self
+                .by_y
+                .iter()
+                .next_back()
+                .expect("len > capacity >= 1, so non-empty");
+            self.by_y.remove(&(largest_y, victim));
+            self.by_item.remove(&victim);
+            self.evicted_watermark = Some(match self.evicted_watermark {
+                None => largest_y,
+                Some(w) => w.min(largest_y),
+            });
+        }
+    }
+
+    /// True iff this level retains *every* sampled identifier whose smallest y
+    /// is ≤ c (nothing relevant was evicted).
+    fn answers(&self, c: u64) -> bool {
+        match self.evicted_watermark {
+            None => true,
+            Some(w) => w > c,
+        }
+    }
+
+    /// Number of retained identifiers with y ≤ c.
+    fn count_upto(&self, c: u64) -> usize {
+        // by_y is ordered by (y, item); range over y <= c.
+        self.by_y.range(..=(c, u64::MAX)).count()
+    }
+}
+
+/// Correlated distinct-count sketch (one hash function / one estimator
+/// instance). [`CorrelatedF0`] combines several for the (ε, δ) guarantee.
+#[derive(Debug, Clone)]
+struct CorrelatedDistinctSampler {
+    hash: PolynomialHash,
+    levels: Vec<SampleLevel>,
+    capacity: usize,
+}
+
+impl CorrelatedDistinctSampler {
+    fn new(capacity: usize, num_levels: usize, seed: u64) -> Self {
+        Self {
+            hash: PolynomialHash::new(2, derive_seed(seed, 0xC0F0)),
+            levels: (0..num_levels).map(|_| SampleLevel::new()).collect(),
+            capacity,
+        }
+    }
+
+    /// Deepest level this item belongs to (level 0 always).
+    fn item_level(&self, item: u64) -> usize {
+        let h = self.hash.hash64(item);
+        let max = self.levels.len() - 1;
+        (h.leading_zeros() as usize).min(max)
+    }
+
+    fn insert(&mut self, item: u64, y: u64) {
+        let deepest = self.item_level(item);
+        let capacity = self.capacity;
+        for level in self.levels.iter_mut().take(deepest + 1) {
+            level.insert(item, y, capacity);
+        }
+    }
+
+    fn estimate(&self, c: u64) -> Option<f64> {
+        for (i, level) in self.levels.iter().enumerate() {
+            if level.answers(c) {
+                return Some(level.count_upto(c) as f64 * 2f64.powi(i as i32));
+            }
+        }
+        None
+    }
+
+    fn stored_tuples(&self) -> usize {
+        self.levels.iter().map(|l| l.by_item.len()).sum()
+    }
+}
+
+/// Correlated `F_0` sketch: estimates `|{x : (x, y) ∈ S, y ≤ c}|` for a
+/// query-time threshold `c`, using the median over independent sampler
+/// instances.
+#[derive(Debug, Clone)]
+pub struct CorrelatedF0 {
+    samplers: Vec<CorrelatedDistinctSampler>,
+    epsilon: f64,
+    delta: f64,
+    y_max: u64,
+    items_processed: u64,
+}
+
+impl CorrelatedF0 {
+    /// Build a correlated `F_0` sketch.
+    ///
+    /// * `epsilon`, `delta` — target accuracy / failure probability;
+    /// * `x_domain_log2` — `log2` of the identifier domain size `m` (sets the
+    ///   number of sampling levels, as in the paper where the number of levels
+    ///   is `log m`);
+    /// * `y_max` — largest y value that will be inserted.
+    pub fn new(epsilon: f64, delta: f64, x_domain_log2: u32, y_max: u64) -> Result<Self> {
+        Self::with_seed(epsilon, delta, x_domain_log2, y_max, DEFAULT_SEED)
+    }
+
+    /// [`CorrelatedF0::new`] with an explicit seed.
+    pub fn with_seed(
+        epsilon: f64,
+        delta: f64,
+        x_domain_log2: u32,
+        y_max: u64,
+        seed: u64,
+    ) -> Result<Self> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "epsilon",
+                detail: format!("must be in (0,1), got {epsilon}"),
+            });
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "delta",
+                detail: format!("must be in (0,1), got {delta}"),
+            });
+        }
+        if x_domain_log2 == 0 || x_domain_log2 > 63 {
+            return Err(CoreError::InvalidParameter {
+                name: "x_domain_log2",
+                detail: format!("must be in [1, 63], got {x_domain_log2}"),
+            });
+        }
+        // Practical sizing (see DESIGN.md): the query level retains up to
+        // `capacity` sampled identifiers, giving relative error ~ 1/sqrt of
+        // the retained count; a handful of independent instances are medianed.
+        let capacity = ((4.0 / (epsilon * epsilon)).ceil() as usize).max(16);
+        let instances = ((1.0 / delta).ln().ceil() as usize).max(3) | 1;
+        let num_levels = x_domain_log2 as usize + 1;
+        let samplers = (0..instances)
+            .map(|i| CorrelatedDistinctSampler::new(capacity, num_levels, derive_seed(seed, i as u64)))
+            .collect();
+        Ok(Self {
+            samplers,
+            epsilon,
+            delta,
+            y_max,
+            items_processed: 0,
+        })
+    }
+
+    /// Target relative error.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Target failure probability.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of independent sampler instances (medianed at query time).
+    pub fn instances(&self) -> usize {
+        self.samplers.len()
+    }
+
+    /// Number of stream elements processed.
+    pub fn items_processed(&self) -> u64 {
+        self.items_processed
+    }
+
+    /// Process a stream element `(x, y)`.
+    pub fn insert(&mut self, x: u64, y: u64) -> Result<()> {
+        if y > self.y_max {
+            return Err(CoreError::YOutOfRange {
+                y,
+                y_max: self.y_max,
+            });
+        }
+        self.items_processed += 1;
+        for s in &mut self.samplers {
+            s.insert(x, y);
+        }
+        Ok(())
+    }
+
+    /// Estimate the number of distinct identifiers among tuples with `y ≤ c`.
+    pub fn query(&self, c: u64) -> Result<f64> {
+        let c = c.min(self.y_max);
+        let mut estimates: Vec<f64> = Vec::with_capacity(self.samplers.len());
+        for s in &self.samplers {
+            if let Some(e) = s.estimate(c) {
+                estimates.push(e);
+            }
+        }
+        if estimates.is_empty() {
+            return Err(CoreError::QueryFailed { threshold: c });
+        }
+        estimates.sort_by(|a, b| a.total_cmp(b));
+        Ok(estimates[estimates.len() / 2])
+    }
+
+    /// Total stored tuples across all samplers and levels — the unit reported
+    /// in the paper's Figures 6 and 7.
+    pub fn stored_tuples(&self) -> usize {
+        self.samplers.iter().map(|s| s.stored_tuples()).sum()
+    }
+
+    /// Approximate heap bytes (each stored entry is an `(item, y)` pair plus
+    /// its index entry).
+    pub fn space_bytes(&self) -> usize {
+        self.stored_tuples() * 2 * std::mem::size_of::<(u64, u64)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(CorrelatedF0::new(0.0, 0.1, 20, 100).is_err());
+        assert!(CorrelatedF0::new(0.1, 0.0, 20, 100).is_err());
+        assert!(CorrelatedF0::new(0.1, 0.1, 0, 100).is_err());
+        assert!(CorrelatedF0::new(0.1, 0.1, 64, 100).is_err());
+        assert!(CorrelatedF0::new(0.1, 0.1, 20, 100).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_y() {
+        let mut s = CorrelatedF0::new(0.2, 0.1, 10, 100).unwrap();
+        assert!(matches!(s.insert(1, 101), Err(CoreError::YOutOfRange { .. })));
+        assert!(s.insert(1, 100).is_ok());
+    }
+
+    #[test]
+    fn empty_query_is_zero() {
+        let s = CorrelatedF0::new(0.2, 0.1, 10, 1000).unwrap();
+        assert_eq!(s.query(500).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn exact_when_small() {
+        let mut s = CorrelatedF0::with_seed(0.2, 0.1, 16, 1000, 3).unwrap();
+        for x in 0..100u64 {
+            s.insert(x, x * 10).unwrap();
+        }
+        // All 100 identifiers fit in level 0, so counts are exact.
+        assert_eq!(s.query(1000).unwrap(), 100.0);
+        assert_eq!(s.query(495).unwrap(), 50.0);
+        assert_eq!(s.query(0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn duplicates_keep_smallest_y() {
+        let mut s = CorrelatedF0::with_seed(0.2, 0.1, 16, 1000, 3).unwrap();
+        s.insert(7, 900).unwrap();
+        s.insert(7, 100).unwrap();
+        s.insert(7, 500).unwrap();
+        // The identifier's smallest y is 100, so it is counted from c = 100 on.
+        assert_eq!(s.query(99).unwrap(), 0.0);
+        assert_eq!(s.query(100).unwrap(), 1.0);
+        assert_eq!(s.query(1000).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn accuracy_on_large_uniform_stream() {
+        let epsilon = 0.15;
+        let y_max = 1_000_000u64;
+        let mut s = CorrelatedF0::with_seed(epsilon, 0.05, 20, y_max, 11).unwrap();
+        // 60k distinct identifiers, y uniform; each identifier's y is x * 16,
+        // so the correlated distinct count at threshold c is ~c/16.
+        let n = 60_000u64;
+        for x in 0..n {
+            s.insert(x, (x * 16) % (y_max + 1)).unwrap();
+        }
+        for &c in &[y_max / 8, y_max / 2, y_max] {
+            let truth = ((c / 16) + 1).min(n) as f64;
+            let est = s.query(c).unwrap();
+            let err = (est - truth).abs() / truth;
+            assert!(
+                err < 2.5 * epsilon,
+                "c = {c}: estimate {est}, truth {truth}, err {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_pushes_queries_to_deeper_levels_but_stays_accurate() {
+        let epsilon = 0.2;
+        let mut s = CorrelatedF0::with_seed(epsilon, 0.05, 20, 1 << 20, 17).unwrap();
+        let n = 100_000u64;
+        for x in 0..n {
+            // y correlated with x so low thresholds select few identifiers.
+            s.insert(x, (x * 7) % (1 << 20)).unwrap();
+        }
+        let c = 1 << 19; // half the domain -> about half the identifiers
+        let truth = (n / 2) as f64;
+        let est = s.query(c).unwrap();
+        let err = (est - truth).abs() / truth;
+        assert!(err < 2.5 * epsilon, "estimate {est}, truth {truth}, err {err}");
+        // Space must be far below the number of distinct identifiers.
+        assert!(
+            s.stored_tuples() < (n as usize) / 2,
+            "sampler stores {} tuples for {} distinct items",
+            s.stored_tuples(),
+            n
+        );
+    }
+
+    #[test]
+    fn space_is_bounded_by_capacity_times_levels() {
+        let mut s = CorrelatedF0::with_seed(0.3, 0.2, 20, 1 << 20, 5).unwrap();
+        for x in 0..200_000u64 {
+            s.insert(x, x % (1 << 20)).unwrap();
+        }
+        let cap = ((4.0_f64 / (0.3 * 0.3)).ceil() as usize).max(16);
+        let bound = s.instances() * 21 * cap;
+        assert!(s.stored_tuples() <= bound);
+        assert!(s.space_bytes() >= s.stored_tuples());
+        assert_eq!(s.items_processed(), 200_000);
+    }
+}

@@ -1,0 +1,620 @@
+//! The general correlated-aggregation framework: Algorithms 1–3 of the paper.
+//!
+//! A [`CorrelatedSketch`] maintains `ℓ_max + 1` levels:
+//!
+//! * **level 0** holds *singleton* buckets, one per distinct y value seen, each
+//!   containing a summary of the items carrying exactly that y value;
+//! * **level ℓ ≥ 1** holds buckets over *dyadic intervals* of the y domain,
+//!   organised as a binary tree grown lazily from the root `[0, y_max]`. A
+//!   bucket is updated while it is *open*; once its estimate reaches the
+//!   level's threshold `2^{ℓ+1}` it is *closed* and subsequent items falling
+//!   into its span are routed into its children (created on demand).
+//!
+//! Every level stores at most `α` buckets. On overflow, the bucket with the
+//! largest left endpoint is discarded and the level's *eviction watermark*
+//! `Y_ℓ` is lowered to that endpoint: the level can from then on only answer
+//! queries with threshold `c < Y_ℓ`.
+//!
+//! A query for `f({x : y ≤ c})` picks the smallest level whose watermark is
+//! still above `c`, composes the summaries of all its buckets whose span lies
+//! entirely inside `[0, c]`, and returns the composed estimate (Algorithm 3).
+//! The buckets that straddle `c` are exactly the ones whose omission the
+//! paper's analysis charges against the level's bucket budget `α`.
+
+use crate::aggregate::{BucketStore, CorrelatedAggregate};
+use crate::config::CorrelatedConfig;
+use crate::dyadic::DyadicInterval;
+use crate::error::{CoreError, Result};
+use std::collections::{BTreeMap, HashMap};
+
+/// A bucket at some level `ℓ ≥ 1`.
+#[derive(Debug, Clone)]
+struct Bucket<A: CorrelatedAggregate> {
+    store: BucketStore<A>,
+    closed: bool,
+}
+
+impl<A: CorrelatedAggregate> Bucket<A> {
+    fn new() -> Self {
+        Self {
+            store: BucketStore::new(),
+            closed: false,
+        }
+    }
+}
+
+/// One level `ℓ ≥ 1` of the structure.
+#[derive(Debug, Clone)]
+struct Level<A: CorrelatedAggregate> {
+    /// Level index `ℓ` (1-based; level 0 is the singleton level).
+    index: u32,
+    /// Closing threshold `2^{ℓ+1}`.
+    threshold: f64,
+    /// Stored buckets keyed by their dyadic interval.
+    buckets: HashMap<DyadicInterval, Bucket<A>>,
+    /// Eviction watermark `Y_ℓ`; `None` means `+∞` (nothing evicted yet).
+    y_bound: Option<u64>,
+}
+
+impl<A: CorrelatedAggregate> Level<A> {
+    fn new(index: u32, root: DyadicInterval) -> Self {
+        let mut buckets = HashMap::new();
+        buckets.insert(root, Bucket::new());
+        Self {
+            index,
+            threshold: 2f64.powi(index as i32 + 1),
+            buckets,
+            y_bound: None,
+        }
+    }
+
+    /// True iff this level can still answer queries with threshold `c`.
+    fn answers(&self, c: u64) -> bool {
+        match self.y_bound {
+            None => true,
+            Some(y) => y > c,
+        }
+    }
+}
+
+/// Statistics describing the internal state of a [`CorrelatedSketch`]; used by
+/// the experiment harness and exposed for observability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchStats {
+    /// Number of singleton buckets at level 0.
+    pub singleton_buckets: usize,
+    /// Number of dyadic buckets summed over all levels ≥ 1.
+    pub dyadic_buckets: usize,
+    /// Number of levels (≥ 1) that have evicted at least one bucket.
+    pub levels_with_evictions: usize,
+    /// Total stored tuples (counters + exact entries) across the structure —
+    /// the unit reported in the paper's space figures.
+    pub stored_tuples: usize,
+    /// Approximate heap footprint in bytes.
+    pub space_bytes: usize,
+    /// Number of stream elements processed.
+    pub items_processed: u64,
+}
+
+/// The generic correlated-aggregation sketch (Algorithms 1–3).
+#[derive(Debug, Clone)]
+pub struct CorrelatedSketch<A: CorrelatedAggregate> {
+    agg: A,
+    config: CorrelatedConfig,
+    alpha: usize,
+    root: DyadicInterval,
+    /// Level 0: singleton buckets keyed by exact y value.
+    singletons: BTreeMap<u64, BucketStore<A>>,
+    /// Eviction watermark `Y_0`; `None` = `+∞`.
+    singleton_y_bound: Option<u64>,
+    /// Levels `1 ..= ℓ_max`.
+    levels: Vec<Level<A>>,
+    items_processed: u64,
+}
+
+impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
+    /// Build a correlated sketch for aggregate `agg` under `config`.
+    pub fn new(agg: A, config: CorrelatedConfig) -> Result<Self> {
+        config.validate()?;
+        let root = DyadicInterval::root(config.y_max);
+        let logy = f64::from(config.log2_y());
+        let alpha = config.alpha(agg.c1(logy), agg.c2(config.epsilon / 2.0));
+        let levels = (1..config.num_levels() as u32)
+            .map(|i| Level::new(i, root))
+            .collect();
+        Ok(Self {
+            agg,
+            config,
+            alpha,
+            root,
+            singletons: BTreeMap::new(),
+            singleton_y_bound: None,
+            levels,
+            items_processed: 0,
+        })
+    }
+
+    /// The aggregate descriptor.
+    pub fn aggregate(&self) -> &A {
+        &self.agg
+    }
+
+    /// The configuration this sketch was built with.
+    pub fn config(&self) -> &CorrelatedConfig {
+        &self.config
+    }
+
+    /// The per-level bucket budget α in effect.
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// Number of stream elements processed so far.
+    pub fn items_processed(&self) -> u64 {
+        self.items_processed
+    }
+
+    /// Process a stream element `(x, y)` with unit weight.
+    pub fn insert(&mut self, x: u64, y: u64) -> Result<()> {
+        self.update(x, y, 1)
+    }
+
+    /// Process a stream element `(x, y)` with a positive weight.
+    ///
+    /// Negative weights are rejected: the single-pass structure only supports
+    /// the cash-register model (Section 4 of the paper proves that no small
+    /// single-pass summary exists once deletions are allowed; use the
+    /// multi-pass algorithm in `cora-stream` for that setting).
+    pub fn update(&mut self, x: u64, y: u64, weight: i64) -> Result<()> {
+        if weight < 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "weight",
+                detail: "single-pass correlated sketches require non-negative weights".into(),
+            });
+        }
+        if y > self.config.padded_y_max() {
+            return Err(CoreError::YOutOfRange {
+                y,
+                y_max: self.config.padded_y_max(),
+            });
+        }
+        if weight == 0 {
+            return Ok(());
+        }
+        self.items_processed += 1;
+
+        self.update_singletons(x, y, weight);
+        for idx in 0..self.levels.len() {
+            self.update_level(idx, x, y, weight);
+        }
+        Ok(())
+    }
+
+    /// Level 0 processing: singleton buckets keyed by exact y value.
+    fn update_singletons(&mut self, x: u64, y: u64, weight: i64) {
+        if let Some(bound) = self.singleton_y_bound {
+            if y >= bound {
+                return;
+            }
+        }
+        self.singletons
+            .entry(y)
+            .or_default()
+            .update(&self.agg, x, weight);
+        while self.singletons.len() > self.alpha {
+            // Discard the singleton with the largest y and lower the watermark.
+            let (&largest_y, _) = self
+                .singletons
+                .iter()
+                .next_back()
+                .expect("len > alpha >= 1, so non-empty");
+            self.singletons.remove(&largest_y);
+            self.singleton_y_bound = Some(match self.singleton_y_bound {
+                None => largest_y,
+                Some(b) => b.min(largest_y),
+            });
+        }
+    }
+
+    /// Level `ℓ ≥ 1` processing (Algorithm 2, lines 7–21).
+    fn update_level(&mut self, idx: usize, x: u64, y: u64, weight: i64) {
+        let root = self.root;
+        let agg = self.agg.clone();
+        let alpha = self.alpha;
+        let level = &mut self.levels[idx];
+
+        if let Some(bound) = level.y_bound {
+            if y >= bound {
+                return;
+            }
+        }
+
+        // Walk from the root to the deepest stored bucket containing y.
+        let mut current = root;
+        loop {
+            match current.child_containing(y) {
+                Some(child) if level.buckets.contains_key(&child) => current = child,
+                _ => break,
+            }
+        }
+        // The walk can only fail to find the root if it was evicted — but the
+        // root has left endpoint 0, so evicting it sets Y_ℓ = 0 and the bound
+        // check above already returned.
+        let Some(bucket) = level.buckets.get_mut(&current) else {
+            return;
+        };
+
+        if !bucket.closed {
+            bucket.store.update(&agg, x, weight);
+            if !current.is_unit() && bucket.store.estimate(&agg) >= level.threshold {
+                bucket.closed = true;
+            }
+        } else {
+            // Closed leaf: create the children and route the item to the one
+            // containing y.
+            let (left, right) = current
+                .children()
+                .expect("closed buckets are never unit intervals");
+            level.buckets.entry(left).or_insert_with(Bucket::new);
+            level.buckets.entry(right).or_insert_with(Bucket::new);
+            let target = if left.contains(y) { left } else { right };
+            level
+                .buckets
+                .get_mut(&target)
+                .expect("just inserted")
+                .store
+                .update(&agg, x, weight);
+        }
+
+        // Overflow check: evict buckets with the largest left endpoint until
+        // the level fits its budget again, lowering the watermark.
+        while level.buckets.len() > alpha {
+            let victim = level
+                .buckets
+                .keys()
+                .max_by(|a, b| a.lo.cmp(&b.lo).then(b.len().cmp(&a.len())))
+                .copied()
+                .expect("non-empty: len > alpha >= 1");
+            level.buckets.remove(&victim);
+            level.y_bound = Some(match level.y_bound {
+                None => victim.lo,
+                Some(b) => b.min(victim.lo),
+            });
+        }
+    }
+
+    /// Answer a correlated query: estimate `f({x : (x, y) ∈ S, y ≤ c})`
+    /// (Algorithm 3).
+    pub fn query(&self, c: u64) -> Result<f64> {
+        Ok(self.compose_for_threshold(c)?.estimate(&self.agg))
+    }
+
+    /// Compose the summaries Algorithm 3 would use for threshold `c` into a
+    /// single store and return it. `query` is `estimate` over this store;
+    /// richer queries (heavy hitters, Section 3.3) inspect the composed store
+    /// directly.
+    pub fn compose_for_threshold(&self, c: u64) -> Result<BucketStore<A>> {
+        let c = c.min(self.config.padded_y_max());
+
+        // Level 0 answers if its watermark is above c.
+        let level0_ok = match self.singleton_y_bound {
+            None => true,
+            Some(bound) => bound > c,
+        };
+        if level0_ok {
+            let mut acc: BucketStore<A> = BucketStore::new();
+            for (_, store) in self.singletons.range(..=c) {
+                acc.merge_from(&self.agg, store)?;
+            }
+            return Ok(acc);
+        }
+
+        // Otherwise the smallest level whose watermark exceeds c.
+        for level in &self.levels {
+            if !level.answers(c) {
+                continue;
+            }
+            let mut acc: BucketStore<A> = BucketStore::new();
+            for (interval, bucket) in &level.buckets {
+                if interval.within_threshold(c) {
+                    acc.merge_from(&self.agg, &bucket.store)?;
+                }
+            }
+            return Ok(acc);
+        }
+        Err(CoreError::QueryFailed { threshold: c })
+    }
+
+    /// The level Algorithm 3 would use for threshold `c` (0 = singleton level);
+    /// `None` if the query would fail. Exposed for diagnostics and tests.
+    pub fn query_level(&self, c: u64) -> Option<u32> {
+        let c = c.min(self.config.padded_y_max());
+        let level0_ok = match self.singleton_y_bound {
+            None => true,
+            Some(bound) => bound > c,
+        };
+        if level0_ok {
+            return Some(0);
+        }
+        self.levels.iter().find(|l| l.answers(c)).map(|l| l.index)
+    }
+
+    /// Estimate the aggregate over the entire stream (threshold `y_max`).
+    pub fn query_all(&self) -> Result<f64> {
+        self.query(self.config.padded_y_max())
+    }
+
+    /// Internal statistics (space accounting, level usage).
+    pub fn stats(&self) -> SketchStats {
+        let singleton_tuples: usize = self.singletons.values().map(BucketStore::stored_tuples).sum();
+        let singleton_bytes: usize = self.singletons.values().map(BucketStore::space_bytes).sum();
+        let mut dyadic_buckets = 0usize;
+        let mut dyadic_tuples = 0usize;
+        let mut dyadic_bytes = 0usize;
+        let mut levels_with_evictions = 0usize;
+        for level in &self.levels {
+            dyadic_buckets += level.buckets.len();
+            dyadic_tuples += level
+                .buckets
+                .values()
+                .map(|b| b.store.stored_tuples())
+                .sum::<usize>();
+            dyadic_bytes += level
+                .buckets
+                .values()
+                .map(|b| b.store.space_bytes())
+                .sum::<usize>();
+            if level.y_bound.is_some() {
+                levels_with_evictions += 1;
+            }
+        }
+        SketchStats {
+            singleton_buckets: self.singletons.len(),
+            dyadic_buckets,
+            levels_with_evictions,
+            stored_tuples: singleton_tuples + dyadic_tuples,
+            space_bytes: singleton_bytes + dyadic_bytes,
+            items_processed: self.items_processed,
+        }
+    }
+
+    /// Total stored tuples — the paper's space unit.
+    pub fn stored_tuples(&self) -> usize {
+        self.stats().stored_tuples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cora_sketch::StreamSketch as _;
+    use crate::config::AlphaPolicy;
+    use crate::f2::F2Aggregate;
+    use crate::sum::{CountAggregate, SumAggregate};
+
+    fn f2_sketch(epsilon: f64, y_max: u64, alpha: AlphaPolicy) -> CorrelatedSketch<F2Aggregate> {
+        let config = CorrelatedConfig::new(epsilon, 0.1, y_max, 40)
+            .unwrap()
+            .with_alpha_policy(alpha)
+            .with_seed(7);
+        CorrelatedSketch::new(F2Aggregate::new(epsilon, 0.1, 7), config).unwrap()
+    }
+
+    #[test]
+    fn empty_sketch_answers_zero() {
+        let s = f2_sketch(0.2, 1023, AlphaPolicy::Fixed(64));
+        assert_eq!(s.query(10).unwrap(), 0.0);
+        assert_eq!(s.query_all().unwrap(), 0.0);
+        assert_eq!(s.query_level(10), Some(0));
+        assert_eq!(s.stored_tuples(), 0);
+    }
+
+    #[test]
+    fn rejects_negative_weights_and_out_of_range_y() {
+        let mut s = f2_sketch(0.2, 1023, AlphaPolicy::Fixed(64));
+        assert!(matches!(
+            s.update(1, 5, -1),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            s.update(1, 5000, 1),
+            Err(CoreError::YOutOfRange { .. })
+        ));
+        assert!(s.update(1, 5, 0).is_ok());
+        assert_eq!(s.items_processed(), 0);
+    }
+
+    #[test]
+    fn small_stream_is_answered_exactly_from_singletons() {
+        let mut s = f2_sketch(0.2, 1023, AlphaPolicy::Fixed(128));
+        // 50 distinct y values, each with a couple of items: level 0 holds all.
+        for y in 0..50u64 {
+            s.insert(y % 7, y).unwrap();
+            s.insert(y % 5, y).unwrap();
+        }
+        assert_eq!(s.query_level(20), Some(0));
+        // Exact correlated F2 for c = 20: items with y <= 20.
+        let mut exact = cora_sketch::ExactFrequencies::new();
+        for y in 0..=20u64 {
+            exact.insert(y % 7);
+            exact.insert(y % 5);
+        }
+        assert_eq!(s.query(20).unwrap(), exact.frequency_moment(2));
+    }
+
+    #[test]
+    fn monotone_in_threshold() {
+        let mut s = f2_sketch(0.25, 4095, AlphaPolicy::Fixed(128));
+        for i in 0..20_000u64 {
+            s.insert(i % 500, i % 4096).unwrap();
+        }
+        let mut prev = 0.0;
+        for c in (0..4096u64).step_by(256) {
+            let est = s.query(c).unwrap();
+            assert!(
+                est >= prev * 0.8,
+                "estimates should be (roughly) monotone in c: {prev} then {est}"
+            );
+            prev = est;
+        }
+    }
+
+    #[test]
+    fn accuracy_against_exact_correlated_f2() {
+        let epsilon = 0.2;
+        let y_max = 8191u64;
+        let mut s = f2_sketch(epsilon, y_max, AlphaPolicy::default());
+        let mut tuples: Vec<(u64, u64)> = Vec::new();
+        // Zipf-ish x over 2000 ids, uniform y.
+        let mut state = 12345u64;
+        for i in 0..60_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = (state >> 33) % 2000;
+            let y = (state >> 17) % (y_max + 1);
+            let x = x / ((i % 7) + 1); // mild skew
+            tuples.push((x, y));
+            s.insert(x, y).unwrap();
+        }
+        for &c in &[y_max / 16, y_max / 4, y_max / 2, y_max] {
+            let mut exact = cora_sketch::ExactFrequencies::new();
+            for &(x, y) in &tuples {
+                if y <= c {
+                    exact.insert(x);
+                }
+            }
+            let truth = exact.frequency_moment(2);
+            let est = s.query(c).unwrap();
+            let err = (est - truth).abs() / truth;
+            assert!(
+                err < epsilon,
+                "c = {c}: estimate {est}, truth {truth}, error {err} > {epsilon}"
+            );
+        }
+    }
+
+    #[test]
+    fn eviction_moves_queries_to_higher_levels() {
+        // Tiny alpha forces evictions; large thresholds must still be answerable.
+        let mut s = f2_sketch(0.25, 65535, AlphaPolicy::Fixed(24));
+        for i in 0..30_000u64 {
+            s.insert(i % 300, (i * 37) % 65536).unwrap();
+        }
+        let stats = s.stats();
+        assert!(stats.levels_with_evictions > 0, "expected evictions with alpha = 24");
+        // Large thresholds are answered at some level > 0.
+        let lvl = s.query_level(60_000).expect("query must still be answerable");
+        assert!(lvl > 0);
+        // And the answer is still reasonably accurate.
+        let mut exact = cora_sketch::ExactFrequencies::new();
+        for i in 0..30_000u64 {
+            if (i * 37) % 65536 <= 60_000 {
+                exact.insert(i % 300);
+            }
+        }
+        let truth = exact.frequency_moment(2);
+        let est = s.query(60_000).unwrap();
+        let err = (est - truth).abs() / truth;
+        assert!(err < 0.5, "error {err} too large even for a starved sketch");
+    }
+
+    #[test]
+    fn query_failed_when_alpha_is_absurdly_small() {
+        // With alpha = 4 and many distinct y values, every level eventually
+        // evicts below small thresholds; a query for a tiny c can then fail
+        // only if even level lmax evicted, which cannot happen (its root never
+        // splits). So instead check the error path by querying below Y_0 but
+        // verifying the structure falls back to a higher level rather than
+        // failing. The FAIL branch is exercised directly on a doctored state
+        // in `sum` tests.
+        let mut s = f2_sketch(0.25, 1023, AlphaPolicy::Fixed(4));
+        for i in 0..5_000u64 {
+            s.insert(i % 17, i % 1024).unwrap();
+        }
+        assert!(s.query(512).is_ok());
+    }
+
+    #[test]
+    fn sum_aggregate_is_exact_for_counts() {
+        // The correlated count through the generic framework, compared against
+        // a direct count. Count sketches are scalar counters, so the only
+        // error source is boundary-bucket omission.
+        let config = CorrelatedConfig::new(0.2, 0.1, 4095, 30)
+            .unwrap()
+            .with_alpha_policy(AlphaPolicy::default())
+            .with_seed(3);
+        let mut s = CorrelatedSketch::new(CountAggregate::new(), config).unwrap();
+        let mut ys = Vec::new();
+        let mut state = 99u64;
+        for _ in 0..40_000u64 {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let y = (state >> 20) % 4096;
+            ys.push(y);
+            s.insert(state % 1000, y).unwrap();
+        }
+        for &c in &[100u64, 1000, 2000, 4095] {
+            let truth = ys.iter().filter(|&&y| y <= c).count() as f64;
+            let est = s.query(c).unwrap();
+            let err = (est - truth).abs() / truth.max(1.0);
+            assert!(err < 0.2, "count at c={c}: est {est}, truth {truth}");
+        }
+    }
+
+    #[test]
+    fn weighted_sum_aggregate_tracks_weights() {
+        let config = CorrelatedConfig::new(0.2, 0.1, 1023, 40)
+            .unwrap()
+            .with_seed(5);
+        let mut s = CorrelatedSketch::new(SumAggregate::new(), config).unwrap();
+        let mut truth = 0.0;
+        for i in 0..5_000u64 {
+            let w = (i % 9 + 1) as i64;
+            let y = (i * 13) % 1024;
+            if y <= 600 {
+                truth += w as f64;
+            }
+            s.update(i % 50, y, w).unwrap();
+        }
+        let est = s.query(600).unwrap();
+        let err = (est - truth).abs() / truth;
+        assert!(err < 0.2, "sum estimate {est} vs truth {truth}");
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let mut s = f2_sketch(0.3, 255, AlphaPolicy::Fixed(32));
+        for i in 0..2_000u64 {
+            s.insert(i % 100, i % 256).unwrap();
+        }
+        let stats = s.stats();
+        assert_eq!(stats.items_processed, 2_000);
+        assert!(stats.singleton_buckets <= 32);
+        assert!(stats.dyadic_buckets >= s.levels.len());
+        assert!(stats.stored_tuples > 0);
+        assert!(stats.space_bytes > 0);
+        assert_eq!(s.stored_tuples(), stats.stored_tuples);
+    }
+
+    #[test]
+    fn query_level_is_monotone_in_c() {
+        let mut s = f2_sketch(0.25, 16383, AlphaPolicy::Fixed(16));
+        for i in 0..20_000u64 {
+            s.insert(i % 200, (i * 101) % 16384).unwrap();
+        }
+        let mut prev = 0u32;
+        for c in (0..16384u64).step_by(1024) {
+            let lvl = s.query_level(c).expect("answerable");
+            assert!(lvl >= prev, "query level must not decrease with c");
+            prev = lvl;
+        }
+    }
+
+    #[test]
+    fn clamps_threshold_to_domain() {
+        let mut s = f2_sketch(0.3, 255, AlphaPolicy::Fixed(64));
+        for i in 0..500u64 {
+            s.insert(i, i % 256).unwrap();
+        }
+        // c beyond the padded domain behaves like "the whole stream".
+        assert_eq!(s.query(u64::MAX).unwrap(), s.query_all().unwrap());
+    }
+}

@@ -1,0 +1,313 @@
+//! Correlated `F_2`-heavy hitters (Section 3.3 of the paper).
+//!
+//! "In the correlated F2-heavy hitters problem with y-bound of c and
+//! parameters ε, φ, we wish to return all x for which
+//! `|{(x_i, y_i) | x_i = x ∧ y_i ≤ c}|² ≥ φ F2(c)` and no x for which the
+//! squared frequency is at most `(φ − ε) F2(c)`." The construction reuses the
+//! correlated `F_2` structure and augments every bucket with a CountSketch
+//! whose point estimates, composed over the buckets selected for threshold
+//! `c`, give each candidate's frequency up to a small additive error.
+//!
+//! The per-bucket summary here is a pair (fast-AMS `F_2` sketch, CountSketch
+//! with a bounded candidate set); the framework treats it as a single sketch
+//! whose `estimate()` is the `F_2` estimate.
+
+use crate::aggregate::{BucketStore, CorrelatedAggregate};
+use crate::config::{CorrelatedConfig, DEFAULT_SEED};
+use crate::error::Result;
+use crate::framework::CorrelatedSketch;
+use cora_sketch::error::Result as SketchResult;
+use cora_sketch::{
+    CountSketch, Estimate, ExactFrequencies, FastAmsSketch, MergeableSketch, PointQuery,
+    SpaceUsage, StreamSketch,
+};
+
+/// Per-bucket summary for correlated heavy hitters: an `F_2` sketch plus a
+/// CountSketch for per-item (squared) frequency estimates.
+#[derive(Debug, Clone)]
+pub struct HhBucketSketch {
+    f2: FastAmsSketch,
+    counts: CountSketch,
+}
+
+impl HhBucketSketch {
+    fn new(width: usize, depth: usize, candidates: usize, seed: u64) -> Self {
+        Self {
+            f2: FastAmsSketch::with_dimensions(width, depth, seed),
+            counts: CountSketch::with_dimensions(width, depth, candidates, seed ^ 0x4848),
+        }
+    }
+
+    /// Point estimate of the frequency of `item` among the summarised tuples.
+    pub fn frequency_estimate(&self, item: u64) -> f64 {
+        self.counts.frequency_estimate(item)
+    }
+
+    /// Candidate heavy items recorded by the CountSketch.
+    pub fn candidates(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.counts.candidates()
+    }
+}
+
+impl StreamSketch for HhBucketSketch {
+    fn update(&mut self, item: u64, weight: i64) {
+        self.f2.update(item, weight);
+        self.counts.update(item, weight);
+    }
+}
+
+impl Estimate for HhBucketSketch {
+    fn estimate(&self) -> f64 {
+        self.f2.estimate()
+    }
+}
+
+impl MergeableSketch for HhBucketSketch {
+    fn merge_from(&mut self, other: &Self) -> SketchResult<()> {
+        self.f2.merge_from(&other.f2)?;
+        self.counts.merge_from(&other.counts)
+    }
+}
+
+impl SpaceUsage for HhBucketSketch {
+    fn stored_tuples(&self) -> usize {
+        self.f2.stored_tuples() + self.counts.stored_tuples()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.f2.space_bytes() + self.counts.space_bytes()
+    }
+}
+
+/// Aggregate descriptor: correlated `F_2` with heavy-hitter support.
+#[derive(Debug, Clone)]
+pub struct F2HeavyAggregate {
+    width: usize,
+    depth: usize,
+    candidates: usize,
+    seed: u64,
+}
+
+impl F2HeavyAggregate {
+    /// Create the aggregate; `phi` is the smallest heavy-hitter threshold the
+    /// structure should support (candidate sets are sized as `⌈4/φ⌉`).
+    pub fn new(epsilon: f64, phi: f64, seed: u64) -> Self {
+        let upsilon = (epsilon / 2.0).clamp(1e-6, 0.999);
+        let width = ((2.0 / (upsilon * upsilon)).ceil() as usize).clamp(8, 1 << 16);
+        let candidates = ((4.0 / phi.clamp(1e-4, 1.0)).ceil() as usize).clamp(8, 4096);
+        Self {
+            width,
+            depth: 3,
+            candidates,
+            seed,
+        }
+    }
+}
+
+impl CorrelatedAggregate for F2HeavyAggregate {
+    type Sketch = HhBucketSketch;
+
+    fn name(&self) -> String {
+        "F2-heavy-hitters".to_string()
+    }
+
+    fn c1(&self, j: f64) -> f64 {
+        j * j
+    }
+
+    fn c2(&self, eps: f64) -> f64 {
+        let v = eps / 18.0;
+        v * v
+    }
+
+    fn f_max_log2(&self, max_stream_len: u64) -> u32 {
+        (2 * (64 - max_stream_len.leading_zeros())).clamp(4, 126)
+    }
+
+    fn new_sketch(&self) -> HhBucketSketch {
+        HhBucketSketch::new(self.width, self.depth, self.candidates, self.seed)
+    }
+
+    fn sketch_size_hint(&self) -> usize {
+        2 * self.width * self.depth
+    }
+
+    fn exact_value(&self, freqs: &ExactFrequencies) -> f64 {
+        freqs.frequency_moment(2)
+    }
+}
+
+/// A reported correlated heavy hitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeavyHitter {
+    /// The item identifier.
+    pub item: u64,
+    /// Estimated frequency among tuples with `y ≤ c`.
+    pub frequency: f64,
+    /// Estimated squared-frequency share of `F_2(c)`.
+    pub share: f64,
+}
+
+/// Correlated `F_2`-heavy-hitters sketch.
+#[derive(Debug, Clone)]
+pub struct CorrelatedHeavyHitters {
+    inner: CorrelatedSketch<F2HeavyAggregate>,
+}
+
+impl CorrelatedHeavyHitters {
+    /// Build the sketch. `phi` is the smallest share threshold that will be
+    /// queried; `epsilon` controls both the `F_2` accuracy and the separation
+    /// between reported and suppressed items.
+    pub fn new(
+        epsilon: f64,
+        delta: f64,
+        phi: f64,
+        y_max: u64,
+        max_stream_len: u64,
+    ) -> Result<Self> {
+        Self::with_seed(epsilon, delta, phi, y_max, max_stream_len, DEFAULT_SEED)
+    }
+
+    /// [`CorrelatedHeavyHitters::new`] with an explicit seed.
+    pub fn with_seed(
+        epsilon: f64,
+        delta: f64,
+        phi: f64,
+        y_max: u64,
+        max_stream_len: u64,
+        seed: u64,
+    ) -> Result<Self> {
+        let agg = F2HeavyAggregate::new(epsilon, phi, seed);
+        let config = CorrelatedConfig::new(epsilon, delta, y_max, agg.f_max_log2(max_stream_len))?
+            .with_seed(seed);
+        Ok(Self {
+            inner: CorrelatedSketch::new(agg, config)?,
+        })
+    }
+
+    /// Process a stream element.
+    pub fn insert(&mut self, x: u64, y: u64) -> Result<()> {
+        self.inner.insert(x, y)
+    }
+
+    /// Estimate `F_2({x : y ≤ c})`.
+    pub fn query_f2(&self, c: u64) -> Result<f64> {
+        self.inner.query(c)
+    }
+
+    /// Report the items whose squared frequency among tuples with `y ≤ c` is
+    /// estimated to be at least `phi · F_2(c)`, sorted by decreasing share.
+    pub fn query_heavy_hitters(&self, c: u64, phi: f64) -> Result<Vec<HeavyHitter>> {
+        let store = self.inner.compose_for_threshold(c)?;
+        let mut out = Vec::new();
+        match &store {
+            BucketStore::Exact(freqs) => {
+                let f2 = freqs.frequency_moment(2);
+                if f2 == 0.0 {
+                    return Ok(out);
+                }
+                for (item, f) in freqs.iter() {
+                    let share = (f as f64) * (f as f64) / f2;
+                    if share >= phi {
+                        out.push(HeavyHitter {
+                            item,
+                            frequency: f as f64,
+                            share,
+                        });
+                    }
+                }
+            }
+            BucketStore::Sketched(sketch) => {
+                let f2 = sketch.estimate();
+                if f2 <= 0.0 {
+                    return Ok(out);
+                }
+                for (item, freq) in sketch.candidates() {
+                    let share = freq * freq / f2;
+                    if share >= phi {
+                        out.push(HeavyHitter {
+                            item,
+                            frequency: freq,
+                            share,
+                        });
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| b.share.total_cmp(&a.share).then(a.item.cmp(&b.item)));
+        out.dedup_by_key(|h| h.item);
+        Ok(out)
+    }
+
+    /// Total stored tuples (space accounting).
+    pub fn stored_tuples(&self) -> usize {
+        self.inner.stored_tuples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_planted_heavy_hitter() {
+        let y_max = 4095u64;
+        let mut hh = CorrelatedHeavyHitters::with_seed(0.2, 0.1, 0.1, y_max, 100_000, 3).unwrap();
+        // Item 7 is heavy among tuples with small y; item 8 is heavy only for
+        // large y. Light noise everywhere.
+        for i in 0..4_000u64 {
+            hh.insert(7, i % 1000).unwrap();
+            hh.insert(8, 3000 + (i % 1000)).unwrap();
+            hh.insert(1000 + (i % 500), (i * 7) % (y_max + 1)).unwrap();
+        }
+        // At c = 1200, item 7 dominates F2(c) and item 8 contributes nothing.
+        let hitters = hh.query_heavy_hitters(1200, 0.2).unwrap();
+        assert!(
+            hitters.iter().any(|h| h.item == 7),
+            "expected item 7 among heavy hitters: {hitters:?}"
+        );
+        assert!(
+            !hitters.iter().any(|h| h.item == 8),
+            "item 8 has no occurrences below the threshold: {hitters:?}"
+        );
+        // At c = y_max both are heavy.
+        let hitters = hh.query_heavy_hitters(y_max, 0.2).unwrap();
+        let items: Vec<u64> = hitters.iter().map(|h| h.item).collect();
+        assert!(items.contains(&7) && items.contains(&8), "items {items:?}");
+    }
+
+    #[test]
+    fn f2_query_is_consistent_with_plain_f2() {
+        let mut hh = CorrelatedHeavyHitters::with_seed(0.25, 0.1, 0.1, 1023, 10_000, 5).unwrap();
+        let mut f2 = crate::f2::correlated_f2_seeded(0.25, 0.1, 1023, 10_000, 5).unwrap();
+        for i in 0..5_000u64 {
+            let x = i % 100;
+            let y = (i * 13) % 1024;
+            hh.insert(x, y).unwrap();
+            f2.insert(x, y).unwrap();
+        }
+        let a = hh.query_f2(512).unwrap();
+        let b = f2.query(512).unwrap();
+        let rel = (a - b).abs() / b.max(1.0);
+        assert!(rel < 0.25, "HH-F2 {a} vs plain F2 {b}");
+    }
+
+    #[test]
+    fn no_heavy_hitters_on_uniform_stream() {
+        let mut hh = CorrelatedHeavyHitters::with_seed(0.2, 0.1, 0.05, 1023, 50_000, 7).unwrap();
+        for i in 0..20_000u64 {
+            hh.insert(i % 2_000, i % 1024).unwrap();
+        }
+        // Every item has share ~ 1/2000, far below phi = 0.05.
+        let hitters = hh.query_heavy_hitters(1023, 0.05).unwrap();
+        assert!(hitters.is_empty(), "unexpected heavy hitters: {hitters:?}");
+    }
+
+    #[test]
+    fn empty_sketch_reports_nothing() {
+        let hh = CorrelatedHeavyHitters::new(0.2, 0.1, 0.1, 255, 1000).unwrap();
+        assert!(hh.query_heavy_hitters(100, 0.1).unwrap().is_empty());
+        assert_eq!(hh.query_f2(100).unwrap(), 0.0);
+        assert_eq!(hh.stored_tuples(), 0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Correlated rarity (Section 3.3 of the paper).
+//!
+//! Rarity is the fraction of distinct items that occur exactly once. In the
+//! correlated setting the multiset is restricted to tuples with `y ≤ c` for a
+//! query-time `c`. The paper notes that the same distinct-sampling structure
+//! used for correlated `F_0` can be augmented with per-item occurrence
+//! information; here each sampled identifier remembers the **two smallest y
+//! values** of its occurrences, which is exactly enough to decide, for any
+//! `c`, whether the identifier occurs zero times (`c < y₁`), exactly once
+//! (`y₁ ≤ c < y₂`) or at least twice (`c ≥ y₂`) among tuples with `y ≤ c`.
+//! Rarity is then the ratio of the two counts over the sample at the chosen
+//! level (the `2^level` scale factors cancel).
+
+use crate::config::DEFAULT_SEED;
+use crate::error::{CoreError, Result};
+use cora_hash::mix::derive_seed;
+use cora_hash::polynomial::PolynomialHash;
+use cora_hash::traits::HashFunction64;
+use std::collections::{BTreeSet, HashMap};
+
+/// Occurrence record: the two smallest y values seen for an identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TwoSmallest {
+    y1: u64,
+    y2: Option<u64>,
+}
+
+impl TwoSmallest {
+    fn new(y: u64) -> Self {
+        Self { y1: y, y2: None }
+    }
+
+    fn observe(&mut self, y: u64) {
+        if y < self.y1 {
+            self.y2 = Some(self.y1);
+            self.y1 = y;
+        } else {
+            match self.y2 {
+                None => self.y2 = Some(y),
+                Some(existing) if y < existing => self.y2 = Some(y),
+                _ => {}
+            }
+        }
+    }
+
+    /// Occurrence count among tuples with `y ≤ c`, capped at 2.
+    fn occurrences_upto(&self, c: u64) -> u8 {
+        if c < self.y1 {
+            0
+        } else {
+            match self.y2 {
+                Some(y2) if c >= y2 => 2,
+                _ => 1,
+            }
+        }
+    }
+}
+
+/// One sampling level of the rarity sketch.
+#[derive(Debug, Clone)]
+struct RarityLevel {
+    by_item: HashMap<u64, TwoSmallest>,
+    by_y: BTreeSet<(u64, u64)>,
+    evicted_watermark: Option<u64>,
+}
+
+impl RarityLevel {
+    fn new() -> Self {
+        Self {
+            by_item: HashMap::new(),
+            by_y: BTreeSet::new(),
+            evicted_watermark: None,
+        }
+    }
+
+    fn insert(&mut self, item: u64, y: u64, capacity: usize) {
+        match self.by_item.get_mut(&item) {
+            Some(record) => {
+                let old_y1 = record.y1;
+                record.observe(y);
+                if record.y1 != old_y1 {
+                    self.by_y.remove(&(old_y1, item));
+                    self.by_y.insert((record.y1, item));
+                }
+            }
+            None => {
+                self.by_item.insert(item, TwoSmallest::new(y));
+                self.by_y.insert((y, item));
+            }
+        }
+        while self.by_item.len() > capacity {
+            let &(largest_y, victim) = self
+                .by_y
+                .iter()
+                .next_back()
+                .expect("len > capacity >= 1, so non-empty");
+            self.by_y.remove(&(largest_y, victim));
+            self.by_item.remove(&victim);
+            self.evicted_watermark = Some(match self.evicted_watermark {
+                None => largest_y,
+                Some(w) => w.min(largest_y),
+            });
+        }
+    }
+
+    fn answers(&self, c: u64) -> bool {
+        match self.evicted_watermark {
+            None => true,
+            Some(w) => w > c,
+        }
+    }
+
+    /// `(distinct items with ≥1 occurrence, items with exactly 1 occurrence)`
+    /// among the retained sample, restricted to `y ≤ c`.
+    fn counts_upto(&self, c: u64) -> (usize, usize) {
+        let mut present = 0usize;
+        let mut singletons = 0usize;
+        for (_, item) in self.by_y.range(..=(c, u64::MAX)) {
+            match self.by_item[item].occurrences_upto(c) {
+                0 => {}
+                1 => {
+                    present += 1;
+                    singletons += 1;
+                }
+                _ => present += 1,
+            }
+        }
+        (present, singletons)
+    }
+}
+
+/// Correlated rarity sketch.
+#[derive(Debug, Clone)]
+pub struct CorrelatedRarity {
+    hash: PolynomialHash,
+    levels: Vec<RarityLevel>,
+    capacity: usize,
+    y_max: u64,
+    items_processed: u64,
+}
+
+impl CorrelatedRarity {
+    /// Build a correlated rarity sketch.
+    pub fn new(epsilon: f64, x_domain_log2: u32, y_max: u64) -> Result<Self> {
+        Self::with_seed(epsilon, x_domain_log2, y_max, DEFAULT_SEED)
+    }
+
+    /// [`CorrelatedRarity::new`] with an explicit seed.
+    pub fn with_seed(epsilon: f64, x_domain_log2: u32, y_max: u64, seed: u64) -> Result<Self> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "epsilon",
+                detail: format!("must be in (0,1), got {epsilon}"),
+            });
+        }
+        if x_domain_log2 == 0 || x_domain_log2 > 63 {
+            return Err(CoreError::InvalidParameter {
+                name: "x_domain_log2",
+                detail: format!("must be in [1, 63], got {x_domain_log2}"),
+            });
+        }
+        let capacity = ((8.0 / (epsilon * epsilon)).ceil() as usize).max(32);
+        Ok(Self {
+            hash: PolynomialHash::new(2, derive_seed(seed, 0x4A41)),
+            levels: (0..=x_domain_log2 as usize).map(|_| RarityLevel::new()).collect(),
+            capacity,
+            y_max,
+            items_processed: 0,
+        })
+    }
+
+    /// Process a stream element `(x, y)`.
+    pub fn insert(&mut self, x: u64, y: u64) -> Result<()> {
+        if y > self.y_max {
+            return Err(CoreError::YOutOfRange { y, y_max: self.y_max });
+        }
+        self.items_processed += 1;
+        let deepest = (self.hash.hash64(x).leading_zeros() as usize).min(self.levels.len() - 1);
+        let capacity = self.capacity;
+        for level in self.levels.iter_mut().take(deepest + 1) {
+            level.insert(x, y, capacity);
+        }
+        Ok(())
+    }
+
+    /// Estimate the rarity of the multiset `{x : (x, y) ∈ S, y ≤ c}`: the
+    /// fraction of distinct identifiers occurring exactly once. Returns 0 for
+    /// an empty selection.
+    pub fn query(&self, c: u64) -> Result<f64> {
+        let c = c.min(self.y_max);
+        for level in &self.levels {
+            if !level.answers(c) {
+                continue;
+            }
+            let (present, singletons) = level.counts_upto(c);
+            if present == 0 {
+                return Ok(0.0);
+            }
+            return Ok(singletons as f64 / present as f64);
+        }
+        Err(CoreError::QueryFailed { threshold: c })
+    }
+
+    /// Total stored tuples.
+    pub fn stored_tuples(&self) -> usize {
+        self.levels.iter().map(|l| l.by_item.len()).sum()
+    }
+
+    /// Number of stream elements processed.
+    pub fn items_processed(&self) -> u64 {
+        self.items_processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(CorrelatedRarity::new(0.0, 20, 100).is_err());
+        assert!(CorrelatedRarity::new(0.2, 0, 100).is_err());
+        assert!(CorrelatedRarity::new(0.2, 20, 100).is_ok());
+    }
+
+    #[test]
+    fn two_smallest_tracking() {
+        let mut t = TwoSmallest::new(50);
+        assert_eq!(t.occurrences_upto(49), 0);
+        assert_eq!(t.occurrences_upto(50), 1);
+        t.observe(80);
+        assert_eq!(t.occurrences_upto(70), 1);
+        assert_eq!(t.occurrences_upto(80), 2);
+        t.observe(10);
+        assert_eq!(t.y1, 10);
+        assert_eq!(t.y2, Some(50));
+        assert_eq!(t.occurrences_upto(30), 1);
+        assert_eq!(t.occurrences_upto(60), 2);
+    }
+
+    #[test]
+    fn exact_rarity_on_small_stream() {
+        let mut r = CorrelatedRarity::with_seed(0.2, 16, 1000, 3).unwrap();
+        // Items 0..10 appear once with y = 10*x; items 100..105 appear twice
+        // (y = 5 and y = 600).
+        for x in 0..10u64 {
+            r.insert(x, x * 10).unwrap();
+        }
+        for x in 100..105u64 {
+            r.insert(x, 5).unwrap();
+            r.insert(x, 600).unwrap();
+        }
+        // At c = 95: items 0..10 (singletons) and 100..105 (each seen once so far).
+        let rarity = r.query(95).unwrap();
+        assert!((rarity - 1.0).abs() < 1e-9);
+        // At c = 1000: 10 singletons out of 15 distinct items.
+        let rarity = r.query(1000).unwrap();
+        assert!((rarity - 10.0 / 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_selection_has_zero_rarity() {
+        let mut r = CorrelatedRarity::with_seed(0.2, 16, 1000, 3).unwrap();
+        r.insert(1, 500).unwrap();
+        assert_eq!(r.query(100).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range_y() {
+        let mut r = CorrelatedRarity::new(0.2, 16, 100).unwrap();
+        assert!(r.insert(1, 101).is_err());
+    }
+
+    #[test]
+    fn approximate_rarity_on_large_stream() {
+        let epsilon = 0.15;
+        let mut r = CorrelatedRarity::with_seed(epsilon, 20, 1 << 20, 7).unwrap();
+        // 40k identifiers: even ids occur once (y = id), odd ids occur twice
+        // (y = id and y = id + 2^19). True rarity at c = 2^19: ids <= 2^19 all
+        // occur exactly once => rarity 1.0; at c = 2^20: odd ids occur twice.
+        let n = 40_000u64;
+        for x in 0..n {
+            r.insert(x, x).unwrap();
+            if x % 2 == 1 {
+                r.insert(x, x + (1 << 19)).unwrap();
+            }
+        }
+        let rarity_low = r.query((1 << 19) - 1).unwrap();
+        assert!(
+            (rarity_low - 1.0).abs() < 0.05,
+            "rarity below the fold should be ~1.0, got {rarity_low}"
+        );
+        let rarity_full = r.query(1 << 20).unwrap();
+        assert!(
+            (rarity_full - 0.5).abs() < 3.0 * epsilon,
+            "full rarity should be ~0.5, got {rarity_full}"
+        );
+        assert!(r.stored_tuples() < n as usize);
+    }
+}

@@ -1,0 +1,114 @@
+//! 2-universal (pairwise independent) hashing into a fixed range.
+//!
+//! A thin convenience wrapper around a degree-1 polynomial over GF(2^61 − 1)
+//! that remembers its target range. Distinct sampling, CountSketch column
+//! selection and the subsampling levels of the `F_k` estimator all only need
+//! pairwise independence, and constructing the wrapper once avoids threading a
+//! `(hash, range)` pair through those structures.
+
+use crate::polynomial::PolynomialHash;
+use crate::traits::HashFunction64;
+
+/// A pairwise independent hash function into `[0, range)`.
+#[derive(Debug, Clone)]
+pub struct PairwiseHash {
+    poly: PolynomialHash,
+    range: u64,
+}
+
+impl PairwiseHash {
+    /// Create a pairwise independent hash into `[0, range)`.
+    ///
+    /// # Panics
+    /// Panics if `range == 0`.
+    pub fn new(seed: u64, range: u64) -> Self {
+        assert!(range > 0, "PairwiseHash range must be non-zero");
+        Self {
+            poly: PolynomialHash::new(2, seed ^ 0x9A12_55E1_7A1B_0051),
+            range,
+        }
+    }
+
+    /// The configured range.
+    pub fn range(&self) -> u64 {
+        self.range
+    }
+
+    /// Hash a key into `[0, range)`.
+    #[inline]
+    pub fn bucket(&self, key: u64) -> u64 {
+        self.poly.hash_range(key, self.range)
+    }
+
+    /// Hash a key into the unit interval (ignores `range`).
+    #[inline]
+    pub fn unit(&self, key: u64) -> f64 {
+        self.poly.hash_unit(key)
+    }
+}
+
+impl HashFunction64 for PairwiseHash {
+    #[inline]
+    fn hash64(&self, key: u64) -> u64 {
+        self.poly.hash64(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_within_range() {
+        let h = PairwiseHash::new(4, 37);
+        for k in 0..5000u64 {
+            assert!(h.bucket(k) < 37);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be non-zero")]
+    fn zero_range_panics() {
+        let _ = PairwiseHash::new(4, 0);
+    }
+
+    #[test]
+    fn range_accessor() {
+        assert_eq!(PairwiseHash::new(1, 128).range(), 128);
+    }
+
+    #[test]
+    fn unit_values_in_interval() {
+        let h = PairwiseHash::new(8, 2);
+        for k in 0..2000u64 {
+            let u = h.unit(k);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_clones() {
+        let h = PairwiseHash::new(5, 1000);
+        let c = h.clone();
+        for k in 0..1000u64 {
+            assert_eq!(h.bucket(k), c.bucket(k));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform_buckets() {
+        let h = PairwiseHash::new(6, 10);
+        let n = 50_000u64;
+        let mut counts = vec![0u64; 10];
+        for k in 0..n {
+            counts[h.bucket(k) as usize] += 1;
+        }
+        let expected = n as f64 / 10.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                ((c as f64) - expected).abs() < expected * 0.15,
+                "bucket {i}: {c}"
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! 4-wise independent ±1 hashing for AMS-style second-moment estimation.
+//!
+//! The AMS estimator `(Σ_x s(x) f_x)²` is unbiased for `F_2` and has variance
+//! `≤ 2 F_2²` exactly when the sign function `s` is drawn from a 4-wise
+//! independent family. We realise the family as the low bit of a random
+//! degree-3 polynomial over GF(2^61 − 1).
+
+use crate::polynomial::PolynomialHash;
+use crate::traits::SignHash;
+
+/// A ±1-valued 4-wise independent hash function.
+#[derive(Debug, Clone)]
+pub struct FourWiseSignHash {
+    poly: PolynomialHash,
+}
+
+impl FourWiseSignHash {
+    /// Domain-separation constant so a sign hash and a bucket hash built from
+    /// the same user seed are still independent functions.
+    const DOMAIN: u64 = 0x5160_0D5E_ED00_51C7;
+
+    /// Create a new sign hash from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            poly: PolynomialHash::new(4, seed ^ Self::DOMAIN),
+        }
+    }
+
+    /// Returns the underlying polynomial's independence level (always 4).
+    pub fn independence(&self) -> usize {
+        self.poly.independence()
+    }
+}
+
+impl SignHash for FourWiseSignHash {
+    #[inline]
+    fn sign(&self, key: u64) -> i64 {
+        // Use a middle bit of the field element; the low bit of x mod p is
+        // slightly biased because p is odd, but any single fixed bit of a
+        // uniform value in [0, p) has bias at most 1/p which is negligible.
+        if (self.poly.eval_mod(key) >> 30) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signs_are_plus_minus_one() {
+        let s = FourWiseSignHash::new(1);
+        for k in 0..1000u64 {
+            let v = s.sign(k);
+            assert!(v == 1 || v == -1);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = FourWiseSignHash::new(9);
+        let b = FourWiseSignHash::new(9);
+        for k in 0..1000u64 {
+            assert_eq!(a.sign(k), b.sign(k));
+        }
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        let s = FourWiseSignHash::new(2);
+        let n = 100_000u64;
+        let sum: i64 = (0..n).map(|k| s.sign(k)).sum();
+        // Expected |sum| is O(sqrt(n)) ≈ 316; allow a generous 10σ.
+        assert!(
+            sum.abs() < 3_500,
+            "sign hash badly unbalanced: sum = {sum} over {n} keys"
+        );
+    }
+
+    #[test]
+    fn pairwise_products_roughly_balanced() {
+        // For 4-wise independence, E[s(a)s(b)] = 0 for a != b. Check an
+        // empirical average over many pairs.
+        let s = FourWiseSignHash::new(3);
+        let n = 2_000u64;
+        let signs: Vec<i64> = (0..n).map(|k| s.sign(k)).collect();
+        let mut total: i64 = 0;
+        let mut pairs: i64 = 0;
+        for i in 0..n as usize {
+            for j in (i + 1)..n as usize {
+                total += signs[i] * signs[j];
+                pairs += 1;
+            }
+        }
+        let avg = total as f64 / pairs as f64;
+        assert!(avg.abs() < 0.02, "pairwise correlation too high: {avg}");
+    }
+
+    #[test]
+    fn independence_is_four() {
+        assert_eq!(FourWiseSignHash::new(0).independence(), 4);
+    }
+}

@@ -1,0 +1,184 @@
+//! Simple tabulation hashing (Zobrist / Thorup–Zhang).
+//!
+//! The key is split into 8-bit characters; each character indexes a table of
+//! random words and the results are XORed. The family is 3-independent, and
+//! Thorup & Zhang (SODA 2004) — the "fast AMS" variant the paper's experiments
+//! use — showed that tabulation-based second-moment estimation matches the
+//! guarantees of 4-independent families in practice while being much faster
+//! than evaluating a degree-3 polynomial per update.
+//!
+//! One function costs `tables × 256 × 8` bytes (16 KiB for 64-bit keys), so
+//! tabulation is used for the *stream-facing* hash functions that are shared
+//! across the whole structure (row/bucket hashes of the top-level sketches),
+//! while the many small per-bucket sketches inside the correlated framework
+//! use [`crate::polynomial::PolynomialHash`] to keep per-bucket space small.
+
+use crate::mix::derive_seed;
+use crate::traits::HashFunction64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tabulation hashing for 64-bit keys (8 characters of 8 bits).
+#[derive(Debug, Clone)]
+pub struct TabulationHash64 {
+    tables: Box<[[u64; 256]; 8]>,
+}
+
+impl TabulationHash64 {
+    /// Create a new tabulation hash function from a seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x7AB));
+        let mut tables = Box::new([[0u64; 256]; 8]);
+        for table in tables.iter_mut() {
+            for entry in table.iter_mut() {
+                *entry = rng.gen();
+            }
+        }
+        Self { tables }
+    }
+
+    /// The memory footprint of the lookup tables in bytes.
+    pub const fn table_bytes() -> usize {
+        8 * 256 * std::mem::size_of::<u64>()
+    }
+}
+
+impl HashFunction64 for TabulationHash64 {
+    #[inline]
+    fn hash64(&self, key: u64) -> u64 {
+        let b = key.to_le_bytes();
+        self.tables[0][b[0] as usize]
+            ^ self.tables[1][b[1] as usize]
+            ^ self.tables[2][b[2] as usize]
+            ^ self.tables[3][b[3] as usize]
+            ^ self.tables[4][b[4] as usize]
+            ^ self.tables[5][b[5] as usize]
+            ^ self.tables[6][b[6] as usize]
+            ^ self.tables[7][b[7] as usize]
+    }
+}
+
+/// Tabulation hashing for 32-bit keys (4 characters of 8 bits), producing
+/// 32-bit outputs. Used where item identifiers are known to fit in `u32`
+/// (e.g. the packet-size domain of the Ethernet dataset) and table space
+/// matters.
+#[derive(Debug, Clone)]
+pub struct TabulationHash32 {
+    tables: Box<[[u32; 256]; 4]>,
+}
+
+impl TabulationHash32 {
+    /// Create a new 32-bit tabulation hash function from a seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x7AB32));
+        let mut tables = Box::new([[0u32; 256]; 4]);
+        for table in tables.iter_mut() {
+            for entry in table.iter_mut() {
+                *entry = rng.gen();
+            }
+        }
+        Self { tables }
+    }
+
+    /// Hash a 32-bit key.
+    #[inline]
+    pub fn hash32(&self, key: u32) -> u32 {
+        let b = key.to_le_bytes();
+        self.tables[0][b[0] as usize]
+            ^ self.tables[1][b[1] as usize]
+            ^ self.tables[2][b[2] as usize]
+            ^ self.tables[3][b[3] as usize]
+    }
+}
+
+impl HashFunction64 for TabulationHash32 {
+    #[inline]
+    fn hash64(&self, key: u64) -> u64 {
+        // Hash the low and high halves and combine; for keys that fit in u32
+        // this degenerates to hash32 spread over 64 bits.
+        let lo = self.hash32(key as u32);
+        let hi = self.hash32((key >> 32) as u32 ^ 0xA5A5_A5A5);
+        (u64::from(hi) << 32) | u64::from(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = TabulationHash64::new(5);
+        let b = TabulationHash64::new(5);
+        for k in 0..500u64 {
+            assert_eq!(a.hash64(k), b.hash64(k));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_functions() {
+        let a = TabulationHash64::new(5);
+        let b = TabulationHash64::new(6);
+        let agree = (0..500u64).filter(|&k| a.hash64(k) == b.hash64(k)).count();
+        assert!(agree < 3);
+    }
+
+    #[test]
+    fn no_trivial_collisions_on_small_keys() {
+        let h = TabulationHash64::new(11);
+        let outputs: HashSet<u64> = (0..10_000u64).map(|k| h.hash64(k)).collect();
+        // Collisions among 10k values in a 64-bit range are astronomically unlikely.
+        assert_eq!(outputs.len(), 10_000);
+    }
+
+    #[test]
+    fn table_bytes_is_16kib() {
+        assert_eq!(TabulationHash64::table_bytes(), 16 * 1024);
+        assert_eq!(TabulationHash64::table_bytes(), 8 * 256 * 8);
+    }
+
+    #[test]
+    fn hash32_deterministic_and_spread() {
+        let h = TabulationHash32::new(7);
+        assert_eq!(h.hash32(42), h.hash32(42));
+        let outputs: HashSet<u32> = (0..10_000u32).map(|k| h.hash32(k)).collect();
+        assert!(outputs.len() > 9_990, "unexpected collision rate");
+    }
+
+    #[test]
+    fn tabulation64_xor_structure_single_byte_keys() {
+        // For keys < 256 only the first character varies: hash(k) must equal
+        // table0[k] ^ (xor of the zero entries of the other tables). We verify
+        // the structural property that hash(a) ^ hash(b) only depends on the
+        // first table when a, b < 256.
+        let h = TabulationHash64::new(3);
+        let base = h.hash64(0);
+        for a in 0..256u64 {
+            for b in 0..256u64 {
+                assert_eq!(
+                    h.hash64(a) ^ h.hash64(b),
+                    (h.hash64(a) ^ base) ^ (h.hash64(b) ^ base)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_distribution_roughly_uniform() {
+        let h = TabulationHash64::new(13);
+        let buckets = 32u64;
+        let n = 64_000u64;
+        let mut counts = vec![0u64; buckets as usize];
+        for k in 0..n {
+            counts[h.hash_range(k, buckets) as usize] += 1;
+        }
+        let expected = (n / buckets) as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                ((c as f64) - expected).abs() < expected * 0.15,
+                "bucket {b}: {c} vs expected {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The classic Alon–Matias–Szegedy sketch for the second frequency moment.
+//!
+//! Each atom maintains `Z = Σ_x s(x) · f_x` for a 4-wise independent sign hash
+//! `s`; `Z²` is an unbiased estimator of `F_2` with variance at most `2 F_2²`.
+//! Averaging `s1 = O(1/ε²)` atoms and taking the median of `s2 = O(log 1/δ)`
+//! averages yields an `(ε, δ)`-estimator (Theorem 2.2 of AMS'99). This is the
+//! textbook construction referenced by Property V of the correlated-aggregation
+//! paper; the experiments use the faster bucketed variant in
+//! [`crate::fast_ams`], and this module is kept both as a reference
+//! implementation and as the comparison point for the ablation benchmarks.
+//!
+//! The sketch is a linear function of the frequency vector, so it supports
+//! negative weights (turnstile updates) and merging by atom-wise addition.
+
+use crate::error::{check_delta, check_epsilon, Result, SketchError};
+use crate::estimator_util::{mean, median};
+use crate::traits::{Estimate, MergeableSketch, SpaceUsage, StreamSketch};
+use cora_hash::mix::derive_seed;
+use cora_hash::sign::FourWiseSignHash;
+use cora_hash::traits::SignHash;
+
+/// Classic AMS F2 sketch: `s2` groups of `s1` sign-sum atoms.
+#[derive(Debug, Clone)]
+pub struct AmsF2Sketch {
+    /// Atom counters, laid out row-major: `groups` rows of `atoms_per_group`.
+    atoms: Vec<i64>,
+    /// Sign hash per atom (row-major, same layout as `atoms`).
+    signs: Vec<FourWiseSignHash>,
+    atoms_per_group: usize,
+    groups: usize,
+    seed: u64,
+}
+
+impl AmsF2Sketch {
+    /// Build a sketch achieving relative error `epsilon` with failure
+    /// probability `delta`, using hash functions derived from `seed`.
+    pub fn new(epsilon: f64, delta: f64, seed: u64) -> Result<Self> {
+        check_epsilon(epsilon)?;
+        check_delta(delta)?;
+        // Variance of one atom is <= 2 F2^2, so s1 = 8/eps^2 atoms give a
+        // (1±eps) estimate with probability >= 3/4 (Chebyshev); s2 = O(log 1/δ)
+        // medians boost the confidence.
+        let atoms_per_group = ((8.0 / (epsilon * epsilon)).ceil() as usize).max(1);
+        let groups = crate::estimator_util::repetitions_for_delta(delta);
+        Ok(Self::with_dimensions(atoms_per_group, groups, seed))
+    }
+
+    /// Build a sketch with explicit dimensions (used by tests and ablations).
+    pub fn with_dimensions(atoms_per_group: usize, groups: usize, seed: u64) -> Self {
+        let atoms_per_group = atoms_per_group.max(1);
+        let groups = groups.max(1);
+        let total = atoms_per_group * groups;
+        let signs = (0..total)
+            .map(|i| FourWiseSignHash::new(derive_seed(seed, i as u64)))
+            .collect();
+        Self {
+            atoms: vec![0; total],
+            signs,
+            atoms_per_group,
+            groups,
+            seed,
+        }
+    }
+
+    /// Number of atoms per averaging group.
+    pub fn atoms_per_group(&self) -> usize {
+        self.atoms_per_group
+    }
+
+    /// Number of median groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// The seed the hash functions were derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl StreamSketch for AmsF2Sketch {
+    #[inline]
+    fn update(&mut self, item: u64, weight: i64) {
+        for (atom, sign) in self.atoms.iter_mut().zip(self.signs.iter()) {
+            *atom += sign.sign(item) * weight;
+        }
+    }
+}
+
+impl Estimate for AmsF2Sketch {
+    fn estimate(&self) -> f64 {
+        let group_means: Vec<f64> = self
+            .atoms
+            .chunks(self.atoms_per_group)
+            .map(|group| {
+                let squares: Vec<f64> = group.iter().map(|&z| (z as f64) * (z as f64)).collect();
+                mean(&squares).unwrap_or(0.0)
+            })
+            .collect();
+        median(&group_means).unwrap_or(0.0)
+    }
+}
+
+impl MergeableSketch for AmsF2Sketch {
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        if self.atoms_per_group != other.atoms_per_group
+            || self.groups != other.groups
+            || self.seed != other.seed
+        {
+            return Err(SketchError::IncompatibleMerge {
+                detail: format!(
+                    "AMS dims/seed mismatch: ({}, {}, {:#x}) vs ({}, {}, {:#x})",
+                    self.atoms_per_group,
+                    self.groups,
+                    self.seed,
+                    other.atoms_per_group,
+                    other.groups,
+                    other.seed
+                ),
+            });
+        }
+        for (a, b) in self.atoms.iter_mut().zip(other.atoms.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+}
+
+impl SpaceUsage for AmsF2Sketch {
+    fn stored_tuples(&self) -> usize {
+        self.atoms.len()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.atoms.len() * std::mem::size_of::<i64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator_util::relative_error;
+
+    fn exact_f2(freqs: &[(u64, i64)]) -> f64 {
+        freqs.iter().map(|&(_, f)| (f as f64) * (f as f64)).sum()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(AmsF2Sketch::new(0.0, 0.1, 1).is_err());
+        assert!(AmsF2Sketch::new(0.1, 0.0, 1).is_err());
+        assert!(AmsF2Sketch::new(1.5, 0.1, 1).is_err());
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let s = AmsF2Sketch::new(0.3, 0.1, 7).unwrap();
+        assert_eq!(s.estimate(), 0.0);
+    }
+
+    #[test]
+    fn single_item_estimate_is_exact() {
+        // One item with frequency f: every atom holds ±f, so the estimate is
+        // exactly f² regardless of the hash functions.
+        let mut s = AmsF2Sketch::with_dimensions(16, 3, 11);
+        for _ in 0..25 {
+            s.insert(42);
+        }
+        assert_eq!(s.estimate(), 625.0);
+    }
+
+    #[test]
+    fn estimates_within_error_on_uniform_frequencies() {
+        let mut s = AmsF2Sketch::new(0.2, 0.05, 3).unwrap();
+        let freqs: Vec<(u64, i64)> = (0..200u64).map(|x| (x, 10)).collect();
+        for &(x, f) in &freqs {
+            s.update(x, f);
+        }
+        let truth = exact_f2(&freqs);
+        let err = relative_error(s.estimate(), truth);
+        assert!(err < 0.2, "relative error {err} exceeds epsilon");
+    }
+
+    #[test]
+    fn estimates_within_error_on_skewed_frequencies() {
+        let mut s = AmsF2Sketch::new(0.2, 0.05, 5).unwrap();
+        // Zipf-ish: item x has frequency ~ 1000 / (x+1).
+        let freqs: Vec<(u64, i64)> = (0..100u64).map(|x| (x, (1000 / (x + 1)) as i64)).collect();
+        for &(x, f) in &freqs {
+            s.update(x, f);
+        }
+        let truth = exact_f2(&freqs);
+        let err = relative_error(s.estimate(), truth);
+        assert!(err < 0.2, "relative error {err} exceeds epsilon");
+    }
+
+    #[test]
+    fn negative_weights_cancel() {
+        let mut s = AmsF2Sketch::with_dimensions(32, 3, 2);
+        for x in 0..50u64 {
+            s.update(x, 7);
+        }
+        for x in 0..50u64 {
+            s.update(x, -7);
+        }
+        assert_eq!(s.estimate(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let seed = 17;
+        let mut full = AmsF2Sketch::with_dimensions(64, 5, seed);
+        let mut left = AmsF2Sketch::with_dimensions(64, 5, seed);
+        let mut right = AmsF2Sketch::with_dimensions(64, 5, seed);
+        for x in 0..300u64 {
+            full.update(x, (x % 7) as i64 + 1);
+            if x < 150 {
+                left.update(x, (x % 7) as i64 + 1);
+            } else {
+                right.update(x, (x % 7) as i64 + 1);
+            }
+        }
+        left.merge_from(&right).unwrap();
+        assert_eq!(left.estimate(), full.estimate());
+    }
+
+    #[test]
+    fn merge_rejects_different_seed() {
+        let a = AmsF2Sketch::with_dimensions(8, 3, 1);
+        let b = AmsF2Sketch::with_dimensions(8, 3, 2);
+        assert!(matches!(
+            a.merged(&b),
+            Err(SketchError::IncompatibleMerge { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_rejects_different_dimensions() {
+        let a = AmsF2Sketch::with_dimensions(8, 3, 1);
+        let b = AmsF2Sketch::with_dimensions(16, 3, 1);
+        assert!(a.merged(&b).is_err());
+    }
+
+    #[test]
+    fn space_accounting_matches_dimensions() {
+        let s = AmsF2Sketch::with_dimensions(10, 5, 1);
+        assert_eq!(s.stored_tuples(), 50);
+        assert_eq!(s.space_bytes(), 400);
+    }
+
+    #[test]
+    fn parameter_sizing_decreases_with_larger_epsilon() {
+        let tight = AmsF2Sketch::new(0.1, 0.1, 1).unwrap();
+        let loose = AmsF2Sketch::new(0.3, 0.1, 1).unwrap();
+        assert!(tight.atoms_per_group() > loose.atoms_per_group());
+    }
+}

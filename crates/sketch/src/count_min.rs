@@ -1,0 +1,224 @@
+//! Count-Min sketch (Cormode & Muthukrishnan, 2005).
+//!
+//! A depth × width array of non-negative counters; row `r` adds `w` to counter
+//! `h_r(x)` and the point query takes the minimum over rows. The estimate
+//! over-counts by at most `ε · ‖f‖₁` with probability `1 − δ` when
+//! `width = ⌈e/ε⌉` and `depth = ⌈ln 1/δ⌉`.
+//!
+//! In this workspace Count-Min serves two roles: (a) the per-bucket frequency
+//! estimator in the *ablation* variant of correlated heavy hitters (CountSketch
+//! gives an `√F_2`-type additive bound, Count-Min an `F_1`-type bound — the
+//! benchmark compares them), and (b) a point-query substrate for the rarity
+//! estimator's collision filter. It only supports the cash-register model
+//! (non-negative weights); turnstile use is rejected with a debug assertion.
+
+use crate::error::{check_delta, check_epsilon, Result, SketchError};
+use crate::traits::{MergeableSketch, PointQuery, SpaceUsage, StreamSketch};
+use cora_hash::mix::derive_seed;
+use cora_hash::polynomial::PolynomialHash;
+use cora_hash::traits::HashFunction64;
+
+/// Count-Min sketch for non-negative frequency estimation.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    hashes: Vec<PolynomialHash>,
+    counters: Vec<u64>,
+    width: usize,
+    depth: usize,
+    seed: u64,
+    total_weight: u64,
+}
+
+impl CountMinSketch {
+    /// Create a sketch with additive error `epsilon · ‖f‖₁` and failure
+    /// probability `delta` per query.
+    pub fn new(epsilon: f64, delta: f64, seed: u64) -> Result<Self> {
+        check_epsilon(epsilon)?;
+        check_delta(delta)?;
+        let width = ((std::f64::consts::E / epsilon).ceil() as usize).max(2);
+        let depth = ((1.0 / delta).ln().ceil() as usize).max(1);
+        Ok(Self::with_dimensions(width, depth, seed))
+    }
+
+    /// Create a sketch with explicit dimensions.
+    pub fn with_dimensions(width: usize, depth: usize, seed: u64) -> Self {
+        let width = width.max(1);
+        let depth = depth.max(1);
+        let hashes = (0..depth)
+            .map(|r| PolynomialHash::new(2, derive_seed(seed, r as u64)))
+            .collect();
+        Self {
+            hashes,
+            counters: vec![0; width * depth],
+            width,
+            depth,
+            seed,
+            total_weight: 0,
+        }
+    }
+
+    /// Width (counters per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Depth (number of rows).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total inserted weight (`‖f‖₁`), tracked exactly.
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+}
+
+impl StreamSketch for CountMinSketch {
+    fn update(&mut self, item: u64, weight: i64) {
+        debug_assert!(weight >= 0, "CountMinSketch only supports non-negative weights");
+        let w = weight.max(0) as u64;
+        for (r, h) in self.hashes.iter().enumerate() {
+            let b = h.hash_range(item, self.width as u64) as usize;
+            self.counters[r * self.width + b] += w;
+        }
+        self.total_weight += w;
+    }
+}
+
+impl PointQuery for CountMinSketch {
+    fn frequency_estimate(&self, item: u64) -> f64 {
+        let mut best = u64::MAX;
+        for (r, h) in self.hashes.iter().enumerate() {
+            let b = h.hash_range(item, self.width as u64) as usize;
+            best = best.min(self.counters[r * self.width + b]);
+        }
+        if best == u64::MAX {
+            0.0
+        } else {
+            best as f64
+        }
+    }
+}
+
+impl MergeableSketch for CountMinSketch {
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        if self.width != other.width || self.depth != other.depth || self.seed != other.seed {
+            return Err(SketchError::IncompatibleMerge {
+                detail: format!(
+                    "CountMin dims/seed mismatch: ({}x{}, {:#x}) vs ({}x{}, {:#x})",
+                    self.depth, self.width, self.seed, other.depth, other.width, other.seed
+                ),
+            });
+        }
+        for (c, d) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *c += d;
+        }
+        self.total_weight += other.total_weight;
+        Ok(())
+    }
+}
+
+impl SpaceUsage for CountMinSketch {
+    fn stored_tuples(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.counters.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(CountMinSketch::new(0.0, 0.1, 1).is_err());
+        assert!(CountMinSketch::new(0.1, 0.0, 1).is_err());
+        assert!(CountMinSketch::new(0.01, 0.01, 1).is_ok());
+    }
+
+    #[test]
+    fn dimension_formulas() {
+        let s = CountMinSketch::new(0.01, 0.01, 1).unwrap();
+        assert_eq!(s.width(), 272); // ceil(e / 0.01)
+        assert_eq!(s.depth(), 5); // ceil(ln 100)
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMinSketch::with_dimensions(50, 4, 3);
+        let truth: Vec<(u64, i64)> = (0..500u64).map(|x| (x, (x % 17) as i64 + 1)).collect();
+        for &(x, f) in &truth {
+            cm.update(x, f);
+        }
+        for &(x, f) in &truth {
+            assert!(
+                cm.frequency_estimate(x) >= f as f64,
+                "Count-Min underestimated item {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn overestimate_bounded_by_epsilon_l1() {
+        let eps = 0.01;
+        let mut cm = CountMinSketch::new(eps, 0.01, 7).unwrap();
+        let truth: Vec<(u64, i64)> = (0..2000u64).map(|x| (x, 5)).collect();
+        for &(x, f) in &truth {
+            cm.update(x, f);
+        }
+        let l1 = cm.total_weight() as f64;
+        let mut violations = 0usize;
+        for &(x, f) in &truth {
+            if cm.frequency_estimate(x) > f as f64 + eps * l1 {
+                violations += 1;
+            }
+        }
+        // The bound holds per-query with probability >= 0.99; allow a handful.
+        assert!(violations < 60, "{violations} of 2000 queries violated the CM bound");
+    }
+
+    #[test]
+    fn empty_sketch_returns_zero() {
+        let cm = CountMinSketch::with_dimensions(8, 2, 1);
+        assert_eq!(cm.frequency_estimate(123), 0.0);
+        assert_eq!(cm.total_weight(), 0);
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let seed = 99;
+        let mut full = CountMinSketch::with_dimensions(128, 4, seed);
+        let mut a = CountMinSketch::with_dimensions(128, 4, seed);
+        let mut b = CountMinSketch::with_dimensions(128, 4, seed);
+        for x in 0..300u64 {
+            full.update(x, 2);
+            if x < 100 {
+                a.update(x, 2);
+            } else {
+                b.update(x, 2);
+            }
+        }
+        let merged = a.merged(&b).unwrap();
+        for x in (0..300u64).step_by(23) {
+            assert_eq!(merged.frequency_estimate(x), full.frequency_estimate(x));
+        }
+        assert_eq!(merged.total_weight(), full.total_weight());
+    }
+
+    #[test]
+    fn merge_rejects_mismatch() {
+        let a = CountMinSketch::with_dimensions(64, 4, 1);
+        let b = CountMinSketch::with_dimensions(64, 3, 1);
+        assert!(a.merged(&b).is_err());
+    }
+
+    #[test]
+    fn space_accounting() {
+        let cm = CountMinSketch::with_dimensions(100, 5, 1);
+        assert_eq!(cm.stored_tuples(), 500);
+        assert_eq!(cm.space_bytes(), 4000);
+    }
+}

@@ -1,0 +1,318 @@
+//! CountSketch (Charikar, Chen, Farach-Colton, 2004).
+//!
+//! A depth × width array of counters; row `r` adds `s_r(x) · w` to counter
+//! `h_r(x)`. The median over rows of `s_r(x) · C[r][h_r(x)]` estimates the
+//! frequency of `x` with additive error `O(√(F_2 / width))` — the guarantee
+//! Section 3.3 of the paper relies on for correlated `F_2`-heavy hitters
+//! ("each bucket additionally maintains an algorithm for estimating the
+//! squared frequency of each item inserted into the bucket up to an additive
+//! (ε/10)·2^i — see, e.g., the COUNTSKETCH algorithm").
+//!
+//! The structure is identical to [`crate::fast_ams::FastAmsSketch`]'s counter
+//! array; it is kept as a separate type because its parameterisation (width
+//! from an additive-error target) and its primary query (point frequency) are
+//! different, and because the heavy-hitter machinery additionally tracks a
+//! bounded candidate set so that heavy items can be *enumerated*, not just
+//! queried.
+
+use crate::error::{check_delta, Result, SketchError};
+use crate::estimator_util::median;
+use crate::traits::{MergeableSketch, PointQuery, SpaceUsage, StreamSketch};
+use cora_hash::mix::derive_seed;
+use cora_hash::polynomial::PolynomialHash;
+use cora_hash::traits::HashFunction64;
+use std::collections::HashMap;
+
+/// CountSketch frequency estimator with an optional heavy-hitter candidate set.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    bucket_hashes: Vec<PolynomialHash>,
+    sign_hashes: Vec<PolynomialHash>,
+    counters: Vec<i64>,
+    width: usize,
+    depth: usize,
+    seed: u64,
+    /// Bounded set of candidate heavy hitters: item -> estimated |frequency|
+    /// at the time it last won a slot. Capacity 0 disables tracking.
+    candidates: HashMap<u64, i64>,
+    candidate_capacity: usize,
+}
+
+impl CountSketch {
+    /// Create a CountSketch with `width` counters per row and `depth` rows.
+    ///
+    /// `candidate_capacity` bounds the heavy-hitter candidate set (0 disables
+    /// candidate tracking, leaving a pure point-query structure).
+    pub fn with_dimensions(width: usize, depth: usize, candidate_capacity: usize, seed: u64) -> Self {
+        let width = width.max(1);
+        let depth = depth.max(1);
+        let bucket_hashes = (0..depth)
+            .map(|r| PolynomialHash::new(2, derive_seed(seed, 2 * r as u64)))
+            .collect();
+        let sign_hashes = (0..depth)
+            .map(|r| PolynomialHash::new(4, derive_seed(seed, 2 * r as u64 + 1)))
+            .collect();
+        Self {
+            bucket_hashes,
+            sign_hashes,
+            counters: vec![0; width * depth],
+            width,
+            depth,
+            seed,
+            candidates: HashMap::new(),
+            candidate_capacity,
+        }
+    }
+
+    /// Create a CountSketch whose point estimates have additive error at most
+    /// `additive_fraction · √F_2` with probability `1 − delta` per query.
+    ///
+    /// `width = ⌈6 / additive_fraction²⌉`, `depth = O(log 1/δ)`.
+    pub fn new(additive_fraction: f64, delta: f64, candidate_capacity: usize, seed: u64) -> Result<Self> {
+        if !(additive_fraction > 0.0 && additive_fraction < 1.0) {
+            return Err(SketchError::InvalidParameter {
+                name: "additive_fraction",
+                detail: format!("must be in (0,1), got {additive_fraction}"),
+            });
+        }
+        check_delta(delta)?;
+        let width = ((6.0 / (additive_fraction * additive_fraction)).ceil() as usize).max(2);
+        let depth = crate::estimator_util::repetitions_for_delta(delta);
+        Ok(Self::with_dimensions(width, depth, candidate_capacity, seed))
+    }
+
+    #[inline]
+    fn sign(&self, row: usize, item: u64) -> i64 {
+        if (self.sign_hashes[row].hash64(item) >> 62) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, row: usize, item: u64) -> usize {
+        self.bucket_hashes[row].hash_range(item, self.width as u64) as usize
+    }
+
+    /// Width (counters per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Depth (number of rows).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The current heavy-hitter candidates as `(item, estimated frequency)`
+    /// pairs, unordered. Empty when candidate tracking is disabled.
+    pub fn candidates(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.candidates
+            .keys()
+            .map(move |&item| (item, self.frequency_estimate(item)))
+    }
+
+    fn maybe_track_candidate(&mut self, item: u64) {
+        if self.candidate_capacity == 0 {
+            return;
+        }
+        let est = self.frequency_estimate(item).abs().round() as i64;
+        if self.candidates.len() < self.candidate_capacity || self.candidates.contains_key(&item) {
+            self.candidates.insert(item, est);
+            return;
+        }
+        // Evict the weakest candidate if this item looks stronger.
+        if let Some((&weakest, &weakest_est)) =
+            self.candidates.iter().min_by_key(|&(_, &v)| v)
+        {
+            if est > weakest_est {
+                self.candidates.remove(&weakest);
+                self.candidates.insert(item, est);
+            }
+        }
+    }
+}
+
+impl StreamSketch for CountSketch {
+    fn update(&mut self, item: u64, weight: i64) {
+        for row in 0..self.depth {
+            let b = self.bucket(row, item);
+            let s = self.sign(row, item);
+            self.counters[row * self.width + b] += s * weight;
+        }
+        self.maybe_track_candidate(item);
+    }
+}
+
+impl PointQuery for CountSketch {
+    fn frequency_estimate(&self, item: u64) -> f64 {
+        let per_row: Vec<f64> = (0..self.depth)
+            .map(|row| {
+                let b = self.bucket(row, item);
+                (self.sign(row, item) * self.counters[row * self.width + b]) as f64
+            })
+            .collect();
+        median(&per_row).unwrap_or(0.0)
+    }
+}
+
+impl MergeableSketch for CountSketch {
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        if self.width != other.width || self.depth != other.depth || self.seed != other.seed {
+            return Err(SketchError::IncompatibleMerge {
+                detail: format!(
+                    "CountSketch dims/seed mismatch: ({}x{}, {:#x}) vs ({}x{}, {:#x})",
+                    self.depth, self.width, self.seed, other.depth, other.width, other.seed
+                ),
+            });
+        }
+        for (c, d) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *c += d;
+        }
+        // Union the candidate sets, then trim back to capacity by estimated
+        // magnitude (using the merged counters, which are now in `self`).
+        let mut union: Vec<u64> = self
+            .candidates
+            .keys()
+            .chain(other.candidates.keys())
+            .copied()
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        let cap = self.candidate_capacity.max(other.candidate_capacity);
+        self.candidate_capacity = cap;
+        let mut scored: Vec<(u64, i64)> = union
+            .into_iter()
+            .map(|item| (item, self.frequency_estimate(item).abs().round() as i64))
+            .collect();
+        scored.sort_by_key(|&(_, est)| std::cmp::Reverse(est));
+        scored.truncate(cap);
+        self.candidates = scored.into_iter().collect();
+        Ok(())
+    }
+}
+
+impl SpaceUsage for CountSketch {
+    fn stored_tuples(&self) -> usize {
+        self.counters.len() + self.candidates.len()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.counters.len() * std::mem::size_of::<i64>()
+            + self.candidates.len() * std::mem::size_of::<(u64, i64)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_parameters() {
+        assert!(CountSketch::new(0.0, 0.1, 0, 1).is_err());
+        assert!(CountSketch::new(0.1, 0.0, 0, 1).is_err());
+        assert!(CountSketch::new(0.1, 0.1, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn point_estimates_are_exact_for_isolated_items() {
+        // With width much larger than the number of items, collisions are
+        // unlikely and the estimate should be exact.
+        let mut cs = CountSketch::with_dimensions(4096, 5, 0, 7);
+        cs.update(1, 100);
+        cs.update(2, -40);
+        assert_eq!(cs.frequency_estimate(1), 100.0);
+        assert_eq!(cs.frequency_estimate(2), -40.0);
+        assert_eq!(cs.frequency_estimate(3), 0.0);
+    }
+
+    #[test]
+    fn heavy_item_recovered_among_noise() {
+        let mut cs = CountSketch::with_dimensions(1024, 7, 0, 3);
+        cs.update(77, 50_000);
+        for x in 1000..3000u64 {
+            cs.update(x, 3);
+        }
+        let est = cs.frequency_estimate(77);
+        assert!((est - 50_000.0).abs() < 1_000.0, "estimate {est}");
+    }
+
+    #[test]
+    fn candidate_set_tracks_heavy_hitters() {
+        let mut cs = CountSketch::with_dimensions(2048, 5, 4, 11);
+        // Two genuinely heavy items and a mass of light ones.
+        for _ in 0..500 {
+            cs.update(10, 10);
+            cs.update(20, 8);
+        }
+        for x in 100..1100u64 {
+            cs.update(x, 1);
+        }
+        let cands: Vec<u64> = cs.candidates().map(|(x, _)| x).collect();
+        assert!(cands.contains(&10), "candidates {cands:?} missing item 10");
+        assert!(cands.contains(&20), "candidates {cands:?} missing item 20");
+        assert!(cands.len() <= 4);
+    }
+
+    #[test]
+    fn candidate_capacity_zero_disables_tracking() {
+        let mut cs = CountSketch::with_dimensions(64, 3, 0, 1);
+        for x in 0..100u64 {
+            cs.update(x, 10);
+        }
+        assert_eq!(cs.candidates().count(), 0);
+    }
+
+    #[test]
+    fn merge_matches_single_pass_counters() {
+        let seed = 5;
+        let mut full = CountSketch::with_dimensions(512, 5, 8, seed);
+        let mut a = CountSketch::with_dimensions(512, 5, 8, seed);
+        let mut b = CountSketch::with_dimensions(512, 5, 8, seed);
+        for x in 0..400u64 {
+            let w = (x % 13) as i64 + 1;
+            full.update(x, w);
+            if x % 3 == 0 {
+                a.update(x, w);
+            } else {
+                b.update(x, w);
+            }
+        }
+        let merged = a.merged(&b).unwrap();
+        for x in (0..400u64).step_by(17) {
+            assert_eq!(merged.frequency_estimate(x), full.frequency_estimate(x));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatch() {
+        let a = CountSketch::with_dimensions(64, 3, 0, 1);
+        let b = CountSketch::with_dimensions(128, 3, 0, 1);
+        assert!(a.merged(&b).is_err());
+    }
+
+    #[test]
+    fn turnstile_updates_cancel() {
+        let mut cs = CountSketch::with_dimensions(256, 5, 0, 9);
+        for x in 0..50u64 {
+            cs.update(x, 6);
+        }
+        for x in 0..50u64 {
+            cs.update(x, -6);
+        }
+        for x in 0..50u64 {
+            assert_eq!(cs.frequency_estimate(x), 0.0);
+        }
+    }
+
+    #[test]
+    fn space_accounting_counts_candidates() {
+        let mut cs = CountSketch::with_dimensions(32, 2, 4, 1);
+        assert_eq!(cs.stored_tuples(), 64);
+        cs.update(1, 100);
+        cs.update(2, 100);
+        assert_eq!(cs.stored_tuples(), 64 + 2);
+        assert!(cs.space_bytes() > 64 * 8);
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types shared by the sketch library.
+
+use std::fmt;
+
+/// Errors that can occur when operating on sketches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchError {
+    /// Two sketches could not be merged because they were built with
+    /// different parameters (width, depth, seed, independence level, ...).
+    ///
+    /// Merging requires structurally identical sketches built from identical
+    /// hash functions; anything else would silently produce garbage, so it is
+    /// reported as an error instead.
+    IncompatibleMerge {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A parameter passed to a constructor was outside its valid domain
+    /// (e.g. `epsilon` not in `(0, 1)`).
+    InvalidParameter {
+        /// The parameter name.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A query was made that the structure cannot answer (e.g. quantile query
+    /// on an empty summary).
+    EmptyQuery,
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::IncompatibleMerge { detail } => {
+                write!(f, "sketches cannot be merged: {detail}")
+            }
+            SketchError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter `{name}`: {detail}")
+            }
+            SketchError::EmptyQuery => write!(f, "query on an empty summary"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+/// Convenience result alias used across the sketch library.
+pub type Result<T> = std::result::Result<T, SketchError>;
+
+/// Validate that a relative-error parameter lies in `(0, 1)`.
+pub fn check_epsilon(epsilon: f64) -> Result<()> {
+    if epsilon > 0.0 && epsilon < 1.0 && epsilon.is_finite() {
+        Ok(())
+    } else {
+        Err(SketchError::InvalidParameter {
+            name: "epsilon",
+            detail: format!("must be in (0, 1), got {epsilon}"),
+        })
+    }
+}
+
+/// Validate that a failure-probability parameter lies in `(0, 1)`.
+pub fn check_delta(delta: f64) -> Result<()> {
+    if delta > 0.0 && delta < 1.0 && delta.is_finite() {
+        Ok(())
+    } else {
+        Err(SketchError::InvalidParameter {
+            name: "delta",
+            detail: format!("must be in (0, 1), got {delta}"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(check_epsilon(0.1).is_ok());
+        assert!(check_epsilon(0.999).is_ok());
+        assert!(check_epsilon(0.0).is_err());
+        assert!(check_epsilon(1.0).is_err());
+        assert!(check_epsilon(-0.5).is_err());
+        assert!(check_epsilon(f64::NAN).is_err());
+        assert!(check_epsilon(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn delta_validation() {
+        assert!(check_delta(0.01).is_ok());
+        assert!(check_delta(0.0).is_err());
+        assert!(check_delta(1.5).is_err());
+        assert!(check_delta(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SketchError::IncompatibleMerge {
+            detail: "width 16 vs 32".into(),
+        };
+        assert!(e.to_string().contains("width 16 vs 32"));
+        let e = SketchError::InvalidParameter {
+            name: "epsilon",
+            detail: "must be in (0, 1), got 2".into(),
+        };
+        assert!(e.to_string().contains("epsilon"));
+        assert_eq!(SketchError::EmptyQuery.to_string(), "query on an empty summary");
+    }
+
+    #[test]
+    fn errors_are_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&SketchError::EmptyQuery);
+    }
+}

@@ -1,0 +1,136 @@
+//! Small statistical helpers shared by the estimators: medians, means of
+//! slices, and the standard "median of means" amplification used to turn a
+//! constant-probability estimator into an `(ε, δ)` one.
+
+/// Return the median of a slice (average of the two middle elements for even
+/// lengths). Returns `None` for an empty slice.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    // `total_cmp` gives a total order that also handles any accidental NaN
+    // deterministically instead of panicking.
+    v.sort_by(|a, b| a.total_cmp(b));
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    })
+}
+
+/// Arithmetic mean of a slice; `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Median of means: partition `values` into `groups` contiguous groups,
+/// average each, and take the median of the group averages.
+///
+/// If `groups` is zero or exceeds the number of values, it is clamped to
+/// sensible bounds. Returns `None` for an empty input.
+pub fn median_of_means(values: &[f64], groups: usize) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let groups = groups.clamp(1, values.len());
+    let per_group = values.len() / groups;
+    let per_group = per_group.max(1);
+    let means: Vec<f64> = values
+        .chunks(per_group)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect();
+    median(&means)
+}
+
+/// Number of independent repetitions needed to drive the failure probability
+/// of a constant-probability (say 3/4) estimator below `delta` by taking a
+/// median: `O(log(1/δ))` with the standard Chernoff constant.
+pub fn repetitions_for_delta(delta: f64) -> usize {
+    debug_assert!(delta > 0.0 && delta < 1.0);
+    // 48 ln(1/δ) / 7 is the textbook constant for boosting a 3/4-success
+    // estimator; in practice a smaller constant works. We use ceil(4 ln(1/δ))
+    // and force odd so the median is a single sample.
+    let r = (4.0 * (1.0 / delta).ln()).ceil() as usize;
+    let r = r.max(1);
+    if r % 2 == 0 {
+        r + 1
+    } else {
+        r
+    }
+}
+
+/// Relative error between an estimate and the true value; zero if both zero.
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - truth).abs() / truth.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn median_is_robust_to_outliers() {
+        assert_eq!(median(&[1.0, 1.0, 1.0, 1.0, 1e18]), Some(1.0));
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn median_of_means_reduces_variance() {
+        // 9 values: one wild outlier. Mean is ruined, median-of-means is not.
+        let values = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1000.0];
+        let mom = median_of_means(&values, 3).unwrap();
+        assert!(mom < 10.0, "median of means should suppress the outlier, got {mom}");
+    }
+
+    #[test]
+    fn median_of_means_degenerate_groupings() {
+        let values = [2.0, 4.0, 6.0];
+        assert_eq!(median_of_means(&values, 0), Some(4.0));
+        assert_eq!(median_of_means(&values, 100), Some(4.0));
+        assert_eq!(median_of_means(&[], 3), None);
+    }
+
+    #[test]
+    fn repetitions_monotone_in_delta() {
+        let r1 = repetitions_for_delta(0.1);
+        let r2 = repetitions_for_delta(0.01);
+        let r3 = repetitions_for_delta(0.001);
+        assert!(r1 <= r2 && r2 <= r3);
+        assert!(r1 % 2 == 1 && r2 % 2 == 1 && r3 % 2 == 1, "repetitions must be odd");
+        assert!(r1 >= 1);
+    }
+
+    #[test]
+    fn relative_error_cases() {
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(5.0, 0.0), f64::INFINITY);
+        assert!((relative_error(90.0, 100.0) - 0.1).abs() < 1e-12);
+    }
+}

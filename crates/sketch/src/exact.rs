@@ -1,0 +1,254 @@
+//! Exact (linear-space) aggregates.
+//!
+//! These are the "existing linear storage solutions" the paper's experiments
+//! compare against, and the ground truth every test and accuracy report in
+//! this workspace measures sketches against. [`ExactFrequencies`] stores the
+//! full frequency vector; it answers any frequency moment, distinct count,
+//! heavy-hitter or rarity query exactly.
+
+use crate::error::{Result, SketchError};
+use crate::traits::{Estimate, MergeableSketch, PointQuery, SpaceUsage, StreamSketch};
+use std::collections::HashMap;
+
+/// Exact frequency vector over `u64` item identifiers.
+#[derive(Debug, Clone, Default)]
+pub struct ExactFrequencies {
+    freqs: HashMap<u64, i64>,
+    total_weight: i64,
+}
+
+impl ExactFrequencies {
+    /// Create an empty frequency vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The number of items with non-zero frequency (`F_0`).
+    pub fn distinct_count(&self) -> usize {
+        self.freqs.values().filter(|&&f| f != 0).count()
+    }
+
+    /// The k-th frequency moment `Σ |f_i|^k`. `F_0` is handled as the number
+    /// of non-zero entries; `F_1` is the sum of absolute frequencies.
+    pub fn frequency_moment(&self, k: u32) -> f64 {
+        if k == 0 {
+            return self.distinct_count() as f64;
+        }
+        self.freqs
+            .values()
+            .filter(|&&f| f != 0)
+            .map(|&f| (f.abs() as f64).powi(k as i32))
+            .sum()
+    }
+
+    /// Exact total weight `Σ f_i` (signed).
+    pub fn total_weight(&self) -> i64 {
+        self.total_weight
+    }
+
+    /// Exact frequency of one item.
+    pub fn frequency(&self, item: u64) -> i64 {
+        self.freqs.get(&item).copied().unwrap_or(0)
+    }
+
+    /// Items whose squared frequency is at least `phi · F_2`, sorted by
+    /// decreasing frequency — the exact answer to the `F_2`-heavy-hitters
+    /// query of Section 3.3.
+    pub fn f2_heavy_hitters(&self, phi: f64) -> Vec<(u64, i64)> {
+        let f2 = self.frequency_moment(2);
+        let threshold = phi * f2;
+        let mut out: Vec<(u64, i64)> = self
+            .freqs
+            .iter()
+            .filter(|&(_, &f)| {
+                let fa = f.abs() as f64;
+                fa * fa >= threshold && f != 0
+            })
+            .map(|(&x, &f)| (x, f))
+            .collect();
+        out.sort_by(|a, b| b.1.abs().cmp(&a.1.abs()).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Rarity: the fraction of distinct items that occur exactly once
+    /// (Section 3.3 of the paper).
+    pub fn rarity(&self) -> f64 {
+        let distinct = self.distinct_count();
+        if distinct == 0 {
+            return 0.0;
+        }
+        let singletons = self.freqs.values().filter(|&&f| f == 1).count();
+        singletons as f64 / distinct as f64
+    }
+
+    /// Iterate over `(item, frequency)` pairs with non-zero frequency.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
+        self.freqs
+            .iter()
+            .filter(|&(_, &f)| f != 0)
+            .map(|(&x, &f)| (x, f))
+    }
+}
+
+impl StreamSketch for ExactFrequencies {
+    fn update(&mut self, item: u64, weight: i64) {
+        if weight == 0 {
+            return;
+        }
+        let entry = self.freqs.entry(item).or_insert(0);
+        *entry += weight;
+        if *entry == 0 {
+            self.freqs.remove(&item);
+        }
+        self.total_weight += weight;
+    }
+}
+
+impl PointQuery for ExactFrequencies {
+    fn frequency_estimate(&self, item: u64) -> f64 {
+        self.frequency(item) as f64
+    }
+}
+
+/// `estimate()` returns `F_2` — the moment the paper's experiments focus on —
+/// so the exact structure can be dropped into any harness slot that expects an
+/// `Estimate` for `F_2`. Use [`ExactFrequencies::frequency_moment`] for other k.
+impl Estimate for ExactFrequencies {
+    fn estimate(&self) -> f64 {
+        self.frequency_moment(2)
+    }
+}
+
+impl MergeableSketch for ExactFrequencies {
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        for (&item, &f) in &other.freqs {
+            self.update(item, f);
+        }
+        Ok(())
+    }
+}
+
+impl SpaceUsage for ExactFrequencies {
+    fn stored_tuples(&self) -> usize {
+        self.freqs.len()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.freqs.len() * std::mem::size_of::<(u64, i64)>()
+    }
+}
+
+/// Dummy error type kept for API symmetry in tests.
+#[allow(dead_code)]
+fn _unused(_e: SketchError) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_moments_small_example() {
+        let mut e = ExactFrequencies::new();
+        // Frequencies: a=3, b=2, c=1.
+        for _ in 0..3 {
+            e.insert(1);
+        }
+        for _ in 0..2 {
+            e.insert(2);
+        }
+        e.insert(3);
+        assert_eq!(e.frequency_moment(0), 3.0);
+        assert_eq!(e.frequency_moment(1), 6.0);
+        assert_eq!(e.frequency_moment(2), 14.0);
+        assert_eq!(e.frequency_moment(3), 36.0);
+        assert_eq!(e.total_weight(), 6);
+        assert_eq!(e.distinct_count(), 3);
+    }
+
+    #[test]
+    fn deletions_remove_items() {
+        let mut e = ExactFrequencies::new();
+        e.update(5, 4);
+        e.update(5, -4);
+        assert_eq!(e.frequency(5), 0);
+        assert_eq!(e.distinct_count(), 0);
+        assert_eq!(e.stored_tuples(), 0);
+        assert_eq!(e.total_weight(), 0);
+    }
+
+    #[test]
+    fn negative_frequencies_use_absolute_value_in_moments() {
+        let mut e = ExactFrequencies::new();
+        e.update(1, -3);
+        assert_eq!(e.frequency_moment(2), 9.0);
+        assert_eq!(e.frequency_moment(1), 3.0);
+        assert_eq!(e.frequency_moment(0), 1.0);
+    }
+
+    #[test]
+    fn heavy_hitters_exact() {
+        let mut e = ExactFrequencies::new();
+        e.update(1, 100);
+        e.update(2, 10);
+        e.update(3, 10);
+        // F2 = 10000 + 100 + 100 = 10200. phi = 0.5 -> threshold 5100.
+        let hh = e.f2_heavy_hitters(0.5);
+        assert_eq!(hh, vec![(1, 100)]);
+        // phi small enough to include everything.
+        let all = e.f2_heavy_hitters(0.0001);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], (1, 100));
+    }
+
+    #[test]
+    fn rarity_counts_singletons() {
+        let mut e = ExactFrequencies::new();
+        e.insert(1);
+        e.insert(2);
+        e.insert(2);
+        e.insert(3);
+        // Items: 1 (once), 2 (twice), 3 (once) -> rarity = 2/3.
+        assert!((e.rarity() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ExactFrequencies::new().rarity(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_frequency_vectors() {
+        let mut a = ExactFrequencies::new();
+        let mut b = ExactFrequencies::new();
+        a.update(1, 5);
+        a.update(2, 3);
+        b.update(2, -3);
+        b.update(3, 7);
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.frequency(1), 5);
+        assert_eq!(a.frequency(2), 0);
+        assert_eq!(a.frequency(3), 7);
+        assert_eq!(a.distinct_count(), 2);
+    }
+
+    #[test]
+    fn estimate_is_f2() {
+        let mut e = ExactFrequencies::new();
+        e.update(1, 3);
+        e.update(2, 4);
+        assert_eq!(e.estimate(), 25.0);
+    }
+
+    #[test]
+    fn iter_skips_zero_frequencies() {
+        let mut e = ExactFrequencies::new();
+        e.update(1, 2);
+        e.update(2, 3);
+        e.update(2, -3);
+        let items: Vec<(u64, i64)> = e.iter().collect();
+        assert_eq!(items, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn zero_weight_update_is_noop() {
+        let mut e = ExactFrequencies::new();
+        e.update(9, 0);
+        assert_eq!(e.stored_tuples(), 0);
+    }
+}

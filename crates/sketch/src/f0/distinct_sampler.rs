@@ -1,0 +1,394 @@
+//! Adaptive distinct sampling (Gibbons & Tirthapura, SPAA 2001 / ToCS 2004).
+//!
+//! A [`DistinctSampler`] keeps a uniform sample of the *distinct* item
+//! identifiers seen so far: an item belongs to the sample at level `ℓ` iff its
+//! hash falls below `2^{-ℓ}`. The sampler starts at level 0 (keep everything);
+//! whenever the sample exceeds its capacity the level is incremented and the
+//! sample re-filtered. The estimate of the number of distinct items is
+//! `|sample| · 2^{level}`.
+//!
+//! [`F0Sketch`] runs `O(log 1/δ)` independent samplers and returns the median
+//! estimate, giving the standard `(ε, δ)` guarantee with capacity `O(1/ε²)`.
+//!
+//! Both structures are mergeable (same seed ⇒ same hash ⇒ the union sample at
+//! the maximum of the two levels is exactly what a single-pass run would have
+//! kept, modulo capacity-driven level bumps).
+//!
+//! The correlated version of this structure (per Section 3.2 of the paper,
+//! with y-priority eviction instead of level bumps) lives in
+//! `cora-core::f0`; this module is the whole-stream substrate.
+
+use crate::error::{check_delta, check_epsilon, Result, SketchError};
+use crate::estimator_util::median;
+use crate::traits::{Estimate, MergeableSketch, SpaceUsage, StreamSketch};
+use cora_hash::mix::derive_seed;
+use cora_hash::polynomial::PolynomialHash;
+use cora_hash::traits::HashFunction64;
+use std::collections::HashSet;
+
+/// A single adaptive distinct sampler.
+#[derive(Debug, Clone)]
+pub struct DistinctSampler {
+    hash: PolynomialHash,
+    sample: HashSet<u64>,
+    level: u32,
+    capacity: usize,
+    seed: u64,
+}
+
+impl DistinctSampler {
+    /// Create a sampler that keeps at most `capacity` distinct identifiers.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "DistinctSampler capacity must be positive");
+        Self {
+            hash: PolynomialHash::new(2, derive_seed(seed, 0xD157)),
+            sample: HashSet::with_capacity(capacity.min(1 << 16)),
+            level: 0,
+            capacity,
+            seed,
+        }
+    }
+
+    /// Current sampling level (items kept with probability `2^{-level}`).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Number of identifiers currently in the sample.
+    pub fn sample_size(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `item` would be sampled at level `level` under this sampler's
+    /// hash function.
+    #[inline]
+    pub fn sampled_at(&self, item: u64, level: u32) -> bool {
+        // Use the top `level` bits: all zero <=> hash < 2^{64-level}, i.e.
+        // probability 2^{-level}. Level 0 accepts everything.
+        if level == 0 {
+            return true;
+        }
+        let h = self.hash.hash64(item);
+        (h >> (64 - level.min(63))) == 0
+    }
+
+    fn enforce_capacity(&mut self) {
+        while self.sample.len() > self.capacity {
+            self.level += 1;
+            let level = self.level;
+            // Borrow checker: collect survivors then replace.
+            let survivors: HashSet<u64> = self
+                .sample
+                .iter()
+                .copied()
+                .filter(|&x| self.sampled_at(x, level))
+                .collect();
+            self.sample = survivors;
+            if self.level >= 63 {
+                break;
+            }
+        }
+    }
+}
+
+impl StreamSketch for DistinctSampler {
+    fn update(&mut self, item: u64, weight: i64) {
+        // F0 ignores multiplicity; deletions are not supported in this model.
+        debug_assert!(weight >= 0, "DistinctSampler only supports insertions");
+        if weight == 0 {
+            return;
+        }
+        if self.sampled_at(item, self.level) {
+            self.sample.insert(item);
+            self.enforce_capacity();
+        }
+    }
+}
+
+impl Estimate for DistinctSampler {
+    fn estimate(&self) -> f64 {
+        (self.sample.len() as f64) * 2f64.powi(self.level as i32)
+    }
+}
+
+impl MergeableSketch for DistinctSampler {
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        if self.capacity != other.capacity || self.seed != other.seed {
+            return Err(SketchError::IncompatibleMerge {
+                detail: format!(
+                    "DistinctSampler mismatch: (cap {}, seed {:#x}) vs (cap {}, seed {:#x})",
+                    self.capacity, self.seed, other.capacity, other.seed
+                ),
+            });
+        }
+        let target_level = self.level.max(other.level);
+        let level = target_level;
+        self.level = target_level;
+        let mut merged: HashSet<u64> = HashSet::with_capacity(self.capacity);
+        for &x in self.sample.iter().chain(other.sample.iter()) {
+            if self.sampled_at(x, level) {
+                merged.insert(x);
+            }
+        }
+        self.sample = merged;
+        self.enforce_capacity();
+        Ok(())
+    }
+}
+
+impl SpaceUsage for DistinctSampler {
+    fn stored_tuples(&self) -> usize {
+        self.sample.len()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.sample.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// `(ε, δ)` estimator for the number of distinct elements: the median of
+/// `O(log 1/δ)` independent [`DistinctSampler`]s with capacity `O(1/ε²)`.
+#[derive(Debug, Clone)]
+pub struct F0Sketch {
+    samplers: Vec<DistinctSampler>,
+    seed: u64,
+}
+
+impl F0Sketch {
+    /// Build an `F_0` sketch with relative error `epsilon` and failure
+    /// probability `delta`.
+    pub fn new(epsilon: f64, delta: f64, seed: u64) -> Result<Self> {
+        check_epsilon(epsilon)?;
+        check_delta(delta)?;
+        let capacity = ((24.0 / (epsilon * epsilon)).ceil() as usize).max(8);
+        let instances = crate::estimator_util::repetitions_for_delta(delta);
+        Ok(Self::with_dimensions(capacity, instances, seed))
+    }
+
+    /// Build with explicit per-sampler capacity and number of instances.
+    pub fn with_dimensions(capacity: usize, instances: usize, seed: u64) -> Self {
+        let instances = instances.max(1);
+        let samplers = (0..instances)
+            .map(|i| DistinctSampler::new(capacity, derive_seed(seed, i as u64)))
+            .collect();
+        Self { samplers, seed }
+    }
+
+    /// Number of independent sampler instances.
+    pub fn instances(&self) -> usize {
+        self.samplers.len()
+    }
+}
+
+impl StreamSketch for F0Sketch {
+    fn update(&mut self, item: u64, weight: i64) {
+        for s in &mut self.samplers {
+            s.update(item, weight);
+        }
+    }
+}
+
+impl Estimate for F0Sketch {
+    fn estimate(&self) -> f64 {
+        let estimates: Vec<f64> = self.samplers.iter().map(Estimate::estimate).collect();
+        median(&estimates).unwrap_or(0.0)
+    }
+}
+
+impl MergeableSketch for F0Sketch {
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        if self.samplers.len() != other.samplers.len() || self.seed != other.seed {
+            return Err(SketchError::IncompatibleMerge {
+                detail: "F0Sketch instance count or seed mismatch".to_string(),
+            });
+        }
+        for (a, b) in self.samplers.iter_mut().zip(other.samplers.iter()) {
+            a.merge_from(b)?;
+        }
+        Ok(())
+    }
+}
+
+impl SpaceUsage for F0Sketch {
+    fn stored_tuples(&self) -> usize {
+        self.samplers.iter().map(SpaceUsage::stored_tuples).sum()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.samplers.iter().map(SpaceUsage::space_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator_util::relative_error;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = DistinctSampler::new(0, 1);
+    }
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = DistinctSampler::new(1000, 3);
+        for x in 0..500u64 {
+            s.insert(x);
+            s.insert(x); // duplicates must not inflate the sample
+        }
+        assert_eq!(s.level(), 0);
+        assert_eq!(s.estimate(), 500.0);
+    }
+
+    #[test]
+    fn duplicates_do_not_change_estimate() {
+        let mut s = DistinctSampler::new(64, 5);
+        for _ in 0..10 {
+            for x in 0..1000u64 {
+                s.insert(x);
+            }
+        }
+        let first = s.estimate();
+        for _ in 0..10 {
+            for x in 0..1000u64 {
+                s.insert(x);
+            }
+        }
+        assert_eq!(s.estimate(), first);
+    }
+
+    #[test]
+    fn level_increases_under_pressure() {
+        let mut s = DistinctSampler::new(32, 7);
+        for x in 0..10_000u64 {
+            s.insert(x);
+        }
+        assert!(s.level() > 0);
+        assert!(s.sample_size() <= 32);
+    }
+
+    #[test]
+    fn estimate_accuracy_single_sampler() {
+        // One sampler with a generous capacity: relative error ~ 1/sqrt(cap).
+        let mut s = DistinctSampler::new(4096, 11);
+        let n = 200_000u64;
+        for x in 0..n {
+            s.insert(x);
+        }
+        let err = relative_error(s.estimate(), n as f64);
+        assert!(err < 0.1, "relative error {err}");
+    }
+
+    #[test]
+    fn f0_sketch_accuracy() {
+        let mut s = F0Sketch::new(0.1, 0.05, 42).unwrap();
+        let n = 100_000u64;
+        for x in 0..n {
+            // Insert each item a variable number of times.
+            for _ in 0..(x % 3 + 1) {
+                s.insert(x);
+            }
+        }
+        let err = relative_error(s.estimate(), n as f64);
+        assert!(err < 0.1, "relative error {err}");
+    }
+
+    #[test]
+    fn f0_sketch_parameter_validation() {
+        assert!(F0Sketch::new(0.0, 0.1, 1).is_err());
+        assert!(F0Sketch::new(0.1, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let s = F0Sketch::with_dimensions(64, 5, 1);
+        assert_eq!(s.estimate(), 0.0);
+        let d = DistinctSampler::new(16, 1);
+        assert_eq!(d.estimate(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_union_semantics() {
+        let seed = 9;
+        let mut a = DistinctSampler::new(256, seed);
+        let mut b = DistinctSampler::new(256, seed);
+        let mut both = DistinctSampler::new(256, seed);
+        for x in 0..5_000u64 {
+            if x % 2 == 0 {
+                a.insert(x);
+            } else {
+                b.insert(x);
+            }
+            both.insert(x);
+        }
+        a.merge_from(&b).unwrap();
+        // The merged sampler's estimate should be close to the single-pass
+        // sampler's estimate (identical levels and hash ⇒ identical samples,
+        // except capacity bumps may fire in a different order).
+        let e_merged = a.estimate();
+        let e_single = both.estimate();
+        assert!(
+            relative_error(e_merged, e_single) < 0.25,
+            "merged {e_merged} vs single {e_single}"
+        );
+        assert!(relative_error(e_merged, 5_000.0) < 0.25);
+    }
+
+    #[test]
+    fn merge_rejects_seed_mismatch() {
+        let mut a = DistinctSampler::new(64, 1);
+        let b = DistinctSampler::new(64, 2);
+        assert!(a.merge_from(&b).is_err());
+        let mut fa = F0Sketch::with_dimensions(64, 3, 1);
+        let fb = F0Sketch::with_dimensions(64, 3, 2);
+        assert!(fa.merge_from(&fb).is_err());
+    }
+
+    #[test]
+    fn f0_sketch_merge_matches_single_pass() {
+        let seed = 77;
+        let mut a = F0Sketch::with_dimensions(512, 5, seed);
+        let mut b = F0Sketch::with_dimensions(512, 5, seed);
+        let mut both = F0Sketch::with_dimensions(512, 5, seed);
+        for x in 0..20_000u64 {
+            if x % 3 == 0 {
+                a.insert(x);
+            } else {
+                b.insert(x);
+            }
+            both.insert(x);
+        }
+        a.merge_from(&b).unwrap();
+        let err = relative_error(a.estimate(), both.estimate());
+        assert!(err < 0.2, "merged vs single-pass differ by {err}");
+    }
+
+    #[test]
+    fn sampling_probability_halves_per_level() {
+        let s = DistinctSampler::new(16, 13);
+        let n = 100_000u64;
+        let l1 = (0..n).filter(|&x| s.sampled_at(x, 1)).count() as f64 / n as f64;
+        let l3 = (0..n).filter(|&x| s.sampled_at(x, 3)).count() as f64 / n as f64;
+        assert!((l1 - 0.5).abs() < 0.02, "level-1 rate {l1}");
+        assert!((l3 - 0.125).abs() < 0.01, "level-3 rate {l3}");
+    }
+
+    #[test]
+    fn space_accounting_tracks_sample() {
+        let mut s = DistinctSampler::new(100, 1);
+        for x in 0..50u64 {
+            s.insert(x);
+        }
+        assert_eq!(s.stored_tuples(), 50);
+        assert_eq!(s.space_bytes(), 400);
+    }
+}

@@ -1,0 +1,232 @@
+//! Bottom-k ("k minimum values") distinct counting.
+//!
+//! Keep the `k` smallest hash values seen; if the k-th smallest is `v_k` (as a
+//! fraction of the hash range), the number of distinct items is estimated as
+//! `(k − 1) / v_k`. Standard analysis gives relative error `O(1/√k)`.
+//! Merging two KMV sketches keeps the `k` smallest of the union.
+
+use crate::error::{check_epsilon, Result, SketchError};
+use crate::traits::{Estimate, MergeableSketch, SpaceUsage, StreamSketch};
+use cora_hash::mix::derive_seed;
+use cora_hash::polynomial::PolynomialHash;
+use cora_hash::traits::HashFunction64;
+use std::collections::BTreeSet;
+
+/// Bottom-k distinct-count estimator.
+#[derive(Debug, Clone)]
+pub struct KmvSketch {
+    hash: PolynomialHash,
+    /// The k smallest (hash, item) pairs seen so far; the item is kept so the
+    /// sketch doubles as a uniform sample of distinct identifiers.
+    smallest: BTreeSet<(u64, u64)>,
+    k: usize,
+    seed: u64,
+}
+
+impl KmvSketch {
+    /// Create a KMV sketch keeping the `k` smallest hash values.
+    ///
+    /// # Panics
+    /// Panics if `k < 2` (the estimator needs at least two values).
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 2, "KMV requires k >= 2");
+        Self {
+            hash: PolynomialHash::new(2, derive_seed(seed, 0x6B37)),
+            smallest: BTreeSet::new(),
+            k,
+            seed,
+        }
+    }
+
+    /// Build a sketch targeting relative error `epsilon` (k = ⌈4/ε²⌉).
+    pub fn with_epsilon(epsilon: f64, seed: u64) -> Result<Self> {
+        check_epsilon(epsilon)?;
+        let k = ((4.0 / (epsilon * epsilon)).ceil() as usize).max(2);
+        Ok(Self::new(k, seed))
+    }
+
+    /// The number of minimum values retained.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The distinct identifiers currently retained (a uniform sample of the
+    /// distinct items when the sketch is full).
+    pub fn sample(&self) -> impl Iterator<Item = u64> + '_ {
+        self.smallest.iter().map(|&(_, item)| item)
+    }
+}
+
+impl StreamSketch for KmvSketch {
+    fn update(&mut self, item: u64, weight: i64) {
+        debug_assert!(weight >= 0, "KMV only supports insertions");
+        if weight == 0 {
+            return;
+        }
+        let h = self.hash.hash64(item);
+        self.smallest.insert((h, item));
+        while self.smallest.len() > self.k {
+            let last = *self
+                .smallest
+                .iter()
+                .next_back()
+                .expect("non-empty by construction");
+            self.smallest.remove(&last);
+        }
+    }
+}
+
+impl Estimate for KmvSketch {
+    fn estimate(&self) -> f64 {
+        let n = self.smallest.len();
+        if n < self.k {
+            // Not yet full: the sample *is* the distinct set.
+            return n as f64;
+        }
+        let (kth_hash, _) = *self
+            .smallest
+            .iter()
+            .next_back()
+            .expect("sketch is full, so non-empty");
+        // Normalise to (0, 1]; guard against a pathological zero hash.
+        let v_k = (kth_hash as f64 + 1.0) / (u64::MAX as f64 + 1.0);
+        (self.k as f64 - 1.0) / v_k
+    }
+}
+
+impl MergeableSketch for KmvSketch {
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        if self.k != other.k || self.seed != other.seed {
+            return Err(SketchError::IncompatibleMerge {
+                detail: format!(
+                    "KMV mismatch: (k {}, seed {:#x}) vs (k {}, seed {:#x})",
+                    self.k, self.seed, other.k, other.seed
+                ),
+            });
+        }
+        for &pair in &other.smallest {
+            self.smallest.insert(pair);
+        }
+        while self.smallest.len() > self.k {
+            let last = *self
+                .smallest
+                .iter()
+                .next_back()
+                .expect("non-empty by construction");
+            self.smallest.remove(&last);
+        }
+        Ok(())
+    }
+}
+
+impl SpaceUsage for KmvSketch {
+    fn stored_tuples(&self) -> usize {
+        self.smallest.len()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.smallest.len() * std::mem::size_of::<(u64, u64)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator_util::relative_error;
+
+    #[test]
+    #[should_panic(expected = "KMV requires k >= 2")]
+    fn tiny_k_panics() {
+        let _ = KmvSketch::new(1, 1);
+    }
+
+    #[test]
+    fn exact_when_not_full() {
+        let mut s = KmvSketch::new(100, 1);
+        for x in 0..50u64 {
+            s.insert(x);
+            s.insert(x);
+        }
+        assert_eq!(s.estimate(), 50.0);
+    }
+
+    #[test]
+    fn accuracy_on_large_stream() {
+        let mut s = KmvSketch::with_epsilon(0.05, 7).unwrap();
+        let n = 500_000u64;
+        for x in 0..n {
+            s.insert(x);
+        }
+        let err = relative_error(s.estimate(), n as f64);
+        assert!(err < 0.05, "relative error {err}");
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut s = KmvSketch::new(64, 3);
+        for _ in 0..5 {
+            for x in 0..10_000u64 {
+                s.insert(x);
+            }
+        }
+        let err = relative_error(s.estimate(), 10_000.0);
+        assert!(err < 0.3, "relative error {err}");
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let seed = 11;
+        let mut a = KmvSketch::new(256, seed);
+        let mut b = KmvSketch::new(256, seed);
+        let mut both = KmvSketch::new(256, seed);
+        for x in 0..100_000u64 {
+            if x % 2 == 0 {
+                a.insert(x);
+            } else {
+                b.insert(x);
+            }
+            both.insert(x);
+        }
+        a.merge_from(&b).unwrap();
+        // Deterministic: keeping the k smallest of a union is order-independent.
+        assert_eq!(a.estimate(), both.estimate());
+    }
+
+    #[test]
+    fn merge_rejects_mismatch() {
+        let mut a = KmvSketch::new(64, 1);
+        let b = KmvSketch::new(64, 2);
+        let c = KmvSketch::new(128, 1);
+        assert!(a.merge_from(&b).is_err());
+        assert!(a.merge_from(&c).is_err());
+    }
+
+    #[test]
+    fn sample_holds_distinct_items() {
+        let mut s = KmvSketch::new(32, 5);
+        for x in 0..1000u64 {
+            s.insert(x);
+        }
+        let sample: Vec<u64> = s.sample().collect();
+        assert_eq!(sample.len(), 32);
+        for &x in &sample {
+            assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn space_bounded_by_k() {
+        let mut s = KmvSketch::new(16, 1);
+        for x in 0..10_000u64 {
+            s.insert(x);
+        }
+        assert_eq!(s.stored_tuples(), 16);
+        assert_eq!(s.space_bytes(), 16 * 16);
+    }
+
+    #[test]
+    fn estimate_zero_when_empty() {
+        let s = KmvSketch::new(8, 1);
+        assert_eq!(s.estimate(), 0.0);
+    }
+}

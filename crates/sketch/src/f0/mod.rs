@@ -1,0 +1,24 @@
+//! Distinct-counting (`F_0`) summaries.
+//!
+//! Three estimators with different trade-offs:
+//!
+//! * [`distinct_sampler::DistinctSampler`] / [`distinct_sampler::F0Sketch`] —
+//!   the Gibbons–Tirthapura adaptive distinct sampler the paper builds its
+//!   correlated `F_0` algorithm on (Section 3.2). Keeps an actual sample of
+//!   item identifiers, which is exactly what the correlated variant needs to
+//!   attach y-values to.
+//! * [`kmv::KmvSketch`] — bottom-k ("k minimum values") estimator; smallest
+//!   constant factors, used by the `F_k` estimator's level selection ablation
+//!   and as an independent cross-check in tests.
+//! * [`flajolet_martin::FlajoletMartin`] — probabilistic counting (PCSA),
+//!   mentioned by the paper as an alternative basis ("other methods for
+//!   estimating distinct elements may also be adapted to work here, such as
+//!   the variant of the algorithm due to Flajolet and Martin").
+
+pub mod distinct_sampler;
+pub mod flajolet_martin;
+pub mod kmv;
+
+pub use distinct_sampler::{DistinctSampler, F0Sketch};
+pub use flajolet_martin::FlajoletMartin;
+pub use kmv::KmvSketch;

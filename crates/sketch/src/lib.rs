@@ -1,0 +1,74 @@
+//! # cora-sketch
+//!
+//! Mergeable whole-stream summaries ("sketches") and exact baselines.
+//!
+//! The correlated-aggregation framework in `cora-core` reduces a correlated
+//! aggregate query to the composition of *whole-stream* sketches (Property V
+//! of Tirthapura & Woodruff, ICDE 2012). This crate provides those sketches:
+//!
+//! | aggregate | sketch | module |
+//! |---|---|---|
+//! | `F_2` | classic AMS sign sketch | [`ams_f2`] |
+//! | `F_2` | fast AMS / Thorup–Zhang bucketed estimator (the paper's choice) | [`fast_ams`] |
+//! | point frequencies | CountSketch | [`count_sketch`] |
+//! | point frequencies | Count-Min | [`count_min`] |
+//! | frequent items | SpaceSaving, Misra–Gries | [`space_saving`], [`misra_gries`] |
+//! | `F_k`, k ≥ 2 | subsampling + SpaceSaving (Indyk–Woodruff-style) | [`fk`] |
+//! | `F_0` | adaptive distinct sampling (Gibbons–Tirthapura) | [`f0::distinct_sampler`] |
+//! | `F_0` | bottom-k (KMV) | [`f0::kmv`] |
+//! | `F_0` | probabilistic counting (Flajolet–Martin) | [`f0::flajolet_martin`] |
+//! | quantiles | Greenwald–Khanna | [`quantiles`] |
+//! | everything, exactly | full frequency vector | [`exact`] |
+//!
+//! All summaries implement the traits in [`traits`]; estimation helpers live
+//! in [`estimator_util`] and shared error types in [`error`].
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ams_f2;
+pub mod count_min;
+pub mod count_sketch;
+pub mod error;
+pub mod estimator_util;
+pub mod exact;
+pub mod f0;
+pub mod fast_ams;
+pub mod fk;
+pub mod misra_gries;
+pub mod quantiles;
+pub mod space_saving;
+pub mod traits;
+
+pub use ams_f2::AmsF2Sketch;
+pub use count_min::CountMinSketch;
+pub use count_sketch::CountSketch;
+pub use error::{Result, SketchError};
+pub use exact::ExactFrequencies;
+pub use f0::{DistinctSampler, F0Sketch, FlajoletMartin, KmvSketch};
+pub use fast_ams::FastAmsSketch;
+pub use fk::FkSketch;
+pub use misra_gries::MisraGries;
+pub use quantiles::GkQuantiles;
+pub use space_saving::SpaceSaving;
+pub use traits::{Estimate, MergeableSketch, PointQuery, SketchFactory, SpaceUsage, StreamSketch};
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn reexports_are_usable() {
+        let mut f2 = FastAmsSketch::with_dimensions(16, 3, 1);
+        f2.insert(1);
+        assert!(f2.estimate() > 0.0);
+
+        let mut f0 = F0Sketch::with_dimensions(16, 3, 1);
+        f0.insert(1);
+        assert_eq!(f0.estimate(), 1.0);
+
+        let mut exact = ExactFrequencies::new();
+        exact.insert(1);
+        assert_eq!(exact.frequency_moment(1), 1.0);
+    }
+}

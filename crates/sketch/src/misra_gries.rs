@@ -1,0 +1,290 @@
+//! Misra–Gries frequent-items summary (the deterministic "heavy hitters"
+//! counterpart to SpaceSaving).
+//!
+//! Maintains at most `k − 1` counters; every item with frequency above `n/k`
+//! is guaranteed to be present, and every reported count under-estimates the
+//! true frequency by at most `n/k`. Used as a deterministic baseline for the
+//! heavy-hitter experiments and as a building block of the rarity ablation.
+//! Supports merging (Agarwal et al., "Mergeable Summaries", PODS 2012).
+
+use crate::error::{Result, SketchError};
+use crate::traits::{MergeableSketch, PointQuery, SpaceUsage, StreamSketch};
+use std::collections::HashMap;
+
+/// Misra–Gries summary with at most `capacity` counters.
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    counters: HashMap<u64, u64>,
+    capacity: usize,
+    total_weight: u64,
+    /// Total weight removed by decrement steps; the per-item undercount is at
+    /// most this value (and also at most `total_weight / (capacity + 1)`).
+    decremented: u64,
+}
+
+impl MisraGries {
+    /// Create a summary with at most `capacity` counters.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MisraGries capacity must be positive");
+        Self {
+            counters: HashMap::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            total_weight: 0,
+            decremented: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total inserted weight.
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// Upper bound on how much any reported count under-estimates the truth.
+    pub fn undercount_bound(&self) -> u64 {
+        self.decremented
+            .min(self.total_weight / (self.capacity as u64 + 1))
+    }
+
+    /// Iterate over `(item, count)` pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All items that *may* have frequency at least `phi · total_weight`
+    /// (no false negatives).
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(u64, u64)> {
+        let threshold = (phi * self.total_weight as f64).ceil() as u64;
+        let bound = self.undercount_bound();
+        let mut out: Vec<(u64, u64)> = self
+            .entries()
+            .filter(|&(_, c)| c + bound >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    fn decrement_all(&mut self, amount: u64) {
+        if amount == 0 {
+            return;
+        }
+        self.decremented += amount;
+        self.counters.retain(|_, c| {
+            if *c > amount {
+                *c -= amount;
+                true
+            } else {
+                false
+            }
+        });
+    }
+}
+
+impl StreamSketch for MisraGries {
+    fn update(&mut self, item: u64, weight: i64) {
+        debug_assert!(weight >= 0, "MisraGries only supports non-negative weights");
+        let mut w = weight.max(0) as u64;
+        if w == 0 {
+            return;
+        }
+        self.total_weight += w;
+        if let Some(c) = self.counters.get_mut(&item) {
+            *c += w;
+            return;
+        }
+        while w > 0 {
+            if self.counters.len() < self.capacity {
+                self.counters.insert(item, w);
+                return;
+            }
+            // Decrement everything by the smallest counter (batch decrement),
+            // freeing at least one slot, then retry.
+            let min = self.counters.values().copied().min().unwrap_or(0);
+            let step = min.min(w);
+            if step == 0 {
+                break;
+            }
+            self.decrement_all(step);
+            w -= step;
+        }
+        if w > 0 && self.counters.len() < self.capacity {
+            self.counters.insert(item, w);
+        } else if w > 0 {
+            self.decremented += w;
+        }
+    }
+}
+
+impl PointQuery for MisraGries {
+    fn frequency_estimate(&self, item: u64) -> f64 {
+        self.counters.get(&item).copied().unwrap_or(0) as f64
+    }
+}
+
+impl MergeableSketch for MisraGries {
+    fn merge_from(&mut self, other: &Self) -> Result<()> {
+        if self.capacity != other.capacity {
+            return Err(SketchError::IncompatibleMerge {
+                detail: format!(
+                    "MisraGries capacity mismatch: {} vs {}",
+                    self.capacity, other.capacity
+                ),
+            });
+        }
+        for (&item, &count) in &other.counters {
+            *self.counters.entry(item).or_insert(0) += count;
+        }
+        self.total_weight += other.total_weight;
+        self.decremented += other.decremented;
+        if self.counters.len() > self.capacity {
+            // Standard mergeable-summaries trim: subtract the (capacity+1)-th
+            // largest count from everything and drop non-positive counters.
+            let mut counts: Vec<u64> = self.counters.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let pivot = counts[self.capacity];
+            self.decrement_all(pivot);
+        }
+        Ok(())
+    }
+}
+
+impl SpaceUsage for MisraGries {
+    fn stored_tuples(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.counters.len() * std::mem::size_of::<(u64, u64)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = MisraGries::new(0);
+    }
+
+    #[test]
+    fn exact_under_capacity() {
+        let mut mg = MisraGries::new(10);
+        for x in 0..5u64 {
+            mg.update(x, (x + 1) as i64);
+        }
+        for x in 0..5u64 {
+            assert_eq!(mg.frequency_estimate(x), (x + 1) as f64);
+        }
+        assert_eq!(mg.undercount_bound(), 0);
+    }
+
+    #[test]
+    fn never_overestimates() {
+        let mut mg = MisraGries::new(5);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..2000u64 {
+            let item = i % 37;
+            mg.update(item, 1);
+            *truth.entry(item).or_default() += 1;
+        }
+        for (&item, &t) in &truth {
+            assert!(
+                mg.frequency_estimate(item) <= t as f64,
+                "MG overestimated item {item}"
+            );
+        }
+    }
+
+    #[test]
+    fn undercount_bounded() {
+        let mut mg = MisraGries::new(9);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..5000u64 {
+            let item = i % 100;
+            mg.update(item, 1);
+            *truth.entry(item).or_default() += 1;
+        }
+        let bound = mg.undercount_bound() as f64;
+        assert!(bound <= 5000.0 / 10.0);
+        for (&item, &t) in &truth {
+            assert!(
+                mg.frequency_estimate(item) >= t as f64 - bound,
+                "undercount of item {item} exceeds bound"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_have_no_false_negatives() {
+        let mut mg = MisraGries::new(20);
+        // Item 5 takes 30% of the stream.
+        for i in 0..10_000u64 {
+            if i % 10 < 3 {
+                mg.update(5, 1);
+            } else {
+                mg.update(1000 + (i % 500), 1);
+            }
+        }
+        let hh = mg.heavy_hitters(0.25);
+        assert!(hh.iter().any(|&(x, _)| x == 5), "missed the true heavy hitter");
+    }
+
+    #[test]
+    fn weighted_updates_match_repeated_unit_updates() {
+        let mut a = MisraGries::new(8);
+        let mut b = MisraGries::new(8);
+        for x in 0..6u64 {
+            a.update(x, 10);
+            for _ in 0..10 {
+                b.update(x, 1);
+            }
+        }
+        for x in 0..6u64 {
+            assert_eq!(a.frequency_estimate(x), b.frequency_estimate(x));
+        }
+    }
+
+    #[test]
+    fn merge_preserves_heavy_items() {
+        let mut a = MisraGries::new(10);
+        let mut b = MisraGries::new(10);
+        for _ in 0..500 {
+            a.update(1, 1);
+            b.update(2, 1);
+        }
+        for x in 0..200u64 {
+            a.update(100 + x, 1);
+            b.update(400 + x, 1);
+        }
+        a.merge_from(&b).unwrap();
+        assert!(a.stored_tuples() <= 10);
+        let hh = a.heavy_hitters(0.3);
+        let items: Vec<u64> = hh.iter().map(|&(x, _)| x).collect();
+        assert!(items.contains(&1));
+        assert!(items.contains(&2));
+    }
+
+    #[test]
+    fn merge_rejects_capacity_mismatch() {
+        let mut a = MisraGries::new(10);
+        let b = MisraGries::new(11);
+        assert!(a.merge_from(&b).is_err());
+    }
+
+    #[test]
+    fn zero_weight_noop() {
+        let mut mg = MisraGries::new(4);
+        mg.update(3, 0);
+        assert_eq!(mg.total_weight(), 0);
+        assert_eq!(mg.stored_tuples(), 0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Greenwald–Khanna ε-approximate quantile summary (SIGMOD 2001).
+//!
+//! The paper's motivating drill-down workflow (Section 1) pairs the correlated
+//! sketch with a *whole-stream quantile summary* over the y dimension: "Using
+//! a summary for correlated aggregate AGG, along with a whole stream quantile
+//! summary for the size dimension ... the administrator can query the
+//! aggregate of all those flows whose size was more than the median flow
+//! size." This module provides that quantile summary.
+//!
+//! The summary stores tuples `(v, g, Δ)` where `g` is the gap in minimum rank
+//! to the previous tuple and `Δ` bounds the rank uncertainty; it guarantees
+//! that any rank query is answered within `ε · n`, using `O((1/ε) log(ε n))`
+//! tuples.
+
+use crate::error::{check_epsilon, Result, SketchError};
+use crate::traits::SpaceUsage;
+
+/// One GK tuple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct GkTuple {
+    value: u64,
+    /// Gap between this tuple's minimum rank and the previous tuple's.
+    g: u64,
+    /// Rank uncertainty.
+    delta: u64,
+}
+
+/// Greenwald–Khanna quantile summary over `u64` values.
+#[derive(Debug, Clone)]
+pub struct GkQuantiles {
+    epsilon: f64,
+    tuples: Vec<GkTuple>,
+    count: u64,
+    inserts_since_compress: u64,
+}
+
+impl GkQuantiles {
+    /// Create a summary with rank error `epsilon · n`.
+    pub fn new(epsilon: f64) -> Result<Self> {
+        check_epsilon(epsilon)?;
+        Ok(Self {
+            epsilon,
+            tuples: Vec::new(),
+            count: 0,
+            inserts_since_compress: 0,
+        })
+    }
+
+    /// The configured error parameter.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of values inserted.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Insert one value.
+    pub fn insert(&mut self, value: u64) {
+        let delta = if self.count < (1.0 / (2.0 * self.epsilon)) as u64 {
+            0
+        } else {
+            (2.0 * self.epsilon * self.count as f64).floor() as u64
+        };
+        // Find insertion position (first tuple with value >= v).
+        let pos = self.tuples.partition_point(|t| t.value < value);
+        let tuple = if pos == 0 || pos == self.tuples.len() {
+            // New minimum or maximum: exact rank, delta = 0.
+            GkTuple { value, g: 1, delta: 0 }
+        } else {
+            GkTuple { value, g: 1, delta }
+        };
+        self.tuples.insert(pos, tuple);
+        self.count += 1;
+        self.inserts_since_compress += 1;
+        let compress_every = (1.0 / (2.0 * self.epsilon)).ceil() as u64;
+        if self.inserts_since_compress >= compress_every {
+            self.compress();
+            self.inserts_since_compress = 0;
+        }
+    }
+
+    /// Merge adjacent tuples whose combined uncertainty stays within budget.
+    ///
+    /// The first tuple (the minimum) is never merged away: keeping its rank
+    /// exact is what guarantees that every rank query — including very low
+    /// quantiles — has a tuple within `ε·n` of the target.
+    fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let budget = (2.0 * self.epsilon * self.count as f64).floor() as u64;
+        let first = self.tuples[0];
+        let mut out: Vec<GkTuple> = Vec::with_capacity(self.tuples.len());
+        // Iterate the remaining tuples from the end, attempting to merge each
+        // tuple into its successor.
+        let mut iter = self.tuples[1..].iter().rev();
+        let mut current = *iter.next().expect("len >= 3 so the tail has >= 2 tuples");
+        for &t in iter {
+            if t.g + current.g + current.delta <= budget {
+                // Merge t into its successor.
+                current.g += t.g;
+            } else {
+                out.push(current);
+                current = t;
+            }
+        }
+        out.push(current);
+        out.push(first);
+        out.reverse();
+        self.tuples = out;
+    }
+
+    /// Return a value whose rank is within `ε·n` of `phi · n`.
+    ///
+    /// Returns an error if the summary is empty or `phi` is outside `[0, 1]`.
+    pub fn quantile(&self, phi: f64) -> Result<u64> {
+        if self.is_empty() {
+            return Err(SketchError::EmptyQuery);
+        }
+        if !(0.0..=1.0).contains(&phi) {
+            return Err(SketchError::InvalidParameter {
+                name: "phi",
+                detail: format!("quantile fraction must be in [0,1], got {phi}"),
+            });
+        }
+        let target_rank = (phi * self.count as f64).ceil().max(1.0) as u64;
+        let allowed = (self.epsilon * self.count as f64).ceil() as u64;
+        let mut min_rank = 0u64;
+        let mut prev_value = self.tuples.first().expect("non-empty").value;
+        for t in &self.tuples {
+            min_rank += t.g;
+            if min_rank + t.delta > target_rank + allowed {
+                return Ok(prev_value);
+            }
+            prev_value = t.value;
+        }
+        Ok(self.tuples.last().expect("non-empty").value)
+    }
+
+    /// Approximate rank (number of inserted values ≤ `value`).
+    pub fn rank(&self, value: u64) -> u64 {
+        let mut min_rank = 0u64;
+        for t in &self.tuples {
+            if t.value > value {
+                break;
+            }
+            min_rank += t.g;
+        }
+        min_rank
+    }
+}
+
+impl SpaceUsage for GkQuantiles {
+    fn stored_tuples(&self) -> usize {
+        self.tuples.len()
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.tuples.len() * std::mem::size_of::<GkTuple>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        assert!(GkQuantiles::new(0.0).is_err());
+        assert!(GkQuantiles::new(1.0).is_err());
+        assert!(GkQuantiles::new(0.01).is_ok());
+    }
+
+    #[test]
+    fn empty_query_errors() {
+        let q = GkQuantiles::new(0.1).unwrap();
+        assert_eq!(q.quantile(0.5), Err(SketchError::EmptyQuery));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn invalid_phi_rejected() {
+        let mut q = GkQuantiles::new(0.1).unwrap();
+        q.insert(5);
+        assert!(q.quantile(-0.1).is_err());
+        assert!(q.quantile(1.1).is_err());
+    }
+
+    #[test]
+    fn single_value() {
+        let mut q = GkQuantiles::new(0.1).unwrap();
+        q.insert(42);
+        assert_eq!(q.quantile(0.0).unwrap(), 42);
+        assert_eq!(q.quantile(0.5).unwrap(), 42);
+        assert_eq!(q.quantile(1.0).unwrap(), 42);
+    }
+
+    fn check_accuracy(values: &mut Vec<u64>, q: &GkQuantiles, eps: f64) {
+        values.sort_unstable();
+        let n = values.len() as f64;
+        for &phi in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
+            let estimate = q.quantile(phi).unwrap();
+            // A value with duplicates occupies a whole range of ranks; the
+            // target rank must fall within eps*n of that range.
+            let lo_rank = values.partition_point(|&v| v < estimate) as f64 + 1.0;
+            let hi_rank = values.partition_point(|&v| v <= estimate) as f64;
+            let target = phi * n;
+            let ok = target >= lo_rank - eps * n - 1.0 && target <= hi_rank + eps * n + 1.0;
+            assert!(
+                ok,
+                "phi={phi}: value {estimate} spans ranks [{lo_rank}, {hi_rank}], target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_on_sorted_input() {
+        let eps = 0.05;
+        let mut q = GkQuantiles::new(eps).unwrap();
+        let mut values: Vec<u64> = (0..20_000u64).collect();
+        for &v in &values {
+            q.insert(v);
+        }
+        check_accuracy(&mut values, &q, eps);
+    }
+
+    #[test]
+    fn accuracy_on_reverse_sorted_input() {
+        let eps = 0.05;
+        let mut q = GkQuantiles::new(eps).unwrap();
+        let mut values: Vec<u64> = (0..20_000u64).rev().collect();
+        for &v in &values {
+            q.insert(v);
+        }
+        check_accuracy(&mut values, &q, eps);
+    }
+
+    #[test]
+    fn accuracy_on_random_input() {
+        let eps = 0.05;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut q = GkQuantiles::new(eps).unwrap();
+        let mut values: Vec<u64> = (0..30_000).map(|_| rng.gen_range(0..1_000_000u64)).collect();
+        for &v in &values {
+            q.insert(v);
+        }
+        check_accuracy(&mut values, &q, eps);
+    }
+
+    #[test]
+    fn accuracy_with_heavy_duplicates() {
+        let eps = 0.05;
+        let mut q = GkQuantiles::new(eps).unwrap();
+        let mut values: Vec<u64> = (0..10_000u64).map(|x| x % 10).collect();
+        for &v in &values {
+            q.insert(v);
+        }
+        check_accuracy(&mut values, &q, eps);
+    }
+
+    #[test]
+    fn space_is_sublinear() {
+        let mut q = GkQuantiles::new(0.01).unwrap();
+        let n = 100_000u64;
+        for v in 0..n {
+            q.insert(v);
+        }
+        assert!(
+            q.stored_tuples() < (n as usize) / 20,
+            "GK summary stores {} tuples for {} inserts",
+            q.stored_tuples(),
+            n
+        );
+        assert!(q.space_bytes() > 0);
+    }
+
+    #[test]
+    fn rank_is_monotone() {
+        let mut q = GkQuantiles::new(0.05).unwrap();
+        for v in 0..5_000u64 {
+            q.insert(v * 2);
+        }
+        let mut prev = 0;
+        for v in (0..10_000u64).step_by(500) {
+            let r = q.rank(v);
+            assert!(r >= prev, "rank must be monotone");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn count_tracks_inserts() {
+        let mut q = GkQuantiles::new(0.1).unwrap();
+        for v in 0..123u64 {
+            q.insert(v);
+        }
+        assert_eq!(q.count(), 123);
+    }
+}

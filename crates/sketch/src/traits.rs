@@ -1,0 +1,163 @@
+//! Core traits implemented by every whole-stream summary in this crate.
+//!
+//! The correlated-aggregation framework (`cora-core`) is generic over a
+//! "sketching function" in the sense of the paper's Property V: it must be
+//! possible to (a) update a sketch with a stream item, (b) obtain an
+//! `(υ, γ)`-estimate of the aggregate from the sketch, and (c) **compose** two
+//! sketches of two multisets into a sketch of their union. These three
+//! capabilities are captured by [`StreamSketch`], [`Estimate`] and
+//! [`MergeableSketch`] respectively; [`SpaceUsage`] adds the space accounting
+//! that the paper's experiments report (number of stored tuples / bytes).
+
+use crate::error::Result;
+
+/// A summary that can be updated online with weighted item identifiers.
+///
+/// Weights are `i64`: the cash-register model uses strictly positive weights,
+/// the turnstile model (Section 4 of the paper) allows negative weights.
+/// Structures that cannot handle negative weights must document it and may
+/// debug-assert, but should not silently produce garbage.
+pub trait StreamSketch {
+    /// Process one stream element with the given weight (frequency delta).
+    fn update(&mut self, item: u64, weight: i64);
+
+    /// Convenience wrapper for the common unit-weight insertion.
+    fn insert(&mut self, item: u64) {
+        self.update(item, 1);
+    }
+}
+
+/// A summary that can produce a point estimate of its target aggregate.
+pub trait Estimate {
+    /// Return the current estimate of the aggregate this sketch tracks
+    /// (e.g. `F_2`, `F_0`, `F_k`).
+    fn estimate(&self) -> f64;
+}
+
+/// A summary of a multiset that can be composed with a summary of another
+/// multiset to obtain a summary of the multiset union (Property V(b)).
+pub trait MergeableSketch: Sized {
+    /// Merge `other` into `self`.
+    ///
+    /// Returns an error if the two sketches are structurally incompatible
+    /// (different dimensions or different hash seeds).
+    fn merge_from(&mut self, other: &Self) -> Result<()>;
+
+    /// Merge two sketches into a new one, leaving the inputs untouched.
+    fn merged(&self, other: &Self) -> Result<Self>
+    where
+        Self: Clone,
+    {
+        let mut out = self.clone();
+        out.merge_from(other)?;
+        Ok(out)
+    }
+}
+
+/// Space accounting, reported the same way the paper's experiments report it.
+pub trait SpaceUsage {
+    /// Number of "stored tuples" — the unit used in Figures 2–7 of the paper
+    /// (counters, samples, or buckets, whichever is the natural atom of the
+    /// structure).
+    fn stored_tuples(&self) -> usize;
+
+    /// Estimated heap footprint in bytes (structure-specific accounting, not
+    /// allocator-level truth; intended for relative comparisons).
+    fn space_bytes(&self) -> usize {
+        self.stored_tuples() * std::mem::size_of::<(u64, u64)>()
+    }
+}
+
+/// A summary that supports point queries for individual item frequencies
+/// (CountSketch, Count-Min, Misra–Gries, exact maps).
+pub trait PointQuery {
+    /// Estimate the (signed) frequency of `item`.
+    fn frequency_estimate(&self, item: u64) -> f64;
+}
+
+/// Factory trait: build fresh, empty sketches that are all mutually mergeable.
+///
+/// The correlated framework instantiates *many* per-bucket sketches and must
+/// guarantee that any two of them can be composed at query time; it therefore
+/// holds a factory (sharing one seed / one set of hash functions) rather than
+/// constructing sketches ad hoc.
+pub trait SketchFactory {
+    /// The sketch type this factory builds.
+    type Sketch: StreamSketch + Estimate + MergeableSketch + SpaceUsage + Clone;
+
+    /// Create a new empty sketch. All sketches created by the same factory
+    /// must be mergeable with one another.
+    fn new_sketch(&self) -> Self::Sketch;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SketchError;
+
+    /// A toy exact-sum "sketch" used to exercise the default trait methods.
+    #[derive(Debug, Clone, PartialEq)]
+    struct SumSketch {
+        total: i64,
+        tag: u64,
+    }
+
+    impl StreamSketch for SumSketch {
+        fn update(&mut self, _item: u64, weight: i64) {
+            self.total += weight;
+        }
+    }
+    impl Estimate for SumSketch {
+        fn estimate(&self) -> f64 {
+            self.total as f64
+        }
+    }
+    impl MergeableSketch for SumSketch {
+        fn merge_from(&mut self, other: &Self) -> Result<()> {
+            if self.tag != other.tag {
+                return Err(SketchError::IncompatibleMerge {
+                    detail: "tag mismatch".into(),
+                });
+            }
+            self.total += other.total;
+            Ok(())
+        }
+    }
+    impl SpaceUsage for SumSketch {
+        fn stored_tuples(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn insert_is_unit_weight_update() {
+        let mut s = SumSketch { total: 0, tag: 0 };
+        s.insert(7);
+        s.insert(9);
+        s.update(1, 5);
+        assert_eq!(s.estimate(), 7.0);
+    }
+
+    #[test]
+    fn merged_leaves_inputs_untouched() {
+        let a = SumSketch { total: 3, tag: 1 };
+        let b = SumSketch { total: 4, tag: 1 };
+        let c = a.merged(&b).unwrap();
+        assert_eq!(c.estimate(), 7.0);
+        assert_eq!(a.total, 3);
+        assert_eq!(b.total, 4);
+    }
+
+    #[test]
+    fn merge_rejects_incompatible() {
+        let a = SumSketch { total: 3, tag: 1 };
+        let b = SumSketch { total: 4, tag: 2 };
+        assert!(a.merged(&b).is_err());
+    }
+
+    #[test]
+    fn default_space_bytes_scales_with_tuples() {
+        let s = SumSketch { total: 0, tag: 0 };
+        assert_eq!(s.space_bytes(), 16);
+    }
+}

@@ -1,0 +1,176 @@
+//! Measurement driver: feeds generated datasets into sketches while recording
+//! the quantities the paper's evaluation section reports — sketch size in
+//! stored tuples, bytes, per-record processing time, and relative error
+//! against the exact (linear-storage) baseline.
+
+use crate::tuple::StreamTuple;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One measured data point, serialisable so the figure binaries can emit both
+/// human-readable tables and machine-readable JSON series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// Sketch / algorithm name.
+    pub sketch: String,
+    /// Requested relative error ε.
+    pub epsilon: f64,
+    /// Stream size (number of tuples fed).
+    pub stream_len: usize,
+    /// Sketch size in stored tuples (the paper's space unit).
+    pub stored_tuples: usize,
+    /// Approximate sketch size in bytes.
+    pub space_bytes: usize,
+    /// Nanoseconds per processed record (amortised).
+    pub ns_per_record: f64,
+    /// Measured relative errors at the probed thresholds (empty when no exact
+    /// baseline was computed).
+    pub relative_errors: Vec<f64>,
+}
+
+impl RunReport {
+    /// The worst measured relative error, if any thresholds were probed.
+    pub fn max_relative_error(&self) -> Option<f64> {
+        self.relative_errors
+            .iter()
+            .copied()
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+
+    /// Render as a TSV row (used by the figure binaries).
+    pub fn tsv_row(&self) -> String {
+        format!(
+            "{}\t{}\t{:.3}\t{}\t{}\t{}\t{:.1}\t{}",
+            self.dataset,
+            self.sketch,
+            self.epsilon,
+            self.stream_len,
+            self.stored_tuples,
+            self.space_bytes,
+            self.ns_per_record,
+            self.max_relative_error()
+                .map_or_else(|| "-".to_string(), |e| format!("{e:.4}"))
+        )
+    }
+
+    /// The TSV header matching [`RunReport::tsv_row`].
+    pub fn tsv_header() -> &'static str {
+        "dataset\tsketch\tepsilon\tstream_len\tstored_tuples\tspace_bytes\tns_per_record\tmax_rel_error"
+    }
+}
+
+/// Feed `tuples` into a sketch through `insert`, returning the amortised
+/// nanoseconds per record.
+pub fn time_ingest<I>(tuples: &[StreamTuple], mut insert: I) -> f64
+where
+    I: FnMut(&StreamTuple),
+{
+    if tuples.is_empty() {
+        return 0.0;
+    }
+    let start = Instant::now();
+    for t in tuples {
+        insert(t);
+    }
+    start.elapsed().as_nanos() as f64 / tuples.len() as f64
+}
+
+/// Probe a sketch at the given thresholds, comparing against an exact truth.
+/// `estimate_and_truth(c)` returns `(estimate, truth)` or `None` to skip a
+/// threshold. The result is one relative error per probed threshold.
+pub fn relative_errors<E>(thresholds: &[u64], mut estimate_and_truth: E) -> Vec<f64>
+where
+    E: FnMut(u64) -> Option<(f64, f64)>,
+{
+    let mut out = Vec::with_capacity(thresholds.len());
+    for &c in thresholds {
+        if let Some((estimate, truth)) = estimate_and_truth(c) {
+            let err = if truth == 0.0 {
+                if estimate == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (estimate - truth).abs() / truth
+            };
+            out.push(err);
+        }
+    }
+    out
+}
+
+/// Evenly spaced query thresholds over `[0, y_max]` (always includes `y_max`),
+/// matching how the experiments probe the structures.
+pub fn default_thresholds(y_max: u64, count: usize) -> Vec<u64> {
+    let count = count.max(1) as u64;
+    let mut out: Vec<u64> = (1..=count).map(|i| y_max / count * i).collect();
+    if let Some(last) = out.last_mut() {
+        *last = y_max;
+    }
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cora_core::ExactCorrelated;
+
+    #[test]
+    fn default_thresholds_cover_the_domain() {
+        let t = default_thresholds(1000, 4);
+        assert_eq!(t, vec![250, 500, 750, 1000]);
+        assert_eq!(default_thresholds(10, 1), vec![10]);
+        assert!(default_thresholds(3, 10).last() == Some(&3));
+    }
+
+    #[test]
+    fn ingest_timing_and_error_probing() {
+        let tuples: Vec<StreamTuple> = (0..5_000u64)
+            .map(|i| StreamTuple::new(i % 40, i % 1000))
+            .collect();
+        let mut sketch = cora_core::f2::correlated_f2_seeded(0.3, 0.1, 999, 10_000, 3).unwrap();
+        let mut exact = ExactCorrelated::new();
+        for t in &tuples {
+            exact.insert(t.x, t.y);
+        }
+        let ns = time_ingest(&tuples, |t| sketch.insert(t.x, t.y).unwrap());
+        assert!(ns > 0.0);
+        let errors = relative_errors(&default_thresholds(999, 4), |c| {
+            Some((sketch.query(c).unwrap(), exact.frequency_moment(2, c)))
+        });
+        assert_eq!(errors.len(), 4);
+        assert!(errors.iter().all(|&e| e < 0.3), "errors {errors:?}");
+
+        let stats = sketch.stats();
+        let report = RunReport {
+            dataset: "unit-test".into(),
+            sketch: "correlated-f2".into(),
+            epsilon: 0.3,
+            stream_len: tuples.len(),
+            stored_tuples: stats.stored_tuples,
+            space_bytes: stats.space_bytes,
+            ns_per_record: ns,
+            relative_errors: errors,
+        };
+        assert!(report.max_relative_error().unwrap() < 0.3);
+        assert!(report.tsv_row().contains("unit-test"));
+        assert!(RunReport::tsv_header().starts_with("dataset"));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn empty_stream_and_zero_truth_edge_cases() {
+        assert_eq!(time_ingest(&[], |_t| {}), 0.0);
+        let errors = relative_errors(&[10, 20], |c| Some((0.0, if c == 10 { 0.0 } else { 5.0 })));
+        assert_eq!(errors[0], 0.0);
+        assert_eq!(errors[1], 1.0);
+        let skipped = relative_errors(&[1, 2, 3], |_| None);
+        assert!(skipped.is_empty());
+    }
+}

@@ -1,0 +1,389 @@
+//! Dataset generators reproducing the workloads of the paper's Section 5.
+//!
+//! * [`UniformGenerator`] — "the Uniform data set ... x is generated uniformly
+//!   at random from {0,…,500000} and y ... from {0,…,1000000}";
+//! * [`ZipfGenerator`] — "the Zipfian data set, with α = 1 [and α = 2]. Here
+//!   the x values are generated according to the Zipfian distribution ... and
+//!   the y values ... uniformly at random";
+//! * [`EthernetGenerator`] — a synthetic stand-in for the LBL Ethernet packet
+//!   traces used for the `F_0` experiments (the original traces are not
+//!   redistributable; see DESIGN.md "Substitutions"). It preserves the two
+//!   properties the paper relies on: a *small* x domain (packet sizes) and
+//!   timestamp-valued y from two interleaved bursty sources;
+//! * [`SortedYGenerator`] — an adversarial-ish workload where y arrives in
+//!   increasing order (the worst case for eviction watermarks), used in tests
+//!   and ablations.
+//!
+//! All generators are deterministic given their seed.
+
+use crate::tuple::StreamTuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Common interface for dataset generators.
+pub trait DatasetGenerator {
+    /// Human-readable name used in reports ("Uniform", "Zipf, alpha=1", ...).
+    fn name(&self) -> String;
+
+    /// Largest x value this generator can emit.
+    fn x_max(&self) -> u64;
+
+    /// Largest y value this generator can emit.
+    fn y_max(&self) -> u64;
+
+    /// Generate the next tuple.
+    fn next_tuple(&mut self) -> StreamTuple;
+
+    /// Generate `n` tuples into a vector.
+    fn generate(&mut self, n: usize) -> Vec<StreamTuple> {
+        (0..n).map(|_| self.next_tuple()).collect()
+    }
+}
+
+/// Uniform x and y (the paper's "Uniform" dataset).
+#[derive(Debug, Clone)]
+pub struct UniformGenerator {
+    rng: StdRng,
+    x_max: u64,
+    y_max: u64,
+}
+
+impl UniformGenerator {
+    /// Generator with the paper's default domains: x ∈ [0, 500000],
+    /// y ∈ [0, 1000000].
+    pub fn paper_defaults(seed: u64) -> Self {
+        Self::new(500_000, 1_000_000, seed)
+    }
+
+    /// Generator with explicit domains.
+    pub fn new(x_max: u64, y_max: u64, seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            x_max,
+            y_max,
+        }
+    }
+}
+
+impl DatasetGenerator for UniformGenerator {
+    fn name(&self) -> String {
+        "Uniform".to_string()
+    }
+
+    fn x_max(&self) -> u64 {
+        self.x_max
+    }
+
+    fn y_max(&self) -> u64 {
+        self.y_max
+    }
+
+    fn next_tuple(&mut self) -> StreamTuple {
+        StreamTuple::new(
+            self.rng.gen_range(0..=self.x_max),
+            self.rng.gen_range(0..=self.y_max),
+        )
+    }
+}
+
+/// Zipfian x (parameter α), uniform y (the paper's "Zipf" datasets).
+///
+/// Sampling uses a precomputed cumulative distribution over the x domain and
+/// binary search; the CDF costs `O(x_max)` memory once per generator, which is
+/// negligible next to the streams being generated.
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    rng: StdRng,
+    cdf: Vec<f64>,
+    alpha: f64,
+    y_max: u64,
+}
+
+impl ZipfGenerator {
+    /// Generator with the paper's default domains: x ∈ [0, 500000],
+    /// y ∈ [0, 1000000].
+    pub fn paper_defaults(alpha: f64, seed: u64) -> Self {
+        Self::new(alpha, 500_000, 1_000_000, seed)
+    }
+
+    /// Generator with explicit domains.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is negative or `x_max == 0`.
+    pub fn new(alpha: f64, x_max: u64, y_max: u64, seed: u64) -> Self {
+        assert!(alpha >= 0.0, "Zipf parameter must be non-negative");
+        assert!(x_max > 0, "Zipf x domain must be non-empty");
+        let n = (x_max + 1) as usize;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            cdf,
+            alpha,
+            y_max,
+        }
+    }
+
+    /// The Zipf parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl DatasetGenerator for ZipfGenerator {
+    fn name(&self) -> String {
+        format!("Zipf, alpha={}", self.alpha)
+    }
+
+    fn x_max(&self) -> u64 {
+        (self.cdf.len() - 1) as u64
+    }
+
+    fn y_max(&self) -> u64 {
+        self.y_max
+    }
+
+    fn next_tuple(&mut self) -> StreamTuple {
+        let u: f64 = self.rng.gen();
+        let x = self.cdf.partition_point(|&p| p < u) as u64;
+        StreamTuple::new(x.min(self.x_max()), self.rng.gen_range(0..=self.y_max))
+    }
+}
+
+/// Synthetic Ethernet-trace surrogate (see DESIGN.md "Substitutions").
+///
+/// Two interleaved sources (a "LAN" and a "WAN" trace) emit packets whose
+/// sizes cluster around a handful of modal values in `[64, 2000]` — giving the
+/// small x domain the paper highlights for this dataset — and whose
+/// millisecond timestamps advance in bursts.
+#[derive(Debug, Clone)]
+pub struct EthernetGenerator {
+    rng: StdRng,
+    clock_ms: [u64; 2],
+    next_source: usize,
+    y_max: u64,
+}
+
+impl EthernetGenerator {
+    /// Modal packet sizes (bytes) used by the synthetic trace.
+    const MODES: [u64; 6] = [64, 570, 576, 1072, 1500, 1518];
+
+    /// A generator whose timestamps stay below `y_max` milliseconds
+    /// (default experiment setting: one hour of traffic, `y_max = 3_600_000`).
+    pub fn new(y_max: u64, seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            clock_ms: [0, 0],
+            next_source: 0,
+            y_max,
+        }
+    }
+
+    /// Paper-scale defaults (~2 million packets over one hour).
+    pub fn paper_defaults(seed: u64) -> Self {
+        Self::new(3_600_000, seed)
+    }
+}
+
+impl DatasetGenerator for EthernetGenerator {
+    fn name(&self) -> String {
+        "Ethernet".to_string()
+    }
+
+    fn x_max(&self) -> u64 {
+        2000
+    }
+
+    fn y_max(&self) -> u64 {
+        self.y_max
+    }
+
+    fn next_tuple(&mut self) -> StreamTuple {
+        // Alternate between the two interleaved traces, as the paper's
+        // combined dataset does.
+        let source = self.next_source;
+        self.next_source = 1 - self.next_source;
+
+        // Packet size: a modal value plus small jitter, clamped to the domain.
+        let mode = Self::MODES[self.rng.gen_range(0..Self::MODES.len())];
+        let jitter = self.rng.gen_range(0..=40u64);
+        let size = (mode + jitter).min(self.x_max());
+
+        // Timestamp: bursty arrivals — usually sub-millisecond gaps, with
+        // occasional idle periods.
+        let gap = if self.rng.gen_bool(0.02) {
+            self.rng.gen_range(5..50u64)
+        } else {
+            u64::from(self.rng.gen_bool(0.3))
+        };
+        self.clock_ms[source] = (self.clock_ms[source] + gap).min(self.y_max);
+        StreamTuple::new(size, self.clock_ms[source])
+    }
+}
+
+/// y values arrive in strictly increasing order (stress case for eviction).
+#[derive(Debug, Clone)]
+pub struct SortedYGenerator {
+    rng: StdRng,
+    x_max: u64,
+    y_max: u64,
+    next_y: u64,
+}
+
+impl SortedYGenerator {
+    /// Generator over the given domains.
+    pub fn new(x_max: u64, y_max: u64, seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            x_max,
+            y_max,
+            next_y: 0,
+        }
+    }
+}
+
+impl DatasetGenerator for SortedYGenerator {
+    fn name(&self) -> String {
+        "SortedY".to_string()
+    }
+
+    fn x_max(&self) -> u64 {
+        self.x_max
+    }
+
+    fn y_max(&self) -> u64 {
+        self.y_max
+    }
+
+    fn next_tuple(&mut self) -> StreamTuple {
+        let y = self.next_y;
+        self.next_y = (self.next_y + 1).min(self.y_max);
+        StreamTuple::new(self.rng.gen_range(0..=self.x_max), y)
+    }
+}
+
+/// The named dataset line-up of the paper's F2 experiments.
+pub fn f2_experiment_generators(seed: u64) -> Vec<Box<dyn DatasetGenerator>> {
+    vec![
+        Box::new(UniformGenerator::paper_defaults(seed)),
+        Box::new(ZipfGenerator::paper_defaults(1.0, seed ^ 1)),
+        Box::new(ZipfGenerator::paper_defaults(2.0, seed ^ 2)),
+    ]
+}
+
+/// The named dataset line-up of the paper's F0 experiments (adds the Ethernet
+/// surrogate and widens the x domain to 1,000,000 as in Section 5.2).
+pub fn f0_experiment_generators(seed: u64) -> Vec<Box<dyn DatasetGenerator>> {
+    vec![
+        Box::new(EthernetGenerator::paper_defaults(seed ^ 3)),
+        Box::new(UniformGenerator::new(1_000_000, 1_000_000, seed)),
+        Box::new(ZipfGenerator::new(1.0, 1_000_000, 1_000_000, seed ^ 1)),
+        Box::new(ZipfGenerator::new(2.0, 1_000_000, 1_000_000, seed ^ 2)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn uniform_respects_domains_and_is_deterministic() {
+        let mut a = UniformGenerator::new(100, 1000, 7);
+        let mut b = UniformGenerator::new(100, 1000, 7);
+        let ta = a.generate(500);
+        let tb = b.generate(500);
+        assert_eq!(ta, tb);
+        for t in &ta {
+            assert!(t.x <= 100 && t.y <= 1000);
+            assert_eq!(t.weight, 1);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_the_domain_roughly_evenly() {
+        let mut g = UniformGenerator::new(9, 9, 3);
+        let tuples = g.generate(10_000);
+        let mut counts = [0usize; 10];
+        for t in &tuples {
+            counts[t.x as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - 1000.0).abs() < 200.0,
+                "x value {i} appeared {c} times"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_ranks() {
+        let mut g = ZipfGenerator::new(1.0, 10_000, 100, 5);
+        let tuples = g.generate(50_000);
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for t in &tuples {
+            *counts.entry(t.x).or_default() += 1;
+        }
+        let top = *counts.get(&0).unwrap_or(&0);
+        let mid = *counts.get(&100).unwrap_or(&0);
+        assert!(top > 20 * mid.max(1), "rank 0 ({top}) should dwarf rank 100 ({mid})");
+    }
+
+    #[test]
+    fn zipf_alpha_2_is_more_skewed_than_alpha_1() {
+        let count_top = |alpha: f64| {
+            let mut g = ZipfGenerator::new(alpha, 10_000, 100, 9);
+            g.generate(20_000).iter().filter(|t| t.x == 0).count()
+        };
+        assert!(count_top(2.0) > count_top(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn zipf_rejects_negative_alpha() {
+        let _ = ZipfGenerator::new(-1.0, 10, 10, 1);
+    }
+
+    #[test]
+    fn ethernet_has_small_x_domain_and_monotone_per_source_time() {
+        let mut g = EthernetGenerator::new(1_000_000, 11);
+        let tuples = g.generate(20_000);
+        let distinct_x: std::collections::HashSet<u64> = tuples.iter().map(|t| t.x).collect();
+        assert!(distinct_x.len() < 300, "x domain should be small, got {}", distinct_x.len());
+        for t in &tuples {
+            assert!(t.x >= 64 && t.x <= 2000);
+            assert!(t.y <= 1_000_000);
+        }
+        // Timestamps from each alternating source are non-decreasing.
+        let evens: Vec<u64> = tuples.iter().step_by(2).map(|t| t.y).collect();
+        assert!(evens.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sorted_generator_emits_increasing_y() {
+        let mut g = SortedYGenerator::new(50, 10_000, 1);
+        let tuples = g.generate(1000);
+        for (i, t) in tuples.iter().enumerate() {
+            assert_eq!(t.y, i as u64);
+        }
+    }
+
+    #[test]
+    fn experiment_lineups_have_expected_members() {
+        let f2 = f2_experiment_generators(1);
+        assert_eq!(f2.len(), 3);
+        assert_eq!(f2[0].name(), "Uniform");
+        let f0 = f0_experiment_generators(1);
+        assert_eq!(f0.len(), 4);
+        assert_eq!(f0[0].name(), "Ethernet");
+        assert!(f0[1].x_max() == 1_000_000);
+    }
+}

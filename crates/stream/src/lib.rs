@@ -1,0 +1,35 @@
+//! # cora-stream
+//!
+//! The streaming substrate around the correlated-aggregation library:
+//!
+//! * [`tuple`] — the `(x, y, weight)` stream model (cash-register and
+//!   turnstile);
+//! * [`generators`] — the paper's experimental workloads (Uniform, Zipf(α),
+//!   the Ethernet-trace surrogate, and stress generators);
+//! * [`multipass`] — the `O(log y_max)`-pass MULTIPASS algorithm for the
+//!   turnstile model (Algorithm 4) over a replayable [`multipass::StoredStream`];
+//! * [`lower_bound`] — GREATER-THAN hard instances behind the single-pass
+//!   lower bound (Section 4.1);
+//! * [`async_window`] — sliding-window aggregation over asynchronous
+//!   (out-of-order) streams via the reduction to correlated aggregates;
+//! * [`driver`] — measurement plumbing shared by the experiment harness.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod async_window;
+pub mod driver;
+pub mod generators;
+pub mod lower_bound;
+pub mod multipass;
+pub mod tuple;
+
+pub use async_window::{AsyncWindowCount, AsyncWindowF2};
+pub use driver::{default_thresholds, relative_errors, time_ingest, RunReport};
+pub use generators::{
+    f0_experiment_generators, f2_experiment_generators, DatasetGenerator, EthernetGenerator,
+    SortedYGenerator, UniformGenerator, ZipfGenerator,
+};
+pub use lower_bound::{greater_than_instance, solve_exactly};
+pub use multipass::{multipass_f2, MultipassEstimator, StoredStream};
+pub use tuple::{summarize, DatasetSummary, StreamTuple};

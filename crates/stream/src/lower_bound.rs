@@ -1,0 +1,121 @@
+//! Hard instances from the GREATER-THAN reduction (Section 4.1 of the paper).
+//!
+//! The paper's single-pass lower bound for correlated aggregation with
+//! deletions encodes an instance of the two-party GREATER-THAN communication
+//! problem into a turnstile stream: Alice inserts `(1 + a_i, i)` with weight
+//! `+1` for every bit `a_i` of her number, Bob inserts `(1 + b_i, i)` with
+//! weight `−1`. After both halves, the weight of `(1 + v, i)` is non-zero iff
+//! the two numbers differ in bit `i` and `v` matches the party whose bit is
+//! set, so the smallest index `τ` with a positive correlated aggregate — and
+//! which identifier carries it — reveals which number is larger.
+//!
+//! A bounded-memory single-pass summary that answered correlated queries after
+//! such a stream would therefore solve GREATER-THAN in one message, violating
+//! the `Ω(r^{1/t})` communication bound. This module builds those instances
+//! and solves them exactly (linear storage) and via the multipass algorithm,
+//! so the examples and benches can demonstrate both sides of Figure 1's
+//! dichotomy: "linear space lower bound, constant passes" vs. "sublinear
+//! space, logarithmic passes".
+
+use crate::tuple::StreamTuple;
+use std::cmp::Ordering;
+
+/// Build the turnstile stream encoding one GREATER-THAN instance.
+///
+/// Bit `i = 0` is the most significant bit, as in the paper's reduction, so
+/// the smallest differing index decides the comparison.
+pub fn greater_than_instance(a: u64, b: u64, bits: u32) -> Vec<StreamTuple> {
+    assert!(bits >= 1 && bits <= 63, "bits must be in [1, 63]");
+    let mut stream = Vec::with_capacity(2 * bits as usize);
+    for i in 0..bits {
+        let shift = bits - 1 - i;
+        let a_bit = (a >> shift) & 1;
+        let b_bit = (b >> shift) & 1;
+        stream.push(StreamTuple::weighted(1 + a_bit, u64::from(i), 1));
+        stream.push(StreamTuple::weighted(1 + b_bit, u64::from(i), -1));
+    }
+    stream
+}
+
+/// Solve a GREATER-THAN instance exactly from its stream encoding, mimicking
+/// the query procedure of the reduction: scan thresholds `τ = 0, 1, 2, …` and
+/// find the first with a non-zero correlated aggregate.
+pub fn solve_exactly(stream: &[StreamTuple], bits: u32) -> Ordering {
+    for tau in 0..u64::from(bits) {
+        // Net weight per identifier restricted to y <= tau.
+        let mut w1 = 0i64; // identifier 1 + 0 (bit value 0)
+        let mut w2 = 0i64; // identifier 1 + 1 (bit value 1)
+        for t in stream.iter().filter(|t| t.y <= tau) {
+            match t.x {
+                1 => w1 += t.weight,
+                2 => w2 += t.weight,
+                _ => {}
+            }
+        }
+        if w1 != 0 || w2 != 0 {
+            // The first differing bit: whoever holds the 1-bit is larger.
+            // Alice's tuple carries +1, so a positive weight on identifier 2
+            // means Alice's bit is 1 (a > b); a positive weight on identifier 1
+            // means Alice's bit is 0 (a < b).
+            return if w2 > 0 || w1 < 0 {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            };
+        }
+    }
+    Ordering::Equal
+}
+
+/// The number of bits of state any single-pass algorithm must keep to answer
+/// correlated aggregate queries on such instances, per Theorem 6 of the paper:
+/// `y_max^{Ω(1/t)} / log y_max` for `t` passes. Exposed so reports can print
+/// the bound next to the measured sketch sizes.
+pub fn single_pass_lower_bound_bits(y_max: u64) -> f64 {
+    let y = y_max.max(2) as f64;
+    y / y.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_has_two_tuples_per_bit_and_cancelling_weights() {
+        let s = greater_than_instance(0b1010, 0b1010, 4);
+        assert_eq!(s.len(), 8);
+        // Equal inputs: every (x, y) pair cancels.
+        assert_eq!(solve_exactly(&s, 4), Ordering::Equal);
+        let total_weight: i64 = s.iter().map(|t| t.weight).sum();
+        assert_eq!(total_weight, 0);
+    }
+
+    #[test]
+    fn solves_known_comparisons() {
+        for &(a, b) in &[(5u64, 3u64), (3, 5), (12, 12), (1, 0), (0, 1), (255, 254)] {
+            let s = greater_than_instance(a, b, 8);
+            assert_eq!(solve_exactly(&s, 8), a.cmp(&b), "a={a}, b={b}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_small_instances() {
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                let s = greater_than_instance(a, b, 4);
+                assert_eq!(solve_exactly(&s, 4), a.cmp(&b), "a={a}, b={b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn rejects_zero_bits() {
+        let _ = greater_than_instance(1, 2, 0);
+    }
+
+    #[test]
+    fn lower_bound_grows_with_domain() {
+        assert!(single_pass_lower_bound_bits(1 << 20) > single_pass_lower_bound_bits(1 << 10));
+    }
+}

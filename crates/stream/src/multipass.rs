@@ -1,0 +1,299 @@
+//! The MULTIPASS algorithm (Section 4.2, Algorithm 4 of the paper).
+//!
+//! With arbitrary positive *and negative* weights, no small single-pass
+//! summary for correlated aggregates exists (Section 4.1); the paper
+//! complements the lower bound with an `O(log y_max)`-pass algorithm: binary
+//! search, in parallel for every power of `(1+ε)`, for the y position at which
+//! the correlated aggregate crosses that value. A query for threshold `τ` then
+//! returns `(1+ε)^i` for the largest `i` whose recorded position `p(i)` is at
+//! most `τ`.
+//!
+//! The module provides:
+//!
+//! * [`StoredStream`] — a replayable stream (e.g. data on disk or tape in the
+//!   paper's motivation) that counts how many passes have been made over it;
+//! * [`MultipassEstimator`] — the output of the algorithm: the positions
+//!   `p(0..r)` plus the `(1+ε)` ladder, answering queries for any `τ`;
+//! * [`multipass_f2`] — the instantiation for `F_2` in the turnstile model,
+//!   using the linear (deletion-friendly) fast-AMS sketch as the classical
+//!   whole-stream algorithm `A`.
+
+use crate::tuple::StreamTuple;
+use cora_sketch::{Estimate, FastAmsSketch, StreamSketch};
+use std::cell::Cell;
+
+/// A replayable stream that counts sequential passes, modelling data stored on
+/// a medium that only supports efficient sequential scans.
+#[derive(Debug, Clone, Default)]
+pub struct StoredStream {
+    tuples: Vec<StreamTuple>,
+    passes: Cell<usize>,
+}
+
+impl StoredStream {
+    /// Wrap a vector of tuples.
+    pub fn new(tuples: Vec<StreamTuple>) -> Self {
+        Self {
+            tuples,
+            passes: Cell::new(0),
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the stream holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Number of sequential passes made so far.
+    pub fn passes(&self) -> usize {
+        self.passes.get()
+    }
+
+    /// Iterate over the stream once, incrementing the pass counter.
+    pub fn scan(&self) -> impl Iterator<Item = &StreamTuple> {
+        self.passes.set(self.passes.get() + 1);
+        self.tuples.iter()
+    }
+
+    /// Direct access without counting a pass (used by exact baselines in
+    /// tests; the multipass algorithm itself always goes through [`scan`]).
+    ///
+    /// [`scan`]: StoredStream::scan
+    pub fn tuples(&self) -> &[StreamTuple] {
+        &self.tuples
+    }
+}
+
+/// The output of the MULTIPASS algorithm: positions of the `(1+ε)^i` level
+/// crossings along the y axis.
+#[derive(Debug, Clone)]
+pub struct MultipassEstimator {
+    epsilon: f64,
+    /// `positions[i]` = the y position `p(i)` for value `(1+ε)^i`.
+    positions: Vec<u64>,
+    passes_used: usize,
+}
+
+impl MultipassEstimator {
+    /// The QUERY-RESPONSE procedure: the largest `i` with `p(i) ≤ τ` yields
+    /// the estimate `(1+ε)^i`; if no position is ≤ τ the estimate is 0.
+    pub fn query(&self, tau: u64) -> f64 {
+        let mut best: Option<usize> = None;
+        for (i, &p) in self.positions.iter().enumerate() {
+            if p <= tau {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => (1.0 + self.epsilon).powi(i as i32),
+            None => 0.0,
+        }
+    }
+
+    /// The recorded crossing positions `p(0..r)`.
+    pub fn positions(&self) -> &[u64] {
+        &self.positions
+    }
+
+    /// Number of passes over the stored stream the construction used.
+    pub fn passes_used(&self) -> usize {
+        self.passes_used
+    }
+
+    /// The accuracy parameter the estimator was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+/// One streaming pass evaluating `F_2` restricted to `y ≤ p` for several
+/// thresholds `p` at once. Returns one estimate per threshold, using sketches
+/// with identical randomness (`seed`), as Algorithm 4 requires ("fix the
+/// random string of A for the rest of this algorithm").
+fn f2_estimates_for_thresholds(
+    stream: &StoredStream,
+    thresholds: &[u64],
+    width: usize,
+    depth: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let mut sketches: Vec<FastAmsSketch> = thresholds
+        .iter()
+        .map(|_| FastAmsSketch::with_dimensions(width, depth, seed))
+        .collect();
+    for tuple in stream.scan() {
+        for (sketch, &threshold) in sketches.iter_mut().zip(thresholds.iter()) {
+            if tuple.y <= threshold {
+                sketch.update(tuple.x, tuple.weight);
+            }
+        }
+    }
+    sketches.iter().map(Estimate::estimate).collect()
+}
+
+/// Run the MULTIPASS algorithm for the correlated `F_2` aggregate over a
+/// turnstile stream (weights may be negative).
+///
+/// `epsilon` controls both the `(1+ε)` ladder spacing and the whole-stream
+/// sketch accuracy; `y_max` bounds the y domain (padded to a power of two
+/// internally, as in the paper's "without loss of generality, `y_max + 1` is a
+/// power of 2").
+pub fn multipass_f2(
+    stream: &StoredStream,
+    epsilon: f64,
+    delta: f64,
+    y_max: u64,
+    seed: u64,
+) -> MultipassEstimator {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    let passes_before = stream.passes();
+
+    // Pad y_max + 1 to a power of two.
+    let mut padded = 1u64;
+    while padded <= y_max {
+        padded <<= 1;
+    }
+    let y_max = padded - 1;
+    let log_y = padded.trailing_zeros();
+
+    let width = ((6.0 / (epsilon * epsilon)).ceil() as usize).max(8);
+    let depth = ((1.0 / delta).ln().ceil() as usize).max(1) | 1;
+
+    // Pass 1: estimate f over the entire stream to size the ladder.
+    let f_total = f2_estimates_for_thresholds(stream, &[y_max], width, depth, seed)[0].max(1.0);
+    let r = (f_total.ln() / (1.0 + epsilon).ln()).ceil() as usize;
+
+    // Binary search, in parallel for every ladder rung, over y positions.
+    let mut positions: Vec<u64> = vec![(y_max.saturating_sub(1)) / 2; r + 1];
+    let targets: Vec<f64> = (0..=r).map(|i| (1.0 + epsilon).powi(i as i32)).collect();
+    for j in 2..=log_y as u64 {
+        let estimates = f2_estimates_for_thresholds(stream, &positions, width, depth, seed);
+        let step = (y_max + 1) >> j;
+        for i in 0..=r {
+            if estimates[i] > targets[i] {
+                positions[i] = positions[i].saturating_sub(step);
+            } else {
+                positions[i] = (positions[i] + step).min(y_max);
+            }
+        }
+    }
+    // Final adjustment (Algorithm 4, step 11).
+    let estimates = f2_estimates_for_thresholds(stream, &positions, width, depth, seed);
+    for i in 0..=r {
+        if estimates[i] < targets[i] {
+            positions[i] = (positions[i] + 1).min(y_max);
+        }
+    }
+
+    MultipassEstimator {
+        epsilon,
+        positions,
+        passes_used: stream.passes() - passes_before,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cora_sketch::ExactFrequencies;
+    #[allow(unused_imports)]
+    use cora_sketch::Estimate as _;
+
+    fn exact_correlated_f2(stream: &StoredStream, tau: u64) -> f64 {
+        let mut freqs = ExactFrequencies::new();
+        for t in stream.tuples() {
+            if t.y <= tau {
+                freqs.update(t.x, t.weight);
+            }
+        }
+        freqs.frequency_moment(2)
+    }
+
+    #[test]
+    fn stored_stream_counts_passes() {
+        let s = StoredStream::new(vec![StreamTuple::new(1, 1); 10]);
+        assert_eq!(s.passes(), 0);
+        assert_eq!(s.scan().count(), 10);
+        assert_eq!(s.scan().count(), 10);
+        assert_eq!(s.passes(), 2);
+        assert_eq!(s.len(), 10);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn multipass_uses_logarithmically_many_passes() {
+        let tuples: Vec<StreamTuple> = (0..2_000u64)
+            .map(|i| StreamTuple::new(i % 50, (i * 13) % 1024))
+            .collect();
+        let stream = StoredStream::new(tuples);
+        let est = multipass_f2(&stream, 0.25, 0.1, 1023, 7);
+        // 1 sizing pass + (log2(1024) - 1) search passes + 1 adjustment pass.
+        assert_eq!(est.passes_used(), 1 + 9 + 1);
+        assert!(est.positions().len() > 4);
+    }
+
+    #[test]
+    fn multipass_estimates_track_exact_values_insert_only() {
+        let tuples: Vec<StreamTuple> = (0..20_000u64)
+            .map(|i| StreamTuple::new(i % 200, (i * 797) % 4096))
+            .collect();
+        let stream = StoredStream::new(tuples);
+        let eps = 0.2;
+        let est = multipass_f2(&stream, eps, 0.05, 4095, 11);
+        for &tau in &[256u64, 1024, 2048, 4095] {
+            let truth = exact_correlated_f2(&stream, tau);
+            let approx = est.query(tau);
+            let err = (approx - truth).abs() / truth;
+            assert!(
+                err < 3.0 * eps,
+                "tau={tau}: multipass {approx} vs exact {truth} (err {err})"
+            );
+        }
+    }
+
+    #[test]
+    fn multipass_handles_deletions() {
+        // Insert a block of tuples and then delete half of them; the correlated
+        // F2 must reflect the post-deletion frequencies, which no small
+        // single-pass summary could do (Section 4.1).
+        let mut tuples = Vec::new();
+        for i in 0..5_000u64 {
+            tuples.push(StreamTuple::weighted(i % 100, (i * 31) % 2048, 2));
+        }
+        for i in 0..5_000u64 {
+            if i % 2 == 0 {
+                tuples.push(StreamTuple::weighted(i % 100, (i * 31) % 2048, -2));
+            }
+        }
+        let stream = StoredStream::new(tuples);
+        let eps = 0.25;
+        let est = multipass_f2(&stream, eps, 0.05, 2047, 13);
+        for &tau in &[512u64, 2047] {
+            let truth = exact_correlated_f2(&stream, tau);
+            let approx = est.query(tau);
+            let err = (approx - truth).abs() / truth.max(1.0);
+            assert!(
+                err < 3.0 * eps,
+                "tau={tau}: multipass {approx} vs exact {truth} (err {err})"
+            );
+        }
+    }
+
+    #[test]
+    fn query_below_all_positions_is_zero() {
+        let tuples: Vec<StreamTuple> = (0..100u64)
+            .map(|i| StreamTuple::new(i, 500 + i % 10))
+            .collect();
+        let stream = StoredStream::new(tuples);
+        let est = multipass_f2(&stream, 0.3, 0.1, 1023, 3);
+        assert_eq!(est.query(0), 0.0);
+        assert!(est.query(1023) > 0.0);
+        assert_eq!(est.epsilon(), 0.3);
+    }
+}

@@ -1,0 +1,106 @@
+//! The stream model: two-dimensional tuples `(x, y)` with optional integer
+//! weights (the turnstile model of Section 4 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// One stream element: an item identifier `x`, a numeric attribute `y`, and an
+/// integer weight `z` (1 for plain insertions, negative for deletions in the
+/// turnstile model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamTuple {
+    /// Item identifier (the aggregation dimension).
+    pub x: u64,
+    /// Numeric attribute (the selection dimension).
+    pub y: u64,
+    /// Weight; `1` in the cash-register model, possibly negative in the
+    /// turnstile model.
+    pub weight: i64,
+}
+
+impl StreamTuple {
+    /// A unit-weight tuple.
+    pub fn new(x: u64, y: u64) -> Self {
+        Self { x, y, weight: 1 }
+    }
+
+    /// A weighted tuple.
+    pub fn weighted(x: u64, y: u64, weight: i64) -> Self {
+        Self { x, y, weight }
+    }
+
+    /// True iff the weight is negative (a deletion).
+    pub fn is_deletion(&self) -> bool {
+        self.weight < 0
+    }
+}
+
+/// Summary statistics of a generated dataset, used in reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Human-readable dataset name ("Uniform", "Zipf(1.0)", "Ethernet", ...).
+    pub name: String,
+    /// Number of tuples.
+    pub len: usize,
+    /// Largest x value.
+    pub x_max: u64,
+    /// Largest y value.
+    pub y_max: u64,
+    /// Whether any tuple carries a non-unit or negative weight.
+    pub weighted: bool,
+}
+
+/// Compute a [`DatasetSummary`] for a slice of tuples.
+pub fn summarize(name: &str, tuples: &[StreamTuple]) -> DatasetSummary {
+    DatasetSummary {
+        name: name.to_string(),
+        len: tuples.len(),
+        x_max: tuples.iter().map(|t| t.x).max().unwrap_or(0),
+        y_max: tuples.iter().map(|t| t.y).max().unwrap_or(0),
+        weighted: tuples.iter().any(|t| t.weight != 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let t = StreamTuple::new(3, 9);
+        assert_eq!(t.weight, 1);
+        assert!(!t.is_deletion());
+        let d = StreamTuple::weighted(3, 9, -2);
+        assert!(d.is_deletion());
+    }
+
+    #[test]
+    fn summary_of_empty_slice() {
+        let s = summarize("empty", &[]);
+        assert_eq!(s.len, 0);
+        assert_eq!(s.x_max, 0);
+        assert_eq!(s.y_max, 0);
+        assert!(!s.weighted);
+    }
+
+    #[test]
+    fn summary_reports_maxima_and_weights() {
+        let tuples = vec![
+            StreamTuple::new(5, 100),
+            StreamTuple::new(9, 7),
+            StreamTuple::weighted(2, 3, 4),
+        ];
+        let s = summarize("mix", &tuples);
+        assert_eq!(s.len, 3);
+        assert_eq!(s.x_max, 9);
+        assert_eq!(s.y_max, 100);
+        assert!(s.weighted);
+    }
+
+    #[test]
+    fn tuples_serialize_round_trip() {
+        let t = StreamTuple::weighted(1, 2, -3);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: StreamTuple = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

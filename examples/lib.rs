@@ -1,0 +1,3 @@
+//! Support crate for the runnable examples; the examples themselves live next
+//! to this file (`quickstart.rs`, `netflow_drilldown.rs`, ...). Shared helper
+//! code used by more than one example goes here.

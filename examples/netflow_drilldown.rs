@@ -1,0 +1,80 @@
+//! The paper's motivating "drill-down" scenario (Section 1): a router exports
+//! flow records (destination, bytes); a whole-stream quantile summary over the
+//! bytes dimension is paired with a correlated-aggregate summary so an
+//! operator can ask, *after* the stream has gone by:
+//!
+//! 1. What is the median flow size? The 95th percentile?
+//! 2. What is F2 (a self-join size / skew indicator) of the destinations of
+//!    all flows *smaller* than the median — and below the 95th percentile?
+//! 3. How many distinct destinations appear among the small flows?
+//!
+//! Run with: `cargo run -p cora-examples --release --example netflow_drilldown`
+
+use cora_core::{correlated_f2, CorrelatedF0};
+use cora_sketch::{GkQuantiles, SpaceUsage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n = 300_000usize;
+    let max_flow_bytes = 1_000_000u64;
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Summaries built while the stream is live. The y dimension is the flow
+    // size in bytes; the x dimension is the destination address.
+    let mut sizes = GkQuantiles::new(0.01).expect("valid epsilon");
+    let mut f2 = correlated_f2(0.2, 0.05, max_flow_bytes, n as u64).expect("valid parameters");
+    let mut distinct = CorrelatedF0::new(0.15, 0.05, 16, max_flow_bytes).expect("valid parameters");
+
+    for _ in 0..n {
+        // A heavy-tailed flow-size distribution and ~50k destinations, a few of
+        // which ("servers") attract a disproportionate share of small flows.
+        let dest: u64 = if rng.gen_bool(0.2) {
+            rng.gen_range(0..20)
+        } else {
+            rng.gen_range(0..50_000)
+        };
+        let size: u64 = {
+            let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-9);
+            ((2_000.0 / u.powf(0.7)) as u64).min(max_flow_bytes)
+        };
+        sizes.insert(size);
+        f2.insert(dest, size).expect("size within range");
+        distinct.insert(dest, size).expect("size within range");
+    }
+
+    println!("== whole-stream quantile summary over flow sizes ==");
+    let median = sizes.quantile(0.5).expect("non-empty");
+    let p95 = sizes.quantile(0.95).expect("non-empty");
+    println!(
+        "median flow size ~ {median} bytes, 95th percentile ~ {p95} bytes ({} GK tuples stored)",
+        sizes.stored_tuples()
+    );
+
+    println!();
+    println!("== drill-down with thresholds chosen from the quantiles ==");
+    let f2_small = f2.query(median).expect("answerable");
+    let f2_all = f2.query(max_flow_bytes).expect("answerable");
+    let f2_below_p95 = f2.query(p95).expect("answerable");
+    println!("F2 of destinations with flow size <= median      : {f2_small:.3e}");
+    println!("F2 of destinations with flow size <= 95th pct    : {f2_below_p95:.3e}");
+    println!("F2 of destinations over the whole stream         : {f2_all:.3e}");
+    println!(
+        "  -> share of destination skew carried by the small flows: {:.1}%",
+        100.0 * f2_small / f2_all
+    );
+
+    let d_small = distinct.query(median).expect("answerable");
+    let d_all = distinct.query(max_flow_bytes).expect("answerable");
+    println!();
+    println!("distinct destinations among flows <= median       : ~{d_small:.0}");
+    println!("distinct destinations over the whole stream       : ~{d_all:.0}");
+
+    println!();
+    println!(
+        "summary sizes: F2 sketch {} tuples, F0 sketch {} tuples, quantiles {} tuples (stream had {n} records)",
+        f2.stored_tuples(),
+        distinct.stored_tuples(),
+        sizes.stored_tuples()
+    );
+}

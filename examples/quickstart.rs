@@ -1,0 +1,54 @@
+//! Quickstart: build correlated F2 and F0 sketches, feed a stream of
+//! (item, y) tuples, and answer threshold queries chosen only at query time.
+//!
+//! Run with: `cargo run -p cora-examples --release --example quickstart`
+
+use cora_core::{correlated_f2, CorrelatedF0, ExactCorrelated};
+use cora_stream::{DatasetGenerator, UniformGenerator};
+
+fn main() {
+    let epsilon = 0.2;
+    let delta = 0.05;
+    let y_max = 1_000_000u64;
+    let n = 200_000usize;
+
+    // Generate a stream of (x, y) tuples: x uniform over half a million ids,
+    // y uniform over [0, 1e6] — the paper's "Uniform" workload.
+    let mut generator = UniformGenerator::new(500_000, y_max, 42);
+    let tuples = generator.generate(n);
+
+    // Build the three summaries: correlated F2, correlated F0, and the exact
+    // (linear-storage) baseline used for comparison.
+    let mut f2 = correlated_f2(epsilon, delta, y_max, n as u64).expect("valid parameters");
+    let mut f0 = CorrelatedF0::new(epsilon, delta, 20, y_max).expect("valid parameters");
+    let mut exact = ExactCorrelated::new();
+
+    for t in &tuples {
+        f2.insert(t.x, t.y).expect("y within range");
+        f0.insert(t.x, t.y).expect("y within range");
+        exact.insert(t.x, t.y);
+    }
+
+    println!("ingested {n} tuples (x <= 500000, y <= {y_max})");
+    println!(
+        "correlated-F2 sketch: {} stored tuples | correlated-F0 sketch: {} stored tuples | exact baseline: {} tuples",
+        f2.stored_tuples(),
+        f0.stored_tuples(),
+        exact.stored_tuples()
+    );
+    println!();
+    println!("threshold c      F2 estimate      F2 exact   rel.err      F0 estimate   F0 exact   rel.err");
+
+    // The selection threshold is chosen *now*, long after the stream was seen.
+    for c in [y_max / 10, y_max / 4, y_max / 2, (3 * y_max) / 4, y_max] {
+        let f2_est = f2.query(c).expect("answerable");
+        let f2_true = exact.frequency_moment(2, c);
+        let f0_est = f0.query(c).expect("answerable");
+        let f0_true = exact.distinct_count(c);
+        println!(
+            "{c:>11}  {f2_est:>15.0}  {f2_true:>12.0}  {:>8.4}  {f0_est:>15.0}  {f0_true:>9.0}  {:>8.4}",
+            (f2_est - f2_true).abs() / f2_true.max(1.0),
+            (f0_est - f0_true).abs() / f0_true.max(1.0),
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! End-to-end accuracy of every correlated aggregate against the exact
+//! linear-storage baseline, on every generator from the paper's evaluation.
+
+use cora_core::{
+    correlated_count, correlated_f2_seeded, correlated_fk_seeded, CorrelatedF0, ExactCorrelated,
+};
+use cora_stream::{
+    default_thresholds, DatasetGenerator, EthernetGenerator, UniformGenerator, ZipfGenerator,
+};
+
+const N: usize = 40_000;
+
+fn generators() -> Vec<Box<dyn DatasetGenerator>> {
+    vec![
+        Box::new(UniformGenerator::new(100_000, 1_000_000, 11)),
+        Box::new(ZipfGenerator::new(1.0, 100_000, 1_000_000, 12)),
+        Box::new(ZipfGenerator::new(2.0, 100_000, 1_000_000, 13)),
+        Box::new(EthernetGenerator::new(1_000_000, 14)),
+    ]
+}
+
+#[test]
+fn correlated_f2_is_within_epsilon_on_all_datasets() {
+    let epsilon = 0.2;
+    for mut generator in generators() {
+        let name = generator.name();
+        let y_max = generator.y_max();
+        let tuples = generator.generate(N);
+        let mut sketch = correlated_f2_seeded(epsilon, 0.05, y_max, N as u64, 99).unwrap();
+        let mut exact = ExactCorrelated::new();
+        for t in &tuples {
+            sketch.insert(t.x, t.y).unwrap();
+            exact.insert(t.x, t.y);
+        }
+        for c in default_thresholds(y_max, 5) {
+            let truth = exact.frequency_moment(2, c);
+            if truth == 0.0 {
+                continue;
+            }
+            let est = sketch.query(c).unwrap();
+            let err = (est - truth).abs() / truth;
+            assert!(
+                err <= epsilon + 0.05,
+                "[{name}] F2 at c={c}: est {est}, truth {truth}, err {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn correlated_f0_is_within_tolerance_on_all_datasets() {
+    let epsilon = 0.15;
+    for mut generator in generators() {
+        let name = generator.name();
+        let y_max = generator.y_max();
+        let tuples = generator.generate(N);
+        let mut sketch = CorrelatedF0::with_seed(epsilon, 0.05, 20, y_max, 7).unwrap();
+        let mut exact = ExactCorrelated::new();
+        for t in &tuples {
+            sketch.insert(t.x, t.y).unwrap();
+            exact.insert(t.x, t.y);
+        }
+        for c in default_thresholds(y_max, 5) {
+            let truth = exact.distinct_count(c);
+            if truth < 50.0 {
+                continue; // tiny selections: absolute noise dominates
+            }
+            let est = sketch.query(c).unwrap();
+            let err = (est - truth).abs() / truth;
+            assert!(
+                err <= 3.0 * epsilon,
+                "[{name}] F0 at c={c}: est {est}, truth {truth}, err {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn correlated_count_matches_exact_on_all_datasets() {
+    for mut generator in generators() {
+        let name = generator.name();
+        let y_max = generator.y_max();
+        let tuples = generator.generate(N);
+        let mut sketch = correlated_count(0.2, 0.05, y_max, N as u64).unwrap();
+        let mut exact = ExactCorrelated::new();
+        for t in &tuples {
+            sketch.insert(t.x, t.y).unwrap();
+            exact.insert(t.x, t.y);
+        }
+        for c in default_thresholds(y_max, 4) {
+            let truth = exact.count(c) as f64;
+            if truth == 0.0 {
+                continue;
+            }
+            let est = sketch.query(c).unwrap();
+            let err = (est - truth).abs() / truth;
+            assert!(
+                err <= 0.25,
+                "[{name}] count at c={c}: est {est}, truth {truth}, err {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn correlated_f3_tracks_exact_on_skewed_data() {
+    let mut generator = ZipfGenerator::new(1.5, 50_000, 1_000_000, 21);
+    let y_max = generator.y_max();
+    let tuples = generator.generate(N);
+    let mut sketch = correlated_fk_seeded(3, 0.25, 0.1, y_max, N as u64, 5).unwrap();
+    let mut exact = ExactCorrelated::new();
+    for t in &tuples {
+        sketch.insert(t.x, t.y).unwrap();
+        exact.insert(t.x, t.y);
+    }
+    for c in default_thresholds(y_max, 3) {
+        let truth = exact.frequency_moment(3, c);
+        if truth == 0.0 {
+            continue;
+        }
+        let est = sketch.query(c).unwrap();
+        let err = (est - truth).abs() / truth;
+        assert!(err <= 0.4, "F3 at c={c}: est {est}, truth {truth}, err {err}");
+    }
+}
+
+#[test]
+fn sketch_space_is_sublinear_in_stream_size_for_large_streams() {
+    // The paper's headline: the sketch is much smaller than the stream once
+    // the stream is large (its Section 5 notes savings kick in past ~10M
+    // tuples at full scale; at test scale we check the sketch stops growing).
+    let mut generator = UniformGenerator::new(100_000, 1_000_000, 31);
+    let y_max = generator.y_max();
+    let tuples = generator.generate(120_000);
+    let mut sketch = correlated_f2_seeded(0.25, 0.1, y_max, 200_000, 3).unwrap();
+    let mut size_at_half = 0usize;
+    for (i, t) in tuples.iter().enumerate() {
+        sketch.insert(t.x, t.y).unwrap();
+        if i == tuples.len() / 2 {
+            size_at_half = sketch.stored_tuples();
+        }
+    }
+    let size_at_end = sketch.stored_tuples();
+    // Growth must decelerate: the second half of the stream adds markedly
+    // fewer tuples to the sketch than the first half did (the curve flattens,
+    // as in Figures 3-5 of the paper).
+    let first_half_growth = size_at_half as f64;
+    let second_half_growth = (size_at_end - size_at_half) as f64;
+    assert!(
+        second_half_growth < 0.8 * first_half_growth,
+        "sketch growth did not decelerate: {size_at_half} tuples after half the stream, \
+         {size_at_end} after all of it"
+    );
+}

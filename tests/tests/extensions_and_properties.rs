@@ -1,0 +1,120 @@
+//! Integration tests for the Section 3.3 extensions (heavy hitters, rarity)
+//! and property-based tests on cross-crate invariants.
+
+use cora_core::{correlated_f2_seeded, CorrelatedHeavyHitters, CorrelatedRarity, ExactCorrelated};
+use proptest::prelude::*;
+
+#[test]
+fn heavy_hitters_match_exact_on_a_planted_workload() {
+    let y_max = 65_535u64;
+    let mut hh = CorrelatedHeavyHitters::with_seed(0.2, 0.05, 0.05, y_max, 200_000, 3).unwrap();
+    let mut exact = ExactCorrelated::new();
+    // Three planted heavy destinations dominating different y ranges.
+    for i in 0..30_000u64 {
+        let (x, y) = match i % 3 {
+            0 => (111, i % 20_000),
+            1 => (222, 20_000 + (i % 20_000)),
+            _ => (5_000 + (i % 2_000), (i * 7) % (y_max + 1)),
+        };
+        hh.insert(x, y).unwrap();
+        exact.insert(x, y);
+    }
+    for &c in &[20_000u64, y_max] {
+        let expected: Vec<u64> = exact
+            .f2_heavy_hitters(c, 0.1)
+            .into_iter()
+            .map(|(x, _)| x)
+            .collect();
+        let got: Vec<u64> = hh
+            .query_heavy_hitters(c, 0.1)
+            .unwrap()
+            .into_iter()
+            .map(|h| h.item)
+            .collect();
+        for item in &expected {
+            assert!(
+                got.contains(item),
+                "c={c}: exact heavy hitter {item} missing from sketch answer {got:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rarity_tracks_exact_as_duplicates_accumulate() {
+    let y_max = 1_000_000u64;
+    let mut sketch = CorrelatedRarity::with_seed(0.15, 18, y_max, 9).unwrap();
+    let mut exact = ExactCorrelated::new();
+    for x in 0..30_000u64 {
+        let y1 = (x * 29) % y_max;
+        sketch.insert(x, y1).unwrap();
+        exact.insert(x, y1);
+        if x % 4 == 0 {
+            let y2 = (x * 53) % y_max;
+            sketch.insert(x, y2).unwrap();
+            exact.insert(x, y2);
+        }
+    }
+    for &c in &[y_max / 2, y_max] {
+        let truth = exact.rarity(c);
+        let est = sketch.query(c).unwrap();
+        assert!(
+            (est - truth).abs() < 0.1,
+            "rarity at c={c}: est {est}, truth {truth}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On any small stream the correlated F2 sketch answers every threshold
+    /// exactly (everything fits in the singleton level).
+    #[test]
+    fn small_streams_are_answered_exactly(
+        tuples in prop::collection::vec((0u64..50, 0u64..256), 1..120),
+        c in 0u64..256,
+    ) {
+        let mut sketch = correlated_f2_seeded(0.3, 0.1, 255, 1_000, 7).unwrap();
+        let mut exact = ExactCorrelated::new();
+        for &(x, y) in &tuples {
+            sketch.insert(x, y).unwrap();
+            exact.insert(x, y);
+        }
+        let est = sketch.query(c).unwrap();
+        let truth = exact.frequency_moment(2, c);
+        prop_assert!((est - truth).abs() < 1e-9, "est {} truth {}", est, truth);
+    }
+
+    /// Correlated estimates are monotone-ish in the threshold and never exceed
+    /// the whole-stream estimate by more than the sketch's own noise.
+    #[test]
+    fn estimates_bounded_by_whole_stream(
+        tuples in prop::collection::vec((0u64..200, 0u64..1024), 200..600),
+        c in 0u64..1024,
+    ) {
+        let mut sketch = correlated_f2_seeded(0.25, 0.1, 1023, 10_000, 11).unwrap();
+        for &(x, y) in &tuples {
+            sketch.insert(x, y).unwrap();
+        }
+        let partial = sketch.query(c).unwrap();
+        let full = sketch.query(1023).unwrap();
+        prop_assert!(partial <= full * 1.3 + 1.0,
+            "partial estimate {} exceeds whole-stream estimate {}", partial, full);
+    }
+
+    /// The F0 sketch never reports more distinct items than tuples inserted,
+    /// and reports zero for thresholds below every y.
+    #[test]
+    fn f0_sanity_bounds(
+        tuples in prop::collection::vec((0u64..10_000, 10u64..100_000), 1..400),
+    ) {
+        let mut sketch = cora_core::CorrelatedF0::with_seed(0.2, 0.1, 16, 100_000, 3).unwrap();
+        for &(x, y) in &tuples {
+            sketch.insert(x, y).unwrap();
+        }
+        let est = sketch.query(100_000).unwrap();
+        prop_assert!(est <= 4.0 * tuples.len() as f64 + 1.0);
+        prop_assert_eq!(sketch.query(0).unwrap(), 0.0);
+    }
+}

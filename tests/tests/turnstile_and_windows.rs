@@ -1,0 +1,87 @@
+//! Cross-crate integration tests for the turnstile-model machinery (multipass,
+//! lower-bound instances) and the asynchronous sliding-window reduction.
+
+use cora_core::ExactCorrelated;
+use cora_stream::{
+    greater_than_instance, multipass_f2, solve_exactly, AsyncWindowCount, StoredStream,
+    StreamTuple,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn multipass_agrees_with_exact_correlated_f2_under_deletions() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let y_max = 8_191u64;
+    let mut tuples = Vec::new();
+    for _ in 0..30_000 {
+        let x = rng.gen_range(0..300u64);
+        let y = rng.gen_range(0..=y_max);
+        tuples.push(StreamTuple::weighted(x, y, 1));
+    }
+    // Delete a third of the insertions again.
+    for i in (0..tuples.len()).step_by(3) {
+        let t = tuples[i];
+        tuples.push(StreamTuple::weighted(t.x, t.y, -1));
+    }
+    let stream = StoredStream::new(tuples);
+    let eps = 0.2;
+    let estimator = multipass_f2(&stream, eps, 0.05, y_max, 23);
+    assert!(estimator.passes_used() <= 16, "too many passes: {}", estimator.passes_used());
+
+    let mut exact = ExactCorrelated::new();
+    for t in stream.tuples() {
+        exact.update(t.x, t.y, t.weight);
+    }
+    for &tau in &[y_max / 4, y_max / 2, y_max] {
+        let truth = exact.frequency_moment(2, tau);
+        let est = estimator.query(tau);
+        let err = (est - truth).abs() / truth.max(1.0);
+        assert!(
+            err < 3.0 * eps,
+            "tau={tau}: multipass {est} vs exact {truth} (err {err})"
+        );
+    }
+}
+
+#[test]
+fn greater_than_instances_are_decided_by_correlated_queries() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..200 {
+        let bits = rng.gen_range(2..20u32);
+        let a = rng.gen_range(0..(1u64 << bits));
+        let b = rng.gen_range(0..(1u64 << bits));
+        let stream = greater_than_instance(a, b, bits);
+        assert_eq!(solve_exactly(&stream, bits), a.cmp(&b), "a={a} b={b} bits={bits}");
+    }
+}
+
+#[test]
+fn async_window_count_matches_brute_force_across_windows() {
+    let t_max = 500_000u64;
+    let n = 50_000u64;
+    let mut window = AsyncWindowCount::new(0.2, 0.05, t_max, n, 13).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut events = Vec::new();
+    for i in 0..n {
+        let t = rng.gen_range(0..=t_max);
+        events.push(t);
+        window.observe(i % 1_000, t).unwrap();
+    }
+    for &w in &[50_000u64, 200_000, 500_000] {
+        let truth = events.iter().filter(|&&t| t >= t_max - w).count() as f64;
+        let est = window.query_window(t_max, w).unwrap();
+        let err = (est - truth).abs() / truth;
+        assert!(err < 0.25, "window {w}: est {est}, truth {truth}");
+    }
+}
+
+#[test]
+fn single_pass_correlated_sketch_rejects_turnstile_updates() {
+    // The API-level guard matching the Section 4.1 impossibility: the
+    // single-pass structure refuses deletions instead of silently answering
+    // wrong.
+    let mut sketch = cora_core::correlated_f2(0.2, 0.1, 1023, 1000).unwrap();
+    assert!(sketch.update(1, 10, 1).is_ok());
+    assert!(sketch.update(1, 10, -1).is_err());
+}
