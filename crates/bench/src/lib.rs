@@ -82,7 +82,7 @@ pub fn emit(reports: &[RunReport], json: bool) {
     }
     if json {
         for r in reports {
-            println!("{}", serde_json::to_string(r).expect("reports serialise"));
+            println!("{}", r.to_json());
         }
     }
 }

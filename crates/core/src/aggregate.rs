@@ -14,7 +14,7 @@
 //!   ([`CorrelatedAggregate::c2`]);
 //! * **V** — `f` has a composable sketching function
 //!   ([`CorrelatedAggregate::new_sketch`] + the sketch's
-//!   [`MergeableSketch`][cora_sketch::MergeableSketch] impl).
+//!   [`cora_sketch::MergeableSketch`] impl).
 //!
 //! Conditions II–IV are mathematical facts about `f` established once per
 //! aggregate (see the instantiations in [`crate::f2`], [`crate::fk`],

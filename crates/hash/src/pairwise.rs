@@ -99,7 +99,7 @@ mod tests {
     fn roughly_uniform_buckets() {
         let h = PairwiseHash::new(6, 10);
         let n = 50_000u64;
-        let mut counts = vec![0u64; 10];
+        let mut counts = [0u64; 10];
         for k in 0..n {
             counts[h.bucket(k) as usize] += 1;
         }

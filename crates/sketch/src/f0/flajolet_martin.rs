@@ -13,7 +13,7 @@
 
 use crate::error::{check_epsilon, Result, SketchError};
 use crate::traits::{Estimate, MergeableSketch, SpaceUsage, StreamSketch};
-use cora_hash::mix::derive_seed;
+use cora_hash::mix::{derive_seed, fmix64};
 use cora_hash::polynomial::PolynomialHash;
 use cora_hash::traits::HashFunction64;
 
@@ -65,7 +65,11 @@ impl StreamSketch for FlajoletMartin {
         }
         let m = self.bitmaps.len() as u64;
         let bucket = self.route_hash.hash_range(item, m) as usize;
-        let level = self.level_hash.hash64(item).trailing_ones().min(63);
+        // A degree-1 polynomial maps sequential keys to an arithmetic
+        // progression mod p, whose trailing-bit patterns are far from
+        // geometric; the fmix64 bijection breaks that structure without
+        // affecting the family's independence.
+        let level = fmix64(self.level_hash.hash64(item)).trailing_ones().min(63);
         self.bitmaps[bucket] |= 1u64 << level;
     }
 }

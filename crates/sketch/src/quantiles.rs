@@ -204,7 +204,7 @@ mod tests {
         assert_eq!(q.quantile(1.0).unwrap(), 42);
     }
 
-    fn check_accuracy(values: &mut Vec<u64>, q: &GkQuantiles, eps: f64) {
+    fn check_accuracy(values: &mut [u64], q: &GkQuantiles, eps: f64) {
         values.sort_unstable();
         let n = values.len() as f64;
         for &phi in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {

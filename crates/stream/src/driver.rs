@@ -3,13 +3,13 @@
 //! stored tuples, bytes, per-record processing time, and relative error
 //! against the exact (linear-storage) baseline.
 
+use crate::json;
 use crate::tuple::StreamTuple;
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// One measured data point, serialisable so the figure binaries can emit both
 /// human-readable tables and machine-readable JSON series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Dataset name.
     pub dataset: String,
@@ -58,6 +58,51 @@ impl RunReport {
     /// The TSV header matching [`RunReport::tsv_row`].
     pub fn tsv_header() -> &'static str {
         "dataset\tsketch\tepsilon\tstream_len\tstored_tuples\tspace_bytes\tns_per_record\tmax_rel_error"
+    }
+
+    /// Serialise as a JSON object (hand-rolled; see [`crate::json`]). Floats
+    /// use shortest round-trip formatting, so
+    /// [`RunReport::from_json`] recovers the report exactly.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"dataset":{},"sketch":{},"epsilon":{},"stream_len":{},"stored_tuples":{},"space_bytes":{},"ns_per_record":{},"relative_errors":{}}}"#,
+            json::escape(&self.dataset),
+            json::escape(&self.sketch),
+            json::float(self.epsilon),
+            self.stream_len,
+            self.stored_tuples,
+            self.space_bytes,
+            json::float(self.ns_per_record),
+            json::float_array(&self.relative_errors),
+        )
+    }
+
+    /// Parse a report back from its [`RunReport::to_json`] form.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let mut out = Self {
+            dataset: String::new(),
+            sketch: String::new(),
+            epsilon: 0.0,
+            stream_len: 0,
+            stored_tuples: 0,
+            space_bytes: 0,
+            ns_per_record: 0.0,
+            relative_errors: Vec::new(),
+        };
+        for (key, value) in json::parse_object(text)? {
+            match key.as_str() {
+                "dataset" => out.dataset = json::parse_string(&value)?,
+                "sketch" => out.sketch = json::parse_string(&value)?,
+                "epsilon" => out.epsilon = json::parse_f64(&value)?,
+                "stream_len" => out.stream_len = json::parse_u64(&value)? as usize,
+                "stored_tuples" => out.stored_tuples = json::parse_u64(&value)? as usize,
+                "space_bytes" => out.space_bytes = json::parse_u64(&value)? as usize,
+                "ns_per_record" => out.ns_per_record = json::parse_f64(&value)?,
+                "relative_errors" => out.relative_errors = json::parse_f64_array(&value)?,
+                other => return Err(format!("unknown RunReport field {other:?}")),
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -159,8 +204,8 @@ mod tests {
         assert!(report.max_relative_error().unwrap() < 0.3);
         assert!(report.tsv_row().contains("unit-test"));
         assert!(RunReport::tsv_header().starts_with("dataset"));
-        let json = serde_json::to_string(&report).unwrap();
-        let back: RunReport = serde_json::from_str(&json).unwrap();
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).unwrap();
         assert_eq!(back, report);
     }
 

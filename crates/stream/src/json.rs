@@ -1,0 +1,246 @@
+//! Minimal JSON emit/parse helpers for the report types.
+//!
+//! The workspace builds offline, so instead of `serde`/`serde_json` the two
+//! serialisable structs ([`crate::tuple::StreamTuple`],
+//! [`crate::driver::RunReport`]) hand-roll their JSON through these helpers.
+//! The subset supported is exactly what flat report objects need: string,
+//! integer, float, bool, and float-array values, one level deep. Floats are
+//! emitted with Rust's shortest round-trip formatting (`{:?}`), so
+//! `emit -> parse` is lossless.
+
+/// Escape a string for embedding in a JSON document (quotes included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Emit one float as JSON: shortest round-trip formatting for finite values,
+/// `null` for non-finite ones (JSON has no inf/NaN literals; this matches
+/// serde_json's default behaviour).
+pub fn float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Emit a `[1.0,2.5,...]` array from a float slice; finite values round-trip
+/// losslessly, non-finite values become `null` (parsed back as NaN).
+pub fn float_array(values: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&float(*v));
+    }
+    out.push(']');
+    out
+}
+
+/// Split a flat JSON object into `(key, raw value text)` pairs.
+///
+/// Values are returned verbatim (still quoted/bracketed); decode them with
+/// [`parse_string`], [`parse_f64`], [`parse_u64`] or [`parse_f64_array`].
+/// Nested objects are not supported — the report types are flat.
+pub fn parse_object(text: &str) -> Result<Vec<(String, String)>, String> {
+    let text = text.trim();
+    let inner = text
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or_else(|| format!("not a JSON object: {text:?}"))?;
+    let mut fields = Vec::new();
+    let mut rest = inner.trim_start();
+    while !rest.is_empty() {
+        let (key, after_key) = take_string(rest)?;
+        let after_colon = after_key
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected ':' after key {key:?}"))?;
+        let (value, after_value) = take_value(after_colon.trim_start())?;
+        fields.push((key, value));
+        rest = after_value.trim_start();
+        match rest.strip_prefix(',') {
+            Some(r) => rest = r.trim_start(),
+            None if rest.is_empty() => break,
+            None => return Err(format!("expected ',' before {rest:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Decode a quoted JSON string value.
+pub fn parse_string(raw: &str) -> Result<String, String> {
+    let (s, rest) = take_string(raw.trim())?;
+    if rest.trim().is_empty() {
+        Ok(s)
+    } else {
+        Err(format!("trailing data after string: {rest:?}"))
+    }
+}
+
+/// Decode a JSON number as `f64`; `null` (the emit form of non-finite
+/// values, see [`float`]) decodes as NaN.
+pub fn parse_f64(raw: &str) -> Result<f64, String> {
+    let raw = raw.trim();
+    if raw == "null" {
+        return Ok(f64::NAN);
+    }
+    raw.parse::<f64>()
+        .map_err(|e| format!("bad float {raw:?}: {e}"))
+}
+
+/// Decode a JSON number as `u64`.
+pub fn parse_u64(raw: &str) -> Result<u64, String> {
+    raw.trim()
+        .parse::<u64>()
+        .map_err(|e| format!("bad integer {raw:?}: {e}"))
+}
+
+/// Decode a JSON number as `i64`.
+pub fn parse_i64(raw: &str) -> Result<i64, String> {
+    raw.trim()
+        .parse::<i64>()
+        .map_err(|e| format!("bad integer {raw:?}: {e}"))
+}
+
+/// Decode a `[..]` array of JSON numbers.
+pub fn parse_f64_array(raw: &str) -> Result<Vec<f64>, String> {
+    let inner = raw
+        .trim()
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| format!("not a JSON array: {raw:?}"))?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner.split(',').map(parse_f64).collect()
+}
+
+/// Consume one string literal from the front of `text`, returning the decoded
+/// string and the remaining text.
+fn take_string(text: &str) -> Result<(String, &str), String> {
+    let body = text
+        .strip_prefix('"')
+        .ok_or_else(|| format!("expected string at {text:?}"))?;
+    let mut out = String::new();
+    let mut chars = body.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &body[i + 1..])),
+            '\\' => match chars.next().map(|(_, e)| e) {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                        code = code * 16 + h.to_digit(16).ok_or("bad \\u escape")?;
+                    }
+                    out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                }
+                other => return Err(format!("unsupported escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Consume one value (string, array, or bare scalar) from the front of
+/// `text`, returning its raw text and the remaining input.
+fn take_value(text: &str) -> Result<(String, &str), String> {
+    if text.starts_with('"') {
+        let (_, rest) = take_string(text)?;
+        let consumed = text.len() - rest.len();
+        return Ok((text[..consumed].to_string(), rest));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        // Flat arrays only (no nesting needed for the report types).
+        let close = body
+            .find(']')
+            .ok_or_else(|| format!("unterminated array at {text:?}"))?;
+        return Ok((text[..close + 2].to_string(), &body[close + 1..]));
+    }
+    let end = text
+        .find([',', '}'])
+        .unwrap_or(text.len());
+    Ok((text[..end].trim_end().to_string(), &text[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_specials() {
+        let s = "a\"b\\c\nd\te";
+        let escaped = escape(s);
+        assert_eq!(parse_string(&escaped).unwrap(), s);
+    }
+
+    #[test]
+    fn object_parsing_splits_fields() {
+        let fields =
+            parse_object(r#"{"name":"zipf","eps":0.25,"n":100,"errs":[0.1,0.2],"ok":true}"#)
+                .unwrap();
+        assert_eq!(fields.len(), 5);
+        assert_eq!(parse_string(&fields[0].1).unwrap(), "zipf");
+        assert_eq!(parse_f64(&fields[1].1).unwrap(), 0.25);
+        assert_eq!(parse_u64(&fields[2].1).unwrap(), 100);
+        assert_eq!(parse_f64_array(&fields[3].1).unwrap(), vec![0.1, 0.2]);
+        assert_eq!(fields[4].1, "true");
+    }
+
+    #[test]
+    fn float_arrays_round_trip_losslessly() {
+        let values = vec![0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300];
+        assert_eq!(parse_f64_array(&float_array(&values)).unwrap(), values);
+        assert_eq!(parse_f64_array("[]").unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn non_finite_floats_emit_valid_json() {
+        // JSON has no inf/NaN literals; they emit as null and parse as NaN.
+        assert_eq!(float(f64::INFINITY), "null");
+        assert_eq!(float(f64::NEG_INFINITY), "null");
+        assert_eq!(float(f64::NAN), "null");
+        assert_eq!(float_array(&[1.0, f64::INFINITY]), "[1.0,null]");
+        let back = parse_f64_array("[1.0,null]").unwrap();
+        assert_eq!(back[0], 1.0);
+        assert!(back[1].is_nan());
+    }
+
+    #[test]
+    fn keys_containing_escapes_survive() {
+        let fields = parse_object(r#"{"a\"b":"c,d"}"#).unwrap();
+        assert_eq!(fields[0].0, "a\"b");
+        assert_eq!(parse_string(&fields[0].1).unwrap(), "c,d");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(parse_object("[]").is_err());
+        assert!(parse_object(r#"{"a" 1}"#).is_err());
+        assert!(parse_string("plain").is_err());
+        assert!(parse_f64_array("{}").is_err());
+    }
+}

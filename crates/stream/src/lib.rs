@@ -2,7 +2,7 @@
 //!
 //! The streaming substrate around the correlated-aggregation library:
 //!
-//! * [`tuple`] — the `(x, y, weight)` stream model (cash-register and
+//! * [`mod@tuple`] — the `(x, y, weight)` stream model (cash-register and
 //!   turnstile);
 //! * [`generators`] — the paper's experimental workloads (Uniform, Zipf(α),
 //!   the Ethernet-trace surrogate, and stress generators);
@@ -12,7 +12,9 @@
 //!   lower bound (Section 4.1);
 //! * [`async_window`] — sliding-window aggregation over asynchronous
 //!   (out-of-order) streams via the reduction to correlated aggregates;
-//! * [`driver`] — measurement plumbing shared by the experiment harness.
+//! * [`driver`] — measurement plumbing shared by the experiment harness;
+//! * [`json`] — hand-rolled JSON helpers for the report types (the build is
+//!   offline, so there is no `serde`).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -20,6 +22,7 @@
 pub mod async_window;
 pub mod driver;
 pub mod generators;
+pub mod json;
 pub mod lower_bound;
 pub mod multipass;
 pub mod tuple;

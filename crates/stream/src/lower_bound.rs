@@ -25,7 +25,7 @@ use std::cmp::Ordering;
 /// Bit `i = 0` is the most significant bit, as in the paper's reduction, so
 /// the smallest differing index decides the comparison.
 pub fn greater_than_instance(a: u64, b: u64, bits: u32) -> Vec<StreamTuple> {
-    assert!(bits >= 1 && bits <= 63, "bits must be in [1, 63]");
+    assert!((1..=63).contains(&bits), "bits must be in [1, 63]");
     let mut stream = Vec::with_capacity(2 * bits as usize);
     for i in 0..bits {
         let shift = bits - 1 - i;

@@ -1,12 +1,12 @@
 //! The stream model: two-dimensional tuples `(x, y)` with optional integer
 //! weights (the turnstile model of Section 4 of the paper).
 
-use serde::{Deserialize, Serialize};
+use crate::json;
 
 /// One stream element: an item identifier `x`, a numeric attribute `y`, and an
 /// integer weight `z` (1 for plain insertions, negative for deletions in the
 /// turnstile model).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StreamTuple {
     /// Item identifier (the aggregation dimension).
     pub x: u64,
@@ -32,10 +32,32 @@ impl StreamTuple {
     pub fn is_deletion(&self) -> bool {
         self.weight < 0
     }
+
+    /// Serialise as a JSON object (hand-rolled; see [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"x":{},"y":{},"weight":{}}}"#,
+            self.x, self.y, self.weight
+        )
+    }
+
+    /// Parse a tuple back from its [`StreamTuple::to_json`] form.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let mut out = Self::weighted(0, 0, 1);
+        for (key, value) in json::parse_object(text)? {
+            match key.as_str() {
+                "x" => out.x = json::parse_u64(&value)?,
+                "y" => out.y = json::parse_u64(&value)?,
+                "weight" => out.weight = json::parse_i64(&value)?,
+                other => return Err(format!("unknown StreamTuple field {other:?}")),
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// Summary statistics of a generated dataset, used in reports.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSummary {
     /// Human-readable dataset name ("Uniform", "Zipf(1.0)", "Ethernet", ...).
     pub name: String,
@@ -99,8 +121,9 @@ mod tests {
     #[test]
     fn tuples_serialize_round_trip() {
         let t = StreamTuple::weighted(1, 2, -3);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: StreamTuple = serde_json::from_str(&json).unwrap();
+        let json = t.to_json();
+        assert_eq!(json, r#"{"x":1,"y":2,"weight":-3}"#);
+        let back = StreamTuple::from_json(&json).unwrap();
         assert_eq!(t, back);
     }
 }

@@ -1,0 +1,303 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this shim implements the
+//! subset of the criterion API the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! `Throughput`, `BatchSize`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock timing loop.
+//!
+//! Reported numbers are medians over `sample_size` samples with a short
+//! warm-up; good enough to rank implementations and spot order-of-magnitude
+//! regressions, without criterion's statistical machinery. Output is one
+//! `name  median  min  max  [throughput]` line per benchmark on stdout.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimisation barrier.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` sizes its batches. The shim runs one routine call per
+/// setup call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; criterion would batch many per allocation.
+    SmallInput,
+    /// Large setup output; criterion would batch few per allocation.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Measured-quantity annotation used to derive throughput lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name plus a parameter value.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only the parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        }
+    }
+
+    /// Time `routine`, called once per sample after one warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on a fresh value from `setup` each sample; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let (min, max) = (samples[0], samples[samples.len() - 1]);
+    let rate = throughput.map(|t| {
+        let secs = median.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!("  {:.3e} elem/s", n as f64 / secs),
+            Throughput::Bytes(n) => format!("  {:.3e} B/s", n as f64 / secs),
+        }
+    });
+    println!(
+        "{name:<50} median {median:>12.3?}  min {min:>12.3?}  max {max:>12.3?}{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named set of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    // Held to mirror criterion's API (groups borrow the Criterion); settings
+    // below are group-scoped and do not write back through it.
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark (scoped to this group,
+    /// as in real criterion).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput quantity.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&full, &mut bencher.samples, self.throughput);
+        self
+    }
+
+    /// Run one benchmark that receives an explicit input value.
+    pub fn bench_with_input<N: std::fmt::Display, I: ?Sized, F>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        report(&full, &mut bencher.samples, self.throughput);
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(name, &mut bencher.samples, None);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut runs = 0usize;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_calls_setup_per_sample() {
+        let mut setups = 0usize;
+        let mut bencher = Bencher::new(2);
+        bencher.iter_batched(
+            || {
+                setups += 1;
+                Vec::<u8>::with_capacity(8)
+            },
+            |mut v| {
+                v.push(1);
+                v
+            },
+            BatchSize::LargeInput,
+        );
+        assert_eq!(setups, 3);
+        assert_eq!(bencher.samples.len(), 2);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn sample_size_is_group_scoped() {
+        let mut c = Criterion::default();
+        {
+            let mut group_a = c.benchmark_group("a");
+            group_a.sample_size(100);
+        }
+        let mut runs = 0usize;
+        let mut group_b = c.benchmark_group("b");
+        group_b.bench_function("default", |b| b.iter(|| runs += 1));
+        // Default 10 samples + 1 warm-up, NOT group_a's 100.
+        assert_eq!(runs, 11);
+    }
+}

@@ -1,1 +1,26 @@
 //! Shared helpers for the cross-crate integration tests in `tests/tests/`.
+
+#![warn(missing_docs)]
+
+use cora_core::ExactCorrelated;
+use cora_stream::StreamTuple;
+
+/// Relative error of `estimate` against a non-zero `truth`.
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    assert!(truth != 0.0, "relative error undefined for zero truth");
+    (estimate - truth).abs() / truth
+}
+
+/// Feed a tuple slice into both a sketch (through `insert`) and a fresh exact
+/// baseline, returning the baseline.
+pub fn ingest_with_baseline<F>(tuples: &[StreamTuple], mut insert: F) -> ExactCorrelated
+where
+    F: FnMut(&StreamTuple),
+{
+    let mut exact = ExactCorrelated::new();
+    for t in tuples {
+        insert(t);
+        exact.update(t.x, t.y, t.weight);
+    }
+    exact
+}

@@ -1,0 +1,32 @@
+//! Fast end-to-end smoke test: one correlated-F2 sketch, one small Zipf
+//! stream, estimates within the requested `(ε, δ)` bound at every probed
+//! threshold. This is the test CI runs first; the exhaustive version over all
+//! generators lives in `end_to_end_accuracy.rs`.
+
+use cora_core::correlated_f2_seeded;
+use cora_stream::{default_thresholds, DatasetGenerator, ZipfGenerator};
+use cora_tests::{ingest_with_baseline, relative_error};
+
+#[test]
+fn correlated_f2_meets_its_epsilon_bound_on_a_small_zipf_stream() {
+    let (epsilon, delta) = (0.2, 0.05);
+    let n = 10_000usize;
+    let mut generator = ZipfGenerator::new(1.1, 20_000, 100_000, 42);
+    let y_max = generator.y_max();
+    let tuples = generator.generate(n);
+
+    let mut sketch = correlated_f2_seeded(epsilon, delta, y_max, n as u64, 7).unwrap();
+    let exact = ingest_with_baseline(&tuples, |t| sketch.insert(t.x, t.y).unwrap());
+
+    for c in default_thresholds(y_max, 5) {
+        let truth = exact.frequency_moment(2, c);
+        if truth == 0.0 {
+            continue;
+        }
+        let err = relative_error(sketch.query(c).unwrap(), truth);
+        assert!(
+            err <= epsilon,
+            "F2 estimate at threshold c={c} off by {err} (> epsilon {epsilon})"
+        );
+    }
+}
