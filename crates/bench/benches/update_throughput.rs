@@ -30,6 +30,21 @@ fn bench_updates(c: &mut Criterion) {
                 BatchSize::LargeInput,
             );
         });
+        // Same workload through the amortized batch API (level-major
+        // traversal; produces the identical structure).
+        let pairs: Vec<(u64, u64)> = tuples.iter().map(|t| (t.x, t.y)).collect();
+        group.bench_function(format!("correlated_f2_batch/{name}"), |b| {
+            b.iter_batched(
+                || correlated_f2_seeded(0.2, 0.05, 1_000_000, N as u64, 3).unwrap(),
+                |mut sketch| {
+                    for chunk in pairs.chunks(1024) {
+                        sketch.update_batch(chunk).unwrap();
+                    }
+                    sketch
+                },
+                BatchSize::LargeInput,
+            );
+        });
         group.bench_function(format!("correlated_f0/{name}"), |b| {
             b.iter_batched(
                 || CorrelatedF0::with_seed(0.1, 0.05, 20, 1_000_000, 3).unwrap(),

@@ -22,7 +22,9 @@
 //! framework ([`crate::framework::CorrelatedSketch`]) can derive its bucket
 //! budget and thresholds from them.
 
-use cora_sketch::{Estimate, ExactFrequencies, MergeableSketch, SpaceUsage, StreamSketch};
+use cora_sketch::{
+    Estimate, ExactFrequencies, MergeableSketch, SharedUpdate, SpaceUsage, StreamSketch,
+};
 
 /// An aggregation function usable with the correlated-aggregation framework.
 ///
@@ -31,7 +33,18 @@ use cora_sketch::{Estimate, ExactFrequencies, MergeableSketch, SpaceUsage, Strea
 /// actual stream state lives in the sketches they create.
 pub trait CorrelatedAggregate: Clone {
     /// The whole-stream sketch type used inside each bucket (Property V).
-    type Sketch: StreamSketch + Estimate + MergeableSketch + SpaceUsage + Clone + std::fmt::Debug;
+    ///
+    /// The [`SharedUpdate`] bound is what lets the framework hash each stream
+    /// element once and reuse the coordinates across every bucket the element
+    /// touches — sound because Property V already forces all buckets of one
+    /// structure to share hash seeds.
+    type Sketch: StreamSketch
+        + Estimate
+        + MergeableSketch
+        + SharedUpdate
+        + SpaceUsage
+        + Clone
+        + std::fmt::Debug;
 
     /// Human-readable name ("F2", "F_k(3)", "sum", ...) used in reports.
     fn name(&self) -> String;
@@ -63,6 +76,37 @@ pub trait CorrelatedAggregate: Clone {
     /// hybrid bucket store (exact small buckets), by the exact baseline and by
     /// the accuracy harness.
     fn exact_value(&self, freqs: &ExactFrequencies) -> f64;
+
+    /// The *weight headroom* of a bucket: the largest total (absolute) weight
+    /// that can be appended to a multiset `R` with current estimate `value`
+    /// while guaranteeing the estimate stays **below** `threshold`.
+    ///
+    /// The framework uses this to amortize the bucket-closing threshold check
+    /// of Algorithm 2: after each real estimate it stores the headroom, and
+    /// subsequent inserts skip the (possibly expensive) estimate entirely
+    /// until the weight added since then reaches it — one `f64` comparison on
+    /// the hot path. Returning `0.0` (the default) means "no usable bound,
+    /// check on every update", which preserves eager checking for aggregates
+    /// that do not override this.
+    ///
+    /// For the frequency moments the bound follows from the triangle
+    /// inequality on the ℓ_k norm: `F_k = ‖f‖_k^k`, and appending a frequency
+    /// vector `g` with `‖g‖_k ≤ ‖g‖_1 = w` gives
+    /// `F_k(R') ≤ (F_k(R)^{1/k} + w)^k`, so any `w < threshold^{1/k} −
+    /// F_k(R)^{1/k}` cannot cross. For exactly-stored buckets (where the
+    /// estimate *is* the true value) this gating is lossless. For `F_2` it is
+    /// lossless for the sketched representation as well: the fast-AMS
+    /// estimate is a median of per-row squared ℓ₂ norms of signed projections
+    /// of the frequency vector, each row's norm grows by at most `w`, and the
+    /// median is monotone under pointwise domination — so the same headroom
+    /// bounds the estimate's growth. A headroom is only valid for one
+    /// *representation*: the framework forces a fresh check whenever a bucket
+    /// converts from exact to sketched storage, since the sketch's estimate
+    /// need not match the exact value the headroom was derived from.
+    fn weight_headroom(&self, value: f64, threshold: f64) -> f64 {
+        let _ = (value, threshold);
+        0.0
+    }
 }
 
 /// A bucket's storage: exact while small, sketched once the exact
@@ -103,6 +147,23 @@ impl<A: CorrelatedAggregate> BucketStore<A> {
                 }
             }
             BucketStore::Sketched(sketch) => sketch.update(item, weight),
+        }
+    }
+
+    /// Insert an item whose sketch coordinates were precomputed with
+    /// [`SharedUpdate::prepare_into`] on a same-seeded sketch. Exact stores
+    /// ignore the prepared coordinates (they key on the raw item); sketched
+    /// stores apply them without re-hashing.
+    pub fn update_prepared(
+        &mut self,
+        agg: &A,
+        item: u64,
+        weight: i64,
+        prepared: &<A::Sketch as SharedUpdate>::Prepared,
+    ) {
+        match self {
+            BucketStore::Sketched(sketch) => sketch.apply_prepared(prepared),
+            BucketStore::Exact(_) => self.update(agg, item, weight),
         }
     }
 

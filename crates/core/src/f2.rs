@@ -94,6 +94,13 @@ impl CorrelatedAggregate for F2Aggregate {
     fn exact_value(&self, freqs: &ExactFrequencies) -> f64 {
         freqs.frequency_moment(2)
     }
+
+    fn weight_headroom(&self, value: f64, threshold: f64) -> f64 {
+        // ‖f + g‖₂ ≤ ‖f‖₂ + ‖g‖₂ ≤ √F2 + ‖g‖₁, so F2 stays below the
+        // threshold while the added weight is below √threshold − √F2. The
+        // same bound holds for the fast-AMS estimate (see the trait docs).
+        (threshold.max(0.0).sqrt() - value.max(0.0).sqrt()).max(0.0)
+    }
 }
 
 /// A correlated `F_2` sketch with the framework plumbing pre-wired: answers

@@ -89,6 +89,18 @@ impl CorrelatedAggregate for FkAggregate {
     fn exact_value(&self, freqs: &ExactFrequencies) -> f64 {
         freqs.frequency_moment(self.k)
     }
+
+    fn weight_headroom(&self, value: f64, threshold: f64) -> f64 {
+        // ‖f + g‖_k ≤ ‖f‖_k + ‖g‖_k ≤ F_k^{1/k} + ‖g‖₁: the true moment
+        // stays below the threshold while the added weight is below
+        // threshold^{1/k} − F_k^{1/k}. The per-bucket subsampling sketch's
+        // estimate tracks the true value only up to its own relative error,
+        // so for sketched F_k buckets this is an amortization heuristic: a
+        // close can be delayed by at most one headroom window, which the
+        // aggregate's loose error budget absorbs.
+        let k = f64::from(self.k);
+        (threshold.max(0.0).powf(1.0 / k) - value.max(0.0).powf(1.0 / k)).max(0.0)
+    }
 }
 
 /// A correlated `F_k` sketch: answers `F_k({x : y ≤ c})` for query-time `c`.

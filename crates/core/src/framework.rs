@@ -20,52 +20,146 @@
 //! entirely inside `[0, c]`, and returns the composed estimate (Algorithm 3).
 //! The buckets that straddle `c` are exactly the ones whose omission the
 //! paper's analysis charges against the level's bucket budget `α`.
+//!
+//! ## Hot-path engineering
+//!
+//! The insert path is the structure's dominant cost (every element touches
+//! every level), so the levels are engineered around it:
+//!
+//! * each level stores its buckets in a **flat arena** (`Vec<Node>` indexed
+//!   by `u32`, with a free list recycling evicted slots). The stored *leaves*
+//!   of a level's dyadic tree tile the level's reachable y-domain
+//!   `[0, Y_ℓ)`, so the root-to-leaf walk of the textbook formulation
+//!   collapses to one predecessor lookup in a `lo → node` map, and a
+//!   per-level **cursor** remembers the last touched leaf so repeated nearby
+//!   y values skip even that;
+//! * the bucket-closing check gates calls to the per-bucket `estimate` behind
+//!   the aggregate's superadditive
+//!   [`CorrelatedAggregate::weight_headroom`]: after each real estimate the
+//!   bucket records how much weight it can still absorb before the estimate
+//!   could reach the threshold, and inserts inside that window cost a single
+//!   `f64` comparison (lossless for exactly-stored buckets and for `F_2`'s
+//!   fast-AMS sketch; see the trait docs);
+//! * evictions pick their victim from a `BTreeSet` ordered by
+//!   `(left endpoint, depth)` — O(log α) — instead of a linear scan over the
+//!   level's buckets;
+//! * levels whose threshold the stream has not reached yet are **not
+//!   materialized**: their roots have never closed, so each would hold an
+//!   identical summary of the whole stream (all per-bucket sketches share
+//!   hash seeds). One shared *tail store* stands in for all of them; when the
+//!   stream's estimate crosses `2^{ℓ+1}` for the smallest unmaterialized
+//!   level `ℓ`, that level is materialized with a closed root cloned from the
+//!   tail. Insert cost is thus O(levels actually in use) ≈ O(log f(S)), not
+//!   O(ℓ_max) = O(log f_max), and the shared summary is stored (and counted
+//!   in the space figures) once instead of once per dormant level;
+//! * query-time composition is memoized per `(threshold, generation)` in a
+//!   small cache invalidated by any update, so repeated queries against a
+//!   quiescent sketch cost one estimate instead of a full re-merge.
 
 use crate::aggregate::{BucketStore, CorrelatedAggregate};
 use crate::config::CorrelatedConfig;
 use crate::dyadic::DyadicInterval;
 use crate::error::{CoreError, Result};
-use std::collections::{BTreeMap, HashMap};
+use cora_sketch::SharedUpdate;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
 
-/// A bucket at some level `ℓ ≥ 1`.
+/// Shorthand for the prepared-update type of an aggregate's bucket sketch.
+type PreparedOf<A> = <<A as CorrelatedAggregate>::Sketch as SharedUpdate>::Prepared;
+
+/// Sentinel index for "no node" in a level's arena.
+const NIL: u32 = u32::MAX;
+
+/// Number of `(threshold, composed store)` pairs kept by the query cache.
+const COMPOSE_CACHE_CAPACITY: usize = 16;
+
+/// A bucket node in a level's arena.
 #[derive(Debug, Clone)]
-struct Bucket<A: CorrelatedAggregate> {
+struct Node<A: CorrelatedAggregate> {
+    interval: DyadicInterval,
     store: BucketStore<A>,
     closed: bool,
+    /// Tombstone: the slot belonged to an evicted bucket and awaits reuse.
+    evicted: bool,
+    /// Weight the bucket can still absorb before its estimate could reach
+    /// the level threshold ([`CorrelatedAggregate::weight_headroom`] at the
+    /// last real check; 0 = "check on the next insert").
+    headroom: f64,
+    /// Total weight inserted into `store` since the last real check.
+    pending_weight: f64,
 }
 
-impl<A: CorrelatedAggregate> Bucket<A> {
-    fn new() -> Self {
+impl<A: CorrelatedAggregate> Node<A> {
+    fn fresh(interval: DyadicInterval) -> Self {
         Self {
+            interval,
             store: BucketStore::new(),
             closed: false,
+            evicted: false,
+            headroom: 0.0,
+            pending_weight: 0.0,
         }
     }
 }
 
-/// One level `ℓ ≥ 1` of the structure.
+/// One level `ℓ ≥ 1` of the structure: a lazily-grown dyadic tree in a flat
+/// arena, with the stored leaves indexed by left endpoint.
+///
+/// Invariant: the stored leaves tile the reachable y-domain `[0, Y_ℓ)`, so
+/// the deepest stored bucket containing a reachable `y` — the bucket
+/// Algorithm 2 routes the item to — is the unique leaf whose span covers `y`,
+/// found by a predecessor lookup in `leaves`. (Evictions remove leaves from
+/// the right and lower `Y_ℓ` to the victim's left endpoint, which keeps the
+/// tiling intact; interior nodes whose children were all evicted are
+/// unreachable, since the watermark already excludes their span.)
 #[derive(Debug, Clone)]
 struct Level<A: CorrelatedAggregate> {
     /// Level index `ℓ` (1-based; level 0 is the singleton level).
     index: u32,
     /// Closing threshold `2^{ℓ+1}`.
     threshold: f64,
-    /// Stored buckets keyed by their dyadic interval.
-    buckets: HashMap<DyadicInterval, Bucket<A>>,
+    /// Node arena; evicted slots are tombstoned and recycled via `free`.
+    nodes: Vec<Node<A>>,
+    /// Recyclable (evicted) slots.
+    free: Vec<u32>,
+    /// Number of live (non-evicted) buckets.
+    live: usize,
+    /// Stored leaves keyed by left endpoint: the routing index.
+    leaves: BTreeMap<u64, u32>,
+    /// Eviction priority over live nodes, keyed `(lo, !len, index)`: the
+    /// victim is the maximum — largest left endpoint first, deepest node
+    /// first among equal endpoints — so victims are always leaves.
+    order: BTreeSet<(u64, u64, u32)>,
     /// Eviction watermark `Y_ℓ`; `None` means `+∞` (nothing evicted yet).
     y_bound: Option<u64>,
+    /// Leaf touched by the previous insert; checked before the predecessor
+    /// lookup. `NIL` when invalid; any eviction invalidates it.
+    cursor: u32,
 }
 
 impl<A: CorrelatedAggregate> Level<A> {
     fn new(index: u32, root: DyadicInterval) -> Self {
-        let mut buckets = HashMap::new();
-        buckets.insert(root, Bucket::new());
-        Self {
+        let mut level = Self {
             index,
             threshold: 2f64.powi(index as i32 + 1),
-            buckets,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            leaves: BTreeMap::new(),
+            order: BTreeSet::new(),
             y_bound: None,
-        }
+            cursor: NIL,
+        };
+        let root_idx = level.alloc(root);
+        level.leaves.insert(root.lo, root_idx);
+        level
+    }
+
+    /// Index of the root node (only valid right after `new`; used by the
+    /// materialization path to seed the root store).
+    fn root_index(&self) -> u32 {
+        debug_assert_eq!(self.live, 1);
+        *self.leaves.get(&0).expect("fresh level has its root stored")
     }
 
     /// True iff this level can still answer queries with threshold `c`.
@@ -73,6 +167,150 @@ impl<A: CorrelatedAggregate> Level<A> {
         match self.y_bound {
             None => true,
             Some(y) => y > c,
+        }
+    }
+
+    /// Eviction key: victim = maximum, i.e. largest `lo`, then smallest
+    /// length (deepest node). The index disambiguates nothing (intervals are
+    /// unique per level) but keeps the tuple self-describing.
+    fn order_key(interval: DyadicInterval, idx: u32) -> (u64, u64, u32) {
+        (interval.lo, u64::MAX - interval.len(), idx)
+    }
+
+    /// Allocate a fresh bucket node, recycling a tombstoned slot if possible.
+    fn alloc(&mut self, interval: DyadicInterval) -> u32 {
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot as usize] = Node::fresh(interval);
+                slot
+            }
+            None => {
+                self.nodes.push(Node::fresh(interval));
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        self.order.insert(Self::order_key(interval, idx));
+        self.live += 1;
+        idx
+    }
+
+    /// Iterate over the live buckets of this level.
+    fn live_nodes(&self) -> impl Iterator<Item = &Node<A>> {
+        self.nodes.iter().filter(|n| !n.evicted)
+    }
+
+    /// Process one stream element on this level (Algorithm 2, lines 7–21).
+    /// `prepared` carries the element's sketch coordinates, hashed once for
+    /// the whole structure.
+    fn update(
+        &mut self,
+        agg: &A,
+        alpha: usize,
+        x: u64,
+        y: u64,
+        weight: i64,
+        prepared: &PreparedOf<A>,
+    ) {
+        if let Some(bound) = self.y_bound {
+            if y >= bound {
+                return;
+            }
+        }
+
+        // Locate the stored leaf containing y: cursor hit or predecessor
+        // lookup. (A live cursor always names a current leaf — splits go
+        // through this path and evictions reset it.)
+        let cur = match self.cursor {
+            c if c != NIL && self.nodes[c as usize].interval.contains(y) => c,
+            _ => {
+                let Some((_, &leaf)) = self.leaves.range(..=y).next_back() else {
+                    return; // y below the watermark yet no leaf: evicted root
+                };
+                leaf
+            }
+        };
+        debug_assert!(self.nodes[cur as usize].interval.contains(y));
+
+        let node = &mut self.nodes[cur as usize];
+        if !node.closed {
+            let was_exact = node.store.is_exact();
+            node.store.update_prepared(agg, x, weight, prepared);
+            node.pending_weight += weight as f64;
+            if was_exact && !node.store.is_exact() {
+                // The store just converted to its sketched representation,
+                // whose estimate need not match the exact value the headroom
+                // was computed from — force a fresh check below.
+                node.headroom = 0.0;
+            }
+            // Gate the threshold check behind the aggregate's superadditive
+            // weight headroom: while the weight added since the last real
+            // estimate stays below it, the estimate provably cannot have
+            // reached the threshold, so this insert costs one comparison.
+            if !node.interval.is_unit() && node.pending_weight >= node.headroom {
+                let estimate = node.store.estimate(agg);
+                node.headroom = agg.weight_headroom(estimate, self.threshold);
+                node.pending_weight = 0.0;
+                if estimate >= self.threshold {
+                    node.closed = true;
+                }
+            }
+            self.cursor = cur;
+        } else {
+            // Closed leaf: create both children, which replace it in the leaf
+            // tiling, and route the item to the one containing y. (A child is
+            // only checked for closing when a later insert reaches it.)
+            let (left_iv, right_iv) = self.nodes[cur as usize]
+                .interval
+                .children()
+                .expect("closed buckets are never unit intervals");
+            let left = self.alloc(left_iv);
+            let right = self.alloc(right_iv);
+            self.leaves.insert(left_iv.lo, left); // replaces the parent entry
+            self.leaves.insert(right_iv.lo, right);
+            let target = if left_iv.contains(y) { left } else { right };
+            let child = &mut self.nodes[target as usize];
+            let was_exact = child.store.is_exact();
+            child.store.update_prepared(agg, x, weight, prepared);
+            child.pending_weight += weight as f64;
+            if was_exact && !child.store.is_exact() {
+                child.headroom = 0.0; // re-check on the next direct insert
+            }
+            self.cursor = target;
+        }
+
+        if self.live > alpha {
+            self.evict_overflow(alpha);
+        }
+    }
+
+    /// Evict buckets with the largest left endpoint until the level fits its
+    /// budget again, lowering the watermark. O(log α) per victim.
+    fn evict_overflow(&mut self, alpha: usize) {
+        while self.live > alpha {
+            let key = *self
+                .order
+                .iter()
+                .next_back()
+                .expect("live > alpha >= 1, so non-empty");
+            self.order.remove(&key);
+            let (lo, _, idx) = key;
+            let node = &mut self.nodes[idx as usize];
+            node.evicted = true;
+            node.closed = false;
+            node.store = BucketStore::new(); // release the summary's heap now
+            // The victim is the deepest node with the largest left endpoint,
+            // so if it is in the leaf tiling its entry is its own; interior
+            // victims (whose children went first) have no entry left.
+            if self.leaves.get(&lo) == Some(&idx) {
+                self.leaves.remove(&lo);
+            }
+            self.free.push(idx);
+            self.live -= 1;
+            self.cursor = NIL;
+            self.y_bound = Some(match self.y_bound {
+                None => lo,
+                Some(b) => b.min(lo),
+            });
         }
     }
 }
@@ -96,8 +334,47 @@ pub struct SketchStats {
     pub items_processed: u64,
 }
 
-/// The generic correlated-aggregation sketch (Algorithms 1–3).
+/// The shared summary standing in for every not-yet-materialized level: all
+/// their roots are open (the stream's aggregate has not reached their
+/// thresholds), so they would each hold exactly this store.
 #[derive(Debug, Clone)]
+struct TailState<A: CorrelatedAggregate> {
+    store: BucketStore<A>,
+    /// Weight added since the last real estimate (headroom gating, as in
+    /// [`Node`], against the smallest unmaterialized level's threshold).
+    pending_weight: f64,
+    headroom: f64,
+}
+
+impl<A: CorrelatedAggregate> TailState<A> {
+    fn new() -> Self {
+        Self {
+            store: BucketStore::new(),
+            pending_weight: 0.0,
+            headroom: 0.0,
+        }
+    }
+}
+
+/// Query-composition cache: composed stores per threshold, valid for a single
+/// update generation (`items_processed`).
+#[derive(Debug)]
+struct ComposeCache<A: CorrelatedAggregate> {
+    generation: u64,
+    entries: Vec<(u64, BucketStore<A>)>,
+}
+
+impl<A: CorrelatedAggregate> Default for ComposeCache<A> {
+    fn default() -> Self {
+        Self {
+            generation: 0,
+            entries: Vec::new(),
+        }
+    }
+}
+
+/// The generic correlated-aggregation sketch (Algorithms 1–3).
+#[derive(Debug)]
 pub struct CorrelatedSketch<A: CorrelatedAggregate> {
     agg: A,
     config: CorrelatedConfig,
@@ -107,9 +384,47 @@ pub struct CorrelatedSketch<A: CorrelatedAggregate> {
     singletons: BTreeMap<u64, BucketStore<A>>,
     /// Eviction watermark `Y_0`; `None` = `+∞`.
     singleton_y_bound: Option<u64>,
-    /// Levels `1 ..= ℓ_max`.
+    /// Materialized levels `1 ..= levels.len()`; levels above that are
+    /// represented by `tail`.
     levels: Vec<Level<A>>,
+    /// `levels[i].y_bound` (with `u64::MAX` for `+∞`), packed flat so the
+    /// per-insert level loop can skip watermarked-out levels from one or two
+    /// cache lines instead of touching every `Level` struct.
+    level_bounds: Vec<u64>,
+    /// Shared summary for the dormant levels `levels.len()+1 ..= max_level`.
+    tail: TailState<A>,
+    /// Largest level index `ℓ_max` the configuration calls for.
+    max_level: u32,
     items_processed: u64,
+    /// A pristine sketch used solely to compute shared update coordinates
+    /// ([`SharedUpdate::prepare_into`] depends only on dimensions and seed).
+    proto_sketch: A::Sketch,
+    /// Reusable buffer for the shared coordinates of the element in flight.
+    prepared_scratch: PreparedOf<A>,
+    /// Memoized query compositions (interior mutability: queries take `&self`).
+    compose_cache: Mutex<ComposeCache<A>>,
+}
+
+impl<A: CorrelatedAggregate> Clone for CorrelatedSketch<A> {
+    fn clone(&self) -> Self {
+        Self {
+            agg: self.agg.clone(),
+            config: self.config.clone(),
+            alpha: self.alpha,
+            root: self.root,
+            singletons: self.singletons.clone(),
+            singleton_y_bound: self.singleton_y_bound,
+            levels: self.levels.clone(),
+            level_bounds: self.level_bounds.clone(),
+            tail: self.tail.clone(),
+            max_level: self.max_level,
+            items_processed: self.items_processed,
+            proto_sketch: self.proto_sketch.clone(),
+            prepared_scratch: PreparedOf::<A>::default(),
+            // Caches don't travel: the clone starts with a cold cache.
+            compose_cache: Mutex::new(ComposeCache::default()),
+        }
+    }
 }
 
 impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
@@ -119,9 +434,8 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
         let root = DyadicInterval::root(config.y_max);
         let logy = f64::from(config.log2_y());
         let alpha = config.alpha(agg.c1(logy), agg.c2(config.epsilon / 2.0));
-        let levels = (1..config.num_levels() as u32)
-            .map(|i| Level::new(i, root))
-            .collect();
+        let max_level = config.num_levels() as u32 - 1;
+        let proto_sketch = agg.new_sketch();
         Ok(Self {
             agg,
             config,
@@ -129,8 +443,16 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
             root,
             singletons: BTreeMap::new(),
             singleton_y_bound: None,
-            levels,
+            // Levels materialize lazily as the stream's aggregate grows past
+            // their thresholds; an empty sketch has none.
+            levels: Vec::new(),
+            level_bounds: Vec::new(),
+            tail: TailState::new(),
+            max_level,
             items_processed: 0,
+            proto_sketch,
+            prepared_scratch: PreparedOf::<A>::default(),
+            compose_cache: Mutex::new(ComposeCache::default()),
         })
     }
 
@@ -183,15 +505,145 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
         }
         self.items_processed += 1;
 
-        self.update_singletons(x, y, weight);
-        for idx in 0..self.levels.len() {
-            self.update_level(idx, x, y, weight);
+        // Hash the element once; every sketched bucket it touches reuses the
+        // coordinates (all bucket sketches share seeds by Property V).
+        let mut prepared = std::mem::take(&mut self.prepared_scratch);
+        self.proto_sketch.prepare_into(x, weight, &mut prepared);
+
+        self.update_singletons(x, y, weight, &prepared);
+        let (agg, alpha) = (&self.agg, self.alpha);
+        for (level, bound) in self.levels.iter_mut().zip(self.level_bounds.iter_mut()) {
+            // The packed watermark check skips evicted-out levels without
+            // touching their (much larger) Level structs.
+            if y >= *bound {
+                continue;
+            }
+            level.update(agg, alpha, x, y, weight, &prepared);
+            *bound = level.y_bound.unwrap_or(u64::MAX);
+        }
+        self.update_tail(x, weight, &prepared);
+        self.prepared_scratch = prepared;
+        Ok(())
+    }
+
+    /// Feed the shared tail store (standing in for every dormant level) and
+    /// materialize levels whose threshold the stream's estimate has crossed.
+    fn update_tail(&mut self, x: u64, weight: i64, prepared: &PreparedOf<A>) {
+        if self.levels.len() as u32 >= self.max_level {
+            return; // every level is materialized
+        }
+        let was_exact = self.tail.store.is_exact();
+        self.tail.store.update_prepared(&self.agg, x, weight, prepared);
+        self.tail.pending_weight += weight as f64;
+        if was_exact && !self.tail.store.is_exact() {
+            // Representation change: the sketched estimate need not match the
+            // exact value the headroom was computed from.
+            self.tail.headroom = 0.0;
+        }
+        if self.tail.pending_weight >= self.tail.headroom {
+            self.materialize_crossed_levels();
+        }
+    }
+
+    /// Re-estimate the tail and materialize every dormant level whose closing
+    /// threshold `2^{ℓ+1}` the estimate has reached. A materialized level
+    /// starts with a *closed* root holding a clone of the tail store —
+    /// exactly the state the eager per-level loop would have produced, since
+    /// an open root sees every stream element.
+    fn materialize_crossed_levels(&mut self) {
+        loop {
+            let next_index = self.levels.len() as u32 + 1;
+            if next_index > self.max_level {
+                break;
+            }
+            let threshold = 2f64.powi(next_index as i32 + 1);
+            let estimate = self.tail.store.estimate(&self.agg);
+            if estimate >= threshold {
+                let mut level = Level::new(next_index, self.root);
+                let root_idx = level.root_index();
+                let root_node = &mut level.nodes[root_idx as usize];
+                root_node.store = self.tail.store.clone();
+                root_node.closed = true;
+                self.levels.push(level);
+                self.level_bounds.push(u64::MAX);
+                // The estimate may have crossed several thresholds at once.
+                continue;
+            }
+            self.tail.headroom = self.agg.weight_headroom(estimate, threshold);
+            self.tail.pending_weight = 0.0;
+            break;
+        }
+    }
+
+    /// Process a batch of unit-weight stream elements `(x, y)`.
+    ///
+    /// Equivalent to calling [`insert`](Self::insert) for each tuple in order,
+    /// but amortizes the per-level bookkeeping: each level's arena is walked
+    /// for the whole batch at once (level-major traversal), which keeps one
+    /// level's nodes hot in cache instead of cycling through every level per
+    /// tuple. Level states are independent of one another, so the level-major
+    /// order produces exactly the same final structure as the tuple-major
+    /// order.
+    ///
+    /// The batch is validated up front: if any `y` is out of range, an error
+    /// is returned and **no** tuple of the batch is applied.
+    pub fn update_batch(&mut self, tuples: &[(u64, u64)]) -> Result<()> {
+        let y_max = self.config.padded_y_max();
+        for &(_, y) in tuples {
+            if y > y_max {
+                return Err(CoreError::YOutOfRange { y, y_max });
+            }
+        }
+        self.items_processed += tuples.len() as u64;
+        // Hash every element of the batch once up front; the per-level loops
+        // below reuse the coordinates.
+        let prepared_batch: Vec<PreparedOf<A>> = tuples
+            .iter()
+            .map(|&(x, _)| {
+                let mut p = PreparedOf::<A>::default();
+                self.proto_sketch.prepare_into(x, 1, &mut p);
+                p
+            })
+            .collect();
+        for (&(x, y), prepared) in tuples.iter().zip(&prepared_batch) {
+            self.update_singletons(x, y, 1, prepared);
+        }
+        let (agg, alpha) = (&self.agg, self.alpha);
+        let existing = self.levels.len();
+        for (level, bound) in self.levels.iter_mut().zip(self.level_bounds.iter_mut()) {
+            for (&(x, y), prepared) in tuples.iter().zip(&prepared_batch) {
+                if y >= *bound {
+                    continue;
+                }
+                level.update(agg, alpha, x, y, 1, prepared);
+                *bound = level.y_bound.unwrap_or(u64::MAX);
+            }
+        }
+        // The tail is sequential: a level materialized at tuple i must still
+        // receive tuples i+1.. through the normal level path. Record where
+        // each new level came into existence, then replay the suffixes.
+        let mut born_at: Vec<(usize, usize)> = Vec::new(); // (level slot, first unseen tuple)
+        for (i, (&(x, _), prepared)) in tuples.iter().zip(&prepared_batch).enumerate() {
+            let before = self.levels.len();
+            self.update_tail(x, 1, prepared);
+            for slot in before..self.levels.len() {
+                born_at.push((slot, i + 1));
+            }
+        }
+        let (agg, alpha) = (&self.agg, self.alpha);
+        for (slot, from) in born_at {
+            debug_assert!(slot >= existing);
+            let level = &mut self.levels[slot];
+            for (&(x, y), prepared) in tuples[from..].iter().zip(&prepared_batch[from..]) {
+                level.update(agg, alpha, x, y, 1, prepared);
+            }
+            self.level_bounds[slot] = level.y_bound.unwrap_or(u64::MAX);
         }
         Ok(())
     }
 
     /// Level 0 processing: singleton buckets keyed by exact y value.
-    fn update_singletons(&mut self, x: u64, y: u64, weight: i64) {
+    fn update_singletons(&mut self, x: u64, y: u64, weight: i64, prepared: &PreparedOf<A>) {
         if let Some(bound) = self.singleton_y_bound {
             if y >= bound {
                 return;
@@ -200,7 +652,7 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
         self.singletons
             .entry(y)
             .or_default()
-            .update(&self.agg, x, weight);
+            .update_prepared(&self.agg, x, weight, prepared);
         while self.singletons.len() > self.alpha {
             // Discard the singleton with the largest y and lower the watermark.
             let (&largest_y, _) = self
@@ -216,76 +668,23 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
         }
     }
 
-    /// Level `ℓ ≥ 1` processing (Algorithm 2, lines 7–21).
-    fn update_level(&mut self, idx: usize, x: u64, y: u64, weight: i64) {
-        let root = self.root;
-        let agg = self.agg.clone();
-        let alpha = self.alpha;
-        let level = &mut self.levels[idx];
-
-        if let Some(bound) = level.y_bound {
-            if y >= bound {
-                return;
-            }
-        }
-
-        // Walk from the root to the deepest stored bucket containing y.
-        let mut current = root;
-        loop {
-            match current.child_containing(y) {
-                Some(child) if level.buckets.contains_key(&child) => current = child,
-                _ => break,
-            }
-        }
-        // The walk can only fail to find the root if it was evicted — but the
-        // root has left endpoint 0, so evicting it sets Y_ℓ = 0 and the bound
-        // check above already returned.
-        let Some(bucket) = level.buckets.get_mut(&current) else {
-            return;
-        };
-
-        if !bucket.closed {
-            bucket.store.update(&agg, x, weight);
-            if !current.is_unit() && bucket.store.estimate(&agg) >= level.threshold {
-                bucket.closed = true;
-            }
-        } else {
-            // Closed leaf: create the children and route the item to the one
-            // containing y.
-            let (left, right) = current
-                .children()
-                .expect("closed buckets are never unit intervals");
-            level.buckets.entry(left).or_insert_with(Bucket::new);
-            level.buckets.entry(right).or_insert_with(Bucket::new);
-            let target = if left.contains(y) { left } else { right };
-            level
-                .buckets
-                .get_mut(&target)
-                .expect("just inserted")
-                .store
-                .update(&agg, x, weight);
-        }
-
-        // Overflow check: evict buckets with the largest left endpoint until
-        // the level fits its budget again, lowering the watermark.
-        while level.buckets.len() > alpha {
-            let victim = level
-                .buckets
-                .keys()
-                .max_by(|a, b| a.lo.cmp(&b.lo).then(b.len().cmp(&a.len())))
-                .copied()
-                .expect("non-empty: len > alpha >= 1");
-            level.buckets.remove(&victim);
-            level.y_bound = Some(match level.y_bound {
-                None => victim.lo,
-                Some(b) => b.min(victim.lo),
-            });
-        }
-    }
-
     /// Answer a correlated query: estimate `f({x : (x, y) ∈ S, y ≤ c})`
     /// (Algorithm 3).
     pub fn query(&self, c: u64) -> Result<f64> {
+        let c = c.min(self.config.padded_y_max());
+        // Fast path: estimate straight from the cached composition, without
+        // cloning the store.
+        {
+            let cache = self
+                .compose_cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if cache.generation == self.items_processed {
+                if let Some((_, store)) = cache.entries.iter().find(|(cc, _)| *cc == c) {
+                    return Ok(store.estimate(&self.agg));
+                }
+            }
+        }
         Ok(self.compose_for_threshold(c)?.estimate(&self.agg))
     }
 
@@ -293,9 +692,41 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
     /// single store and return it. `query` is `estimate` over this store;
     /// richer queries (heavy hitters, Section 3.3) inspect the composed store
     /// directly.
+    ///
+    /// Compositions are memoized per threshold until the next update, so
+    /// repeated queries against a quiescent sketch return a clone of the
+    /// cached store instead of re-merging every bucket.
     pub fn compose_for_threshold(&self, c: u64) -> Result<BucketStore<A>> {
         let c = c.min(self.config.padded_y_max());
+        {
+            let cache = self
+                .compose_cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if cache.generation == self.items_processed {
+                if let Some((_, store)) = cache.entries.iter().find(|(cc, _)| *cc == c) {
+                    return Ok(store.clone());
+                }
+            }
+        }
+        let store = self.compose_uncached(c)?;
+        let mut cache = self
+            .compose_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if cache.generation != self.items_processed {
+            cache.generation = self.items_processed;
+            cache.entries.clear();
+        }
+        if cache.entries.len() >= COMPOSE_CACHE_CAPACITY {
+            cache.entries.remove(0);
+        }
+        cache.entries.push((c, store.clone()));
+        Ok(store)
+    }
 
+    /// The uncached composition behind [`Self::compose_for_threshold`].
+    fn compose_uncached(&self, c: u64) -> Result<BucketStore<A>> {
         // Level 0 answers if its watermark is above c.
         let level0_ok = match self.singleton_y_bound {
             None => true,
@@ -315,10 +746,20 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
                 continue;
             }
             let mut acc: BucketStore<A> = BucketStore::new();
-            for (interval, bucket) in &level.buckets {
-                if interval.within_threshold(c) {
-                    acc.merge_from(&self.agg, &bucket.store)?;
+            for node in level.live_nodes() {
+                if node.interval.within_threshold(c) {
+                    acc.merge_from(&self.agg, &node.store)?;
                 }
+            }
+            return Ok(acc);
+        }
+        // Dormant levels never evict, so the smallest of them answers any c.
+        // Their only bucket is the open root, which Algorithm 3 includes
+        // exactly when its whole span lies inside [0, c].
+        if (self.levels.len() as u32) < self.max_level {
+            let mut acc: BucketStore<A> = BucketStore::new();
+            if self.root.within_threshold(c) {
+                acc.merge_from(&self.agg, &self.tail.store)?;
             }
             return Ok(acc);
         }
@@ -336,7 +777,14 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
         if level0_ok {
             return Some(0);
         }
-        self.levels.iter().find(|l| l.answers(c)).map(|l| l.index)
+        if let Some(level) = self.levels.iter().find(|l| l.answers(c)) {
+            return Some(level.index);
+        }
+        // The smallest dormant level (never evicted) answers everything.
+        if (self.levels.len() as u32) < self.max_level {
+            return Some(self.levels.len() as u32 + 1);
+        }
+        None
     }
 
     /// Estimate the aggregate over the entire stream (threshold `y_max`).
@@ -353,20 +801,22 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
         let mut dyadic_bytes = 0usize;
         let mut levels_with_evictions = 0usize;
         for level in &self.levels {
-            dyadic_buckets += level.buckets.len();
-            dyadic_tuples += level
-                .buckets
-                .values()
-                .map(|b| b.store.stored_tuples())
-                .sum::<usize>();
-            dyadic_bytes += level
-                .buckets
-                .values()
-                .map(|b| b.store.space_bytes())
-                .sum::<usize>();
+            dyadic_buckets += level.live;
+            for node in level.live_nodes() {
+                dyadic_tuples += node.store.stored_tuples();
+                dyadic_bytes += node.store.space_bytes();
+            }
             if level.y_bound.is_some() {
                 levels_with_evictions += 1;
             }
+        }
+        // Dormant levels share one open root bucket; the backing store is
+        // physically stored (and therefore counted) once.
+        let dormant = (self.max_level as usize).saturating_sub(self.levels.len());
+        if dormant > 0 {
+            dyadic_buckets += dormant;
+            dyadic_tuples += self.tail.store.stored_tuples();
+            dyadic_bytes += self.tail.store.space_bytes();
         }
         SketchStats {
             singleton_buckets: self.singletons.len(),
@@ -616,5 +1066,85 @@ mod tests {
         }
         // c beyond the padded domain behaves like "the whole stream".
         assert_eq!(s.query(u64::MAX).unwrap(), s.query_all().unwrap());
+    }
+
+    #[test]
+    fn update_batch_matches_scalar_inserts() {
+        // The batch path must produce exactly the same structure and answers
+        // as per-tuple inserts (level-major vs tuple-major traversal).
+        let mut tuples: Vec<(u64, u64)> = Vec::new();
+        let mut state = 7u64;
+        for _ in 0..8_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            tuples.push(((state >> 33) % 400, (state >> 13) % 4096));
+        }
+        let mut scalar = f2_sketch(0.25, 4095, AlphaPolicy::Fixed(48));
+        let mut batched = f2_sketch(0.25, 4095, AlphaPolicy::Fixed(48));
+        for &(x, y) in &tuples {
+            scalar.insert(x, y).unwrap();
+        }
+        for chunk in tuples.chunks(512) {
+            batched.update_batch(chunk).unwrap();
+        }
+        assert_eq!(scalar.items_processed(), batched.items_processed());
+        assert_eq!(scalar.stats(), batched.stats());
+        for c in (0..4096u64).step_by(128) {
+            assert_eq!(
+                scalar.query(c).unwrap(),
+                batched.query(c).unwrap(),
+                "batch/scalar mismatch at c={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn update_batch_rejects_bad_y_atomically() {
+        let mut s = f2_sketch(0.3, 255, AlphaPolicy::Fixed(64));
+        let batch = [(1u64, 3u64), (2, 5000), (3, 7)];
+        assert!(matches!(
+            s.update_batch(&batch),
+            Err(CoreError::YOutOfRange { .. })
+        ));
+        assert_eq!(s.items_processed(), 0);
+        assert_eq!(s.stored_tuples(), 0);
+    }
+
+    #[test]
+    fn compose_cache_is_invalidated_by_updates() {
+        let mut s = f2_sketch(0.3, 1023, AlphaPolicy::Fixed(64));
+        for i in 0..3_000u64 {
+            s.insert(i % 90, (i * 11) % 1024).unwrap();
+        }
+        let first = s.query(500).unwrap();
+        // Cached repeat answers identically.
+        assert_eq!(s.query(500).unwrap(), first);
+        // An update must invalidate the cache: insert weight below the
+        // threshold and require the answer to move.
+        for _ in 0..50 {
+            s.insert(12345, 100).unwrap();
+        }
+        let second = s.query(500).unwrap();
+        assert!(
+            second > first,
+            "query after updates must reflect the new items: {first} -> {second}"
+        );
+        // compose_for_threshold returns an equivalent store from the cache.
+        let store = s.compose_for_threshold(500).unwrap();
+        assert_eq!(store.estimate(s.aggregate()), second);
+    }
+
+    #[test]
+    fn clone_is_independent_and_equivalent() {
+        let mut s = f2_sketch(0.3, 1023, AlphaPolicy::Fixed(64));
+        for i in 0..2_000u64 {
+            s.insert(i % 70, (i * 19) % 1024).unwrap();
+        }
+        let snapshot = s.clone();
+        assert_eq!(snapshot.query(700).unwrap(), s.query(700).unwrap());
+        // Mutating the original must not affect the clone.
+        for _ in 0..100 {
+            s.insert(999, 10).unwrap();
+        }
+        assert!(snapshot.query(700).unwrap() < s.query(700).unwrap());
     }
 }

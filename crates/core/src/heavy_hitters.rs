@@ -18,8 +18,8 @@ use crate::error::Result;
 use crate::framework::CorrelatedSketch;
 use cora_sketch::error::Result as SketchResult;
 use cora_sketch::{
-    CountSketch, Estimate, ExactFrequencies, FastAmsSketch, MergeableSketch, PointQuery,
-    SpaceUsage, StreamSketch,
+    CountSketch, Estimate, ExactFrequencies, FastAmsPrepared, FastAmsSketch, MergeableSketch,
+    PointQuery, SharedUpdate, SpaceUsage, StreamSketch,
 };
 
 /// Per-bucket summary for correlated heavy hitters: an `F_2` sketch plus a
@@ -53,6 +53,31 @@ impl StreamSketch for HhBucketSketch {
     fn update(&mut self, item: u64, weight: i64) {
         self.f2.update(item, weight);
         self.counts.update(item, weight);
+    }
+}
+
+/// Precomputed coordinates of one heavy-hitters bucket update: the fast-AMS
+/// part is shareable; the CountSketch part re-hashes (its candidate tracking
+/// is stateful).
+#[derive(Debug, Clone, Default)]
+pub struct HhPrepared {
+    f2: FastAmsPrepared,
+    item: u64,
+    weight: i64,
+}
+
+impl SharedUpdate for HhBucketSketch {
+    type Prepared = HhPrepared;
+
+    fn prepare_into(&self, item: u64, weight: i64, out: &mut HhPrepared) {
+        self.f2.prepare_into(item, weight, &mut out.f2);
+        out.item = item;
+        out.weight = weight;
+    }
+
+    fn apply_prepared(&mut self, prepared: &HhPrepared) {
+        self.f2.apply_prepared(&prepared.f2);
+        self.counts.update(prepared.item, prepared.weight);
     }
 }
 
@@ -134,6 +159,11 @@ impl CorrelatedAggregate for F2HeavyAggregate {
 
     fn exact_value(&self, freqs: &ExactFrequencies) -> f64 {
         freqs.frequency_moment(2)
+    }
+
+    fn weight_headroom(&self, value: f64, threshold: f64) -> f64 {
+        // Same ℓ₂ triangle-inequality bound as the plain F2 aggregate.
+        (threshold.max(0.0).sqrt() - value.max(0.0).sqrt()).max(0.0)
     }
 }
 

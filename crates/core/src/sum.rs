@@ -13,7 +13,9 @@ use crate::config::{CorrelatedConfig, DEFAULT_SEED};
 use crate::error::Result;
 use crate::framework::CorrelatedSketch;
 use cora_sketch::error::Result as SketchResult;
-use cora_sketch::{Estimate, ExactFrequencies, MergeableSketch, SpaceUsage, StreamSketch};
+use cora_sketch::{
+    Estimate, ExactFrequencies, MergeableSketch, SharedUpdate, SpaceUsage, StreamSketch,
+};
 
 /// A "sketch" that is just an exact running sum of weights. It is trivially
 /// composable, so it satisfies Property V with zero error.
@@ -43,6 +45,18 @@ impl StreamSketch for ScalarSumSketch {
 impl Estimate for ScalarSumSketch {
     fn estimate(&self) -> f64 {
         self.total as f64
+    }
+}
+
+impl SharedUpdate for ScalarSumSketch {
+    type Prepared = i64;
+
+    fn prepare_into(&self, _item: u64, weight: i64, out: &mut i64) {
+        *out = weight;
+    }
+
+    fn apply_prepared(&mut self, prepared: &i64) {
+        self.total += prepared;
     }
 }
 
@@ -107,6 +121,11 @@ impl CorrelatedAggregate for SumAggregate {
     fn exact_value(&self, freqs: &ExactFrequencies) -> f64 {
         freqs.frequency_moment(1)
     }
+
+    fn weight_headroom(&self, value: f64, threshold: f64) -> f64 {
+        // The sum grows by exactly the added weight.
+        (threshold - value).max(0.0)
+    }
 }
 
 /// Correlated count of tuples: `|{(x, y) ∈ S : y ≤ c}|` (insert with unit
@@ -151,6 +170,10 @@ impl CorrelatedAggregate for CountAggregate {
 
     fn exact_value(&self, freqs: &ExactFrequencies) -> f64 {
         freqs.frequency_moment(1)
+    }
+
+    fn weight_headroom(&self, value: f64, threshold: f64) -> f64 {
+        (threshold - value).max(0.0)
     }
 }
 

@@ -13,7 +13,7 @@
 //! negative weights (turnstile updates) and merging by atom-wise addition.
 
 use crate::error::{check_delta, check_epsilon, Result, SketchError};
-use crate::estimator_util::{mean, median};
+use crate::estimator_util::median_mut;
 use crate::traits::{Estimate, MergeableSketch, SpaceUsage, StreamSketch};
 use cora_hash::mix::derive_seed;
 use cora_hash::sign::FourWiseSignHash;
@@ -89,15 +89,15 @@ impl StreamSketch for AmsF2Sketch {
 
 impl Estimate for AmsF2Sketch {
     fn estimate(&self) -> f64 {
-        let group_means: Vec<f64> = self
+        let mut group_means: Vec<f64> = self
             .atoms
             .chunks(self.atoms_per_group)
             .map(|group| {
-                let squares: Vec<f64> = group.iter().map(|&z| (z as f64) * (z as f64)).collect();
-                mean(&squares).unwrap_or(0.0)
+                let sum: f64 = group.iter().map(|&z| (z as f64) * (z as f64)).sum();
+                sum / group.len() as f64
             })
             .collect();
-        median(&group_means).unwrap_or(0.0)
+        median_mut(&mut group_means).unwrap_or(0.0)
     }
 }
 

@@ -5,18 +5,25 @@
 /// Return the median of a slice (average of the two middle elements for even
 /// lengths). Returns `None` for an empty slice.
 pub fn median(values: &[f64]) -> Option<f64> {
+    let mut v: Vec<f64> = values.to_vec();
+    median_mut(&mut v)
+}
+
+/// Median of a slice, sorting it in place — the allocation-free variant used
+/// on hot paths (per-update threshold checks in the correlated framework).
+/// Returns `None` for an empty slice.
+pub fn median_mut(values: &mut [f64]) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    let mut v: Vec<f64> = values.to_vec();
     // `total_cmp` gives a total order that also handles any accidental NaN
     // deterministically instead of panicking.
-    v.sort_by(|a, b| a.total_cmp(b));
-    let n = v.len();
+    values.sort_unstable_by(|a, b| a.total_cmp(b));
+    let n = values.len();
     Some(if n % 2 == 1 {
-        v[n / 2]
+        values[n / 2]
     } else {
-        0.5 * (v[n / 2 - 1] + v[n / 2])
+        0.5 * (values[n / 2 - 1] + values[n / 2])
     })
 }
 
@@ -92,6 +99,15 @@ mod tests {
     #[test]
     fn median_is_robust_to_outliers() {
         assert_eq!(median(&[1.0, 1.0, 1.0, 1.0, 1e18]), Some(1.0));
+    }
+
+    #[test]
+    fn median_mut_matches_median() {
+        let cases: [&[f64]; 4] = [&[], &[5.0], &[3.0, 1.0], &[9.0, 2.0, 4.0, 8.0, 1.0]];
+        for case in cases {
+            let mut scratch = case.to_vec();
+            assert_eq!(median_mut(&mut scratch), median(case));
+        }
     }
 
     #[test]

@@ -8,13 +8,51 @@
 
 use crate::error::{Result, SketchError};
 use crate::traits::{Estimate, MergeableSketch, PointQuery, SpaceUsage, StreamSketch};
+use cora_hash::mix::Fmix64Build;
 use std::collections::HashMap;
 
+/// Entries a frequency vector holds inline (no heap) before spilling to a
+/// hash map. Two cache lines of entries: the correlated framework's low-level
+/// buckets and singleton buckets rarely exceed a handful of distinct items,
+/// so the common case costs one linear scan with no allocation at all.
+const INLINE_CAP: usize = 8;
+
+/// Storage behind [`ExactFrequencies`]: inline while tiny, hashed once big.
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Up to [`INLINE_CAP`] `(item, frequency)` entries, unsorted, scanned
+    /// linearly. Invariant: no zero frequencies, no duplicate items.
+    Inline {
+        entries: [(u64, i64); INLINE_CAP],
+        len: u8,
+    },
+    /// Spilled representation for larger vectors.
+    Spilled(HashMap<u64, i64, Fmix64Build>),
+}
+
+impl Default for Repr {
+    fn default() -> Self {
+        Repr::Inline {
+            entries: [(0, 0); INLINE_CAP],
+            len: 0,
+        }
+    }
+}
+
 /// Exact frequency vector over `u64` item identifiers.
+///
+/// Small vectors are stored inline (no heap); larger ones spill to a hash map
+/// keyed by [`Fmix64Build`] rather than the std SipHash default — the
+/// correlated framework updates one of these per level on every insert, and
+/// the keys are item identifiers, not attacker-controlled strings.
 #[derive(Debug, Clone, Default)]
 pub struct ExactFrequencies {
-    freqs: HashMap<u64, i64>,
+    repr: Repr,
     total_weight: i64,
+    /// Running `Σ f_i²` in `i128`, so `F_2` — the moment the correlated
+    /// framework's bucket-closing checks ask for on every insert — is O(1)
+    /// and exact instead of a scan over the vector.
+    sum_squares: i128,
 }
 
 impl ExactFrequencies {
@@ -25,20 +63,24 @@ impl ExactFrequencies {
 
     /// The number of items with non-zero frequency (`F_0`).
     pub fn distinct_count(&self) -> usize {
-        self.freqs.values().filter(|&&f| f != 0).count()
+        match &self.repr {
+            Repr::Inline { len, .. } => usize::from(*len),
+            Repr::Spilled(freqs) => freqs.values().filter(|&&f| f != 0).count(),
+        }
     }
 
     /// The k-th frequency moment `Σ |f_i|^k`. `F_0` is handled as the number
-    /// of non-zero entries; `F_1` is the sum of absolute frequencies.
+    /// of non-zero entries; `F_1` is the sum of absolute frequencies; `F_2`
+    /// is maintained incrementally and costs O(1).
     pub fn frequency_moment(&self, k: u32) -> f64 {
-        if k == 0 {
-            return self.distinct_count() as f64;
+        match k {
+            0 => self.distinct_count() as f64,
+            2 => self.sum_squares as f64,
+            _ => self
+                .iter()
+                .map(|(_, f)| (f.abs() as f64).powi(k as i32))
+                .sum(),
         }
-        self.freqs
-            .values()
-            .filter(|&&f| f != 0)
-            .map(|&f| (f.abs() as f64).powi(k as i32))
-            .sum()
     }
 
     /// Exact total weight `Σ f_i` (signed).
@@ -48,7 +90,13 @@ impl ExactFrequencies {
 
     /// Exact frequency of one item.
     pub fn frequency(&self, item: u64) -> i64 {
-        self.freqs.get(&item).copied().unwrap_or(0)
+        match &self.repr {
+            Repr::Inline { entries, len } => entries[..usize::from(*len)]
+                .iter()
+                .find(|&&(x, _)| x == item)
+                .map_or(0, |&(_, f)| f),
+            Repr::Spilled(freqs) => freqs.get(&item).copied().unwrap_or(0),
+        }
     }
 
     /// Items whose squared frequency is at least `phi · F_2`, sorted by
@@ -58,13 +106,11 @@ impl ExactFrequencies {
         let f2 = self.frequency_moment(2);
         let threshold = phi * f2;
         let mut out: Vec<(u64, i64)> = self
-            .freqs
             .iter()
-            .filter(|&(_, &f)| {
+            .filter(|&(_, f)| {
                 let fa = f.abs() as f64;
-                fa * fa >= threshold && f != 0
+                fa * fa >= threshold
             })
-            .map(|(&x, &f)| (x, f))
             .collect();
         out.sort_by(|a, b| b.1.abs().cmp(&a.1.abs()).then(a.0.cmp(&b.0)));
         out
@@ -77,16 +123,26 @@ impl ExactFrequencies {
         if distinct == 0 {
             return 0.0;
         }
-        let singletons = self.freqs.values().filter(|&&f| f == 1).count();
+        let singletons = self.iter().filter(|&(_, f)| f == 1).count();
         singletons as f64 / distinct as f64
     }
 
     /// Iterate over `(item, frequency)` pairs with non-zero frequency.
     pub fn iter(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
-        self.freqs
-            .iter()
-            .filter(|&(_, &f)| f != 0)
-            .map(|(&x, &f)| (x, f))
+        let (inline, spilled) = match &self.repr {
+            Repr::Inline { entries, len } => (Some(&entries[..usize::from(*len)]), None),
+            Repr::Spilled(freqs) => (None, Some(freqs)),
+        };
+        inline
+            .into_iter()
+            .flatten()
+            .copied()
+            .chain(
+                spilled
+                    .into_iter()
+                    .flat_map(|m| m.iter().map(|(&x, &f)| (x, f))),
+            )
+            .filter(|&(_, f)| f != 0)
     }
 }
 
@@ -95,12 +151,46 @@ impl StreamSketch for ExactFrequencies {
         if weight == 0 {
             return;
         }
-        let entry = self.freqs.entry(item).or_insert(0);
-        *entry += weight;
-        if *entry == 0 {
-            self.freqs.remove(&item);
-        }
         self.total_weight += weight;
+        // (f + w)² − f² = (2f + w)·w, exact in i128; `square_delta` is
+        // applied once the old frequency is known in the branch below.
+        let square_delta =
+            |old: i64| (2 * old as i128 + weight as i128) * weight as i128;
+        match &mut self.repr {
+            Repr::Inline { entries, len } => {
+                let n = usize::from(*len);
+                if let Some(i) = entries[..n].iter().position(|&(x, _)| x == item) {
+                    self.sum_squares += square_delta(entries[i].1);
+                    entries[i].1 += weight;
+                    if entries[i].1 == 0 {
+                        // Remove by swapping in the last live entry.
+                        entries[i] = entries[n - 1];
+                        *len -= 1;
+                    }
+                    return;
+                }
+                self.sum_squares += square_delta(0);
+                if n < INLINE_CAP {
+                    entries[n] = (item, weight);
+                    *len += 1;
+                    return;
+                }
+                // Spill: move the inline entries into a map, then insert.
+                let mut freqs: HashMap<u64, i64, Fmix64Build> =
+                    HashMap::with_capacity_and_hasher(2 * INLINE_CAP, Fmix64Build);
+                freqs.extend(entries[..n].iter().copied());
+                freqs.insert(item, weight);
+                self.repr = Repr::Spilled(freqs);
+            }
+            Repr::Spilled(freqs) => {
+                let entry = freqs.entry(item).or_insert(0);
+                self.sum_squares += square_delta(*entry);
+                *entry += weight;
+                if *entry == 0 {
+                    freqs.remove(&item);
+                }
+            }
+        }
     }
 }
 
@@ -121,7 +211,7 @@ impl Estimate for ExactFrequencies {
 
 impl MergeableSketch for ExactFrequencies {
     fn merge_from(&mut self, other: &Self) -> Result<()> {
-        for (&item, &f) in &other.freqs {
+        for (item, f) in other.iter() {
             self.update(item, f);
         }
         Ok(())
@@ -130,11 +220,14 @@ impl MergeableSketch for ExactFrequencies {
 
 impl SpaceUsage for ExactFrequencies {
     fn stored_tuples(&self) -> usize {
-        self.freqs.len()
+        match &self.repr {
+            Repr::Inline { len, .. } => usize::from(*len),
+            Repr::Spilled(freqs) => freqs.len(),
+        }
     }
 
     fn space_bytes(&self) -> usize {
-        self.freqs.len() * std::mem::size_of::<(u64, i64)>()
+        self.stored_tuples() * std::mem::size_of::<(u64, i64)>()
     }
 }
 

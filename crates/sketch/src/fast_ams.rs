@@ -13,18 +13,25 @@
 //! (negative-weight) updates and merges by counter-wise addition.
 
 use crate::error::{check_delta, check_epsilon, Result, SketchError};
-use crate::estimator_util::median;
-use crate::traits::{Estimate, MergeableSketch, SpaceUsage, StreamSketch};
+use crate::estimator_util::{median, median_mut};
+use crate::traits::{Estimate, MergeableSketch, SharedUpdate, SpaceUsage, StreamSketch};
 use cora_hash::mix::derive_seed;
 use cora_hash::polynomial::PolynomialHash;
 use cora_hash::traits::HashFunction64;
 
-/// One row of the fast AMS sketch: a bucket hash, a sign hash and counters.
+/// One row of the fast AMS sketch: a bucket hash, a sign hash, counters, and
+/// the incrementally-maintained sum of squared counters.
 #[derive(Debug, Clone)]
 struct Row {
     bucket_hash: PolynomialHash,
     sign_hash: PolynomialHash,
     counters: Vec<i64>,
+    /// `Σ c²` over `counters`, maintained on every update so the per-row `F_2`
+    /// estimate is O(1) instead of O(width). Kept in `i128` so the running
+    /// value is *exact* (each counter fits in `i64`, so `c²` fits in `i128`
+    /// with enormous headroom) — the estimate is bit-for-bit the true sum of
+    /// squares, with none of the rounding a recomputed `f64` sum would have.
+    sumsq: i128,
 }
 
 impl Row {
@@ -33,6 +40,7 @@ impl Row {
             bucket_hash: PolynomialHash::new(2, derive_seed(seed, 0xB)),
             sign_hash: PolynomialHash::new(4, derive_seed(seed, 0x5)),
             counters: vec![0; width],
+            sumsq: 0,
         }
     }
 
@@ -53,11 +61,32 @@ impl Row {
     #[inline]
     fn update(&mut self, item: u64, weight: i64) {
         let b = self.bucket(item);
-        self.counters[b] += self.sign(item) * weight;
+        let delta = self.sign(item) * weight;
+        self.apply(b, delta);
     }
 
+    /// Add `delta` to counter `b`, keeping the running sum of squares exact.
+    #[inline]
+    fn apply(&mut self, b: usize, delta: i64) {
+        let old = self.counters[b];
+        self.counters[b] = old + delta;
+        // (c + d)² − c² = (2c + d)·d, evaluated in i128 so it is exact.
+        self.sumsq += (2 * old as i128 + delta as i128) * delta as i128;
+    }
+
+    #[inline]
     fn f2_estimate(&self) -> f64 {
-        self.counters.iter().map(|&c| (c as f64) * (c as f64)).sum()
+        self.sumsq as f64
+    }
+
+    /// Rebuild `sumsq` from the counters (used after counter-wise merges,
+    /// which touch every counter anyway).
+    fn recompute_sumsq(&mut self) {
+        self.sumsq = self
+            .counters
+            .iter()
+            .map(|&c| (c as i128) * (c as i128))
+            .sum();
     }
 
     /// Point estimate of the signed frequency of `item` from this row.
@@ -125,9 +154,8 @@ impl FastAmsSketch {
 
     /// True iff no update has ever been applied (all counters zero).
     pub fn is_empty(&self) -> bool {
-        self.rows
-            .iter()
-            .all(|r| r.counters.iter().all(|&c| c == 0))
+        // sumsq = Σ c² is zero exactly when every counter in the row is zero.
+        self.rows.iter().all(|r| r.sumsq == 0)
     }
 }
 
@@ -140,10 +168,51 @@ impl StreamSketch for FastAmsSketch {
     }
 }
 
+/// Precomputed per-row coordinates of one fast-AMS update: `(bucket, signed
+/// delta)` for each row. See [`SharedUpdate`].
+#[derive(Debug, Clone, Default)]
+pub struct FastAmsPrepared {
+    rows: Vec<(u32, i64)>,
+}
+
+impl SharedUpdate for FastAmsSketch {
+    type Prepared = FastAmsPrepared;
+
+    fn prepare_into(&self, item: u64, weight: i64, out: &mut FastAmsPrepared) {
+        out.rows.clear();
+        out.rows.extend(
+            self.rows
+                .iter()
+                .map(|r| (r.bucket(item) as u32, r.sign(item) * weight)),
+        );
+    }
+
+    fn apply_prepared(&mut self, prepared: &FastAmsPrepared) {
+        debug_assert_eq!(prepared.rows.len(), self.rows.len());
+        for (row, &(b, delta)) in self.rows.iter_mut().zip(&prepared.rows) {
+            row.apply(b as usize, delta);
+        }
+    }
+}
+
 impl Estimate for FastAmsSketch {
     fn estimate(&self) -> f64 {
-        let per_row: Vec<f64> = self.rows.iter().map(Row::f2_estimate).collect();
-        median(&per_row).unwrap_or(0.0)
+        // The per-row sums of squares are maintained incrementally, so this is
+        // O(depth). A stack buffer keeps the common small-depth case (the
+        // correlated framework checks bucket estimates on every insert)
+        // allocation-free.
+        const STACK: usize = 32;
+        let n = self.rows.len();
+        if n <= STACK {
+            let mut buf = [0.0f64; STACK];
+            for (slot, row) in buf[..n].iter_mut().zip(&self.rows) {
+                *slot = row.f2_estimate();
+            }
+            median_mut(&mut buf[..n]).unwrap_or(0.0)
+        } else {
+            let mut per_row: Vec<f64> = self.rows.iter().map(Row::f2_estimate).collect();
+            median_mut(&mut per_row).unwrap_or(0.0)
+        }
     }
 }
 
@@ -167,6 +236,7 @@ impl MergeableSketch for FastAmsSketch {
             for (c, d) in r.counters.iter_mut().zip(o.counters.iter()) {
                 *c += d;
             }
+            r.recompute_sumsq();
         }
         Ok(())
     }
@@ -304,5 +374,27 @@ mod tests {
         let mut s = FastAmsSketch::with_dimensions(16, 3, 5);
         s.update(7, 13);
         assert_eq!(s.estimate(), 169.0);
+    }
+
+    #[test]
+    fn incremental_sumsq_matches_recomputation() {
+        // The running per-row Σc² must stay exactly equal to a from-scratch
+        // recomputation through mixed-sign updates and a merge.
+        let mut s = FastAmsSketch::with_dimensions(64, 5, 77);
+        let mut other = FastAmsSketch::with_dimensions(64, 5, 77);
+        let mut state = 1u64;
+        for _ in 0..5_000u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let w = (state % 7) as i64 - 3; // mixed signs exercise cancellation
+            s.update(state >> 32, if w == 0 { 1 } else { w });
+            other.update(state >> 17, 2);
+        }
+        s.merge_from(&other).unwrap();
+        for row in &s.rows {
+            let direct: i128 = row.counters.iter().map(|&c| (c as i128) * (c as i128)).sum();
+            assert_eq!(row.sumsq, direct);
+        }
     }
 }

@@ -35,7 +35,7 @@
 
 use crate::error::{check_delta, check_epsilon, Result, SketchError};
 use crate::space_saving::SpaceSaving;
-use crate::traits::{Estimate, MergeableSketch, SpaceUsage, StreamSketch};
+use crate::traits::{Estimate, MergeableSketch, SharedUpdate, SpaceUsage, StreamSketch};
 use cora_hash::mix::derive_seed;
 use cora_hash::polynomial::PolynomialHash;
 use cora_hash::traits::HashFunction64;
@@ -139,6 +139,35 @@ impl StreamSketch for FkSketch {
         let deepest = self.item_level(item);
         for level in 0..=deepest {
             self.levels[level].update(item, weight);
+        }
+    }
+}
+
+/// Precomputed coordinates of one `F_k` update: the item's deepest
+/// subsampling level (seed-determined) plus the update itself.
+#[derive(Debug, Clone, Default)]
+pub struct FkPrepared {
+    deepest: u32,
+    item: u64,
+    weight: i64,
+}
+
+impl SharedUpdate for FkSketch {
+    type Prepared = FkPrepared;
+
+    fn prepare_into(&self, item: u64, weight: i64, out: &mut FkPrepared) {
+        out.deepest = self.item_level(item) as u32;
+        out.item = item;
+        out.weight = weight;
+    }
+
+    fn apply_prepared(&mut self, prepared: &FkPrepared) {
+        debug_assert!(prepared.weight >= 0, "FkSketch only supports the cash-register model");
+        // The per-level SpaceSaving summaries are stateful (not linear), so
+        // only the subsampling-level hash is shareable work.
+        let deepest = (prepared.deepest as usize).min(self.levels.len() - 1);
+        for level in 0..=deepest {
+            self.levels[level].update(prepared.item, prepared.weight);
         }
     }
 }

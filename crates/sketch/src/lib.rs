@@ -46,12 +46,12 @@ pub use count_sketch::CountSketch;
 pub use error::{Result, SketchError};
 pub use exact::ExactFrequencies;
 pub use f0::{DistinctSampler, F0Sketch, FlajoletMartin, KmvSketch};
-pub use fast_ams::FastAmsSketch;
-pub use fk::FkSketch;
+pub use fast_ams::{FastAmsPrepared, FastAmsSketch};
+pub use fk::{FkPrepared, FkSketch};
 pub use misra_gries::MisraGries;
 pub use quantiles::GkQuantiles;
 pub use space_saving::SpaceSaving;
-pub use traits::{Estimate, MergeableSketch, PointQuery, SketchFactory, SpaceUsage, StreamSketch};
+pub use traits::{Estimate, MergeableSketch, PointQuery, SharedUpdate, SketchFactory, SpaceUsage, StreamSketch};
 
 #[cfg(test)]
 mod lib_tests {

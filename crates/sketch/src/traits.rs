@@ -34,6 +34,31 @@ pub trait Estimate {
     fn estimate(&self) -> f64;
 }
 
+/// A summary whose per-item *coordinates* (hash evaluations, subsampling
+/// levels) are determined by its dimensions and construction seed alone, so
+/// the work of one `(item, weight)` update can be computed once and applied
+/// to many same-seeded instances.
+///
+/// The correlated-aggregation framework leans on this: Property V requires
+/// every per-bucket summary in one structure to share hash seeds (so they
+/// compose), and a single stream element updates one bucket on every level
+/// plus a shared tail summary. Preparing the coordinates once per element
+/// removes the dominant per-level hashing cost from the insert hot path.
+pub trait SharedUpdate: StreamSketch {
+    /// Precomputed coordinates for one `(item, weight)` update.
+    type Prepared: Clone + Default + std::fmt::Debug;
+
+    /// Compute the coordinates of `(item, weight)` into `out` (reusing its
+    /// allocations). The result must depend only on the sketch's dimensions
+    /// and seed, never on its counter state, so it is valid for every sketch
+    /// produced by the same factory/aggregate.
+    fn prepare_into(&self, item: u64, weight: i64, out: &mut Self::Prepared);
+
+    /// Apply previously-prepared coordinates. Must be exactly equivalent to
+    /// `update(item, weight)` with the pair passed to `prepare_into`.
+    fn apply_prepared(&mut self, prepared: &Self::Prepared);
+}
+
 /// A summary of a multiset that can be composed with a summary of another
 /// multiset to obtain a summary of the multiset union (Property V(b)).
 pub trait MergeableSketch: Sized {

@@ -23,8 +23,13 @@ fn main() {
     let mut f0 = CorrelatedF0::new(epsilon, delta, 20, y_max).expect("valid parameters");
     let mut exact = ExactCorrelated::new();
 
+    // Ingest the correlated-F2 sketch through the amortized batch API (one
+    // level-loop pass per chunk); F0 and the baseline take the scalar path.
+    let pairs: Vec<(u64, u64)> = tuples.iter().map(|t| (t.x, t.y)).collect();
+    for chunk in pairs.chunks(4096) {
+        f2.update_batch(chunk).expect("y within range");
+    }
     for t in &tuples {
-        f2.insert(t.x, t.y).expect("y within range");
         f0.insert(t.x, t.y).expect("y within range");
         exact.insert(t.x, t.y);
     }

@@ -11,6 +11,11 @@
 //! warm-up; good enough to rank implementations and spot order-of-magnitude
 //! regressions, without criterion's statistical machinery. Output is one
 //! `name  median  min  max  [throughput]` line per benchmark on stdout.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, one JSON line
+//! per benchmark (`{"bench", "median_ns", "min_ns", "max_ns",
+//! "throughput_per_s"?}`) is appended to it as well — the CI bench-smoke job
+//! uses this to record the performance trajectory of every PR as an artifact.
 
 #![warn(missing_docs)]
 
@@ -119,17 +124,66 @@ fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) 
     samples.sort_unstable();
     let median = samples[samples.len() / 2];
     let (min, max) = (samples[0], samples[samples.len() - 1]);
-    let rate = throughput.map(|t| {
+    let per_second = throughput.map(|t| {
         let secs = median.as_secs_f64().max(1e-12);
         match t {
-            Throughput::Elements(n) => format!("  {:.3e} elem/s", n as f64 / secs),
-            Throughput::Bytes(n) => format!("  {:.3e} B/s", n as f64 / secs),
+            Throughput::Elements(n) | Throughput::Bytes(n) => n as f64 / secs,
         }
+    });
+    let rate = throughput.map(|t| {
+        let unit = match t {
+            Throughput::Elements(_) => "elem/s",
+            Throughput::Bytes(_) => "B/s",
+        };
+        format!("  {:.3e} {unit}", per_second.unwrap_or(0.0))
     });
     println!(
         "{name:<50} median {median:>12.3?}  min {min:>12.3?}  max {max:>12.3?}{}",
         rate.unwrap_or_default()
     );
+    append_json_line(name, median, min, max, per_second);
+}
+
+/// Append this benchmark's summary as a JSON line to `$CRITERION_JSON`, when
+/// set. Failures are reported to stderr but never fail the bench run.
+fn append_json_line(
+    name: &str,
+    median: Duration,
+    min: Duration,
+    max: Duration,
+    per_second: Option<f64>,
+) {
+    let Some(path) = std::env::var_os("CRITERION_JSON") else {
+        return;
+    };
+    // Benchmark names in this workspace are plain ASCII identifiers with '/'
+    // separators; escape the quote/backslash anyway for robustness.
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect();
+    let mut line = format!(
+        "{{\"bench\":\"{escaped}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{}",
+        median.as_nanos(),
+        min.as_nanos(),
+        max.as_nanos()
+    );
+    if let Some(rate) = per_second {
+        line.push_str(&format!(",\"throughput_per_s\":{rate}"));
+    }
+    line.push_str("}\n");
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("criterion shim: could not append to {path:?}: {e}");
+    }
 }
 
 /// A named set of related benchmarks sharing sample-size and throughput
@@ -285,6 +339,33 @@ mod tests {
     fn ids_format() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn json_lines_are_appended_when_env_set() {
+        let path = std::env::temp_dir().join(format!(
+            "criterion_shim_json_test_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_JSON", &path);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("jsonl");
+        group
+            .sample_size(2)
+            .throughput(Throughput::Elements(100))
+            .bench_function("probe", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        std::env::remove_var("CRITERION_JSON");
+        let contents = std::fs::read_to_string(&path).expect("json file written");
+        let line = contents
+            .lines()
+            .find(|l| l.contains("\"jsonl/probe\""))
+            .expect("probe line present");
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"median_ns\":"));
+        assert!(line.contains("\"throughput_per_s\":"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

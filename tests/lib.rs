@@ -5,6 +5,28 @@
 use cora_core::ExactCorrelated;
 use cora_stream::StreamTuple;
 
+/// Stream length for an integration test: `default`, scaled by the
+/// `CORA_TEST_STREAM_SCALE` environment variable when set (a positive float
+/// multiplier — e.g. `0.25` for a quick smoke pass on a slow machine, `4` for
+/// a heavier accuracy soak). The result is clamped to at least 1000 tuples so
+/// accuracy assertions keep enough signal.
+///
+/// The default sizes run the whole `cargo test -q` suite in well under a
+/// minute in the dev profile since the insert hot path was optimized; this
+/// knob exists so the big configurations stay one env var away in both
+/// directions rather than needing code edits.
+pub fn stream_len(default: usize) -> usize {
+    match std::env::var("CORA_TEST_STREAM_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        Some(scale) if scale > 0.0 && scale.is_finite() => {
+            ((default as f64 * scale) as usize).max(1000)
+        }
+        _ => default,
+    }
+}
+
 /// Relative error of `estimate` against a non-zero `truth`.
 pub fn relative_error(estimate: f64, truth: f64) -> f64 {
     assert!(truth != 0.0, "relative error undefined for zero truth");

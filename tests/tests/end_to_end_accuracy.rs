@@ -1,5 +1,9 @@
 //! End-to-end accuracy of every correlated aggregate against the exact
 //! linear-storage baseline, on every generator from the paper's evaluation.
+//!
+//! Stream sizes honor `CORA_TEST_STREAM_SCALE` (see [`cora_tests::stream_len`])
+//! so the big configurations can be scaled up for accuracy soaks or down for
+//! quick smoke passes without code edits.
 
 use cora_core::{
     correlated_count, correlated_f2_seeded, correlated_fk_seeded, CorrelatedF0, ExactCorrelated,
@@ -7,8 +11,11 @@ use cora_core::{
 use cora_stream::{
     default_thresholds, DatasetGenerator, EthernetGenerator, UniformGenerator, ZipfGenerator,
 };
+use cora_tests::stream_len;
 
-const N: usize = 40_000;
+fn n() -> usize {
+    stream_len(40_000)
+}
 
 fn generators() -> Vec<Box<dyn DatasetGenerator>> {
     vec![
@@ -25,8 +32,8 @@ fn correlated_f2_is_within_epsilon_on_all_datasets() {
     for mut generator in generators() {
         let name = generator.name();
         let y_max = generator.y_max();
-        let tuples = generator.generate(N);
-        let mut sketch = correlated_f2_seeded(epsilon, 0.05, y_max, N as u64, 99).unwrap();
+        let tuples = generator.generate(n());
+        let mut sketch = correlated_f2_seeded(epsilon, 0.05, y_max, n() as u64, 99).unwrap();
         let mut exact = ExactCorrelated::new();
         for t in &tuples {
             sketch.insert(t.x, t.y).unwrap();
@@ -53,7 +60,7 @@ fn correlated_f0_is_within_tolerance_on_all_datasets() {
     for mut generator in generators() {
         let name = generator.name();
         let y_max = generator.y_max();
-        let tuples = generator.generate(N);
+        let tuples = generator.generate(n());
         let mut sketch = CorrelatedF0::with_seed(epsilon, 0.05, 20, y_max, 7).unwrap();
         let mut exact = ExactCorrelated::new();
         for t in &tuples {
@@ -80,8 +87,8 @@ fn correlated_count_matches_exact_on_all_datasets() {
     for mut generator in generators() {
         let name = generator.name();
         let y_max = generator.y_max();
-        let tuples = generator.generate(N);
-        let mut sketch = correlated_count(0.2, 0.05, y_max, N as u64).unwrap();
+        let tuples = generator.generate(n());
+        let mut sketch = correlated_count(0.2, 0.05, y_max, n() as u64).unwrap();
         let mut exact = ExactCorrelated::new();
         for t in &tuples {
             sketch.insert(t.x, t.y).unwrap();
@@ -106,8 +113,8 @@ fn correlated_count_matches_exact_on_all_datasets() {
 fn correlated_f3_tracks_exact_on_skewed_data() {
     let mut generator = ZipfGenerator::new(1.5, 50_000, 1_000_000, 21);
     let y_max = generator.y_max();
-    let tuples = generator.generate(N);
-    let mut sketch = correlated_fk_seeded(3, 0.25, 0.1, y_max, N as u64, 5).unwrap();
+    let tuples = generator.generate(n());
+    let mut sketch = correlated_fk_seeded(3, 0.25, 0.1, y_max, n() as u64, 5).unwrap();
     let mut exact = ExactCorrelated::new();
     for t in &tuples {
         sketch.insert(t.x, t.y).unwrap();
@@ -131,7 +138,7 @@ fn sketch_space_is_sublinear_in_stream_size_for_large_streams() {
     // tuples at full scale; at test scale we check the sketch stops growing).
     let mut generator = UniformGenerator::new(100_000, 1_000_000, 31);
     let y_max = generator.y_max();
-    let tuples = generator.generate(120_000);
+    let tuples = generator.generate(stream_len(120_000));
     let mut sketch = correlated_f2_seeded(0.25, 0.1, y_max, 200_000, 3).unwrap();
     let mut size_at_half = 0usize;
     for (i, t) in tuples.iter().enumerate() {

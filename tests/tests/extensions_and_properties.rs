@@ -117,4 +117,68 @@ proptest! {
         prop_assert!(est <= 4.0 * tuples.len() as f64 + 1.0);
         prop_assert_eq!(sketch.query(0).unwrap(), 0.0);
     }
+
+    /// On a small stream the heavy-hitters structure's composed store is the
+    /// exact frequency vector, so its answers must agree item-for-item with
+    /// an exact recomputation at every threshold and share level.
+    #[test]
+    fn heavy_hitters_match_exact_recomputation_on_small_streams(
+        tuples in prop::collection::vec((0u64..60, 0u64..1024), 1..180),
+        c in 0u64..1024,
+        phi_percent in 2u32..40,
+    ) {
+        let phi = f64::from(phi_percent) / 100.0;
+        let mut hh = CorrelatedHeavyHitters::with_seed(0.2, 0.1, 0.02, 1023, 10_000, 5).unwrap();
+        let mut exact = ExactCorrelated::new();
+        for &(x, y) in &tuples {
+            hh.insert(x, y).unwrap();
+            exact.insert(x, y);
+        }
+        let expected: Vec<u64> = exact
+            .f2_heavy_hitters(c, phi)
+            .into_iter()
+            .map(|(x, _)| x)
+            .collect();
+        let got = hh.query_heavy_hitters(c, phi).unwrap();
+        let got_items: Vec<u64> = got.iter().map(|h| h.item).collect();
+        for item in &expected {
+            prop_assert!(
+                got_items.contains(item),
+                "exact heavy hitter {} missing at c={}, phi={}: {:?}",
+                item, c, phi, got_items
+            );
+        }
+        for h in &got {
+            prop_assert!(
+                expected.contains(&h.item),
+                "spurious heavy hitter {} at c={}, phi={}: expected {:?}",
+                h.item, c, phi, expected
+            );
+            // Frequencies reported from the exact store are exact.
+            let f = exact.frequencies_upto(c).frequency(h.item) as f64;
+            prop_assert!((h.frequency - f).abs() < 1e-9);
+        }
+    }
+
+    /// On a small stream (few distinct identifiers, below every sampling
+    /// level's capacity) the rarity sketch is exact at every threshold.
+    #[test]
+    fn rarity_is_exact_on_small_streams(
+        tuples in prop::collection::vec((0u64..120, 0u64..4096), 1..250),
+        c in 0u64..4096,
+    ) {
+        let mut sketch = CorrelatedRarity::with_seed(0.2, 16, 4095, 11).unwrap();
+        let mut exact = ExactCorrelated::new();
+        for &(x, y) in &tuples {
+            sketch.insert(x, y).unwrap();
+            exact.insert(x, y);
+        }
+        let est = sketch.query(c).unwrap();
+        prop_assert!((0.0..=1.0).contains(&est), "rarity {} outside [0,1]", est);
+        let truth = exact.rarity(c);
+        prop_assert!(
+            (est - truth).abs() < 1e-9,
+            "rarity at c={}: est {}, exact {}", c, est, truth
+        );
+    }
 }
