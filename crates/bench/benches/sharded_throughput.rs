@@ -1,0 +1,64 @@
+//! Ingest throughput of the worker-sharded front-end (`cora_stream::sharded`)
+//! at 1/2/4/8 shards against the single-core correlated-F2 baseline, on the
+//! paper's uniform and Zipf(1) workloads.
+//!
+//! The interesting number is elem/s scaling with the shard count: the merge
+//! behind the front-end is lossless (Property V), so throughput is the only
+//! axis the sharding trades on. On a multi-core host 4 shards should clear
+//! 3x the single-core baseline; on a single-core host (some CI containers)
+//! the workers serialize and the sharded numbers degenerate to ~1x, which is
+//! expected — compare against `single_core` from the same run, never across
+//! machines.
+
+use cora_core::correlated_f2_seeded;
+use cora_stream::{sharded_correlated_f2, DatasetGenerator, UniformGenerator, ZipfGenerator};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+const N: usize = 100_000;
+const Y_MAX: u64 = 1_000_000;
+
+fn bench_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+
+    let mut uniform = UniformGenerator::new(500_000, Y_MAX, 7);
+    let uniform_pairs: Vec<(u64, u64)> =
+        uniform.generate(N).iter().map(|t| (t.x, t.y)).collect();
+    let mut zipf = ZipfGenerator::new(1.0, 500_000, Y_MAX, 7);
+    let zipf_pairs: Vec<(u64, u64)> = zipf.generate(N).iter().map(|t| (t.x, t.y)).collect();
+
+    for (name, pairs) in [("uniform", &uniform_pairs), ("zipf1", &zipf_pairs)] {
+        // Single-core reference: the same workload through the sequential
+        // insert path (the 6.2e5 elem/s baseline from ROADMAP.md).
+        group.bench_function(format!("single_core/{name}"), |b| {
+            b.iter_batched(
+                || correlated_f2_seeded(0.2, 0.05, Y_MAX, N as u64, 3).unwrap(),
+                |mut sketch| {
+                    for &(x, y) in pairs {
+                        sketch.insert(x, y).unwrap();
+                    }
+                    sketch
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        for shards in [1usize, 2, 4, 8] {
+            group.bench_function(format!("shards{shards}/{name}"), |b| {
+                b.iter_batched(
+                    || sharded_correlated_f2(0.2, 0.05, Y_MAX, N as u64, 3, shards).unwrap(),
+                    |mut ingest| {
+                        ingest.ingest(pairs).unwrap();
+                        ingest.flush();
+                        ingest
+                    },
+                    BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

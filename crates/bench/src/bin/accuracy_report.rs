@@ -1,11 +1,17 @@
 //! Experiment E8: measured relative error of the correlated F2 and F0 sketches
 //! against the exact linear-storage baseline, validating the paper's claim
 //! that "the relative error of the algorithm was almost always within the
-//! desired approximation error ε".
+//! desired approximation error ε" — plus a Section-3.3 extension section
+//! covering correlated heavy hitters (worst frequency error over the true
+//! heavy set; a missed heavy hitter counts as 1.0) and correlated rarity
+//! (absolute error; rarity lives in [0, 1]).
 //!
 //! `cargo run -p cora-bench --release --bin accuracy_report -- [--scale N]`
 
-use cora_bench::{emit, measure_correlated_f0, measure_correlated_f2, ExperimentOptions};
+use cora_bench::{
+    emit, measure_correlated_f0, measure_correlated_f2, measure_correlated_hh,
+    measure_correlated_rarity, ExperimentOptions,
+};
 use cora_stream::{f0_experiment_generators, f2_experiment_generators};
 
 fn main() {
@@ -28,4 +34,27 @@ fn main() {
         .filter_map(|r| r.max_relative_error())
         .fold(0.0f64, f64::max);
     println!("# worst measured relative error across all runs: {worst:.4}");
+
+    // Section 3.3 extensions: heavy hitters and rarity, previously covered
+    // only by property tests, now get the same Section-5-style treatment.
+    println!();
+    println!("# Extensions (Section 3.3): correlated heavy hitters and rarity");
+    println!("#   HH error column  = worst relative frequency error over the true heavy set (missed item = 1.0)");
+    println!("#   rarity error col = absolute error against exact rarity");
+    let mut ext_reports = Vec::new();
+    let eps = 0.2;
+    for phi in [0.02, 0.05] {
+        for generator in &mut f2_experiment_generators(opts.seed) {
+            ext_reports.push(measure_correlated_hh(generator.as_mut(), n, eps, phi, opts.seed));
+        }
+    }
+    for generator in &mut f0_experiment_generators(opts.seed) {
+        ext_reports.push(measure_correlated_rarity(generator.as_mut(), n, eps, opts.seed));
+    }
+    emit(&ext_reports, opts.json);
+    let worst_ext = ext_reports
+        .iter()
+        .filter_map(|r| r.max_relative_error())
+        .fold(0.0f64, f64::max);
+    println!("# worst extension error across all runs: {worst_ext:.4}");
 }

@@ -16,7 +16,9 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use cora_core::{correlated_f2_seeded, CorrelatedF0, ExactCorrelated};
+use cora_core::{
+    correlated_f2_seeded, CorrelatedF0, CorrelatedHeavyHitters, CorrelatedRarity, ExactCorrelated,
+};
 use cora_stream::{default_thresholds, DatasetGenerator, RunReport, StreamTuple};
 
 /// Common command-line options for the figure binaries (parsed by hand to
@@ -173,6 +175,96 @@ pub fn measure_correlated_f0(
     }
 }
 
+/// Measure the correlated `F_2`-heavy-hitters sketch on one generated
+/// dataset (Section 3.3 extension, previously uncovered by any report).
+///
+/// The per-threshold error metric is the worst relative error of the
+/// sketch's frequency estimate over the *true* heavy hitters at that
+/// threshold; a true heavy hitter missing from the sketch's answer counts as
+/// error 1.0. Recall failures therefore show up directly in the error
+/// column.
+pub fn measure_correlated_hh(
+    generator: &mut dyn DatasetGenerator,
+    n: usize,
+    epsilon: f64,
+    phi: f64,
+    seed: u64,
+) -> RunReport {
+    let name = generator.name();
+    let y_max = generator.y_max();
+    let tuples = generator.generate(n);
+    let mut sketch = CorrelatedHeavyHitters::with_seed(epsilon, 0.05, phi, y_max, n as u64, seed)
+        .expect("valid parameters");
+    let ns_per_record =
+        cora_stream::time_ingest(&tuples, |t| sketch.insert(t.x, t.y).expect("y in range"));
+    let exact = exact_baseline(&tuples);
+    let mut errors = Vec::new();
+    for c in default_thresholds(y_max, 5) {
+        let truth = exact.f2_heavy_hitters(c, phi);
+        if truth.is_empty() {
+            continue;
+        }
+        let answer = sketch.query_heavy_hitters(c, phi).expect("answerable");
+        let mut worst = 0.0f64;
+        for (item, freq) in truth {
+            match answer.iter().find(|h| h.item == item) {
+                Some(h) => {
+                    let err = (h.frequency - freq as f64).abs() / (freq as f64);
+                    worst = worst.max(err);
+                }
+                None => worst = worst.max(1.0),
+            }
+        }
+        errors.push(worst);
+    }
+    RunReport {
+        dataset: name,
+        sketch: format!("correlated-HH(phi={phi})"),
+        epsilon,
+        stream_len: tuples.len(),
+        stored_tuples: sketch.stored_tuples(),
+        space_bytes: sketch.stored_tuples() * std::mem::size_of::<i64>(),
+        ns_per_record,
+        relative_errors: errors,
+    }
+}
+
+/// Measure the correlated rarity sketch on one generated dataset.
+///
+/// Rarity lives in `[0, 1]`, so the per-threshold metric is the *absolute*
+/// error against the exact rarity (reported through the same
+/// `relative_errors` column).
+pub fn measure_correlated_rarity(
+    generator: &mut dyn DatasetGenerator,
+    n: usize,
+    epsilon: f64,
+    seed: u64,
+) -> RunReport {
+    let name = generator.name();
+    let y_max = generator.y_max();
+    let x_domain_log2 = (64 - generator.x_max().leading_zeros()).max(1);
+    let tuples = generator.generate(n);
+    let mut sketch = CorrelatedRarity::with_seed(epsilon, x_domain_log2, y_max, seed)
+        .expect("valid parameters");
+    let ns_per_record =
+        cora_stream::time_ingest(&tuples, |t| sketch.insert(t.x, t.y).expect("y in range"));
+    let exact = exact_baseline(&tuples);
+    let errors = default_thresholds(y_max, 5)
+        .iter()
+        .map(|&c| (sketch.query(c).expect("answerable") - exact.rarity(c)).abs())
+        .collect();
+    RunReport {
+        dataset: name,
+        sketch: "correlated-rarity".into(),
+        epsilon,
+        stream_len: tuples.len(),
+        stored_tuples: sketch.stored_tuples(),
+        space_bytes: sketch.stored_tuples() * 2 * std::mem::size_of::<(u64, u64)>(),
+        ns_per_record,
+        relative_errors: errors,
+    }
+}
+
 /// Measure the exact (linear-storage) baseline on one generated dataset.
 pub fn measure_exact_baseline(generator: &mut dyn DatasetGenerator, n: usize) -> RunReport {
     let name = generator.name();
@@ -229,6 +321,28 @@ mod tests {
         assert_eq!(report.sketch, "correlated-F0");
         assert!(report.stored_tuples > 0);
         assert!(report.max_relative_error().unwrap() < 0.6);
+    }
+
+    #[test]
+    fn hh_measurement_produces_consistent_report() {
+        let mut generator = cora_stream::ZipfGenerator::new(1.2, 5_000, 100_000, 3);
+        let report = measure_correlated_hh(&mut generator, 15_000, 0.2, 0.05, 7);
+        assert_eq!(report.stream_len, 15_000);
+        assert!(report.stored_tuples > 0);
+        // A skewed stream has true heavy hitters at some threshold, and the
+        // sketch must track their frequencies.
+        let worst = report.max_relative_error().expect("thresholds probed");
+        assert!(worst < 0.5, "worst HH frequency error {worst}");
+    }
+
+    #[test]
+    fn rarity_measurement_produces_consistent_report() {
+        let mut generator = UniformGenerator::new(50_000, 100_000, 4);
+        let report = measure_correlated_rarity(&mut generator, 15_000, 0.2, 7);
+        assert_eq!(report.sketch, "correlated-rarity");
+        assert!(report.stored_tuples > 0);
+        let worst = report.max_relative_error().expect("thresholds probed");
+        assert!(worst < 0.2, "worst rarity absolute error {worst}");
     }
 
     #[test]

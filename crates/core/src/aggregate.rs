@@ -239,6 +239,32 @@ impl<A: CorrelatedAggregate> Default for BucketStore<A> {
     }
 }
 
+/// Thread-safety audit for the sharded ingest front-end
+/// (`cora_stream::sharded`): every aggregate store shipped with this crate is
+/// plain data (hash coefficients + counters), so the whole sketch stack is
+/// `Send + Sync` by auto-derivation. These assertions fail to *compile* if a
+/// future store picks up a non-thread-safe member (`Rc`, raw pointers,
+/// un-`Sync` interior mutability), rather than failing at some distant
+/// `thread::spawn`.
+#[allow(dead_code)]
+mod thread_safety_audit {
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    fn audit() {
+        assert_send_sync::<crate::framework::CorrelatedSketch<crate::f2::F2Aggregate>>();
+        assert_send_sync::<crate::framework::CorrelatedSketch<crate::fk::FkAggregate>>();
+        assert_send_sync::<crate::framework::CorrelatedSketch<crate::sum::SumAggregate>>();
+        assert_send_sync::<crate::framework::CorrelatedSketch<crate::sum::CountAggregate>>();
+        assert_send_sync::<
+            crate::framework::CorrelatedSketch<crate::heavy_hitters::F2HeavyAggregate>,
+        >();
+        assert_send_sync::<super::BucketStore<crate::f2::F2Aggregate>>();
+        assert_send_sync::<crate::f0::CorrelatedF0>();
+        assert_send_sync::<crate::rarity::CorrelatedRarity>();
+        assert_send_sync::<crate::heavy_hitters::CorrelatedHeavyHitters>();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,6 +36,14 @@ pub enum CoreError {
         /// The configured maximum y value.
         y_max: u64,
     },
+    /// Two correlated sketches cannot be merged: they were built with
+    /// different configurations (accuracy parameters, y domain, level count,
+    /// bucket policy, or hash seed). Property V requires merged structures to
+    /// share all of these.
+    IncompatibleMerge {
+        /// What differed.
+        detail: String,
+    },
     /// An underlying whole-stream sketch failed (merge mismatch etc.).
     Sketch(SketchError),
 }
@@ -55,6 +63,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::YOutOfRange { y, y_max } => {
                 write!(f, "tuple y value {y} exceeds configured y_max {y_max}")
+            }
+            CoreError::IncompatibleMerge { detail } => {
+                write!(f, "sketches cannot be merged: {detail}")
             }
             CoreError::Sketch(e) => write!(f, "sketch error: {e}"),
         }

@@ -40,6 +40,19 @@ impl SampleLevel {
         }
     }
 
+    /// Merge another level's sample into this one (Property V for the
+    /// distinct sampler): union the `(item, min-y)` maps keeping the smaller
+    /// y per item, take the lower eviction watermark, and re-enforce the
+    /// capacity (which may lower the watermark further, exactly as a
+    /// sequential overflow would).
+    fn merge_from(&mut self, other: &Self, capacity: usize) {
+        for (&item, &y) in &other.by_item {
+            self.insert(item, y, capacity);
+        }
+        self.evicted_watermark =
+            crate::dyadic::min_watermark(self.evicted_watermark, other.evicted_watermark);
+    }
+
     /// Insert / refresh an item with a y value, then enforce the capacity.
     fn insert(&mut self, item: u64, y: u64, capacity: usize) {
         match self.by_item.get(&item) {
@@ -141,6 +154,7 @@ pub struct CorrelatedF0 {
     epsilon: f64,
     delta: f64,
     y_max: u64,
+    seed: u64,
     items_processed: u64,
 }
 
@@ -196,8 +210,46 @@ impl CorrelatedF0 {
             epsilon,
             delta,
             y_max,
+            seed,
             items_processed: 0,
         })
+    }
+
+    /// Merge `other` into `self` (Property V lifted to the correlated
+    /// distinct sampler): every sampler instance merges level-wise — items
+    /// keep the smallest y either shard saw them with, watermarks drop to the
+    /// lower of the two, and capacities are re-enforced. Requires identical
+    /// construction parameters and seed (the samplers must share hash
+    /// functions for the union to be a sample of the union stream).
+    pub fn merge_from(&mut self, other: &Self) -> Result<()> {
+        if self.epsilon != other.epsilon
+            || self.delta != other.delta
+            || self.y_max != other.y_max
+            || self.seed != other.seed
+            || self.samplers.len() != other.samplers.len()
+        {
+            return Err(CoreError::IncompatibleMerge {
+                detail: format!(
+                    "CorrelatedF0 parameters differ: (eps {}, delta {}, y_max {}, seed {:#x}, {} instances) \
+                     vs (eps {}, delta {}, y_max {}, seed {:#x}, {} instances)",
+                    self.epsilon, self.delta, self.y_max, self.seed, self.samplers.len(),
+                    other.epsilon, other.delta, other.y_max, other.seed, other.samplers.len()
+                ),
+            });
+        }
+        for (s, o) in self.samplers.iter_mut().zip(&other.samplers) {
+            if s.levels.len() != o.levels.len() || s.capacity != o.capacity {
+                return Err(CoreError::IncompatibleMerge {
+                    detail: "CorrelatedF0 sampler dimensions differ".into(),
+                });
+            }
+            let capacity = s.capacity;
+            for (level, other_level) in s.levels.iter_mut().zip(&o.levels) {
+                level.merge_from(other_level, capacity);
+            }
+        }
+        self.items_processed += other.items_processed;
+        Ok(())
     }
 
     /// Target relative error.
@@ -312,6 +364,57 @@ mod tests {
         assert_eq!(s.query(99).unwrap(), 0.0);
         assert_eq!(s.query(100).unwrap(), 1.0);
         assert_eq!(s.query(1000).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_on_small_streams() {
+        // Below every level's capacity the sampler state is a deterministic
+        // function of the (item, min-y) multiset, so shard-then-merge must
+        // answer every threshold exactly like sequential ingest.
+        let build = || CorrelatedF0::with_seed(0.2, 0.1, 16, 1000, 3).unwrap();
+        let mut seq = build();
+        let mut left = build();
+        let mut right = build();
+        for x in 0..120u64 {
+            let y = (x * 7) % 1001;
+            seq.insert(x, y).unwrap();
+            if x % 2 == 0 {
+                left.insert(x, y).unwrap();
+            } else {
+                right.insert(x, y).unwrap();
+            }
+        }
+        left.merge_from(&right).unwrap();
+        assert_eq!(left.items_processed(), seq.items_processed());
+        for c in (0..=1000u64).step_by(100) {
+            assert_eq!(left.query(c).unwrap(), seq.query(c).unwrap(), "c={c}");
+        }
+    }
+
+    #[test]
+    fn merge_keeps_smallest_y_across_shards() {
+        let build = || CorrelatedF0::with_seed(0.2, 0.1, 16, 1000, 3).unwrap();
+        let mut a = build();
+        let mut b = build();
+        a.insert(7, 900).unwrap();
+        b.insert(7, 100).unwrap();
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.query(99).unwrap(), 0.0);
+        assert_eq!(a.query(100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_parameters() {
+        let mut a = CorrelatedF0::with_seed(0.2, 0.1, 16, 1000, 3).unwrap();
+        let seed = CorrelatedF0::with_seed(0.2, 0.1, 16, 1000, 4).unwrap();
+        let eps = CorrelatedF0::with_seed(0.3, 0.1, 16, 1000, 3).unwrap();
+        let domain = CorrelatedF0::with_seed(0.2, 0.1, 16, 2000, 3).unwrap();
+        for other in [&seed, &eps, &domain] {
+            assert!(matches!(
+                a.merge_from(other),
+                Err(CoreError::IncompatibleMerge { .. })
+            ));
+        }
     }
 
     #[test]

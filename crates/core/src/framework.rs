@@ -283,6 +283,95 @@ impl<A: CorrelatedAggregate> Level<A> {
         }
     }
 
+    /// Build the merge of two same-index levels (Property V): the node set is
+    /// the union of both dyadic trees, per-interval stores are merged
+    /// (summaries are composable because all bucket sketches share hash
+    /// seeds), and bucket-closing is re-run on every merged node so the level
+    /// respects its threshold again.
+    ///
+    /// Soundness: both inputs are ancestor-closed subtrees of the same dyadic
+    /// tree, so their union is too, and below the merged watermark
+    /// `min(Y_a, Y_b)` the union's leaves tile the reachable domain (for any
+    /// reachable `y`, the deeper of the two input leaves containing `y` is
+    /// the unique union leaf). Every item summarised by either input sits in
+    /// exactly one merged node, so query-time composition counts it exactly
+    /// once. Interior nodes inherit `closed` from either input; a leaf whose
+    /// merged estimate now reaches the threshold is closed here rather than
+    /// on its next insert. Nodes at or above the merged watermark can never
+    /// be composed (queries require `c < Y_ℓ`) and are dropped to keep the α
+    /// budget for reachable buckets.
+    fn merge_of(a: &Self, b: &Self, agg: &A, alpha: usize) -> crate::error::Result<Self> {
+        debug_assert_eq!(a.index, b.index);
+        let y_bound = crate::dyadic::min_watermark(a.y_bound, b.y_bound);
+        // Union the live nodes by interval, merging stores.
+        let mut by_interval: BTreeMap<(u64, u64), (BucketStore<A>, bool)> = BTreeMap::new();
+        for node in a.live_nodes().chain(b.live_nodes()) {
+            if let Some(bound) = y_bound {
+                if node.interval.lo >= bound {
+                    continue; // unreachable past the merged watermark
+                }
+            }
+            let key = (node.interval.lo, node.interval.len());
+            match by_interval.entry(key) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let (store, closed) = e.get_mut();
+                    store.merge_from(agg, &node.store)?;
+                    *closed |= node.closed;
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert((node.store.clone(), node.closed));
+                }
+            }
+        }
+        let mut level = Self {
+            index: a.index,
+            threshold: a.threshold,
+            nodes: Vec::with_capacity(by_interval.len()),
+            free: Vec::new(),
+            live: 0,
+            leaves: BTreeMap::new(),
+            order: BTreeSet::new(),
+            y_bound,
+            cursor: NIL,
+        };
+        let stored: BTreeSet<(u64, u64)> = by_interval.keys().copied().collect();
+        for ((lo, len), (store, closed)) in by_interval {
+            let interval = DyadicInterval { lo, hi: lo + (len - 1) };
+            let idx = level.nodes.len() as u32;
+            let mut node = Node::fresh(interval);
+            // Re-run the closing check with fresh headroom: the merged
+            // estimate may have crossed the threshold even if neither input
+            // had (and unit intervals never close, as in `update`).
+            let estimate = store.estimate(agg);
+            node.closed = !interval.is_unit() && (closed || estimate >= level.threshold);
+            node.headroom = agg.weight_headroom(estimate, level.threshold);
+            node.pending_weight = 0.0;
+            node.store = store;
+            level.nodes.push(node);
+            level.order.insert(Self::order_key(interval, idx));
+            level.live += 1;
+            // A union node routes updates (is a stored leaf) iff its left
+            // child is absent from the union; at each left endpoint that
+            // picks exactly the deepest stored interval.
+            let is_leaf = interval.is_unit() || !stored.contains(&(lo, len / 2));
+            if is_leaf {
+                level.leaves.insert(lo, idx);
+            }
+        }
+        level.evict_overflow(alpha);
+        Ok(level)
+    }
+
+    /// A one-bucket stand-in for a dormant level: an *open* root holding a
+    /// clone of the shared tail summary (which is exactly what the eager
+    /// formulation's level would contain before its threshold is reached).
+    fn from_tail(index: u32, root: DyadicInterval, tail: &BucketStore<A>) -> Self {
+        let mut level = Self::new(index, root);
+        let root_idx = level.root_index();
+        level.nodes[root_idx as usize].store = tail.clone();
+        level
+    }
+
     /// Evict buckets with the largest left endpoint until the level fits its
     /// budget again, lowering the watermark. O(log α) per victim.
     fn evict_overflow(&mut self, alpha: usize) {
@@ -642,6 +731,110 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
         Ok(())
     }
 
+    /// Merge `other` into `self` (Property V): the result summarises the
+    /// concatenation of the two input streams.
+    ///
+    /// Requires the two sketches to share a configuration (accuracy
+    /// parameters, y domain, level count, bucket policy, and master hash
+    /// seed) — the same requirement Property V puts on per-bucket sketches,
+    /// lifted to whole structures. Returns
+    /// [`CoreError::IncompatibleMerge`](crate::error::CoreError) otherwise.
+    ///
+    /// The merge is carried out per layer:
+    ///
+    /// * **singleton level** — per-y stores are merged entry-wise, the
+    ///   watermark drops to the smaller of the two, and the α budget is
+    ///   re-enforced by evicting the largest y values;
+    /// * **dyadic levels** — each pair of same-index levels is union-merged
+    ///   (`Level::merge_of`); a level materialized in only one input is
+    ///   merged against the other's shared tail summary (which is exactly
+    ///   that input's dormant level);
+    /// * **shared tail** — the tails are merged and the materialization
+    ///   check re-run, since the combined stream's estimate may have crossed
+    ///   thresholds neither input had reached.
+    ///
+    /// Per-bucket stores are linear summaries, so merged buckets carry the
+    /// same relative error as sequentially-built ones. What composition *can*
+    /// inflate is the boundary-bucket omission of Algorithm 3: a merged
+    /// bucket straddling the query threshold holds up to one closed bucket's
+    /// worth of weight **per input**, so merging `k` shards scales that error
+    /// term by at most `k` — absorbed by the α budget's constant-factor
+    /// headroom for small `k` (the sharded-ingest property tests pin this
+    /// empirically).
+    pub fn merge_from(&mut self, other: &Self) -> Result<()> {
+        if self.config != other.config {
+            return Err(CoreError::IncompatibleMerge {
+                detail: format!(
+                    "configurations differ: {:?} vs {:?}",
+                    self.config, other.config
+                ),
+            });
+        }
+        debug_assert_eq!(self.alpha, other.alpha);
+
+        // Level 0: entry-wise singleton merge, then re-enforce watermark + α.
+        for (&y, store) in &other.singletons {
+            self.singletons
+                .entry(y)
+                .or_default()
+                .merge_from(&self.agg, store)?;
+        }
+        self.singleton_y_bound =
+            crate::dyadic::min_watermark(self.singleton_y_bound, other.singleton_y_bound);
+        if let Some(bound) = self.singleton_y_bound {
+            // Entries at or past the watermark can never be composed.
+            self.singletons.split_off(&bound);
+        }
+        self.enforce_singleton_budget();
+
+        // Dyadic levels: pair up materialized levels; a level dormant in one
+        // input is represented by that input's tail (open root over its whole
+        // stream).
+        let merged_len = self.levels.len().max(other.levels.len());
+        let mut merged_levels = Vec::with_capacity(merged_len);
+        for i in 0..merged_len {
+            let index = i as u32 + 1;
+            let level = match (self.levels.get(i), other.levels.get(i)) {
+                (Some(a), Some(b)) => Level::merge_of(a, b, &self.agg, self.alpha)?,
+                (Some(a), None) => {
+                    let virt = Level::from_tail(index, self.root, &other.tail.store);
+                    Level::merge_of(a, &virt, &self.agg, self.alpha)?
+                }
+                (None, Some(b)) => {
+                    let virt = Level::from_tail(index, self.root, &self.tail.store);
+                    Level::merge_of(&virt, b, &self.agg, self.alpha)?
+                }
+                (None, None) => unreachable!("i < max(levels)"),
+            };
+            merged_levels.push(level);
+        }
+        self.levels = merged_levels;
+        self.level_bounds = self
+            .levels
+            .iter()
+            .map(|l| l.y_bound.unwrap_or(u64::MAX))
+            .collect();
+
+        // Shared tail: only meaningful while dormant levels remain, in which
+        // case both inputs still had live tails (levels.len() < max_level for
+        // both). Force a fresh estimate and materialize crossed levels.
+        if (self.levels.len() as u32) < self.max_level {
+            self.tail.store.merge_from(&self.agg, &other.tail.store)?;
+            self.tail.pending_weight = 0.0;
+            self.tail.headroom = 0.0;
+            self.materialize_crossed_levels();
+        }
+
+        self.items_processed += other.items_processed;
+        // The merged structure invalidates any memoized composition.
+        let mut cache = self
+            .compose_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *cache = ComposeCache::default();
+        Ok(())
+    }
+
     /// Level 0 processing: singleton buckets keyed by exact y value.
     fn update_singletons(&mut self, x: u64, y: u64, weight: i64, prepared: &PreparedOf<A>) {
         if let Some(bound) = self.singleton_y_bound {
@@ -653,8 +846,14 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
             .entry(y)
             .or_default()
             .update_prepared(&self.agg, x, weight, prepared);
+        self.enforce_singleton_budget();
+    }
+
+    /// Enforce the α budget on level 0: discard the singletons with the
+    /// largest y and lower the watermark until the level fits. Shared by the
+    /// insert and merge paths so their eviction policies cannot diverge.
+    fn enforce_singleton_budget(&mut self) {
         while self.singletons.len() > self.alpha {
-            // Discard the singleton with the largest y and lower the watermark.
             let (&largest_y, _) = self
                 .singletons
                 .iter()
@@ -671,21 +870,7 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
     /// Answer a correlated query: estimate `f({x : (x, y) ∈ S, y ≤ c})`
     /// (Algorithm 3).
     pub fn query(&self, c: u64) -> Result<f64> {
-        let c = c.min(self.config.padded_y_max());
-        // Fast path: estimate straight from the cached composition, without
-        // cloning the store.
-        {
-            let cache = self
-                .compose_cache
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            if cache.generation == self.items_processed {
-                if let Some((_, store)) = cache.entries.iter().find(|(cc, _)| *cc == c) {
-                    return Ok(store.estimate(&self.agg));
-                }
-            }
-        }
-        Ok(self.compose_for_threshold(c)?.estimate(&self.agg))
+        self.with_composed(c, |store| store.estimate(&self.agg))
     }
 
     /// Compose the summaries Algorithm 3 would use for threshold `c` into a
@@ -695,8 +880,20 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
     ///
     /// Compositions are memoized per threshold until the next update, so
     /// repeated queries against a quiescent sketch return a clone of the
-    /// cached store instead of re-merging every bucket.
+    /// cached store instead of re-merging every bucket. Callers that only
+    /// need to *read* the composed store should prefer
+    /// [`Self::with_composed`], which skips the clone.
     pub fn compose_for_threshold(&self, c: u64) -> Result<BucketStore<A>> {
+        self.with_composed(c, Clone::clone)
+    }
+
+    /// Run `f` against the composed store for threshold `c` without cloning
+    /// it out of the memoization cache.
+    ///
+    /// This is the zero-copy read path behind [`Self::query`] and the
+    /// extension queries (heavy hitters): `f` runs while the cache lock is
+    /// held, so it must not call back into this sketch's query API.
+    pub fn with_composed<R>(&self, c: u64, f: impl FnOnce(&BucketStore<A>) -> R) -> Result<R> {
         let c = c.min(self.config.padded_y_max());
         {
             let cache = self
@@ -705,7 +902,7 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             if cache.generation == self.items_processed {
                 if let Some((_, store)) = cache.entries.iter().find(|(cc, _)| *cc == c) {
-                    return Ok(store.clone());
+                    return Ok(f(store));
                 }
             }
         }
@@ -721,8 +918,9 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
         if cache.entries.len() >= COMPOSE_CACHE_CAPACITY {
             cache.entries.remove(0);
         }
-        cache.entries.push((c, store.clone()));
-        Ok(store)
+        cache.entries.push((c, store));
+        let (_, stored) = cache.entries.last().expect("just pushed");
+        Ok(f(stored))
     }
 
     /// The uncached composition behind [`Self::compose_for_threshold`].
@@ -1131,6 +1329,181 @@ mod tests {
         // compose_for_threshold returns an equivalent store from the cache.
         let store = s.compose_for_threshold(500).unwrap();
         assert_eq!(store.estimate(s.aggregate()), second);
+    }
+
+    #[test]
+    fn merge_matches_sequential_on_singleton_level_streams() {
+        // Small streams: everything stays in level 0 with exact stores, so
+        // shard-then-merge must answer every threshold identically to the
+        // sequential sketch.
+        let mut seq = f2_sketch(0.3, 1023, AlphaPolicy::Fixed(256));
+        let mut left = f2_sketch(0.3, 1023, AlphaPolicy::Fixed(256));
+        let mut right = f2_sketch(0.3, 1023, AlphaPolicy::Fixed(256));
+        for i in 0..200u64 {
+            let (x, y) = (i % 23, (i * 37) % 180);
+            seq.insert(x, y).unwrap();
+            if i % 2 == 0 {
+                left.insert(x, y).unwrap();
+            } else {
+                right.insert(x, y).unwrap();
+            }
+        }
+        left.merge_from(&right).unwrap();
+        assert_eq!(left.items_processed(), seq.items_processed());
+        for c in (0..256u64).step_by(16) {
+            assert_eq!(left.query(c).unwrap(), seq.query(c).unwrap(), "c={c}");
+        }
+    }
+
+    #[test]
+    fn merge_is_accurate_across_materialized_levels() {
+        // Large enough streams that dyadic levels materialize and buckets
+        // close/split; the merged sketch must stay within the accuracy
+        // envelope of the exact answer.
+        let build = || f2_sketch(0.25, 8191, AlphaPolicy::default());
+        let mut shards: Vec<_> = (0..4).map(|_| build()).collect();
+        let mut tuples = Vec::new();
+        let mut state = 99u64;
+        for i in 0..40_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = (state >> 33) % 700;
+            let y = (state >> 15) % 8192;
+            tuples.push((x, y));
+            shards[(i % 4) as usize].insert(x, y).unwrap();
+        }
+        let mut merged = build();
+        for shard in &shards {
+            merged.merge_from(shard).unwrap();
+        }
+        assert_eq!(merged.items_processed(), 40_000);
+        for &c in &[2048u64, 4096, 8191] {
+            let mut exact = cora_sketch::ExactFrequencies::new();
+            for &(x, y) in &tuples {
+                if y <= c {
+                    exact.insert(x);
+                }
+            }
+            let truth = exact.frequency_moment(2);
+            let est = merged.query(c).unwrap();
+            let err = (est - truth).abs() / truth;
+            // 4-way composition can inflate the boundary-omission term; stay
+            // within a couple of ε.
+            assert!(err < 0.5, "c={c}: est {est}, truth {truth}, err {err}");
+        }
+    }
+
+    #[test]
+    fn merge_handles_dormant_vs_materialized_levels() {
+        // One shard sees a large stream (levels materialized), the other a
+        // tiny one (all levels dormant): the dormant side must fold into the
+        // materialized side through the tail path, in both directions.
+        let build = || f2_sketch(0.25, 4095, AlphaPolicy::Fixed(64));
+        let mut big = build();
+        let mut small = build();
+        for i in 0..20_000u64 {
+            big.insert(i % 300, (i * 13) % 4096).unwrap();
+        }
+        for i in 0..50u64 {
+            small.insert(i % 7, (i * 11) % 4096).unwrap();
+        }
+        let mut a = big.clone();
+        a.merge_from(&small).unwrap();
+        let mut b = small.clone();
+        b.merge_from(&big).unwrap();
+        assert_eq!(a.items_processed(), 20_050);
+        assert_eq!(b.items_processed(), 20_050);
+        for &c in &[1024u64, 4095] {
+            let qa = a.query(c).unwrap();
+            let qb = b.query(c).unwrap();
+            let base = big.query(c).unwrap();
+            // Both merge orders summarise the same union stream; they must
+            // agree with each other closely and exceed the big shard alone.
+            let rel = (qa - qb).abs() / qa.max(1.0);
+            assert!(rel < 0.25, "merge order disagreement at c={c}: {qa} vs {qb}");
+            assert!(qa >= base * 0.95, "merged estimate lost mass: {qa} < {base}");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_config_and_seed() {
+        let a = f2_sketch(0.3, 1023, AlphaPolicy::Fixed(64));
+        // Different epsilon.
+        let mut b = f2_sketch(0.2, 1023, AlphaPolicy::Fixed(64));
+        assert!(matches!(
+            b.merge_from(&a),
+            Err(CoreError::IncompatibleMerge { .. })
+        ));
+        // Different seed (same accuracy parameters).
+        let config = CorrelatedConfig::new(0.3, 0.1, 1023, 40)
+            .unwrap()
+            .with_alpha_policy(AlphaPolicy::Fixed(64))
+            .with_seed(8);
+        let mut c = CorrelatedSketch::new(F2Aggregate::new(0.3, 0.1, 8), config).unwrap();
+        assert!(matches!(
+            c.merge_from(&a),
+            Err(CoreError::IncompatibleMerge { .. })
+        ));
+        // Different y domain.
+        let mut d = f2_sketch(0.3, 2047, AlphaPolicy::Fixed(64));
+        assert!(matches!(
+            d.merge_from(&a),
+            Err(CoreError::IncompatibleMerge { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_with_empty_sketch_is_identity() {
+        let mut s = f2_sketch(0.3, 1023, AlphaPolicy::Fixed(64));
+        for i in 0..3_000u64 {
+            s.insert(i % 90, (i * 11) % 1024).unwrap();
+        }
+        let empty = f2_sketch(0.3, 1023, AlphaPolicy::Fixed(64));
+        let before: Vec<f64> = (0..1024).step_by(64).map(|c| s.query(c).unwrap()).collect();
+        s.merge_from(&empty).unwrap();
+        let after: Vec<f64> = (0..1024).step_by(64).map(|c| s.query(c).unwrap()).collect();
+        assert_eq!(before, after);
+        assert_eq!(s.items_processed(), 3_000);
+        // Empty absorbs non-empty too.
+        let mut e = f2_sketch(0.3, 1023, AlphaPolicy::Fixed(64));
+        e.merge_from(&s).unwrap();
+        assert_eq!(e.query(512).unwrap(), s.query(512).unwrap());
+    }
+
+    #[test]
+    fn merged_sketch_keeps_accepting_inserts() {
+        // The merged structure must remain a valid ingest target: tiling,
+        // cursors and watermarks all need to survive the rebuild.
+        let build = || f2_sketch(0.25, 4095, AlphaPolicy::Fixed(48));
+        let mut a = build();
+        let mut b = build();
+        let mut seq = build();
+        let mut state = 5u64;
+        let mut tuples = Vec::new();
+        for _ in 0..12_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            tuples.push(((state >> 33) % 250, (state >> 13) % 4096));
+        }
+        for (i, &(x, y)) in tuples.iter().enumerate() {
+            seq.insert(x, y).unwrap();
+            if i < 8_000 {
+                if i % 2 == 0 {
+                    a.insert(x, y).unwrap();
+                } else {
+                    b.insert(x, y).unwrap();
+                }
+            }
+        }
+        a.merge_from(&b).unwrap();
+        for &(x, y) in &tuples[8_000..] {
+            a.insert(x, y).unwrap();
+        }
+        assert_eq!(a.items_processed(), seq.items_processed());
+        for &c in &[512u64, 2048, 4095] {
+            let qa = a.query(c).unwrap();
+            let qs = seq.query(c).unwrap();
+            let rel = (qa - qs).abs() / qs.max(1.0);
+            assert!(rel < 0.35, "post-merge ingest diverged at c={c}: {qa} vs {qs}");
+        }
     }
 
     #[test]

@@ -105,7 +105,13 @@ impl SpaceUsage for HhBucketSketch {
 }
 
 /// Aggregate descriptor: correlated `F_2` with heavy-hitter support.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the construction parameters (dimensions, candidate
+/// capacity, seed); [`CorrelatedHeavyHitters::merge_from`] uses it to reject
+/// merging structures built for different `phi` — the candidate capacity is
+/// derived from `phi` and is *not* part of [`CorrelatedConfig`], so the
+/// framework-level config check alone would let a capacity mismatch through.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct F2HeavyAggregate {
     width: usize,
     depth: usize,
@@ -178,10 +184,35 @@ pub struct HeavyHitter {
     pub share: f64,
 }
 
+/// Number of `(threshold, candidate list)` pairs kept by the query cache.
+const CANDIDATE_CACHE_CAPACITY: usize = 16;
+
+/// Memoized heavy-hitter candidates: per `(threshold, generation)` the full
+/// candidate list with point estimates and shares already computed, sorted by
+/// decreasing share. A query filters the cached list by its `phi` instead of
+/// cloning the composed store and re-estimating every candidate.
+#[derive(Debug, Default)]
+struct CandidateCache {
+    generation: u64,
+    entries: Vec<(u64, Vec<HeavyHitter>)>,
+}
+
 /// Correlated `F_2`-heavy-hitters sketch.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CorrelatedHeavyHitters {
     inner: CorrelatedSketch<F2HeavyAggregate>,
+    /// Interior mutability: queries take `&self`, like the compose cache.
+    candidate_cache: std::sync::Mutex<CandidateCache>,
+}
+
+impl Clone for CorrelatedHeavyHitters {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            // Caches don't travel: the clone starts cold.
+            candidate_cache: std::sync::Mutex::new(CandidateCache::default()),
+        }
+    }
 }
 
 impl CorrelatedHeavyHitters {
@@ -212,7 +243,40 @@ impl CorrelatedHeavyHitters {
             .with_seed(seed);
         Ok(Self {
             inner: CorrelatedSketch::new(agg, config)?,
+            candidate_cache: std::sync::Mutex::new(CandidateCache::default()),
         })
+    }
+
+    /// Merge `other` into `self` (Property V lifted to the heavy-hitters
+    /// structure): per-bucket `F_2` sketches and CountSketches both merge
+    /// counter-wise, so the merged structure summarises the union stream.
+    /// Requires identical construction parameters and seed — including
+    /// `phi`, which sizes the per-bucket candidate sets: a shard built for a
+    /// coarser `phi` never tracked the finer one's candidates, so merging it
+    /// would silently lose recall rather than degrade gracefully.
+    pub fn merge_from(&mut self, other: &Self) -> Result<()> {
+        if self.inner.aggregate() != other.inner.aggregate() {
+            return Err(crate::error::CoreError::IncompatibleMerge {
+                detail: format!(
+                    "heavy-hitter aggregates differ (phi-derived candidate capacity, \
+                     dimensions, or seed): {:?} vs {:?}",
+                    self.inner.aggregate(),
+                    other.inner.aggregate()
+                ),
+            });
+        }
+        self.inner.merge_from(&other.inner)?;
+        let mut cache = self
+            .candidate_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *cache = CandidateCache::default();
+        Ok(())
+    }
+
+    /// Number of stream elements processed.
+    pub fn items_processed(&self) -> u64 {
+        self.inner.items_processed()
     }
 
     /// Process a stream element.
@@ -227,46 +291,83 @@ impl CorrelatedHeavyHitters {
 
     /// Report the items whose squared frequency among tuples with `y ≤ c` is
     /// estimated to be at least `phi · F_2(c)`, sorted by decreasing share.
+    ///
+    /// Candidate point estimates are memoized per `(threshold, generation)`:
+    /// a repeated query against a quiescent sketch filters a cached,
+    /// pre-sorted candidate list (any `phi`) instead of cloning the composed
+    /// store and re-running the CountSketch median for every candidate.
     pub fn query_heavy_hitters(&self, c: u64, phi: f64) -> Result<Vec<HeavyHitter>> {
-        let store = self.inner.compose_for_threshold(c)?;
+        let c = c.min(self.inner.config().padded_y_max());
+        let generation = self.inner.items_processed();
+        {
+            let cache = self
+                .candidate_cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if cache.generation == generation {
+                if let Some((_, candidates)) = cache.entries.iter().find(|(cc, _)| *cc == c) {
+                    return Ok(Self::filter_by_share(candidates, phi));
+                }
+            }
+        }
+        let candidates = self.inner.with_composed(c, Self::candidates_of)?;
+        let mut cache = self
+            .candidate_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if cache.generation != generation {
+            cache.generation = generation;
+            cache.entries.clear();
+        }
+        if cache.entries.len() >= CANDIDATE_CACHE_CAPACITY {
+            cache.entries.remove(0);
+        }
+        let out = Self::filter_by_share(&candidates, phi);
+        cache.entries.push((c, candidates));
+        Ok(out)
+    }
+
+    /// All candidate heavy hitters of a composed store with their point
+    /// estimates and shares, sorted by decreasing share, deduplicated.
+    fn candidates_of(store: &BucketStore<F2HeavyAggregate>) -> Vec<HeavyHitter> {
         let mut out = Vec::new();
-        match &store {
+        match store {
             BucketStore::Exact(freqs) => {
                 let f2 = freqs.frequency_moment(2);
                 if f2 == 0.0 {
-                    return Ok(out);
+                    return out;
                 }
                 for (item, f) in freqs.iter() {
-                    let share = (f as f64) * (f as f64) / f2;
-                    if share >= phi {
-                        out.push(HeavyHitter {
-                            item,
-                            frequency: f as f64,
-                            share,
-                        });
-                    }
+                    out.push(HeavyHitter {
+                        item,
+                        frequency: f as f64,
+                        share: (f as f64) * (f as f64) / f2,
+                    });
                 }
             }
             BucketStore::Sketched(sketch) => {
                 let f2 = sketch.estimate();
                 if f2 <= 0.0 {
-                    return Ok(out);
+                    return out;
                 }
                 for (item, freq) in sketch.candidates() {
-                    let share = freq * freq / f2;
-                    if share >= phi {
-                        out.push(HeavyHitter {
-                            item,
-                            frequency: freq,
-                            share,
-                        });
-                    }
+                    out.push(HeavyHitter {
+                        item,
+                        frequency: freq,
+                        share: freq * freq / f2,
+                    });
                 }
             }
         }
         out.sort_by(|a, b| b.share.total_cmp(&a.share).then(a.item.cmp(&b.item)));
         out.dedup_by_key(|h| h.item);
-        Ok(out)
+        out
+    }
+
+    /// The prefix of a share-sorted candidate list with `share ≥ phi`.
+    fn filter_by_share(candidates: &[HeavyHitter], phi: f64) -> Vec<HeavyHitter> {
+        let end = candidates.partition_point(|h| h.share >= phi);
+        candidates[..end].to_vec()
     }
 
     /// Total stored tuples (space accounting).
@@ -331,6 +432,64 @@ mod tests {
         // Every item has share ~ 1/2000, far below phi = 0.05.
         let hitters = hh.query_heavy_hitters(1023, 0.05).unwrap();
         assert!(hitters.is_empty(), "unexpected heavy hitters: {hitters:?}");
+    }
+
+    #[test]
+    fn candidate_cache_serves_repeats_and_invalidates_on_update() {
+        let mut hh = CorrelatedHeavyHitters::with_seed(0.2, 0.1, 0.1, 1023, 50_000, 3).unwrap();
+        for i in 0..5_000u64 {
+            hh.insert(7, i % 1024).unwrap();
+            hh.insert(100 + (i % 400), (i * 13) % 1024).unwrap();
+        }
+        let first = hh.query_heavy_hitters(512, 0.1).unwrap();
+        // Cached repeat (same c, same phi) answers identically.
+        assert_eq!(hh.query_heavy_hitters(512, 0.1).unwrap(), first);
+        // Same cached candidates, different phi: a looser threshold reports a
+        // superset.
+        let loose = hh.query_heavy_hitters(512, 0.01).unwrap();
+        assert!(loose.len() >= first.len());
+        for h in &first {
+            assert!(loose.iter().any(|l| l.item == h.item));
+        }
+        // An update must invalidate the cache.
+        for _ in 0..2_000 {
+            hh.insert(9999, 100).unwrap();
+        }
+        let after = hh.query_heavy_hitters(512, 0.1).unwrap();
+        assert!(
+            after.iter().any(|h| h.item == 9999),
+            "new heavy item missing after cache invalidation: {after:?}"
+        );
+    }
+
+    #[test]
+    fn merge_combines_shards_and_rejects_mismatch() {
+        let build = || CorrelatedHeavyHitters::with_seed(0.2, 0.1, 0.1, 1023, 50_000, 3).unwrap();
+        let mut a = build();
+        let mut b = build();
+        // Item 7 is heavy only when both shards are combined.
+        for i in 0..3_000u64 {
+            a.insert(7, i % 1024).unwrap();
+            b.insert(7, (i * 3) % 1024).unwrap();
+            a.insert(100 + (i % 300), (i * 7) % 1024).unwrap();
+            b.insert(500 + (i % 300), (i * 11) % 1024).unwrap();
+        }
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.items_processed(), 12_000);
+        let hitters = a.query_heavy_hitters(1023, 0.2).unwrap();
+        assert!(
+            hitters.iter().any(|h| h.item == 7),
+            "merged shards must surface the jointly-heavy item: {hitters:?}"
+        );
+        let mut mismatched = CorrelatedHeavyHitters::with_seed(0.2, 0.1, 0.1, 1023, 50_000, 4).unwrap();
+        assert!(mismatched.merge_from(&build()).is_err());
+        // A phi mismatch changes only the candidate capacity — invisible to
+        // the framework config check — and must still be rejected.
+        let mut coarse = CorrelatedHeavyHitters::with_seed(0.2, 0.1, 0.2, 1023, 50_000, 3).unwrap();
+        assert!(matches!(
+            coarse.merge_from(&build()),
+            Err(crate::error::CoreError::IncompatibleMerge { .. })
+        ));
     }
 
     #[test]

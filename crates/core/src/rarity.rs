@@ -43,6 +43,16 @@ impl TwoSmallest {
         }
     }
 
+    /// Fold another record for the same identifier into this one: the two
+    /// smallest occurrences of the union are the two smallest of the (at
+    /// most four) recorded occurrences.
+    fn merge_from(&mut self, other: &Self) {
+        self.observe(other.y1);
+        if let Some(y2) = other.y2 {
+            self.observe(y2);
+        }
+    }
+
     /// Occurrence count among tuples with `y ≤ c`, capped at 2.
     fn occurrences_upto(&self, c: u64) -> u8 {
         if c < self.y1 {
@@ -110,6 +120,43 @@ impl RarityLevel {
         }
     }
 
+    /// Merge another level's sample: per-item records fold their two-smallest
+    /// occurrence lists together, the watermark drops to the lower of the
+    /// two, and the capacity is re-enforced.
+    fn merge_from(&mut self, other: &Self, capacity: usize) {
+        for (&item, record) in &other.by_item {
+            match self.by_item.get_mut(&item) {
+                Some(mine) => {
+                    let old_y1 = mine.y1;
+                    mine.merge_from(record);
+                    if mine.y1 != old_y1 {
+                        self.by_y.remove(&(old_y1, item));
+                        self.by_y.insert((mine.y1, item));
+                    }
+                }
+                None => {
+                    self.by_item.insert(item, *record);
+                    self.by_y.insert((record.y1, item));
+                }
+            }
+            while self.by_item.len() > capacity {
+                let &(largest_y, victim) = self
+                    .by_y
+                    .iter()
+                    .next_back()
+                    .expect("len > capacity >= 1, so non-empty");
+                self.by_y.remove(&(largest_y, victim));
+                self.by_item.remove(&victim);
+                self.evicted_watermark = Some(match self.evicted_watermark {
+                    None => largest_y,
+                    Some(w) => w.min(largest_y),
+                });
+            }
+        }
+        self.evicted_watermark =
+            crate::dyadic::min_watermark(self.evicted_watermark, other.evicted_watermark);
+    }
+
     /// `(distinct items with ≥1 occurrence, items with exactly 1 occurrence)`
     /// among the retained sample, restricted to `y ≤ c`.
     fn counts_upto(&self, c: u64) -> (usize, usize) {
@@ -136,6 +183,8 @@ pub struct CorrelatedRarity {
     levels: Vec<RarityLevel>,
     capacity: usize,
     y_max: u64,
+    epsilon: f64,
+    seed: u64,
     items_processed: u64,
 }
 
@@ -165,8 +214,38 @@ impl CorrelatedRarity {
             levels: (0..=x_domain_log2 as usize).map(|_| RarityLevel::new()).collect(),
             capacity,
             y_max,
+            epsilon,
+            seed,
             items_processed: 0,
         })
+    }
+
+    /// Merge `other` into `self`: level-wise union of the samples, keeping
+    /// each identifier's two smallest occurrences across both shards.
+    /// Requires identical construction parameters and seed (shared hash
+    /// functions make the union a valid sample of the union stream).
+    pub fn merge_from(&mut self, other: &Self) -> Result<()> {
+        if self.epsilon != other.epsilon
+            || self.y_max != other.y_max
+            || self.seed != other.seed
+            || self.levels.len() != other.levels.len()
+            || self.capacity != other.capacity
+        {
+            return Err(CoreError::IncompatibleMerge {
+                detail: format!(
+                    "CorrelatedRarity parameters differ: (eps {}, y_max {}, seed {:#x}, {} levels) \
+                     vs (eps {}, y_max {}, seed {:#x}, {} levels)",
+                    self.epsilon, self.y_max, self.seed, self.levels.len(),
+                    other.epsilon, other.y_max, other.seed, other.levels.len()
+                ),
+            });
+        }
+        let capacity = self.capacity;
+        for (level, other_level) in self.levels.iter_mut().zip(&other.levels) {
+            level.merge_from(other_level, capacity);
+        }
+        self.items_processed += other.items_processed;
+        Ok(())
     }
 
     /// Process a stream element `(x, y)`.
@@ -269,6 +348,45 @@ mod tests {
     fn rejects_out_of_range_y() {
         let mut r = CorrelatedRarity::new(0.2, 16, 100).unwrap();
         assert!(r.insert(1, 101).is_err());
+    }
+
+    #[test]
+    fn merge_matches_sequential_on_small_streams() {
+        let build = || CorrelatedRarity::with_seed(0.2, 16, 1000, 3).unwrap();
+        let mut seq = build();
+        let mut left = build();
+        let mut right = build();
+        // Items occur once or twice, split across shards so some pairs are
+        // torn (each shard sees one occurrence of a twice-occurring item).
+        for x in 0..60u64 {
+            let y1 = (x * 13) % 1001;
+            seq.insert(x, y1).unwrap();
+            left.insert(x, y1).unwrap();
+            if x % 3 == 0 {
+                let y2 = (x * 31) % 1001;
+                seq.insert(x, y2).unwrap();
+                right.insert(x, y2).unwrap();
+            }
+        }
+        left.merge_from(&right).unwrap();
+        assert_eq!(left.items_processed(), seq.items_processed());
+        for c in (0..=1000u64).step_by(125) {
+            assert_eq!(left.query(c).unwrap(), seq.query(c).unwrap(), "c={c}");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_parameters() {
+        let mut a = CorrelatedRarity::with_seed(0.2, 16, 1000, 3).unwrap();
+        let seed = CorrelatedRarity::with_seed(0.2, 16, 1000, 4).unwrap();
+        let eps = CorrelatedRarity::with_seed(0.3, 16, 1000, 3).unwrap();
+        let levels = CorrelatedRarity::with_seed(0.2, 18, 1000, 3).unwrap();
+        for other in [&seed, &eps, &levels] {
+            assert!(matches!(
+                a.merge_from(other),
+                Err(CoreError::IncompatibleMerge { .. })
+            ));
+        }
     }
 
     #[test]

@@ -127,6 +127,18 @@ impl ExactFrequencies {
         singletons as f64 / distinct as f64
     }
 
+    /// Move an inline representation into the hash map with room for
+    /// `capacity` entries (no-op when already spilled).
+    fn spill(&mut self, capacity: usize) {
+        if let Repr::Inline { entries, len } = &self.repr {
+            let n = usize::from(*len);
+            let mut freqs: HashMap<u64, i64, Fmix64Build> =
+                HashMap::with_capacity_and_hasher(capacity.max(2 * INLINE_CAP), Fmix64Build);
+            freqs.extend(entries[..n].iter().copied());
+            self.repr = Repr::Spilled(freqs);
+        }
+    }
+
     /// Iterate over `(item, frequency)` pairs with non-zero frequency.
     pub fn iter(&self) -> impl Iterator<Item = (u64, i64)> + '_ {
         let (inline, spilled) = match &self.repr {
@@ -176,11 +188,10 @@ impl StreamSketch for ExactFrequencies {
                     return;
                 }
                 // Spill: move the inline entries into a map, then insert.
-                let mut freqs: HashMap<u64, i64, Fmix64Build> =
-                    HashMap::with_capacity_and_hasher(2 * INLINE_CAP, Fmix64Build);
-                freqs.extend(entries[..n].iter().copied());
-                freqs.insert(item, weight);
-                self.repr = Repr::Spilled(freqs);
+                self.spill(2 * INLINE_CAP);
+                if let Repr::Spilled(freqs) = &mut self.repr {
+                    freqs.insert(item, weight);
+                }
             }
             Repr::Spilled(freqs) => {
                 let entry = freqs.entry(item).or_insert(0);
@@ -211,6 +222,17 @@ impl Estimate for ExactFrequencies {
 
 impl MergeableSketch for ExactFrequencies {
     fn merge_from(&mut self, other: &Self) -> Result<()> {
+        // Pre-size for the combined vector: merging is the hot operation of
+        // query-time composition and of sketch-level shard merges, and the
+        // incremental path would otherwise spill mid-loop into an undersized
+        // map and rehash repeatedly while it grows.
+        let combined = self.stored_tuples() + other.stored_tuples();
+        if combined > INLINE_CAP {
+            self.spill(combined);
+            if let Repr::Spilled(freqs) = &mut self.repr {
+                freqs.reserve(other.stored_tuples());
+            }
+        }
         for (item, f) in other.iter() {
             self.update(item, f);
         }
@@ -303,6 +325,29 @@ mod tests {
         // Items: 1 (once), 2 (twice), 3 (once) -> rarity = 2/3.
         assert!((e.rarity() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(ExactFrequencies::new().rarity(), 0.0);
+    }
+
+    #[test]
+    fn merge_spills_inline_vectors_that_outgrow_the_inline_cap() {
+        // Two inline vectors with disjoint items: the merge must cross the
+        // inline→spilled boundary without losing entries or moments.
+        let mut a = ExactFrequencies::new();
+        let mut b = ExactFrequencies::new();
+        for x in 0..7u64 {
+            a.update(x, 2);
+            b.update(100 + x, 3);
+        }
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.stored_tuples(), 14);
+        assert_eq!(a.frequency_moment(2), 7.0 * 4.0 + 7.0 * 9.0);
+        assert_eq!(a.frequency(3), 2);
+        assert_eq!(a.frequency(103), 3);
+        // Spilled + inline merge keeps working in both directions.
+        let mut c = ExactFrequencies::new();
+        c.update(1, 1);
+        c.merge_from(&a).unwrap();
+        assert_eq!(c.frequency(1), 3);
+        assert_eq!(c.stored_tuples(), 14);
     }
 
     #[test]

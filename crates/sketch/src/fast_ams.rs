@@ -233,6 +233,17 @@ impl MergeableSketch for FastAmsSketch {
             });
         }
         for (r, o) in self.rows.iter_mut().zip(other.rows.iter()) {
+            // Empty rows contribute nothing; skipping them makes merging a
+            // sparse shard (the common case when composing per-bucket
+            // sketches at query time) O(1) per row instead of O(width).
+            if o.sumsq == 0 {
+                continue;
+            }
+            if r.sumsq == 0 {
+                r.counters.copy_from_slice(&o.counters);
+                r.sumsq = o.sumsq;
+                continue;
+            }
             for (c, d) in r.counters.iter_mut().zip(o.counters.iter()) {
                 *c += d;
             }

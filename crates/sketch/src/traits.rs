@@ -61,11 +61,21 @@ pub trait SharedUpdate: StreamSketch {
 
 /// A summary of a multiset that can be composed with a summary of another
 /// multiset to obtain a summary of the multiset union (Property V(b)).
+///
+/// Mergeability is what the workspace's scale-out path is built on: because
+/// every summary created from one seed composes losslessly (linear sketches
+/// add counter-wise; exact vectors add entry-wise), a stream can be
+/// partitioned across ingest workers and the per-worker summaries merged at
+/// query time — see `CorrelatedSketch::merge_from` in `cora-core` and the
+/// worker-sharded front-end in `cora_stream::sharded`, which lift this
+/// per-sketch property to whole correlated structures.
 pub trait MergeableSketch: Sized {
     /// Merge `other` into `self`.
     ///
     /// Returns an error if the two sketches are structurally incompatible
-    /// (different dimensions or different hash seeds).
+    /// (different dimensions or different hash seeds). Implementations must
+    /// be order-insensitive up to their estimate guarantees: merging shard
+    /// summaries in any order yields a summary of the same union multiset.
     fn merge_from(&mut self, other: &Self) -> Result<()>;
 
     /// Merge two sketches into a new one, leaving the inputs untouched.

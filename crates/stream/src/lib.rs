@@ -12,6 +12,9 @@
 //!   lower bound (Section 4.1);
 //! * [`async_window`] — sliding-window aggregation over asynchronous
 //!   (out-of-order) streams via the reduction to correlated aggregates;
+//! * [`sharded`] — the worker-sharded parallel ingest front-end
+//!   ([`ShardedIngest`]): lock-free SPSC rings feeding N same-seeded
+//!   correlated sketches, merged at query time (Property V);
 //! * [`driver`] — measurement plumbing shared by the experiment harness;
 //! * [`json`] — hand-rolled JSON helpers for the report types (the build is
 //!   offline, so there is no `serde`).
@@ -25,9 +28,11 @@ pub mod generators;
 pub mod json;
 pub mod lower_bound;
 pub mod multipass;
+pub mod sharded;
 pub mod tuple;
 
 pub use async_window::{AsyncWindowCount, AsyncWindowF2};
+pub use sharded::{sharded_correlated_f2, ShardedIngest};
 pub use driver::{default_thresholds, relative_errors, time_ingest, RunReport};
 pub use generators::{
     f0_experiment_generators, f2_experiment_generators, DatasetGenerator, EthernetGenerator,

@@ -1,0 +1,729 @@
+//! Worker-sharded parallel ingest front-end for correlated sketches
+//! (scale-out ingest, as opposed to the scale-up hot-path work inside
+//! `cora-core`).
+//!
+//! ## Why sharding is lossless here
+//!
+//! The paper's Property V requires every per-bucket summary inside one
+//! correlated structure to share hash seeds, so that bucket summaries
+//! *compose*: the merge of the sketches of two multisets is a sketch of their
+//! union. The same property lifts one level up — two whole
+//! [`CorrelatedSketch`]es built with the same configuration and seed over
+//! *disjoint sub-streams* merge into a sketch of the concatenated stream
+//! ([`CorrelatedSketch::merge_from`]). Per-bucket stores are linear (exact
+//! frequency vectors add entry-wise, fast-AMS counters add counter-wise), so
+//! a merged bucket is indistinguishable from one built sequentially; the only
+//! composition-specific error term is Algorithm 3's boundary-bucket omission,
+//! which grows at most linearly in the number of shards and is absorbed by
+//! the α budget for small shard counts (see the property tests in
+//! `tests/tests/sharded_merge.rs`).
+//!
+//! Because of that, a stream may be partitioned *arbitrarily* across N
+//! ingest workers — no key-based routing is needed — and queries answered by
+//! merging the per-worker sketches. [`ShardedIngest`] packages this:
+//!
+//! * the caller's thread batches tuples and hands each batch to one worker
+//!   round-robin through a **hand-rolled lock-free bounded SPSC ring** (one
+//!   ring per worker; single producer = the caller, single consumer = the
+//!   worker);
+//! * each worker owns a same-seeded [`CorrelatedSketch`] and applies batches
+//!   with the amortized [`CorrelatedSketch::update_batch`] path;
+//! * queries merge the shard sketches into a **composite** that is cached
+//!   and invalidated by per-shard generation counters (one generation per
+//!   applied batch), so a quiescent system answers repeated queries from the
+//!   cache — and through the composite's own memoized compositions — without
+//!   re-merging anything.
+//!
+//! ```
+//! use cora_stream::sharded::sharded_correlated_f2;
+//!
+//! let mut ingest = sharded_correlated_f2(0.2, 0.1, 1023, 100_000, 7, 4).unwrap();
+//! for i in 0..10_000u64 {
+//!     ingest.insert(i % 500, i % 1024).unwrap();
+//! }
+//! ingest.flush(); // barrier: every accepted tuple is applied
+//! let f2_below_200 = ingest.query(200).unwrap();
+//! assert!(f2_below_200 > 0.0);
+//! ```
+
+use cora_core::{CoreError, CorrelatedAggregate, CorrelatedConfig, CorrelatedSketch, F2Aggregate};
+use cora_core::{Result, SketchStats};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+/// Default number of tuples per dispatched batch.
+const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// Ring capacity in batches (power of two). With the default batch size this
+/// bounds the in-flight buffer per worker to 32k tuples.
+const RING_CAPACITY: usize = 32;
+
+/// Consumer spins this many times on an empty ring before parking.
+const IDLE_SPINS: u32 = 64;
+
+/// A cursor on its own cache line, so the producer's tail and the consumer's
+/// head do not false-share.
+#[repr(align(64))]
+struct PaddedCursor(AtomicUsize);
+
+/// Hand-rolled lock-free bounded single-producer single-consumer ring.
+///
+/// The module enforces the SPSC discipline by construction: only the
+/// [`ShardedIngest`] front-end (behind `&mut self`) pushes, and only the
+/// owning worker thread pops. Slots are `MaybeUninit`; a slot is initialized
+/// exactly between the producer's `tail` release-store and the consumer's
+/// matching acquire-load (and vice versa for reuse after `head` advances).
+struct SpscRing<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the consumer will read.
+    head: PaddedCursor,
+    /// Next slot the producer will write.
+    tail: PaddedCursor,
+}
+
+// SAFETY: the ring hands each value from exactly one thread to exactly one
+// other thread; the release/acquire pairs on `tail` (push -> pop) and `head`
+// (pop -> slot reuse) order the slot writes. `T: Send` is required because
+// values cross threads.
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.next_power_of_two().max(2);
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            slots,
+            mask: capacity - 1,
+            head: PaddedCursor(AtomicUsize::new(0)),
+            tail: PaddedCursor(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Producer side: enqueue `value`, or hand it back if the ring is full.
+    fn try_push(&self, value: T) -> std::result::Result<(), T> {
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == self.slots.len() {
+            return Err(value);
+        }
+        // SAFETY: the slot at `tail` was consumed (head advanced past it) or
+        // never written; only this producer writes slots at `tail`.
+        unsafe {
+            (*self.slots[tail & self.mask].get()).write(value);
+        }
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer side: dequeue the oldest value, if any.
+    fn try_pop(&self) -> Option<T> {
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: `head < tail` means the producer finished writing this slot
+        // (the acquire on `tail` orders the slot write before this read), and
+        // only this consumer reads slots at `head`.
+        let value = unsafe { (*self.slots[head & self.mask].get()).assume_init_read() };
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        // Drop any values still in flight.
+        while self.try_pop().is_some() {}
+    }
+}
+
+/// State shared between the front-end and one worker thread.
+struct Shard<A: CorrelatedAggregate> {
+    ring: SpscRing<Vec<(u64, u64)>>,
+    sketch: Mutex<CorrelatedSketch<A>>,
+    /// Batches fully applied to `sketch` — the shard's update *generation*,
+    /// read by the composite cache for invalidation and by `flush` as its
+    /// progress barrier.
+    processed: AtomicU64,
+    /// Set (after the final batches are enqueued) to tell the worker to
+    /// drain and exit.
+    shutdown: AtomicBool,
+}
+
+impl<A: CorrelatedAggregate> Shard<A> {
+    fn apply(&self, batch: &[(u64, u64)]) {
+        {
+            let mut sketch = self
+                .sketch
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            sketch
+                .update_batch(batch)
+                .expect("y values validated before dispatch");
+        }
+        // Release: a reader that observes the new generation must also see
+        // the sketch contents it describes (the mutex already orders the
+        // sketch itself; the counter rides behind it).
+        self.processed.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// The worker loop: drain the ring, park when idle, exit on shutdown.
+fn worker_loop<A>(shard: &Shard<A>)
+where
+    A: CorrelatedAggregate,
+{
+    let mut idle = 0u32;
+    loop {
+        match shard.ring.try_pop() {
+            Some(batch) => {
+                idle = 0;
+                shard.apply(&batch);
+            }
+            None => {
+                if shard.shutdown.load(Ordering::Acquire) {
+                    // Shutdown is flagged only after the last push, but this
+                    // thread may have seen an empty ring *before* loading the
+                    // flag — drain once more now that the flag's acquire
+                    // ordering makes those pushes visible.
+                    while let Some(batch) = shard.ring.try_pop() {
+                        shard.apply(&batch);
+                    }
+                    return;
+                }
+                idle = idle.saturating_add(1);
+                if idle < IDLE_SPINS {
+                    std::hint::spin_loop();
+                } else {
+                    // Park instead of burn-spinning: keeps the front-end
+                    // usable on machines with fewer cores than shards (the
+                    // producer unparks us after every push).
+                    thread::park_timeout(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+}
+
+/// Cached merge of all shard sketches, tagged with the per-shard generations
+/// it was built from.
+struct CompositeCache<A: CorrelatedAggregate> {
+    generations: Vec<u64>,
+    sketch: CorrelatedSketch<A>,
+}
+
+/// A worker-sharded ingest front-end over N same-seeded correlated sketches.
+///
+/// Tuples accepted by [`insert`](Self::insert) / [`ingest`](Self::ingest) are
+/// batched and distributed round-robin to worker threads over lock-free SPSC
+/// rings; queries merge the per-worker sketches into a cached composite. See
+/// the [module docs](self) for why the partition is lossless.
+///
+/// Consistency model: queries observe every batch already *applied* by the
+/// workers — call [`flush`](Self::flush) first for a read-your-writes
+/// barrier over everything accepted so far. Dropping the front-end flushes
+/// implicitly and joins the workers.
+pub struct ShardedIngest<A>
+where
+    A: CorrelatedAggregate + Send + 'static,
+    CorrelatedSketch<A>: Send,
+{
+    shards: Vec<Arc<Shard<A>>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    /// Unpark handles, indexed like `shards`.
+    worker_threads: Vec<thread::Thread>,
+    /// Per-shard count of batches enqueued (producer side of the barrier).
+    sent: Vec<u64>,
+    /// Tuples accepted but not yet dispatched to any ring.
+    buffer: Vec<(u64, u64)>,
+    batch_size: usize,
+    next_shard: usize,
+    items_accepted: u64,
+    agg: A,
+    config: CorrelatedConfig,
+    padded_y_max: u64,
+    composite: Mutex<Option<CompositeCache<A>>>,
+}
+
+impl<A> ShardedIngest<A>
+where
+    A: CorrelatedAggregate + Send + 'static,
+    CorrelatedSketch<A>: Send,
+{
+    /// Spawn `num_shards` ingest workers, each owning a fresh
+    /// [`CorrelatedSketch`] built from `agg` and `config` (same seed, so the
+    /// shard sketches are mutually mergeable).
+    pub fn new(agg: A, config: CorrelatedConfig, num_shards: usize) -> Result<Self> {
+        if num_shards == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "num_shards",
+                detail: "at least one ingest worker is required".into(),
+            });
+        }
+        let padded_y_max = config.padded_y_max();
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut workers = Vec::with_capacity(num_shards);
+        let mut worker_threads = Vec::with_capacity(num_shards);
+        // On any failure, shut down and join the workers spawned so far —
+        // otherwise they would park-loop forever with nobody holding their
+        // shutdown flag.
+        let abort = |shards: &[Arc<Shard<A>>], workers: Vec<thread::JoinHandle<()>>| {
+            for shard in shards {
+                shard.shutdown.store(true, Ordering::Release);
+            }
+            for handle in workers {
+                handle.thread().unpark();
+                let _ = handle.join();
+            }
+        };
+        for _ in 0..num_shards {
+            let sketch = match CorrelatedSketch::new(agg.clone(), config.clone()) {
+                Ok(sketch) => sketch,
+                Err(e) => {
+                    abort(&shards, workers);
+                    return Err(e);
+                }
+            };
+            let shard = Arc::new(Shard {
+                ring: SpscRing::new(RING_CAPACITY),
+                sketch: Mutex::new(sketch),
+                processed: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+            });
+            let worker_shard = Arc::clone(&shard);
+            let handle = match thread::Builder::new()
+                .name("cora-shard".into())
+                .spawn(move || worker_loop(&worker_shard))
+            {
+                Ok(handle) => handle,
+                Err(e) => {
+                    abort(&shards, workers);
+                    return Err(CoreError::InvalidParameter {
+                        name: "num_shards",
+                        detail: format!("could not spawn ingest worker: {e}"),
+                    });
+                }
+            };
+            worker_threads.push(handle.thread().clone());
+            workers.push(handle);
+            shards.push(shard);
+        }
+        Ok(Self {
+            shards,
+            workers,
+            worker_threads,
+            sent: vec![0; num_shards],
+            buffer: Vec::with_capacity(DEFAULT_BATCH_SIZE),
+            batch_size: DEFAULT_BATCH_SIZE,
+            next_shard: 0,
+            items_accepted: 0,
+            agg,
+            config,
+            padded_y_max,
+            composite: Mutex::new(None),
+        })
+    }
+
+    /// Override the dispatch batch size (builder style; clamped to ≥ 1).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Number of ingest workers.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configuration every shard sketch was built with.
+    pub fn config(&self) -> &CorrelatedConfig {
+        &self.config
+    }
+
+    /// Total tuples accepted so far (buffered, in flight, or applied).
+    pub fn items_accepted(&self) -> u64 {
+        self.items_accepted
+    }
+
+    /// Accept one `(x, y)` tuple with unit weight.
+    pub fn insert(&mut self, x: u64, y: u64) -> Result<()> {
+        if y > self.padded_y_max {
+            return Err(CoreError::YOutOfRange {
+                y,
+                y_max: self.padded_y_max,
+            });
+        }
+        self.buffer.push((x, y));
+        self.items_accepted += 1;
+        if self.buffer.len() >= self.batch_size {
+            self.dispatch_buffer();
+        }
+        Ok(())
+    }
+
+    /// Accept a slice of tuples. Validated up front: if any `y` is out of
+    /// range an error is returned and **no** tuple of the slice is accepted.
+    pub fn ingest(&mut self, tuples: &[(u64, u64)]) -> Result<()> {
+        for &(_, y) in tuples {
+            if y > self.padded_y_max {
+                return Err(CoreError::YOutOfRange {
+                    y,
+                    y_max: self.padded_y_max,
+                });
+            }
+        }
+        self.items_accepted += tuples.len() as u64;
+        let mut rest = tuples;
+        while !rest.is_empty() {
+            // The buffer can already exceed the batch size if
+            // `with_batch_size` shrank it mid-stream; flush first so `room`
+            // below cannot underflow.
+            if self.buffer.len() >= self.batch_size {
+                self.dispatch_buffer();
+            }
+            let room = self.batch_size - self.buffer.len();
+            let take = room.min(rest.len());
+            self.buffer.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buffer.len() >= self.batch_size {
+                self.dispatch_buffer();
+            }
+        }
+        Ok(())
+    }
+
+    /// Panic with a clear message if worker `idx` exited before shutdown —
+    /// it can only have died by panicking (e.g. a bug inside `update_batch`),
+    /// and every wait loop in the front-end would otherwise hang on its
+    /// never-advancing counters. (`Drop` also re-raises an unobserved worker
+    /// panic when not already unwinding.)
+    fn assert_worker_alive(&self, idx: usize) {
+        if self.workers[idx].is_finished() {
+            panic!("cora-shard ingest worker {idx} died (panicked) — see its panic output");
+        }
+    }
+
+    /// Seal the active buffer (if non-empty) and enqueue it round-robin.
+    fn dispatch_buffer(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.buffer, Vec::with_capacity(self.batch_size));
+        let shard_idx = self.next_shard;
+        self.next_shard = (self.next_shard + 1) % self.shards.len();
+        let shard = &self.shards[shard_idx];
+        let mut pending = batch;
+        loop {
+            match shard.ring.try_push(pending) {
+                Ok(()) => break,
+                Err(back) => {
+                    // Ring full: backpressure. Yield so the worker can run
+                    // even when there are fewer cores than threads.
+                    self.assert_worker_alive(shard_idx);
+                    pending = back;
+                    self.worker_threads[shard_idx].unpark();
+                    thread::yield_now();
+                }
+            }
+        }
+        self.sent[shard_idx] += 1;
+        self.worker_threads[shard_idx].unpark();
+    }
+
+    /// Barrier: dispatch everything buffered and wait until every worker has
+    /// applied every batch enqueued so far. After `flush` returns, queries
+    /// observe all accepted tuples.
+    pub fn flush(&mut self) {
+        self.dispatch_buffer();
+        for idx in 0..self.shards.len() {
+            let target = self.sent[idx];
+            let mut spins = 0u32;
+            while self.shards[idx].processed.load(Ordering::Acquire) < target {
+                self.assert_worker_alive(idx);
+                self.worker_threads[idx].unpark();
+                spins = spins.saturating_add(1);
+                if spins < IDLE_SPINS {
+                    thread::yield_now();
+                } else {
+                    thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    /// Run `f` against the merged composite of all shard sketches.
+    ///
+    /// The composite is cached and revalidated against the per-shard
+    /// generation counters: while no worker applies a new batch, repeated
+    /// calls reuse the merged sketch (whose own query compositions are
+    /// memoized in turn).
+    pub fn with_composite<R>(&self, f: impl FnOnce(&CorrelatedSketch<A>) -> R) -> Result<R> {
+        let generations: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.processed.load(Ordering::Acquire))
+            .collect();
+        let mut cache = self
+            .composite
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(cached) = cache.as_ref() {
+            if cached.generations == generations {
+                return Ok(f(&cached.sketch));
+            }
+        }
+        let mut sketch = CorrelatedSketch::new(self.agg.clone(), self.config.clone())?;
+        for shard in &self.shards {
+            let shard_sketch = shard
+                .sketch
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            sketch.merge_from(&shard_sketch)?;
+        }
+        *cache = Some(CompositeCache {
+            generations,
+            sketch,
+        });
+        let cached = cache.as_ref().expect("just stored");
+        Ok(f(&cached.sketch))
+    }
+
+    /// Estimate `f({x : y ≤ c})` over everything applied so far (Algorithm 3
+    /// against the merged composite).
+    pub fn query(&self, c: u64) -> Result<f64> {
+        self.with_composite(|s| s.query(c))?
+    }
+
+    /// Estimate the aggregate over the entire applied stream.
+    pub fn query_all(&self) -> Result<f64> {
+        self.query(self.padded_y_max)
+    }
+
+    /// A clone of the merged composite sketch, for callers that need the
+    /// full query surface (stats, compose-level access) detached from the
+    /// front-end.
+    pub fn composite_sketch(&self) -> Result<CorrelatedSketch<A>> {
+        self.with_composite(Clone::clone)
+    }
+
+    /// Structure statistics of the merged composite.
+    pub fn stats(&self) -> Result<SketchStats> {
+        self.with_composite(CorrelatedSketch::stats)
+    }
+}
+
+impl<A> Drop for ShardedIngest<A>
+where
+    A: CorrelatedAggregate + Send + 'static,
+    CorrelatedSketch<A>: Send,
+{
+    fn drop(&mut self) {
+        // Hand any buffered tuples to a worker, then tell everyone to drain
+        // and exit. (Pushes are sequenced before the Release store, and the
+        // workers re-drain after acquiring the flag, so nothing is lost.)
+        self.dispatch_buffer();
+        for shard in &self.shards {
+            shard.shutdown.store(true, Ordering::Release);
+        }
+        for t in &self.worker_threads {
+            t.unpark();
+        }
+        for handle in self.workers.drain(..) {
+            if handle.join().is_err() && !thread::panicking() {
+                // Surface a worker panic that nothing else observed (e.g. the
+                // producer dropped without another flush); skip when already
+                // unwinding to avoid a double-panic abort.
+                panic!("cora-shard ingest worker panicked; its sketch data is lost");
+            }
+        }
+    }
+}
+
+/// Build a [`ShardedIngest`] for correlated `F_2` — the sharded counterpart
+/// of [`cora_core::correlated_f2_seeded`].
+pub fn sharded_correlated_f2(
+    epsilon: f64,
+    delta: f64,
+    y_max: u64,
+    max_stream_len: u64,
+    seed: u64,
+    num_shards: usize,
+) -> Result<ShardedIngest<F2Aggregate>> {
+    let agg = F2Aggregate::new(epsilon, delta, seed);
+    let config = CorrelatedConfig::new(epsilon, delta, y_max, agg.f_max_log2(max_stream_len))?
+        .with_seed(seed);
+    ShardedIngest::new(agg, config, num_shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cora_core::correlated_f2_seeded;
+
+    #[test]
+    fn ring_is_fifo_and_bounded() {
+        let ring: SpscRing<u64> = SpscRing::new(4);
+        for i in 0..4 {
+            assert!(ring.try_push(i).is_ok());
+        }
+        assert_eq!(ring.try_push(99), Err(99));
+        for i in 0..4 {
+            assert_eq!(ring.try_pop(), Some(i));
+        }
+        assert_eq!(ring.try_pop(), None);
+        // Wrap-around keeps FIFO order.
+        for round in 0..10u64 {
+            assert!(ring.try_push(round).is_ok());
+            assert!(ring.try_push(round + 100).is_ok());
+            assert_eq!(ring.try_pop(), Some(round));
+            assert_eq!(ring.try_pop(), Some(round + 100));
+        }
+    }
+
+    #[test]
+    fn ring_drop_releases_in_flight_values() {
+        let value = Arc::new(());
+        {
+            let ring: SpscRing<Arc<()>> = SpscRing::new(8);
+            ring.try_push(Arc::clone(&value)).unwrap();
+            ring.try_push(Arc::clone(&value)).unwrap();
+            assert_eq!(Arc::strong_count(&value), 3);
+        }
+        assert_eq!(Arc::strong_count(&value), 1);
+    }
+
+    #[test]
+    fn ring_transfers_across_threads() {
+        let ring = Arc::new(SpscRing::<u64>::new(8));
+        let consumer_ring = Arc::clone(&ring);
+        let consumer = thread::spawn(move || {
+            let mut received = Vec::new();
+            while received.len() < 1000 {
+                match consumer_ring.try_pop() {
+                    Some(v) => received.push(v),
+                    None => thread::yield_now(),
+                }
+            }
+            received
+        });
+        for i in 0..1000u64 {
+            let mut v = i;
+            while let Err(back) = ring.try_push(v) {
+                v = back;
+                thread::yield_now();
+            }
+        }
+        let received = consumer.join().unwrap();
+        assert_eq!(received, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharded_matches_sequential_after_flush() {
+        let mut sharded = sharded_correlated_f2(0.3, 0.1, 1023, 10_000, 7, 3)
+            .unwrap()
+            .with_batch_size(64);
+        let mut seq = correlated_f2_seeded(0.3, 0.1, 1023, 10_000, 7).unwrap();
+        for i in 0..500u64 {
+            let (x, y) = (i % 40, (i * 13) % 900);
+            sharded.insert(x, y).unwrap();
+            seq.insert(x, y).unwrap();
+        }
+        sharded.flush();
+        let stats = sharded.stats().unwrap();
+        assert_eq!(stats.items_processed, 500);
+        assert_eq!(sharded.items_accepted(), 500);
+        // Small stream: everything is exact, so answers must be identical.
+        for c in (0..1024u64).step_by(128) {
+            assert_eq!(sharded.query(c).unwrap(), seq.query(c).unwrap(), "c={c}");
+        }
+    }
+
+    #[test]
+    fn composite_cache_revalidates_on_new_batches() {
+        let mut sharded = sharded_correlated_f2(0.3, 0.1, 1023, 10_000, 7, 2)
+            .unwrap()
+            .with_batch_size(32);
+        for i in 0..200u64 {
+            sharded.insert(i % 10, i % 1024).unwrap();
+        }
+        sharded.flush();
+        let first = sharded.query(1023).unwrap();
+        assert_eq!(sharded.query(1023).unwrap(), first);
+        for i in 0..200u64 {
+            sharded.insert(i % 10, 5).unwrap();
+        }
+        sharded.flush();
+        let second = sharded.query(1023).unwrap();
+        assert!(second > first, "composite must pick up new batches: {first} -> {second}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_y_atomically() {
+        let mut sharded = sharded_correlated_f2(0.3, 0.1, 255, 1_000, 7, 2).unwrap();
+        assert!(sharded.insert(1, 100_000).is_err());
+        assert!(sharded.ingest(&[(1, 3), (2, 100_000), (3, 7)]).is_err());
+        assert_eq!(sharded.items_accepted(), 0);
+        sharded.flush();
+        assert_eq!(sharded.stats().unwrap().items_processed, 0);
+    }
+
+    #[test]
+    fn drop_without_flush_applies_buffered_tuples() {
+        // Dropping must not lose accepted tuples nor hang; verify via a
+        // composite clone taken before the drop of a *flushed* twin.
+        let mut sharded = sharded_correlated_f2(0.3, 0.1, 1023, 10_000, 7, 2).unwrap();
+        for i in 0..100u64 {
+            sharded.insert(i, i % 1024).unwrap();
+        }
+        drop(sharded); // buffered batch dispatched + workers joined
+    }
+
+    #[test]
+    fn bulk_ingest_matches_scalar_inserts() {
+        let tuples: Vec<(u64, u64)> = (0..700u64).map(|i| (i % 37, (i * 11) % 1024)).collect();
+        let mut bulk = sharded_correlated_f2(0.3, 0.1, 1023, 10_000, 7, 2)
+            .unwrap()
+            .with_batch_size(128);
+        let mut scalar = sharded_correlated_f2(0.3, 0.1, 1023, 10_000, 7, 2)
+            .unwrap()
+            .with_batch_size(128);
+        bulk.ingest(&tuples).unwrap();
+        for &(x, y) in &tuples {
+            scalar.insert(x, y).unwrap();
+        }
+        bulk.flush();
+        scalar.flush();
+        for c in (0..1024u64).step_by(256) {
+            assert_eq!(bulk.query(c).unwrap(), scalar.query(c).unwrap());
+        }
+    }
+
+    #[test]
+    fn shrinking_batch_size_mid_stream_does_not_underflow() {
+        let mut sharded = sharded_correlated_f2(0.3, 0.1, 1023, 10_000, 7, 2).unwrap();
+        for i in 0..500u64 {
+            sharded.insert(i % 20, i % 1024).unwrap(); // buffers under default 1024
+        }
+        sharded = sharded.with_batch_size(8); // buffer (500) now exceeds the batch size
+        let more: Vec<(u64, u64)> = (0..100u64).map(|i| (i % 20, i % 1024)).collect();
+        sharded.ingest(&more).unwrap();
+        sharded.flush();
+        assert_eq!(sharded.stats().unwrap().items_processed, 600);
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let agg = F2Aggregate::new(0.3, 0.1, 7);
+        let config = CorrelatedConfig::new(0.3, 0.1, 1023, 40).unwrap().with_seed(7);
+        assert!(ShardedIngest::new(agg, config, 0).is_err());
+    }
+}
