@@ -1,20 +1,21 @@
 //! Compare a fresh criterion-shim JSONL summary against a committed baseline
 //! and fail (exit code 1) on regressions beyond a tolerance.
 //!
-//! Used by CI as a performance gate on the correlated-F2 insert path:
+//! Used by CI as a performance gate on the correlated insert paths:
 //!
 //! ```text
 //! cargo run -p cora-bench --release --bin bench_diff -- \
 //!     BENCH_BASELINE.json bench-summary.jsonl \
-//!     --filter update_throughput/correlated_f2 --max-regression 0.25
+//!     --filter update_throughput/correlated_f2 \
+//!     --filter update_throughput/correlated_f0 --max-regression 0.25
 //! ```
 //!
 //! Each input line is one `{"bench":"...","median_ns":...}` object as written
-//! by the criterion shim when `CRITERION_JSON` is set. Only benches whose
-//! name contains the filter substring participate in the gate; everything
-//! else is reported informationally. Benches present in only one file are
-//! reported but never fail the gate (new benches appear, old ones get
-//! renamed).
+//! by the criterion shim when `CRITERION_JSON` is set. `--filter` may be
+//! passed multiple times; a bench participates in the gate when its name
+//! contains **any** of the filter substrings, and everything else is
+//! reported informationally. Benches present in only one file are reported
+//! but never fail the gate (new benches appear, old ones get renamed).
 //!
 //! Absolute nanoseconds are machine-dependent, so comparing a committed
 //! baseline against a different runner class would gate on hardware, not
@@ -89,7 +90,8 @@ fn parse_summary(path: &str) -> Result<BTreeMap<String, f64>, String> {
 struct Options {
     baseline: String,
     fresh: String,
-    filter: String,
+    /// Gate substrings (a bench is gated when it matches any of them).
+    filters: Vec<String>,
     max_regression: f64,
     anchor: Option<String>,
 }
@@ -97,14 +99,14 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = Vec::new();
-    let mut filter = String::from("update_throughput/correlated_f2");
+    let mut filters: Vec<String> = Vec::new();
     let mut max_regression = 0.25f64;
     let mut anchor = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--filter" if i + 1 < args.len() => {
-                filter = args[i + 1].clone();
+                filters.push(args[i + 1].clone());
                 i += 1;
             }
             "--max-regression" if i + 1 < args.len() => {
@@ -123,12 +125,15 @@ fn parse_args() -> Result<Options, String> {
         i += 1;
     }
     if positional.len() != 2 {
-        return Err("usage: bench_diff <baseline.jsonl> <fresh.jsonl> [--filter SUBSTR] [--max-regression FRAC] [--anchor SUBSTR]".into());
+        return Err("usage: bench_diff <baseline.jsonl> <fresh.jsonl> [--filter SUBSTR]... [--max-regression FRAC] [--anchor SUBSTR]".into());
+    }
+    if filters.is_empty() {
+        filters.push(String::from("update_throughput/correlated_f2"));
     }
     Ok(Options {
         baseline: positional.remove(0),
         fresh: positional.remove(0),
-        filter,
+        filters,
         max_regression,
         anchor,
     })
@@ -187,7 +192,7 @@ fn main() -> ExitCode {
         "# bench_diff: {} vs {} (gate: '{}' > +{:.0}%{})",
         opts.baseline,
         opts.fresh,
-        opts.filter,
+        opts.filters.join("' | '"),
         opts.max_regression * 100.0,
         match &opts.anchor {
             Some(a) => format!(", normalized by anchor '{a}'"),
@@ -196,12 +201,21 @@ fn main() -> ExitCode {
     );
     let mut failures = 0usize;
     let mut gated = 0usize;
+    // Gated benches per filter: every filter must match at least one bench
+    // present in both files, or the gate for that group is silently vacuous.
+    let mut gated_per_filter = vec![0usize; opts.filters.len()];
     for (bench, &fresh_ns) in &fresh {
         let Some(&base_ns) = baseline.get(bench) else {
             println!("{bench:<60} NEW     {fresh_ns:>14.0} ns");
             continue;
         };
-        let in_gate = bench.contains(&opts.filter);
+        let mut in_gate = false;
+        for (slot, filter) in gated_per_filter.iter_mut().zip(&opts.filters) {
+            if bench.contains(filter.as_str()) {
+                *slot += 1;
+                in_gate = true;
+            }
+        }
         let delta = match (in_gate, norms) {
             (true, Some((base_anchor, fresh_anchor))) => {
                 (fresh_ns / fresh_anchor) / (base_ns / base_anchor) - 1.0
@@ -226,11 +240,17 @@ fn main() -> ExitCode {
             println!("{bench:<60} GONE");
         }
     }
-    if gated == 0 {
-        eprintln!(
-            "bench_diff: no bench matching '{}' present in both files — gate is vacuous",
-            opts.filter
-        );
+    let mut vacuous = false;
+    for (filter, &count) in opts.filters.iter().zip(&gated_per_filter) {
+        if count == 0 {
+            eprintln!(
+                "bench_diff: no bench matching '{filter}' present in both files — \
+                 that gate group is vacuous (renamed or removed bench?)"
+            );
+            vacuous = true;
+        }
+    }
+    if vacuous {
         return ExitCode::FAILURE;
     }
     if failures > 0 {

@@ -1,0 +1,95 @@
+//! Report the sharded-ingest scale-out ratio from a criterion-shim JSONL
+//! summary: for each workload, `shardsN / single_core` speedup computed from
+//! the recorded medians of the `sharded_throughput` bench group.
+//!
+//! ```text
+//! cargo run -p cora-bench --release --bin sharded_ratio -- bench-summary.jsonl
+//! ```
+//!
+//! CI runs this after the bench smoke step on its multi-core runners and
+//! surfaces the first *real* multi-core numbers for the ROADMAP's "sharded
+//! speedup" item (a single-core container can only demonstrate parity, so
+//! the core count is printed alongside the ratios). Informational: the exit
+//! code only signals missing input, never a slow ratio — scale-out targets
+//! are tracked in ROADMAP.md, not gated per-commit.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parse the shim's flat JSONL into `bench name -> median_ns` (last
+/// occurrence wins, matching bench_diff's behavior on appended files).
+fn parse_summary(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        let Some(bench) = field(line, "\"bench\":\"").map(|rest| {
+            rest.split('"').next().unwrap_or_default().to_string()
+        }) else {
+            return Err(format!("malformed summary line in {path}: {line}"));
+        };
+        let Some(median) = field(line, "\"median_ns\":")
+            .and_then(|rest| {
+                let end = rest
+                    .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+                    .unwrap_or(rest.len());
+                rest[..end].parse::<f64>().ok()
+            })
+        else {
+            return Err(format!("missing median_ns in {path}: {line}"));
+        };
+        out.insert(bench, median);
+    }
+    Ok(out)
+}
+
+/// The text following `needle` in `line`, if present.
+fn field<'a>(line: &'a str, needle: &str) -> Option<&'a str> {
+    line.find(needle).map(|i| &line[i + needle.len()..])
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: sharded_ratio <summary.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let summary = match parse_summary(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sharded_ratio: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("# sharded_throughput scale-out ratios from {path} ({cores} core(s) visible)");
+    let mut printed = 0usize;
+    for (bench, &ns) in &summary {
+        let Some(rest) = bench.strip_prefix("sharded_throughput/shards") else {
+            continue;
+        };
+        let Some((shards, workload)) = rest.split_once('/') else {
+            continue;
+        };
+        let single = format!("sharded_throughput/single_core/{workload}");
+        let Some(&single_ns) = summary.get(&single) else {
+            continue;
+        };
+        if ns <= 0.0 {
+            continue;
+        }
+        println!(
+            "shards{shards:<2} vs single_core ({workload:<8}): {:>5.2}x  ({single_ns:>13.0} ns -> {ns:>13.0} ns)",
+            single_ns / ns
+        );
+        printed += 1;
+    }
+    if printed == 0 {
+        eprintln!(
+            "sharded_ratio: no sharded_throughput shardsN/single_core pairs found in {path} — \
+             run `cargo bench -p cora-bench` with CRITERION_JSON set first"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

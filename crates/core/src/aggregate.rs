@@ -167,6 +167,41 @@ impl<A: CorrelatedAggregate> BucketStore<A> {
         }
     }
 
+    /// Apply tuples `range` of a **unit-weight** prepared batch (see
+    /// [`SharedUpdate::prepare_batch_into`]; `tuples` is the `(x, y)` slice
+    /// the batch was prepared from). Equivalent to calling
+    /// [`Self::update_prepared`] for each tuple of the range in order.
+    ///
+    /// Sketched stores apply the whole range through the sketch's flat batch
+    /// layout; exact stores go tuple-at-a-time (they key on the raw item),
+    /// switching the remainder of the range to the batched path if the store
+    /// converts to its sketched representation mid-range. Crate-private
+    /// because the exact path re-derives each update as `(x, weight 1)` —
+    /// the batch-ingest contract of `CorrelatedSketch::update_batch` — and a
+    /// batch prepared with other weights would apply them only to sketched
+    /// stores.
+    pub(crate) fn update_batch_range(
+        &mut self,
+        agg: &A,
+        tuples: &[(u64, u64)],
+        batch: &<A::Sketch as SharedUpdate>::PreparedBatch,
+        mut range: std::ops::Range<usize>,
+    ) {
+        if let BucketStore::Sketched(sketch) = self {
+            sketch.apply_prepared_range(batch, range);
+            return;
+        }
+        while let Some(i) = range.next() {
+            self.update(agg, tuples[i].0, 1);
+            if let BucketStore::Sketched(sketch) = self {
+                if !range.is_empty() {
+                    sketch.apply_prepared_range(batch, range);
+                }
+                return;
+            }
+        }
+    }
+
     /// Force conversion to the sketched representation.
     pub fn convert(&mut self, agg: &A) {
         if let BucketStore::Exact(freqs) = self {

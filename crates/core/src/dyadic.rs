@@ -8,20 +8,6 @@
 
 use crate::error::{CoreError, Result};
 
-/// Combine two eviction watermarks, where `None` means "nothing evicted yet"
-/// (an unbounded watermark, i.e. `+∞`): the merged structure can only answer
-/// what *both* inputs can, so the result is the smaller bound.
-///
-/// Note `Option::min` would be wrong here — `None < Some(_)` in the derived
-/// order, collapsing "unbounded" to "most restricted".
-pub(crate) fn min_watermark(a: Option<u64>, b: Option<u64>) -> Option<u64> {
-    match (a, b) {
-        (None, None) => None,
-        (Some(w), None) | (None, Some(w)) => Some(w),
-        (Some(x), Some(y)) => Some(x.min(y)),
-    }
-}
-
 /// A dyadic interval `[lo, hi]` (inclusive on both ends).
 #[allow(clippy::len_without_is_empty)] // a closed interval is never empty
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -244,13 +230,5 @@ mod tests {
         let u = DyadicInterval { lo: 9, hi: 9 };
         assert!(u.is_unit());
         assert_eq!(u.len(), 1);
-    }
-
-    #[test]
-    fn min_watermark_treats_none_as_unbounded() {
-        assert_eq!(min_watermark(None, None), None);
-        assert_eq!(min_watermark(Some(5), None), Some(5));
-        assert_eq!(min_watermark(None, Some(7)), Some(7));
-        assert_eq!(min_watermark(Some(5), Some(7)), Some(5));
     }
 }

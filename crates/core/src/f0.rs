@@ -12,6 +12,7 @@
 //! analogue of `Y_ℓ`), counts the sampled identifiers with `y_min ≤ c`, and
 //! scales by `2^{level}`.
 
+use crate::compose::{first_answering, min_watermark};
 use crate::config::DEFAULT_SEED;
 use crate::error::{CoreError, Result};
 use cora_hash::mix::derive_seed;
@@ -49,8 +50,7 @@ impl SampleLevel {
         for (&item, &y) in &other.by_item {
             self.insert(item, y, capacity);
         }
-        self.evicted_watermark =
-            crate::dyadic::min_watermark(self.evicted_watermark, other.evicted_watermark);
+        self.evicted_watermark = min_watermark(self.evicted_watermark, other.evicted_watermark);
     }
 
     /// Insert / refresh an item with a y value, then enforce the capacity.
@@ -79,15 +79,6 @@ impl SampleLevel {
                 None => largest_y,
                 Some(w) => w.min(largest_y),
             });
-        }
-    }
-
-    /// True iff this level retains *every* sampled identifier whose smallest y
-    /// is ≤ c (nothing relevant was evicted).
-    fn answers(&self, c: u64) -> bool {
-        match self.evicted_watermark {
-            None => true,
-            Some(w) => w > c,
         }
     }
 
@@ -132,12 +123,10 @@ impl CorrelatedDistinctSampler {
     }
 
     fn estimate(&self, c: u64) -> Option<f64> {
-        for (i, level) in self.levels.iter().enumerate() {
-            if level.answers(c) {
-                return Some(level.count_upto(c) as f64 * 2f64.powi(i as i32));
-            }
-        }
-        None
+        // Level selection is the same rule as Algorithm 3's: the smallest
+        // level whose eviction watermark still covers the threshold.
+        first_answering(&self.levels, c, |level| level.evicted_watermark)
+            .map(|(i, level)| level.count_upto(c) as f64 * 2f64.powi(i as i32))
     }
 
     fn stored_tuples(&self) -> usize {

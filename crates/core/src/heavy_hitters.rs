@@ -13,13 +13,14 @@
 //! whose `estimate()` is the `F_2` estimate.
 
 use crate::aggregate::{BucketStore, CorrelatedAggregate};
+use crate::compose::{self, GenCache};
 use crate::config::{CorrelatedConfig, DEFAULT_SEED};
 use crate::error::Result;
 use crate::framework::CorrelatedSketch;
 use cora_sketch::error::Result as SketchResult;
 use cora_sketch::{
-    CountSketch, Estimate, ExactFrequencies, FastAmsPrepared, FastAmsSketch, MergeableSketch,
-    PointQuery, SharedUpdate, SpaceUsage, StreamSketch,
+    CountSketch, Estimate, ExactFrequencies, FastAmsBatch, FastAmsPrepared, FastAmsSketch,
+    MergeableSketch, PointQuery, SharedUpdate, SpaceUsage, StreamSketch,
 };
 
 /// Per-bucket summary for correlated heavy hitters: an `F_2` sketch plus a
@@ -66,8 +67,19 @@ pub struct HhPrepared {
     weight: i64,
 }
 
+/// Precomputed coordinates for a batch of heavy-hitters bucket updates: the
+/// fast-AMS side uses its flat row-major layout; the CountSketch side keeps
+/// the raw `(item, weight)` pairs (its candidate tracking is stateful).
+#[derive(Debug, Clone, Default)]
+pub struct HhBatch {
+    f2: FastAmsBatch,
+    items: Vec<u64>,
+    weights: Vec<i64>,
+}
+
 impl SharedUpdate for HhBucketSketch {
     type Prepared = HhPrepared;
+    type PreparedBatch = HhBatch;
 
     fn prepare_into(&self, item: u64, weight: i64, out: &mut HhPrepared) {
         self.f2.prepare_into(item, weight, &mut out.f2);
@@ -78,6 +90,21 @@ impl SharedUpdate for HhBucketSketch {
     fn apply_prepared(&mut self, prepared: &HhPrepared) {
         self.f2.apply_prepared(&prepared.f2);
         self.counts.update(prepared.item, prepared.weight);
+    }
+
+    fn prepare_batch_into(&self, items: &[(u64, i64)], out: &mut HhBatch) {
+        self.f2.prepare_batch_into(items, &mut out.f2);
+        out.items.clear();
+        out.weights.clear();
+        out.items.extend(items.iter().map(|&(item, _)| item));
+        out.weights.extend(items.iter().map(|&(_, weight)| weight));
+    }
+
+    fn apply_prepared_range(&mut self, batch: &HhBatch, range: std::ops::Range<usize>) {
+        self.f2.apply_prepared_range(&batch.f2, range.clone());
+        for i in range {
+            self.counts.update(batch.items[i], batch.weights[i]);
+        }
     }
 }
 
@@ -187,22 +214,16 @@ pub struct HeavyHitter {
 /// Number of `(threshold, candidate list)` pairs kept by the query cache.
 const CANDIDATE_CACHE_CAPACITY: usize = 16;
 
-/// Memoized heavy-hitter candidates: per `(threshold, generation)` the full
-/// candidate list with point estimates and shares already computed, sorted by
-/// decreasing share. A query filters the cached list by its `phi` instead of
-/// cloning the composed store and re-estimating every candidate.
-#[derive(Debug, Default)]
-struct CandidateCache {
-    generation: u64,
-    entries: Vec<(u64, Vec<HeavyHitter>)>,
-}
-
 /// Correlated `F_2`-heavy-hitters sketch.
 #[derive(Debug)]
 pub struct CorrelatedHeavyHitters {
     inner: CorrelatedSketch<F2HeavyAggregate>,
-    /// Interior mutability: queries take `&self`, like the compose cache.
-    candidate_cache: std::sync::Mutex<CandidateCache>,
+    /// Memoized candidate lists per `(generation, threshold)`: the full
+    /// candidate list with point estimates and shares already computed,
+    /// sorted by decreasing share, behind the unified query core's
+    /// [`GenCache`]. Interior mutability: queries take `&self`, like the
+    /// compose cache.
+    candidate_cache: std::sync::Mutex<GenCache<u64, u64, Vec<HeavyHitter>>>,
 }
 
 impl Clone for CorrelatedHeavyHitters {
@@ -210,7 +231,7 @@ impl Clone for CorrelatedHeavyHitters {
         Self {
             inner: self.inner.clone(),
             // Caches don't travel: the clone starts cold.
-            candidate_cache: std::sync::Mutex::new(CandidateCache::default()),
+            candidate_cache: std::sync::Mutex::new(GenCache::new(CANDIDATE_CACHE_CAPACITY)),
         }
     }
 }
@@ -243,7 +264,7 @@ impl CorrelatedHeavyHitters {
             .with_seed(seed);
         Ok(Self {
             inner: CorrelatedSketch::new(agg, config)?,
-            candidate_cache: std::sync::Mutex::new(CandidateCache::default()),
+            candidate_cache: std::sync::Mutex::new(GenCache::new(CANDIDATE_CACHE_CAPACITY)),
         })
     }
 
@@ -266,11 +287,10 @@ impl CorrelatedHeavyHitters {
             });
         }
         self.inner.merge_from(&other.inner)?;
-        let mut cache = self
-            .candidate_cache
+        self.candidate_cache
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        *cache = CandidateCache::default();
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
         Ok(())
     }
 
@@ -298,33 +318,13 @@ impl CorrelatedHeavyHitters {
     /// store and re-running the CountSketch median for every candidate.
     pub fn query_heavy_hitters(&self, c: u64, phi: f64) -> Result<Vec<HeavyHitter>> {
         let c = c.min(self.inner.config().padded_y_max());
-        let generation = self.inner.items_processed();
-        {
-            let cache = self
-                .candidate_cache
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            if cache.generation == generation {
-                if let Some((_, candidates)) = cache.entries.iter().find(|(cc, _)| *cc == c) {
-                    return Ok(Self::filter_by_share(candidates, phi));
-                }
-            }
-        }
-        let candidates = self.inner.with_composed(c, Self::candidates_of)?;
-        let mut cache = self
-            .candidate_cache
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if cache.generation != generation {
-            cache.generation = generation;
-            cache.entries.clear();
-        }
-        if cache.entries.len() >= CANDIDATE_CACHE_CAPACITY {
-            cache.entries.remove(0);
-        }
-        let out = Self::filter_by_share(&candidates, phi);
-        cache.entries.push((c, candidates));
-        Ok(out)
+        compose::cached_query(
+            &self.candidate_cache,
+            self.inner.items_processed(),
+            c,
+            || self.inner.with_composed(c, Self::candidates_of),
+            |candidates| Self::filter_by_share(candidates, phi),
+        )
     }
 
     /// All candidate heavy hitters of a composed store with their point

@@ -1,0 +1,1102 @@
+//! The level engine: the structure-of-arrays hot path behind
+//! [`CorrelatedSketch`](crate::framework::CorrelatedSketch).
+//!
+//! Every stream element touches one bucket on every materialized level plus
+//! the shared tail summary, so the per-level bucket state is engineered
+//! around that loop:
+//!
+//! * each level stores its buckets in a **structure-of-arrays arena**
+//!   ([`LevelArena`]): the hot per-slot scalars — interval bounds, closed /
+//!   evicted flags, and the headroom-gating weights — live in one packed
+//!   40-byte lane ([`SlotMeta`], one flat vector), parallel to a dense pool
+//!   of the (much larger) per-bucket aggregate stores keyed by the same slot
+//!   index. The routing decision for an element — "which leaf contains `y`,
+//!   is it closed, is a threshold check due" — therefore costs one bounds
+//!   check and at most one cache line, instead of striding over whole bucket
+//!   structs (array-of-structs) whose inline sketch state blows the line;
+//! * the stored *leaves* of a level's dyadic tree tile the level's reachable
+//!   y-domain `[0, Y_ℓ)`, so the textbook root-to-leaf walk collapses to one
+//!   predecessor lookup in a `lo → slot` map, and a per-level **cursor**
+//!   remembers the last touched leaf so repeated nearby y values skip even
+//!   that;
+//! * bucket-closing checks are gated behind the aggregate's superadditive
+//!   [`CorrelatedAggregate::weight_headroom`]: inserts inside the recorded
+//!   headroom window cost a single `f64` comparison;
+//! * evictions pick their victim from a `BTreeSet` ordered by
+//!   `(left endpoint, depth)` — O(log α) per victim;
+//! * levels whose threshold the stream has not reached are **not
+//!   materialized**: one shared [`TailState`] stands in for all of them and
+//!   levels materialize (with a closed root cloned from the tail) as the
+//!   stream's estimate crosses their thresholds;
+//! * the batch path ([`LevelEngine::update_batch`]) walks each level once
+//!   for the whole batch (level-major), slices the batch into **runs of
+//!   consecutive tuples routed to the same slot**, and applies each run
+//!   through the sketch's flat prepared-batch layout
+//!   ([`cora_sketch::SharedUpdate::apply_prepared_range`]) — for fast-AMS
+//!   buckets that is one contiguous `&[u32]`/`&[i64]` pass per row against a
+//!   flat `&mut [i64]` counter slice. Run boundaries respect the headroom
+//!   budget exactly, so the batch path produces bit-for-bit the structure of
+//!   per-tuple inserts.
+
+use crate::aggregate::{BucketStore, CorrelatedAggregate};
+use crate::compose::min_watermark;
+use crate::dyadic::DyadicInterval;
+use crate::error::Result;
+use cora_sketch::SharedUpdate;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Shorthand for the prepared-update type of an aggregate's bucket sketch.
+pub(crate) type PreparedOf<A> = <<A as CorrelatedAggregate>::Sketch as SharedUpdate>::Prepared;
+/// Shorthand for the prepared-batch type of an aggregate's bucket sketch.
+pub(crate) type BatchOf<A> = <<A as CorrelatedAggregate>::Sketch as SharedUpdate>::PreparedBatch;
+
+/// Sentinel index for "no slot" (cursor invalidation).
+const NIL: u32 = u32::MAX;
+
+/// Flag bit: the bucket reached its level threshold and no longer accepts
+/// direct updates (items route to its children).
+const FLAG_CLOSED: u8 = 1;
+/// Flag bit: the slot belonged to an evicted bucket and awaits reuse.
+const FLAG_EVICTED: u8 = 2;
+
+/// The packed per-slot scalar state of one bucket: interval bounds, the
+/// headroom-gating weights, and the closed/evicted flags — everything the
+/// routing decision reads, in 40 bytes, so one slot touch is one bounds
+/// check and (at most) one cache line. The heavyweight aggregate store lives
+/// in the arena's separate dense pool under the same slot index.
+#[derive(Debug, Clone, Copy)]
+struct SlotMeta {
+    /// Inclusive interval lower bound.
+    lo: u64,
+    /// Inclusive interval upper bound.
+    hi: u64,
+    /// Weight the bucket can still absorb before its estimate could reach
+    /// the level threshold (see [`CorrelatedAggregate::weight_headroom`]).
+    headroom: f64,
+    /// Weight inserted since the slot's last real threshold check.
+    pending: f64,
+    /// `FLAG_CLOSED` / `FLAG_EVICTED` bits.
+    flags: u8,
+}
+
+impl SlotMeta {
+    fn fresh(interval: DyadicInterval) -> Self {
+        Self {
+            lo: interval.lo,
+            hi: interval.hi,
+            headroom: 0.0,
+            pending: 0.0,
+            flags: 0,
+        }
+    }
+
+    #[inline]
+    fn interval(&self) -> DyadicInterval {
+        DyadicInterval { lo: self.lo, hi: self.hi }
+    }
+
+    #[inline]
+    fn contains(&self, y: u64) -> bool {
+        self.lo <= y && y <= self.hi
+    }
+
+    #[inline]
+    fn is_unit(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    #[inline]
+    fn is_closed(&self) -> bool {
+        self.flags & FLAG_CLOSED != 0
+    }
+
+    #[inline]
+    fn is_evicted(&self) -> bool {
+        self.flags & FLAG_EVICTED != 0
+    }
+}
+
+/// Structure-of-arrays bucket storage for one level: the hot per-slot scalar
+/// state ([`SlotMeta`]: bounds, gating weights, flags) in one flat lane and
+/// the aggregate stores in a dense pool keyed by the same slot index. The
+/// insert path's routing reads stay packed and cache-dense, and the (much
+/// larger) stores are only touched once a slot is actually updated.
+#[derive(Debug, Clone)]
+struct LevelArena<A: CorrelatedAggregate> {
+    /// Packed routing/gating state, indexed by slot.
+    meta: Vec<SlotMeta>,
+    /// Dense aggregate-state pool, keyed by slot index.
+    stores: Vec<BucketStore<A>>,
+    /// Recyclable (evicted) slots.
+    free: Vec<u32>,
+}
+
+impl<A: CorrelatedAggregate> LevelArena<A> {
+    fn new() -> Self {
+        Self {
+            meta: Vec::new(),
+            stores: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Allocate a fresh open slot for `interval`, recycling a tombstone if
+    /// possible.
+    fn alloc(&mut self, interval: DyadicInterval) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.meta[slot as usize] = SlotMeta::fresh(interval);
+                self.stores[slot as usize] = BucketStore::new();
+                slot
+            }
+            None => {
+                self.meta.push(SlotMeta::fresh(interval));
+                self.stores.push(BucketStore::new());
+                (self.meta.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Number of allocated slots (used by the invariant checker).
+    #[cfg(any(test, feature = "invariant-checks"))]
+    fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    #[inline]
+    fn interval(&self, slot: u32) -> DyadicInterval {
+        self.meta[slot as usize].interval()
+    }
+
+    /// Tombstone flag of a slot (used by the invariant checker).
+    #[cfg(any(test, feature = "invariant-checks"))]
+    fn is_evicted(&self, slot: u32) -> bool {
+        self.meta[slot as usize].is_evicted()
+    }
+
+    /// Tombstone a slot: clear its flags, release its store's heap now, and
+    /// queue the slot for reuse.
+    fn evict(&mut self, slot: u32) {
+        let s = slot as usize;
+        self.meta[s].flags = FLAG_EVICTED;
+        self.stores[s] = BucketStore::new();
+        self.free.push(slot);
+    }
+}
+
+/// One level `ℓ ≥ 1` of the structure: a lazily-grown dyadic tree in a SoA
+/// arena, with the stored leaves indexed by left endpoint.
+///
+/// Invariant: the stored leaves tile the reachable y-domain `[0, Y_ℓ)`, so
+/// the deepest stored bucket containing a reachable `y` — the bucket
+/// Algorithm 2 routes the item to — is the unique leaf whose span covers `y`,
+/// found by a predecessor lookup in `leaves`. (Evictions remove leaves from
+/// the right and lower `Y_ℓ` to the victim's left endpoint, which keeps the
+/// tiling intact; interior nodes whose children were all evicted are
+/// unreachable, since the watermark already excludes their span.) See
+/// [`Level::check_invariants`] for the machine-checked statement.
+#[derive(Debug, Clone)]
+pub(crate) struct Level<A: CorrelatedAggregate> {
+    /// Level index `ℓ` (1-based; level 0 is the singleton level).
+    index: u32,
+    /// Closing threshold `2^{ℓ+1}`.
+    threshold: f64,
+    /// SoA bucket storage.
+    arena: LevelArena<A>,
+    /// Number of live (non-evicted) buckets.
+    live: usize,
+    /// Stored leaves keyed by left endpoint: the routing index.
+    leaves: BTreeMap<u64, u32>,
+    /// Eviction priority over live slots, keyed `(lo, !len, slot)`: the
+    /// victim is the maximum — largest left endpoint first, deepest node
+    /// first among equal endpoints — so victims are always leaves.
+    order: BTreeSet<(u64, u64, u32)>,
+    /// Eviction watermark `Y_ℓ`; `None` means `+∞` (nothing evicted yet).
+    y_bound: Option<u64>,
+    /// Leaf touched by the previous insert; checked before the predecessor
+    /// lookup. `NIL` when invalid; any eviction invalidates it.
+    cursor: u32,
+}
+
+impl<A: CorrelatedAggregate> Level<A> {
+    fn new(index: u32, root: DyadicInterval) -> Self {
+        let mut level = Self {
+            index,
+            threshold: 2f64.powi(index as i32 + 1),
+            arena: LevelArena::new(),
+            live: 0,
+            leaves: BTreeMap::new(),
+            order: BTreeSet::new(),
+            y_bound: None,
+            cursor: NIL,
+        };
+        let root_slot = level.alloc(root);
+        level.leaves.insert(root.lo, root_slot);
+        level
+    }
+
+    /// Slot of the root bucket (only valid right after `new`; used by the
+    /// materialization path to seed the root store).
+    fn root_slot(&self) -> u32 {
+        debug_assert_eq!(self.live, 1);
+        *self.leaves.get(&0).expect("fresh level has its root stored")
+    }
+
+    /// Level index `ℓ`.
+    pub(crate) fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Eviction watermark `Y_ℓ` (`None` = `+∞`).
+    pub(crate) fn y_bound(&self) -> Option<u64> {
+        self.y_bound
+    }
+
+    /// Iterate over the live buckets as `(interval, store)` pairs.
+    pub(crate) fn live_buckets(&self) -> impl Iterator<Item = (DyadicInterval, &BucketStore<A>)> {
+        self.arena
+            .meta
+            .iter()
+            .zip(&self.arena.stores)
+            .filter(|(meta, _)| !meta.is_evicted())
+            .map(|(meta, store)| (meta.interval(), store))
+    }
+
+    /// Eviction key: victim = maximum, i.e. largest `lo`, then smallest
+    /// length (deepest node). The slot disambiguates nothing (intervals are
+    /// unique per level) but keeps the tuple self-describing.
+    fn order_key(interval: DyadicInterval, slot: u32) -> (u64, u64, u32) {
+        (interval.lo, u64::MAX - interval.len(), slot)
+    }
+
+    /// Allocate a fresh live bucket and register it for eviction ordering.
+    fn alloc(&mut self, interval: DyadicInterval) -> u32 {
+        let slot = self.arena.alloc(interval);
+        self.order.insert(Self::order_key(interval, slot));
+        self.live += 1;
+        slot
+    }
+
+    /// Locate the stored leaf containing `y`: cursor hit or predecessor
+    /// lookup. (A live cursor always names a current leaf — splits go
+    /// through this path and evictions reset it.)
+    #[inline]
+    fn route(&self, y: u64) -> Option<u32> {
+        match self.cursor {
+            c if c != NIL && self.arena.meta[c as usize].contains(y) => Some(c),
+            _ => self.leaves.range(..=y).next_back().map(|(_, &leaf)| leaf),
+        }
+    }
+
+    /// Run the bucket-closing threshold check on an already-borrowed slot if
+    /// its pending weight has consumed the recorded headroom. Takes the
+    /// split borrows so the callers' single bounds-checked lane accesses are
+    /// reused instead of re-indexing the arena.
+    #[inline]
+    fn close_check(agg: &A, threshold: f64, meta: &mut SlotMeta, store: &BucketStore<A>) {
+        if !meta.is_unit() && meta.pending >= meta.headroom {
+            let estimate = store.estimate(agg);
+            meta.headroom = agg.weight_headroom(estimate, threshold);
+            meta.pending = 0.0;
+            if estimate >= threshold {
+                meta.flags |= FLAG_CLOSED;
+            }
+        }
+    }
+
+    /// Split a closed leaf and insert `(x, y, weight)` into the child
+    /// containing `y` (children replace the parent in the leaf tiling). The
+    /// fresh child starts exact, so the raw `(x, weight)` update is the
+    /// shared-coordinate update.
+    fn split_and_insert(&mut self, agg: &A, slot: u32, x: u64, y: u64, weight: i64) {
+        let (left_iv, right_iv) = self
+            .arena
+            .interval(slot)
+            .children()
+            .expect("closed buckets are never unit intervals");
+        let left = self.alloc(left_iv);
+        let right = self.alloc(right_iv);
+        self.leaves.insert(left_iv.lo, left); // replaces the parent entry
+        self.leaves.insert(right_iv.lo, right);
+        let target = if left_iv.contains(y) { left } else { right };
+        let t = target as usize;
+        let store = &mut self.arena.stores[t];
+        let was_exact = store.is_exact();
+        store.update(agg, x, weight);
+        let meta = &mut self.arena.meta[t];
+        meta.pending += weight as f64;
+        if was_exact && !store.is_exact() {
+            meta.headroom = 0.0; // re-check on the next direct insert
+        }
+        self.cursor = target;
+        // (A child is only checked for closing when a later insert reaches it.)
+    }
+
+    /// Process one stream element on this level (Algorithm 2, lines 7–21).
+    /// `prepared` carries the element's sketch coordinates, hashed once for
+    /// the whole structure.
+    fn update(
+        &mut self,
+        agg: &A,
+        alpha: usize,
+        x: u64,
+        y: u64,
+        weight: i64,
+        prepared: &PreparedOf<A>,
+    ) {
+        if let Some(bound) = self.y_bound {
+            if y >= bound {
+                return;
+            }
+        }
+        let Some(cur) = self.route(y) else {
+            return; // y below the watermark yet no leaf: evicted root
+        };
+        let s = cur as usize;
+        debug_assert!(self.arena.meta[s].contains(y));
+
+        // Split the arena borrows once: `meta` and `store` are disjoint
+        // lanes, so the whole slot update runs on two bounds checks.
+        let meta = &mut self.arena.meta[s];
+        if !meta.is_closed() {
+            let store = &mut self.arena.stores[s];
+            let was_exact = store.is_exact();
+            store.update_prepared(agg, x, weight, prepared);
+            meta.pending += weight as f64;
+            if was_exact && !store.is_exact() {
+                // The store just converted to its sketched representation,
+                // whose estimate need not match the exact value the headroom
+                // was computed from — force a fresh check below.
+                meta.headroom = 0.0;
+            }
+            // Gate the threshold check behind the aggregate's superadditive
+            // weight headroom: while the weight added since the last real
+            // estimate stays below it, the estimate provably cannot have
+            // reached the threshold, so this insert costs one comparison.
+            Self::close_check(agg, self.threshold, meta, store);
+            self.cursor = cur;
+        } else {
+            self.split_and_insert(agg, cur, x, y, weight);
+        }
+
+        if self.live > alpha {
+            self.evict_overflow(alpha);
+        }
+    }
+
+    /// Process a batch of unit-weight tuples starting at index `from`
+    /// (level-major traversal). Consecutive tuples routed to the same open
+    /// sketched slot are applied as one contiguous prepared-batch range, with
+    /// run boundaries placed exactly where the per-tuple path would have run
+    /// a threshold check — so the resulting structure is identical.
+    fn apply_batch(
+        &mut self,
+        agg: &A,
+        alpha: usize,
+        tuples: &[(u64, u64)],
+        batch: &BatchOf<A>,
+        from: usize,
+    ) {
+        let n = tuples.len();
+        let mut i = from;
+        while i < n {
+            let (x, y) = tuples[i];
+            let bound = self.y_bound.unwrap_or(u64::MAX);
+            if y >= bound {
+                i += 1;
+                continue;
+            }
+            let Some(cur) = self.route(y) else {
+                i += 1;
+                continue;
+            };
+            let s = cur as usize;
+            if self.arena.meta[s].is_closed() {
+                self.split_and_insert(agg, cur, x, y, 1);
+                i += 1;
+                if self.live > alpha {
+                    self.evict_overflow(alpha);
+                }
+                continue;
+            }
+            if self.arena.stores[s].is_exact() {
+                // Exact store: tuple-at-a-time — a conversion to the
+                // sketched representation must force an immediate re-check,
+                // which can close the bucket mid-run.
+                let store = &mut self.arena.stores[s];
+                store.update(agg, x, 1);
+                let meta = &mut self.arena.meta[s];
+                meta.pending += 1.0;
+                if !store.is_exact() {
+                    meta.headroom = 0.0;
+                }
+                Self::close_check(agg, self.threshold, meta, store);
+                self.cursor = cur;
+                i += 1;
+                continue;
+            }
+            // Sketched open leaf: extend the run while tuples keep routing
+            // here, stopping exactly where the per-tuple path would run its
+            // next threshold check (the first tuple that exhausts the
+            // headroom budget is included — the check happens after it).
+            let meta = self.arena.meta[s];
+            let until_check = if meta.is_unit() {
+                n // unit intervals never close
+            } else {
+                let gap = meta.headroom - meta.pending;
+                if gap <= 1.0 {
+                    1
+                } else {
+                    gap.ceil() as usize
+                }
+            };
+            let mut j = i + 1;
+            let max_j = i.saturating_add(until_check).min(n);
+            while j < max_j {
+                let y2 = tuples[j].1;
+                if y2 < meta.lo || y2 > meta.hi || y2 >= bound {
+                    break;
+                }
+                j += 1;
+            }
+            let store = &mut self.arena.stores[s];
+            store.update_batch_range(agg, tuples, batch, i..j);
+            let slot_meta = &mut self.arena.meta[s];
+            slot_meta.pending += (j - i) as f64;
+            Self::close_check(agg, self.threshold, slot_meta, store);
+            self.cursor = cur;
+            i = j;
+        }
+    }
+
+    /// Build the merge of two same-index levels (Property V): the node set is
+    /// the union of both dyadic trees, per-interval stores are merged
+    /// (summaries are composable because all bucket sketches share hash
+    /// seeds), and bucket-closing is re-run on every merged node so the level
+    /// respects its threshold again.
+    ///
+    /// Soundness: both inputs are ancestor-closed subtrees of the same dyadic
+    /// tree, so their union is too, and below the merged watermark
+    /// `min(Y_a, Y_b)` the union's leaves tile the reachable domain (for any
+    /// reachable `y`, the deeper of the two input leaves containing `y` is
+    /// the unique union leaf). Every item summarised by either input sits in
+    /// exactly one merged node, so query-time composition counts it exactly
+    /// once. Interior nodes inherit `closed` from either input; a leaf whose
+    /// merged estimate now reaches the threshold is closed here rather than
+    /// on its next insert. Nodes at or above the merged watermark can never
+    /// be composed (queries require `c < Y_ℓ`) and are dropped to keep the α
+    /// budget for reachable buckets.
+    fn merge_of(a: &Self, b: &Self, agg: &A, alpha: usize) -> Result<Self> {
+        debug_assert_eq!(a.index, b.index);
+        let y_bound = min_watermark(a.y_bound, b.y_bound);
+        // Union the live nodes by interval, merging stores.
+        let mut by_interval: BTreeMap<(u64, u64), (BucketStore<A>, bool)> = BTreeMap::new();
+        for level in [a, b] {
+            for (meta, store) in level.arena.meta.iter().zip(&level.arena.stores) {
+                if meta.is_evicted() {
+                    continue;
+                }
+                let interval = meta.interval();
+                if let Some(bound) = y_bound {
+                    if interval.lo >= bound {
+                        continue; // unreachable past the merged watermark
+                    }
+                }
+                let key = (interval.lo, interval.len());
+                let closed = meta.is_closed();
+                match by_interval.entry(key) {
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        let (merged, merged_closed) = e.get_mut();
+                        merged.merge_from(agg, store)?;
+                        *merged_closed |= closed;
+                    }
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert((store.clone(), closed));
+                    }
+                }
+            }
+        }
+        let mut level = Self {
+            index: a.index,
+            threshold: a.threshold,
+            arena: LevelArena::new(),
+            live: 0,
+            leaves: BTreeMap::new(),
+            order: BTreeSet::new(),
+            y_bound,
+            cursor: NIL,
+        };
+        let stored: BTreeSet<(u64, u64)> = by_interval.keys().copied().collect();
+        for ((lo, len), (store, closed)) in by_interval {
+            let interval = DyadicInterval { lo, hi: lo + (len - 1) };
+            let slot = level.alloc(interval);
+            let s = slot as usize;
+            // Re-run the closing check with fresh headroom: the merged
+            // estimate may have crossed the threshold even if neither input
+            // had (and unit intervals never close, as in `update`).
+            let estimate = store.estimate(agg);
+            if !interval.is_unit() && (closed || estimate >= level.threshold) {
+                level.arena.meta[s].flags |= FLAG_CLOSED;
+            }
+            level.arena.meta[s].headroom = agg.weight_headroom(estimate, level.threshold);
+            level.arena.stores[s] = store;
+            // A union node routes updates (is a stored leaf) iff its left
+            // child is absent from the union; at each left endpoint that
+            // picks exactly the deepest stored interval.
+            let is_leaf = interval.is_unit() || !stored.contains(&(lo, len / 2));
+            if is_leaf {
+                level.leaves.insert(lo, slot);
+            }
+        }
+        level.evict_overflow(alpha);
+        Ok(level)
+    }
+
+    /// A one-bucket stand-in for a dormant level: an *open* root holding a
+    /// clone of the shared tail summary (which is exactly what the eager
+    /// formulation's level would contain before its threshold is reached).
+    fn from_tail(index: u32, root: DyadicInterval, tail: &BucketStore<A>) -> Self {
+        let mut level = Self::new(index, root);
+        let root_slot = level.root_slot();
+        level.arena.stores[root_slot as usize] = tail.clone();
+        level
+    }
+
+    /// Evict buckets with the largest left endpoint until the level fits its
+    /// budget again, lowering the watermark. O(log α) per victim.
+    fn evict_overflow(&mut self, alpha: usize) {
+        while self.live > alpha {
+            let key = *self
+                .order
+                .iter()
+                .next_back()
+                .expect("live > alpha >= 1, so non-empty");
+            self.order.remove(&key);
+            let (lo, _, slot) = key;
+            self.arena.evict(slot);
+            // The victim is the deepest node with the largest left endpoint,
+            // so if it is in the leaf tiling its entry is its own; interior
+            // victims (whose children went first) have no entry left.
+            if self.leaves.get(&lo) == Some(&slot) {
+                self.leaves.remove(&lo);
+            }
+            self.live -= 1;
+            self.cursor = NIL;
+            self.y_bound = Some(match self.y_bound {
+                None => lo,
+                Some(b) => b.min(lo),
+            });
+        }
+    }
+
+    /// Assert the level's structural invariants (test / `invariant-checks`
+    /// builds only): parallel-array consistency, the leaf tiling of the
+    /// reachable y-domain, predecessor-index agreement with a linear scan,
+    /// and eviction-set membership matching the slot flags.
+    #[cfg(any(test, feature = "invariant-checks"))]
+    pub(crate) fn check_invariants(&self, root: DyadicInterval) {
+        let a = &self.arena;
+        let n = a.len();
+        assert_eq!(
+            a.stores.len(),
+            n,
+            "SoA meta lane and store pool diverged in length"
+        );
+        let live_slots: Vec<u32> = (0..n as u32).filter(|&s| !a.is_evicted(s)).collect();
+        assert_eq!(live_slots.len(), self.live, "live count out of sync");
+        // Eviction-set membership matches the slot flags exactly: every live
+        // slot is orderable for eviction, every tombstone is in the free
+        // list with its closed flag cleared.
+        assert_eq!(self.order.len(), self.live);
+        for &slot in &live_slots {
+            assert!(
+                self.order.contains(&Self::order_key(a.interval(slot), slot)),
+                "live slot {slot} missing from the eviction set"
+            );
+        }
+        let free: BTreeSet<u32> = a.free.iter().copied().collect();
+        let evicted: BTreeSet<u32> = (0..n as u32).filter(|&s| a.is_evicted(s)).collect();
+        assert_eq!(free, evicted, "free list does not match tombstoned slots");
+        for &slot in &evicted {
+            assert!(
+                !a.meta[slot as usize].is_closed(),
+                "evicted slot {slot} still flagged closed"
+            );
+        }
+        // The stored leaves tile the reachable y-domain [0, min(Y_ℓ, y_max+1)).
+        let reach = self.y_bound.unwrap_or(root.hi + 1).min(root.hi + 1);
+        let mut cover = 0u64;
+        for (&lo, &slot) in &self.leaves {
+            assert!(!a.is_evicted(slot), "leaf map points at a tombstone");
+            assert_eq!(a.meta[slot as usize].lo, lo, "leaf map key disagrees with the slot");
+            if cover >= reach {
+                break;
+            }
+            assert_eq!(lo, cover, "leaf tiling has a gap at {cover}");
+            cover = a.meta[slot as usize].hi + 1;
+        }
+        assert!(cover >= reach, "leaf tiling stops at {cover}, before the watermark {reach}");
+        // The predecessor index agrees with a linear scan over the arena:
+        // for each leaf boundary, the deepest live slot containing y is the
+        // leaf the routing lookup returns.
+        for (&lo, &slot) in &self.leaves {
+            for y in [lo, a.meta[slot as usize].hi] {
+                if y >= reach {
+                    continue;
+                }
+                let mut deepest: Option<u32> = None;
+                for &s in &live_slots {
+                    if a.meta[s as usize].contains(y) {
+                        deepest = match deepest {
+                            Some(d) if a.interval(d).len() <= a.interval(s).len() => Some(d),
+                            _ => Some(s),
+                        };
+                    }
+                }
+                assert_eq!(deepest, Some(slot), "linear scan disagrees with leaf map at y={y}");
+                let routed = self.leaves.range(..=y).next_back().map(|(_, &l)| l);
+                assert_eq!(routed, Some(slot), "predecessor lookup disagrees at y={y}");
+            }
+        }
+        if self.cursor != NIL {
+            assert!(!a.is_evicted(self.cursor), "cursor points at a tombstone");
+            assert_eq!(
+                self.leaves.get(&a.meta[self.cursor as usize].lo),
+                Some(&self.cursor),
+                "cursor is not a stored leaf"
+            );
+        }
+    }
+}
+
+/// The shared summary standing in for every not-yet-materialized level: all
+/// their roots are open (the stream's aggregate has not reached their
+/// thresholds), so they would each hold exactly this store.
+#[derive(Debug, Clone)]
+struct TailState<A: CorrelatedAggregate> {
+    store: BucketStore<A>,
+    /// Weight added since the last real estimate (headroom gating, as in the
+    /// arena slots, against the smallest unmaterialized level's threshold).
+    pending_weight: f64,
+    headroom: f64,
+}
+
+impl<A: CorrelatedAggregate> TailState<A> {
+    fn new() -> Self {
+        Self {
+            store: BucketStore::new(),
+            pending_weight: 0.0,
+            headroom: 0.0,
+        }
+    }
+}
+
+/// The dyadic-level engine: every materialized level, the packed watermark
+/// array the insert loop skips on, and the shared tail summary for dormant
+/// levels — the entire per-level state of a
+/// [`CorrelatedSketch`](crate::framework::CorrelatedSketch) apart from the
+/// singleton level, behind a narrow update/merge/read API.
+#[derive(Debug, Clone)]
+pub(crate) struct LevelEngine<A: CorrelatedAggregate> {
+    /// Materialized levels `1 ..= levels.len()`; levels above that are
+    /// represented by `tail`.
+    levels: Vec<Level<A>>,
+    /// `levels[i].y_bound` (with `u64::MAX` for `+∞`), packed flat so the
+    /// per-insert level loop can skip watermarked-out levels from one or two
+    /// cache lines instead of touching every `Level` struct.
+    level_bounds: Vec<u64>,
+    /// Shared summary for the dormant levels `levels.len()+1 ..= max_level`.
+    tail: TailState<A>,
+    /// Largest level index `ℓ_max` the configuration calls for.
+    max_level: u32,
+    /// The root dyadic interval `[0, padded y_max]`.
+    root: DyadicInterval,
+}
+
+impl<A: CorrelatedAggregate> LevelEngine<A> {
+    /// An empty engine: no materialized levels, an empty tail.
+    pub(crate) fn new(root: DyadicInterval, max_level: u32) -> Self {
+        Self {
+            levels: Vec::new(),
+            level_bounds: Vec::new(),
+            tail: TailState::new(),
+            max_level,
+            root,
+        }
+    }
+
+    /// The materialized levels, smallest index first.
+    pub(crate) fn levels(&self) -> &[Level<A>] {
+        &self.levels
+    }
+
+    /// The root dyadic interval.
+    pub(crate) fn root(&self) -> DyadicInterval {
+        self.root
+    }
+
+    /// True iff dormant levels remain (the tail store stands in for them).
+    pub(crate) fn has_dormant(&self) -> bool {
+        (self.levels.len() as u32) < self.max_level
+    }
+
+    /// Number of dormant levels represented by the shared tail.
+    pub(crate) fn dormant_count(&self) -> usize {
+        (self.max_level as usize).saturating_sub(self.levels.len())
+    }
+
+    /// The shared tail summary (an open root over the whole stream).
+    pub(crate) fn tail_store(&self) -> &BucketStore<A> {
+        &self.tail.store
+    }
+
+    /// Process one stream element on every materialized level and the tail.
+    pub(crate) fn update(
+        &mut self,
+        agg: &A,
+        alpha: usize,
+        x: u64,
+        y: u64,
+        weight: i64,
+        prepared: &PreparedOf<A>,
+    ) {
+        for (level, bound) in self.levels.iter_mut().zip(self.level_bounds.iter_mut()) {
+            // The packed watermark check skips evicted-out levels without
+            // touching their (much larger) Level structs.
+            if y >= *bound {
+                continue;
+            }
+            level.update(agg, alpha, x, y, weight, prepared);
+            *bound = level.y_bound.unwrap_or(u64::MAX);
+        }
+        self.update_tail(agg, x, weight, prepared);
+    }
+
+    /// Process a batch of unit-weight tuples, level-major: each level's
+    /// arena is walked for the whole batch at once, which keeps one level's
+    /// slots hot in cache instead of cycling through every level per tuple.
+    /// Level states are independent of one another, so this produces exactly
+    /// the same final structure as tuple-major processing.
+    pub(crate) fn update_batch(
+        &mut self,
+        agg: &A,
+        alpha: usize,
+        tuples: &[(u64, u64)],
+        batch: &BatchOf<A>,
+    ) {
+        for (level, bound) in self.levels.iter_mut().zip(self.level_bounds.iter_mut()) {
+            level.apply_batch(agg, alpha, tuples, batch, 0);
+            *bound = level.y_bound.unwrap_or(u64::MAX);
+        }
+        // The tail is sequential: a level materialized at tuple i must still
+        // receive tuples i+1.. through the normal level path. Record where
+        // each new level came into existence, then replay the suffixes.
+        let mut born_at: Vec<(usize, usize)> = Vec::new(); // (level slot, first unseen tuple)
+        self.update_tail_batch(agg, tuples, batch, &mut born_at);
+        for (slot, from) in born_at {
+            let level = &mut self.levels[slot];
+            level.apply_batch(agg, alpha, tuples, batch, from);
+            self.level_bounds[slot] = level.y_bound.unwrap_or(u64::MAX);
+        }
+    }
+
+    /// Feed the shared tail store (standing in for every dormant level) and
+    /// materialize levels whose threshold the stream's estimate has crossed.
+    fn update_tail(&mut self, agg: &A, x: u64, weight: i64, prepared: &PreparedOf<A>) {
+        if !self.has_dormant() {
+            return; // every level is materialized
+        }
+        let was_exact = self.tail.store.is_exact();
+        self.tail.store.update_prepared(agg, x, weight, prepared);
+        self.tail.pending_weight += weight as f64;
+        if was_exact && !self.tail.store.is_exact() {
+            // Representation change: the sketched estimate need not match the
+            // exact value the headroom was computed from.
+            self.tail.headroom = 0.0;
+        }
+        if self.tail.pending_weight >= self.tail.headroom {
+            self.materialize_crossed_levels(agg);
+        }
+    }
+
+    /// Batch counterpart of [`Self::update_tail`]: apply headroom-bounded
+    /// chunks of the batch through the flat prepared layout, recording in
+    /// `born_at` each level materialized mid-batch together with the index
+    /// of the first tuple it has not yet seen.
+    fn update_tail_batch(
+        &mut self,
+        agg: &A,
+        tuples: &[(u64, u64)],
+        batch: &BatchOf<A>,
+        born_at: &mut Vec<(usize, usize)>,
+    ) {
+        let n = tuples.len();
+        let mut i = 0;
+        while i < n && self.has_dormant() {
+            if self.tail.store.is_exact() {
+                // Tuple-at-a-time: a conversion forces an immediate re-check.
+                self.tail.store.update(agg, tuples[i].0, 1);
+                self.tail.pending_weight += 1.0;
+                if !self.tail.store.is_exact() {
+                    self.tail.headroom = 0.0;
+                }
+                if self.tail.pending_weight >= self.tail.headroom {
+                    let before = self.levels.len();
+                    self.materialize_crossed_levels(agg);
+                    for slot in before..self.levels.len() {
+                        born_at.push((slot, i + 1));
+                    }
+                }
+                i += 1;
+            } else {
+                let gap = self.tail.headroom - self.tail.pending_weight;
+                let until_check = if gap <= 1.0 { 1 } else { gap.ceil() as usize };
+                let j = i.saturating_add(until_check).min(n);
+                self.tail.store.update_batch_range(agg, tuples, batch, i..j);
+                self.tail.pending_weight += (j - i) as f64;
+                if self.tail.pending_weight >= self.tail.headroom {
+                    let before = self.levels.len();
+                    self.materialize_crossed_levels(agg);
+                    for slot in before..self.levels.len() {
+                        born_at.push((slot, j));
+                    }
+                }
+                i = j;
+            }
+        }
+    }
+
+    /// Re-estimate the tail and materialize every dormant level whose closing
+    /// threshold `2^{ℓ+1}` the estimate has reached. A materialized level
+    /// starts with a *closed* root holding a clone of the tail store —
+    /// exactly the state the eager per-level loop would have produced, since
+    /// an open root sees every stream element.
+    fn materialize_crossed_levels(&mut self, agg: &A) {
+        loop {
+            let next_index = self.levels.len() as u32 + 1;
+            if next_index > self.max_level {
+                break;
+            }
+            let threshold = 2f64.powi(next_index as i32 + 1);
+            let estimate = self.tail.store.estimate(agg);
+            if estimate >= threshold {
+                let mut level = Level::new(next_index, self.root);
+                let root_slot = level.root_slot() as usize;
+                level.arena.stores[root_slot] = self.tail.store.clone();
+                level.arena.meta[root_slot].flags |= FLAG_CLOSED;
+                self.levels.push(level);
+                self.level_bounds.push(u64::MAX);
+                // The estimate may have crossed several thresholds at once.
+                continue;
+            }
+            self.tail.headroom = agg.weight_headroom(estimate, threshold);
+            self.tail.pending_weight = 0.0;
+            break;
+        }
+    }
+
+    /// Merge `other` into `self` (Property V, lifted to whole level sets):
+    /// same-index levels are union-merged, a level materialized in only one
+    /// input is merged against the other's shared tail (which is exactly
+    /// that input's dormant level), and the tails merge with the
+    /// materialization check re-run — the combined stream's estimate may
+    /// have crossed thresholds neither input had reached.
+    pub(crate) fn merge_from(&mut self, agg: &A, alpha: usize, other: &Self) -> Result<()> {
+        debug_assert_eq!(self.max_level, other.max_level);
+        debug_assert_eq!(self.root, other.root);
+        let merged_len = self.levels.len().max(other.levels.len());
+        let mut merged_levels = Vec::with_capacity(merged_len);
+        for i in 0..merged_len {
+            let index = i as u32 + 1;
+            let level = match (self.levels.get(i), other.levels.get(i)) {
+                (Some(a), Some(b)) => Level::merge_of(a, b, agg, alpha)?,
+                (Some(a), None) => {
+                    let virt = Level::from_tail(index, self.root, &other.tail.store);
+                    Level::merge_of(a, &virt, agg, alpha)?
+                }
+                (None, Some(b)) => {
+                    let virt = Level::from_tail(index, self.root, &self.tail.store);
+                    Level::merge_of(&virt, b, agg, alpha)?
+                }
+                (None, None) => unreachable!("i < max(levels)"),
+            };
+            merged_levels.push(level);
+        }
+        self.levels = merged_levels;
+        self.level_bounds = self
+            .levels
+            .iter()
+            .map(|l| l.y_bound.unwrap_or(u64::MAX))
+            .collect();
+
+        // Shared tail: only meaningful while dormant levels remain, in which
+        // case both inputs still had live tails (levels.len() < max_level for
+        // both). Force a fresh estimate and materialize crossed levels.
+        if self.has_dormant() {
+            self.tail.store.merge_from(agg, &other.tail.store)?;
+            self.tail.pending_weight = 0.0;
+            self.tail.headroom = 0.0;
+            self.materialize_crossed_levels(agg);
+        }
+        Ok(())
+    }
+
+    /// Space accounting over every dyadic level and the shared tail:
+    /// `(buckets, stored tuples, bytes, levels with evictions)`. Dormant
+    /// levels share one open root bucket; the backing store is physically
+    /// stored (and therefore counted) once.
+    pub(crate) fn space_accounting(&self) -> (usize, usize, usize, usize) {
+        let mut buckets = 0usize;
+        let mut tuples = 0usize;
+        let mut bytes = 0usize;
+        let mut levels_with_evictions = 0usize;
+        for level in &self.levels {
+            buckets += level.live;
+            for (_, store) in level.live_buckets() {
+                tuples += store.stored_tuples();
+                bytes += store.space_bytes();
+            }
+            if level.y_bound.is_some() {
+                levels_with_evictions += 1;
+            }
+        }
+        let dormant = self.dormant_count();
+        if dormant > 0 {
+            buckets += dormant;
+            tuples += self.tail.store.stored_tuples();
+            bytes += self.tail.store.space_bytes();
+        }
+        (buckets, tuples, bytes, levels_with_evictions)
+    }
+
+    /// Assert the engine's structural invariants (test / `invariant-checks`
+    /// builds only): packed bounds mirror the level watermarks, level
+    /// indices are contiguous, and every level passes
+    /// [`Level::check_invariants`].
+    #[cfg(any(test, feature = "invariant-checks"))]
+    pub(crate) fn check_invariants(&self) {
+        assert_eq!(self.levels.len(), self.level_bounds.len());
+        assert!(self.levels.len() as u32 <= self.max_level);
+        for (i, (level, &bound)) in self.levels.iter().zip(&self.level_bounds).enumerate() {
+            assert_eq!(level.index, i as u32 + 1, "level indices must be contiguous");
+            assert_eq!(
+                bound,
+                level.y_bound.unwrap_or(u64::MAX),
+                "packed bound out of sync with level {}",
+                level.index
+            );
+            level.check_invariants(self.root);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::f2::F2Aggregate;
+
+    fn agg() -> F2Aggregate {
+        F2Aggregate::new(0.3, 0.1, 7)
+    }
+
+    fn prepared(agg: &F2Aggregate, x: u64, w: i64) -> PreparedOf<F2Aggregate> {
+        let mut p = PreparedOf::<F2Aggregate>::default();
+        agg.new_sketch().prepare_into(x, w, &mut p);
+        p
+    }
+
+    #[test]
+    fn level_routes_splits_and_evicts_with_valid_invariants() {
+        let agg = agg();
+        let root = DyadicInterval::root(255);
+        let mut level = Level::new(1, root);
+        for i in 0..2_000u64 {
+            let (x, y) = (i % 40, (i * 37) % 256);
+            let p = prepared(&agg, x, 1);
+            level.update(&agg, 8, x, y, 1, &p);
+        }
+        assert!(level.live <= 8, "eviction must keep the level within alpha");
+        assert!(level.y_bound.is_some(), "alpha = 8 must force evictions here");
+        level.check_invariants(root);
+    }
+
+    #[test]
+    fn merge_of_unions_trees_and_keeps_invariants() {
+        let agg = agg();
+        let root = DyadicInterval::root(1023);
+        let mut a = Level::new(2, root);
+        let mut b = Level::new(2, root);
+        for i in 0..1_500u64 {
+            let (x, y) = (i % 25, (i * 13) % 1024);
+            let p = prepared(&agg, x, 1);
+            if i % 2 == 0 {
+                a.update(&agg, 32, x, y, 1, &p);
+            } else {
+                b.update(&agg, 32, x, y, 1, &p);
+            }
+        }
+        let merged = Level::merge_of(&a, &b, &agg, 32).unwrap();
+        merged.check_invariants(root);
+        assert!(merged.live <= 32);
+        // The merged level summarises both inputs: total stored weight at
+        // least either side's.
+        let merged_tuples: usize = merged.live_buckets().map(|(_, s)| s.stored_tuples()).sum();
+        assert!(merged_tuples > 0);
+    }
+
+    #[test]
+    fn engine_materializes_levels_as_estimates_grow() {
+        let agg = agg();
+        let root = DyadicInterval::root(1023);
+        let mut engine = LevelEngine::new(root, 20);
+        assert!(engine.has_dormant());
+        assert_eq!(engine.dormant_count(), 20);
+        for i in 0..3_000u64 {
+            let x = i % 50;
+            let p = prepared(&agg, x, 1);
+            engine.update(&agg, 64, x, (i * 11) % 1024, 1, &p);
+        }
+        assert!(
+            !engine.levels().is_empty(),
+            "3k tuples over 50 ids must cross the first thresholds"
+        );
+        assert!(engine.has_dormant(), "top levels stay dormant");
+        engine.check_invariants();
+    }
+
+    #[test]
+    fn engine_batch_path_equals_scalar_path() {
+        let agg = agg();
+        let root = DyadicInterval::root(4095);
+        let mut scalar = LevelEngine::new(root, 30);
+        let mut batched = LevelEngine::new(root, 30);
+        let mut tuples: Vec<(u64, u64)> = Vec::new();
+        let mut state = 11u64;
+        for _ in 0..4_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            tuples.push(((state >> 33) % 200, (state >> 13) % 4096));
+        }
+        for &(x, y) in &tuples {
+            let p = prepared(&agg, x, 1);
+            scalar.update(&agg, 48, x, y, 1, &p);
+        }
+        let proto = agg.new_sketch();
+        for chunk in tuples.chunks(512) {
+            let items: Vec<(u64, i64)> = chunk.iter().map(|&(x, _)| (x, 1)).collect();
+            let mut batch = BatchOf::<F2Aggregate>::default();
+            proto.prepare_batch_into(&items, &mut batch);
+            batched.update_batch(&agg, 48, chunk, &batch);
+        }
+        assert_eq!(scalar.levels().len(), batched.levels().len());
+        for (a, b) in scalar.levels().iter().zip(batched.levels()) {
+            assert_eq!(a.live, b.live);
+            assert_eq!(a.y_bound, b.y_bound);
+            assert_eq!(a.leaves, b.leaves);
+            let av: Vec<_> = a.live_buckets().map(|(iv, s)| (iv, s.stored_tuples())).collect();
+            let bv: Vec<_> = b.live_buckets().map(|(iv, s)| (iv, s.stored_tuples())).collect();
+            assert_eq!(av, bv);
+        }
+        scalar.check_invariants();
+        batched.check_invariants();
+    }
+}

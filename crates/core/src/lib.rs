@@ -40,6 +40,7 @@
 #![warn(clippy::all)]
 
 pub mod aggregate;
+pub mod compose;
 pub mod config;
 pub mod dyadic;
 pub mod error;
@@ -49,10 +50,12 @@ pub mod f2;
 pub mod fk;
 pub mod framework;
 pub mod heavy_hitters;
+mod levels;
 pub mod rarity;
 pub mod sum;
 
 pub use aggregate::{BucketStore, CorrelatedAggregate};
+pub use compose::GenCache;
 pub use config::{AlphaPolicy, CorrelatedConfig, DEFAULT_SEED};
 pub use dyadic::DyadicInterval;
 pub use error::{CoreError, Result};

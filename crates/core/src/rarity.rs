@@ -11,6 +11,7 @@
 //! Rarity is then the ratio of the two counts over the sample at the chosen
 //! level (the `2^level` scale factors cancel).
 
+use crate::compose::{first_answering, min_watermark};
 use crate::config::DEFAULT_SEED;
 use crate::error::{CoreError, Result};
 use cora_hash::mix::derive_seed;
@@ -113,13 +114,6 @@ impl RarityLevel {
         }
     }
 
-    fn answers(&self, c: u64) -> bool {
-        match self.evicted_watermark {
-            None => true,
-            Some(w) => w > c,
-        }
-    }
-
     /// Merge another level's sample: per-item records fold their two-smallest
     /// occurrence lists together, the watermark drops to the lower of the
     /// two, and the capacity is re-enforced.
@@ -153,8 +147,7 @@ impl RarityLevel {
                 });
             }
         }
-        self.evicted_watermark =
-            crate::dyadic::min_watermark(self.evicted_watermark, other.evicted_watermark);
+        self.evicted_watermark = min_watermark(self.evicted_watermark, other.evicted_watermark);
     }
 
     /// `(distinct items with ≥1 occurrence, items with exactly 1 occurrence)`
@@ -267,17 +260,16 @@ impl CorrelatedRarity {
     /// an empty selection.
     pub fn query(&self, c: u64) -> Result<f64> {
         let c = c.min(self.y_max);
-        for level in &self.levels {
-            if !level.answers(c) {
-                continue;
-            }
-            let (present, singletons) = level.counts_upto(c);
-            if present == 0 {
-                return Ok(0.0);
-            }
-            return Ok(singletons as f64 / present as f64);
+        // Same level-selection rule as Algorithm 3: the smallest level whose
+        // eviction watermark still covers the threshold.
+        let Some((_, level)) = first_answering(&self.levels, c, |l| l.evicted_watermark) else {
+            return Err(CoreError::QueryFailed { threshold: c });
+        };
+        let (present, singletons) = level.counts_upto(c);
+        if present == 0 {
+            return Ok(0.0);
         }
-        Err(CoreError::QueryFailed { threshold: c })
+        Ok(singletons as f64 / present as f64)
     }
 
     /// Total stored tuples.

@@ -50,6 +50,7 @@ impl Estimate for ScalarSumSketch {
 
 impl SharedUpdate for ScalarSumSketch {
     type Prepared = i64;
+    type PreparedBatch = Vec<i64>;
 
     fn prepare_into(&self, _item: u64, weight: i64, out: &mut i64) {
         *out = weight;
@@ -57,6 +58,16 @@ impl SharedUpdate for ScalarSumSketch {
 
     fn apply_prepared(&mut self, prepared: &i64) {
         self.total += prepared;
+    }
+
+    fn prepare_batch_into(&self, items: &[(u64, i64)], out: &mut Self::PreparedBatch) {
+        out.clear();
+        out.extend(items.iter().map(|&(_, weight)| weight));
+    }
+
+    fn apply_prepared_range(&mut self, batch: &Self::PreparedBatch, range: std::ops::Range<usize>) {
+        // A contiguous weight slice sums in one autovectorized pass.
+        self.total += batch[range].iter().sum::<i64>();
     }
 }
 

@@ -74,6 +74,23 @@ impl Row {
         self.sumsq += (2 * old as i128 + delta as i128) * delta as i128;
     }
 
+    /// Apply a run of precomputed `(bucket, delta)` coordinates against the
+    /// row's counters as one flat `&mut [i64]` pass: the coordinate slices
+    /// are walked sequentially and `sumsq` is carried in a register instead
+    /// of being re-read through `&mut self` per update.
+    #[inline]
+    fn apply_slice(&mut self, buckets: &[u32], deltas: &[i64]) {
+        let counters: &mut [i64] = &mut self.counters;
+        let mut sumsq = self.sumsq;
+        for (&b, &delta) in buckets.iter().zip(deltas) {
+            let slot = &mut counters[b as usize];
+            let old = *slot;
+            *slot = old + delta;
+            sumsq += (2 * old as i128 + delta as i128) * delta as i128;
+        }
+        self.sumsq = sumsq;
+    }
+
     #[inline]
     fn f2_estimate(&self) -> f64 {
         self.sumsq as f64
@@ -175,8 +192,23 @@ pub struct FastAmsPrepared {
     rows: Vec<(u32, i64)>,
 }
 
+/// Precomputed coordinates for a whole batch of fast-AMS updates, laid out
+/// **row-major** in two flat arrays: the entry for tuple `i` in row `r` lives
+/// at index `r * len + i`. Applying a contiguous tuple range to a sketch
+/// therefore walks one contiguous coordinate slice per row against that
+/// row's flat counter array, instead of chasing one heap allocation per
+/// tuple.
+#[derive(Debug, Clone, Default)]
+pub struct FastAmsBatch {
+    buckets: Vec<u32>,
+    deltas: Vec<i64>,
+    /// Number of tuples in the batch (the row stride).
+    len: usize,
+}
+
 impl SharedUpdate for FastAmsSketch {
     type Prepared = FastAmsPrepared;
+    type PreparedBatch = FastAmsBatch;
 
     fn prepare_into(&self, item: u64, weight: i64, out: &mut FastAmsPrepared) {
         out.rows.clear();
@@ -191,6 +223,31 @@ impl SharedUpdate for FastAmsSketch {
         debug_assert_eq!(prepared.rows.len(), self.rows.len());
         for (row, &(b, delta)) in self.rows.iter_mut().zip(&prepared.rows) {
             row.apply(b as usize, delta);
+        }
+    }
+
+    fn prepare_batch_into(&self, items: &[(u64, i64)], out: &mut FastAmsBatch) {
+        out.len = items.len();
+        out.buckets.clear();
+        out.deltas.clear();
+        out.buckets.reserve(self.rows.len() * items.len());
+        out.deltas.reserve(self.rows.len() * items.len());
+        for row in &self.rows {
+            for &(item, weight) in items {
+                out.buckets.push(row.bucket(item) as u32);
+                out.deltas.push(row.sign(item) * weight);
+            }
+        }
+    }
+
+    fn apply_prepared_range(&mut self, batch: &FastAmsBatch, range: std::ops::Range<usize>) {
+        debug_assert!(range.end <= batch.len);
+        for (r, row) in self.rows.iter_mut().enumerate() {
+            let base = r * batch.len;
+            row.apply_slice(
+                &batch.buckets[base + range.start..base + range.end],
+                &batch.deltas[base + range.start..base + range.end],
+            );
         }
     }
 }
@@ -385,6 +442,29 @@ mod tests {
         let mut s = FastAmsSketch::with_dimensions(16, 3, 5);
         s.update(7, 13);
         assert_eq!(s.estimate(), 169.0);
+    }
+
+    #[test]
+    fn prepared_batch_ranges_match_per_tuple_updates() {
+        // Applying arbitrary sub-ranges of a prepared batch must be
+        // bit-identical to per-tuple updates of the same tuples in order.
+        let proto = FastAmsSketch::with_dimensions(64, 5, 13);
+        let items: Vec<(u64, i64)> = (0..300u64).map(|i| (i * 31 % 97, (i % 9) as i64 + 1)).collect();
+        let mut batch = FastAmsBatch::default();
+        proto.prepare_batch_into(&items, &mut batch);
+        let mut scalar = FastAmsSketch::with_dimensions(64, 5, 13);
+        let mut batched = FastAmsSketch::with_dimensions(64, 5, 13);
+        for &(x, w) in &items {
+            scalar.update(x, w);
+        }
+        for range in [0..100, 100..101, 101..300] {
+            batched.apply_prepared_range(&batch, range);
+        }
+        assert_eq!(scalar.estimate(), batched.estimate());
+        for (a, b) in scalar.rows.iter().zip(&batched.rows) {
+            assert_eq!(a.counters, b.counters);
+            assert_eq!(a.sumsq, b.sumsq);
+        }
     }
 
     #[test]

@@ -154,6 +154,10 @@ pub struct FkPrepared {
 
 impl SharedUpdate for FkSketch {
     type Prepared = FkPrepared;
+    // The per-level SpaceSaving summaries are stateful, so there is no flat
+    // coordinate layout to exploit: the batch is simply one `Prepared` per
+    // tuple in a single Vec.
+    type PreparedBatch = Vec<FkPrepared>;
 
     fn prepare_into(&self, item: u64, weight: i64, out: &mut FkPrepared) {
         out.deepest = self.item_level(item) as u32;
@@ -168,6 +172,19 @@ impl SharedUpdate for FkSketch {
         let deepest = (prepared.deepest as usize).min(self.levels.len() - 1);
         for level in 0..=deepest {
             self.levels[level].update(prepared.item, prepared.weight);
+        }
+    }
+
+    fn prepare_batch_into(&self, items: &[(u64, i64)], out: &mut Self::PreparedBatch) {
+        out.resize_with(items.len(), FkPrepared::default);
+        for (&(item, weight), slot) in items.iter().zip(out.iter_mut()) {
+            self.prepare_into(item, weight, slot);
+        }
+    }
+
+    fn apply_prepared_range(&mut self, batch: &Self::PreparedBatch, range: std::ops::Range<usize>) {
+        for prepared in &batch[range] {
+            self.apply_prepared(prepared);
         }
     }
 }

@@ -48,6 +48,11 @@ pub trait SharedUpdate: StreamSketch {
     /// Precomputed coordinates for one `(item, weight)` update.
     type Prepared: Clone + Default + std::fmt::Debug;
 
+    /// Precomputed coordinates for a whole batch of `(item, weight)` updates,
+    /// stored in one flat allocation so that applying a contiguous sub-range
+    /// walks memory sequentially (see [`Self::apply_prepared_range`]).
+    type PreparedBatch: Clone + Default + std::fmt::Debug;
+
     /// Compute the coordinates of `(item, weight)` into `out` (reusing its
     /// allocations). The result must depend only on the sketch's dimensions
     /// and seed, never on its counter state, so it is valid for every sketch
@@ -57,6 +62,17 @@ pub trait SharedUpdate: StreamSketch {
     /// Apply previously-prepared coordinates. Must be exactly equivalent to
     /// `update(item, weight)` with the pair passed to `prepare_into`.
     fn apply_prepared(&mut self, prepared: &Self::Prepared);
+
+    /// Compute the coordinates of every `(item, weight)` in `items` into
+    /// `out`, reusing its allocations. Semantically this is `prepare_into`
+    /// for each tuple; implementations are encouraged to use a flat
+    /// structure-of-arrays layout instead of one allocation per tuple.
+    fn prepare_batch_into(&self, items: &[(u64, i64)], out: &mut Self::PreparedBatch);
+
+    /// Apply tuples `range` (indices into the `items` slice the batch was
+    /// prepared from) of a prepared batch. Must be exactly equivalent to
+    /// calling [`Self::apply_prepared`] for each tuple of the range in order.
+    fn apply_prepared_range(&mut self, batch: &Self::PreparedBatch, range: std::ops::Range<usize>);
 }
 
 /// A summary of a multiset that can be composed with a summary of another

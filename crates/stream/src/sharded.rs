@@ -30,9 +30,14 @@
 //!   with the amortized [`CorrelatedSketch::update_batch`] path;
 //! * queries merge the shard sketches into a **composite** that is cached
 //!   and invalidated by per-shard generation counters (one generation per
-//!   applied batch), so a quiescent system answers repeated queries from the
-//!   cache — and through the composite's own memoized compositions — without
-//!   re-merging anything.
+//!   applied batch) through the unified query core's
+//!   [`cora_core::GenCache`], so a quiescent system answers
+//!   repeated queries from the cache — and through the composite's own
+//!   memoized compositions — without re-merging anything. Mixed
+//!   update/query loads can additionally opt into a **stale-tolerant**
+//!   composite with [`ShardedIngest::with_merge_every`], which defers the
+//!   N-shard re-merge until `k` new batches have been applied (staleness
+//!   bounded by `(k − 1) · batch_size` tuples).
 //!
 //! ```
 //! use cora_stream::sharded::sharded_correlated_f2;
@@ -47,7 +52,7 @@
 //! ```
 
 use cora_core::{CoreError, CorrelatedAggregate, CorrelatedConfig, CorrelatedSketch, F2Aggregate};
-use cora_core::{Result, SketchStats};
+use cora_core::{GenCache, Result, SketchStats};
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -214,11 +219,14 @@ where
     }
 }
 
-/// Cached merge of all shard sketches, tagged with the per-shard generations
-/// it was built from.
-struct CompositeCache<A: CorrelatedAggregate> {
-    generations: Vec<u64>,
-    sketch: CorrelatedSketch<A>,
+/// Total batches applied since `cached` (the per-shard generation vector a
+/// composite was built from): the composite's staleness in batches.
+fn staleness(cached: &[u64], current: &[u64]) -> u64 {
+    cached
+        .iter()
+        .zip(current)
+        .map(|(&c, &n)| n.saturating_sub(c))
+        .sum()
 }
 
 /// A worker-sharded ingest front-end over N same-seeded correlated sketches.
@@ -251,7 +259,12 @@ where
     agg: A,
     config: CorrelatedConfig,
     padded_y_max: u64,
-    composite: Mutex<Option<CompositeCache<A>>>,
+    /// Merged composite, cached under the per-shard generation vector it was
+    /// built from (the unified query core's generation-validated cache).
+    composite: Mutex<GenCache<Vec<u64>, (), CorrelatedSketch<A>>>,
+    /// Rebuild the composite only once this many new batches have been
+    /// applied since it was built (1 = always fresh).
+    merge_every: u64,
 }
 
 impl<A> ShardedIngest<A>
@@ -329,13 +342,34 @@ where
             agg,
             config,
             padded_y_max,
-            composite: Mutex::new(None),
+            composite: Mutex::new(GenCache::new(1)),
+            merge_every: 1,
         })
     }
 
     /// Override the dispatch batch size (builder style; clamped to ≥ 1).
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Tolerate a **stale** composite for up to `k` applied batches (builder
+    /// style; clamped to ≥ 1, default 1 = always fresh).
+    ///
+    /// With `k > 1`, a query reuses the cached merged composite until the
+    /// workers have applied at least `k` new batches since it was built, so
+    /// mixed update/query loads stop paying a full N-shard merge on every
+    /// generation change. **Staleness bound:** an admitted composite is
+    /// missing at most `k − 1` applied batches, i.e. at most
+    /// `(k − 1) · batch_size` tuples (plus whatever is still buffered or in
+    /// flight, which even a fresh merge never sees before
+    /// [`flush`](Self::flush)). Queries are still monotone: each rebuild
+    /// includes everything applied at that point, and
+    /// [`flush`](Self::flush)-then-query is exact again once the lag reaches
+    /// `k` — call sites that need read-your-writes semantics should keep the
+    /// default `k = 1`.
+    pub fn with_merge_every(mut self, k: u64) -> Self {
+        self.merge_every = k.max(1);
         self
     }
 
@@ -462,24 +496,33 @@ where
 
     /// Run `f` against the merged composite of all shard sketches.
     ///
-    /// The composite is cached and revalidated against the per-shard
-    /// generation counters: while no worker applies a new batch, repeated
-    /// calls reuse the merged sketch (whose own query compositions are
-    /// memoized in turn).
+    /// The composite is cached under the per-shard generation vector it was
+    /// built from and revalidated through the unified query core's
+    /// [`GenCache`]: while no worker applies a new batch — or, with
+    /// [`with_merge_every`](Self::with_merge_every), while fewer than `k`
+    /// new batches have been applied since the composite was built —
+    /// repeated calls reuse the merged sketch (whose own query compositions
+    /// are memoized in turn).
     pub fn with_composite<R>(&self, f: impl FnOnce(&CorrelatedSketch<A>) -> R) -> Result<R> {
+        // The cache lock is held across the rebuild: concurrent queries that
+        // miss would otherwise each run the N-shard merge, and a slower
+        // older-generation build finishing last would overwrite a fresher
+        // cached composite (GenCache::insert clears on generation change).
+        // Workers never take this lock, so ingest is not blocked. The
+        // generation vector is read under the lock for the same reason —
+        // the tag must not lag the admission decision.
+        let mut cache = self
+            .composite
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let generations: Vec<u64> = self
             .shards
             .iter()
             .map(|s| s.processed.load(Ordering::Acquire))
             .collect();
-        let mut cache = self
-            .composite
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        if let Some(cached) = cache.as_ref() {
-            if cached.generations == generations {
-                return Ok(f(&cached.sketch));
-            }
+        let admit = |cached: &Vec<u64>| staleness(cached, &generations) < self.merge_every;
+        if let Some(sketch) = cache.get_if(admit, &()) {
+            return Ok(f(sketch));
         }
         let mut sketch = CorrelatedSketch::new(self.agg.clone(), self.config.clone())?;
         for shard in &self.shards {
@@ -489,12 +532,7 @@ where
                 .unwrap_or_else(PoisonError::into_inner);
             sketch.merge_from(&shard_sketch)?;
         }
-        *cache = Some(CompositeCache {
-            generations,
-            sketch,
-        });
-        let cached = cache.as_ref().expect("just stored");
-        Ok(f(&cached.sketch))
+        Ok(f(cache.insert(generations, (), sketch)))
     }
 
     /// Estimate `f({x : y ≤ c})` over everything applied so far (Algorithm 3
@@ -664,6 +702,40 @@ mod tests {
         sharded.flush();
         let second = sharded.query(1023).unwrap();
         assert!(second > first, "composite must pick up new batches: {first} -> {second}");
+    }
+
+    #[test]
+    fn merge_every_k_serves_stale_composites_within_bound() {
+        let mut sharded = sharded_correlated_f2(0.3, 0.1, 1023, 10_000, 7, 2)
+            .unwrap()
+            .with_batch_size(32)
+            .with_merge_every(4);
+        for i in 0..320u64 {
+            sharded.insert(i % 10, i % 1024).unwrap(); // exactly 10 batches
+        }
+        sharded.flush();
+        let first = sharded.query(1023).unwrap();
+        // One more applied batch: lag 1 < 4, the stale composite is served.
+        for i in 0..32u64 {
+            sharded.insert(i % 10, 5).unwrap();
+        }
+        sharded.flush();
+        assert_eq!(
+            sharded.query(1023).unwrap(),
+            first,
+            "lag below merge_every must serve the stale composite"
+        );
+        // Three more batches: lag reaches 4, the rebuild sees every tuple.
+        for i in 0..96u64 {
+            sharded.insert(i % 10, 5).unwrap();
+        }
+        sharded.flush();
+        let refreshed = sharded.query(1023).unwrap();
+        assert!(
+            refreshed > first,
+            "lag at merge_every must rebuild: {first} -> {refreshed}"
+        );
+        assert_eq!(sharded.stats().unwrap().items_processed, 448);
     }
 
     #[test]

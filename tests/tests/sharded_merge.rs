@@ -44,6 +44,9 @@ proptest! {
                 shard.insert(x, y).unwrap();
             }
             merged.merge_from(&shard).unwrap();
+            // Structural invariants (SoA leaf tiling, predecessor index,
+            // eviction-set consistency) must survive every merge.
+            merged.check_invariants();
         }
         prop_assert_eq!(merged.items_processed(), seq.items_processed());
         prop_assert_eq!(merged.query(c).unwrap(), seq.query(c).unwrap());
@@ -69,6 +72,7 @@ proptest! {
                 shard.insert(x, y).unwrap();
             }
             merged.merge_from(&shard).unwrap();
+            merged.check_invariants();
         }
         prop_assert_eq!(merged.query(c).unwrap(), seq.query(c).unwrap());
     }
@@ -178,6 +182,10 @@ proptest! {
             .with_batch_size(batch);
         sharded.ingest(&tuples).unwrap();
         sharded.flush();
+        // The composite is itself a merge product: check its structure too.
+        sharded
+            .with_composite(|composite| composite.check_invariants())
+            .unwrap();
         prop_assert_eq!(sharded.query(c).unwrap(), seq.query(c).unwrap());
     }
 }
