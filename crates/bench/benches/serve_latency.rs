@@ -1,0 +1,74 @@
+//! End-to-end latency of the `cora-serve` line protocol over loopback TCP:
+//! what one client round-trip costs for each query op, and the throughput of
+//! batch ingest through the server.
+//!
+//! These numbers include the OS socket stack, so they are noisier than the
+//! in-process benches; the CI bench gate deliberately does **not** filter on
+//! them (see `.github/workflows/ci.yml`), they are recorded for the
+//! trajectory only.
+
+use cora_serve::client::ServeClient;
+use cora_serve::server::{start, ServeConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const Y_MAX: u64 = (1 << 20) - 1;
+const INGEST_BATCH: usize = 1_000;
+
+fn bench_serve(c: &mut Criterion) {
+    let config = ServeConfig {
+        epsilon: 0.2,
+        delta: 0.1,
+        y_max: Y_MAX,
+        max_stream_len: 10_000_000,
+        seed: 3,
+        shards: 2,
+        merge_every: 4,
+        phi: 0.05,
+        x_domain_log2: 20,
+    };
+    let server = start(config, "127.0.0.1:0").expect("bind loopback server");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    // Pre-load a moderate stream so queries touch real structure.
+    let tuples: Vec<(u64, u64)> = (0..50_000u64)
+        .map(|i| (i % 5_000, (i * 127) % (Y_MAX + 1)))
+        .collect();
+    for chunk in tuples.chunks(INGEST_BATCH) {
+        client.ingest(chunk).expect("preload ingest");
+    }
+    client.flush().expect("preload flush");
+
+    let mut group = c.benchmark_group("serve_latency");
+    group.sample_size(30);
+    group.bench_function("ping_round_trip", |b| {
+        b.iter(|| client.ping().unwrap())
+    });
+    group.bench_function("f2_query_round_trip", |b| {
+        b.iter(|| black_box(client.query_f2(black_box(Y_MAX / 2)).unwrap()))
+    });
+    group.bench_function("f0_query_round_trip", |b| {
+        b.iter(|| black_box(client.query_f0(black_box(Y_MAX / 2)).unwrap()))
+    });
+    group.bench_function("heavy_hitters_round_trip", |b| {
+        b.iter(|| black_box(client.query_heavy_hitters(black_box(Y_MAX), 0.05).unwrap()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("serve_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(INGEST_BATCH as u64));
+    let batch: Vec<(u64, u64)> = (0..INGEST_BATCH as u64)
+        .map(|i| (i % 700, (i * 31) % (Y_MAX + 1)))
+        .collect();
+    group.bench_function("ingest_1k_batch", |b| {
+        b.iter(|| client.ingest(black_box(&batch)).unwrap())
+    });
+    group.finish();
+
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

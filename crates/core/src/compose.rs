@@ -28,7 +28,7 @@
 use crate::aggregate::{BucketStore, CorrelatedAggregate};
 use crate::error::{CoreError, Result};
 use crate::levels::LevelEngine;
-use std::collections::BTreeMap;
+use crate::singleton::SingletonLevel;
 use std::sync::Mutex;
 
 /// Number of `(threshold, composed value)` pairs kept by the query caches.
@@ -195,14 +195,13 @@ where
 /// levels. `c` must already be clamped to the padded y domain.
 pub(crate) fn compose_for_threshold<A: CorrelatedAggregate>(
     agg: &A,
-    singletons: &BTreeMap<u64, BucketStore<A>>,
-    singleton_y_bound: Option<u64>,
+    singletons: &SingletonLevel<A>,
     engine: &LevelEngine<A>,
     c: u64,
 ) -> Result<BucketStore<A>> {
-    if watermark_answers(singleton_y_bound, c) {
+    if watermark_answers(singletons.y_bound(), c) {
         let mut acc: BucketStore<A> = BucketStore::new();
-        for (_, store) in singletons.range(..=c) {
+        for (_, store) in singletons.sorted_upto(c) {
             acc.merge_from(agg, store)?;
         }
         return Ok(acc);

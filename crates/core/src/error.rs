@@ -44,6 +44,12 @@ pub enum CoreError {
         /// What differed.
         detail: String,
     },
+    /// A snapshot could not be decoded: wrong magic/version/kind, checksum
+    /// mismatch, truncation, or a payload describing an impossible state.
+    Snapshot {
+        /// What was wrong with the snapshot bytes.
+        detail: String,
+    },
     /// An underlying whole-stream sketch failed (merge mismatch etc.).
     Sketch(SketchError),
 }
@@ -66,6 +72,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::IncompatibleMerge { detail } => {
                 write!(f, "sketches cannot be merged: {detail}")
+            }
+            CoreError::Snapshot { detail } => {
+                write!(f, "snapshot rejected: {detail}")
             }
             CoreError::Sketch(e) => write!(f, "sketch error: {e}"),
         }

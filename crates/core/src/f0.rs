@@ -15,9 +15,11 @@
 use crate::compose::{first_answering, min_watermark};
 use crate::config::DEFAULT_SEED;
 use crate::error::{CoreError, Result};
+use crate::snapshot::{self, SnapshotKind};
 use cora_hash::mix::derive_seed;
 use cora_hash::polynomial::PolynomialHash;
 use cora_hash::traits::HashFunction64;
+use cora_sketch::codec::{ByteReader, ByteWriter, CodecError};
 use std::collections::{BTreeSet, HashMap};
 
 /// One sampling level: identifiers sampled at this level, keyed for y-priority
@@ -256,6 +258,22 @@ impl CorrelatedF0 {
         self.samplers.len()
     }
 
+    /// Largest accepted y value.
+    pub fn y_max(&self) -> u64 {
+        self.y_max
+    }
+
+    /// Master seed the sampler hash functions derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// `log2` of the identifier domain this sketch was built for (one
+    /// sampling level per bit, plus level 0).
+    pub fn x_domain_log2(&self) -> u32 {
+        (self.samplers[0].levels.len() - 1) as u32
+    }
+
     /// Number of stream elements processed.
     pub fn items_processed(&self) -> u64 {
         self.items_processed
@@ -296,6 +314,100 @@ impl CorrelatedF0 {
     /// in the paper's Figures 6 and 7.
     pub fn stored_tuples(&self) -> usize {
         self.samplers.iter().map(|s| s.stored_tuples()).sum()
+    }
+
+    /// Serialise the sketch into a versioned, checksummed snapshot frame
+    /// (see [`crate::snapshot`]). The construction parameters — seed
+    /// included — travel in the payload, so [`Self::restore_from`] needs only
+    /// the bytes, answers queries bit-identically, and stays
+    /// merge-compatible with same-parameter sketches.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.snapshot_to(&mut out);
+        out
+    }
+
+    /// [`Self::snapshot`], appending the frame to a caller-provided buffer.
+    pub fn snapshot_to(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new();
+        w.put_f64(self.epsilon);
+        w.put_f64(self.delta);
+        w.put_u64(self.y_max);
+        w.put_u64(self.seed);
+        w.put_u32((self.samplers[0].levels.len() - 1) as u32);
+        w.put_u64(self.items_processed);
+        w.put_len(self.samplers.len());
+        for sampler in &self.samplers {
+            w.put_len(sampler.levels.len());
+            for level in &sampler.levels {
+                w.put_opt_u64(level.evicted_watermark);
+                // Entries sorted by item: map order is arbitrary, wire order
+                // must not be.
+                let mut entries: Vec<(u64, u64)> =
+                    level.by_item.iter().map(|(&item, &y)| (item, y)).collect();
+                entries.sort_unstable();
+                w.put_len(entries.len());
+                for (item, y) in entries {
+                    w.put_u64(item);
+                    w.put_u64(y);
+                }
+            }
+        }
+        snapshot::seal_frame_into(SnapshotKind::F0, w.as_bytes(), out);
+    }
+
+    /// Rebuild a sketch from [`Self::snapshot`] bytes (magic, version, kind,
+    /// and checksum are validated before any state is interpreted).
+    pub fn restore_from(bytes: &[u8]) -> Result<Self> {
+        let payload = snapshot::open_frame(bytes, SnapshotKind::F0)?;
+        let mut r = ByteReader::new(payload);
+        let epsilon = r.get_f64()?;
+        let delta = r.get_f64()?;
+        let y_max = r.get_u64()?;
+        let seed = r.get_u64()?;
+        let x_domain_log2 = r.get_u32()?;
+        let mut sketch = Self::with_seed(epsilon, delta, x_domain_log2, y_max, seed)?;
+        sketch.items_processed = r.get_u64()?;
+        let corrupt = |detail: String| CoreError::from(CodecError::Corrupt(detail));
+        let n = r.get_len()?;
+        if n != sketch.samplers.len() {
+            return Err(corrupt(format!(
+                "snapshot has {n} sampler instances, parameters derive {}",
+                sketch.samplers.len()
+            )));
+        }
+        for sampler in &mut sketch.samplers {
+            let levels = r.get_len()?;
+            if levels != sampler.levels.len() {
+                return Err(corrupt(format!(
+                    "snapshot sampler has {levels} levels, parameters derive {}",
+                    sampler.levels.len()
+                )));
+            }
+            for level in &mut sampler.levels {
+                level.evicted_watermark = r.get_opt_u64()?;
+                let m = r.get_len()?;
+                if m > sampler.capacity {
+                    return Err(corrupt(format!(
+                        "snapshot level holds {m} entries, capacity is {}",
+                        sampler.capacity
+                    )));
+                }
+                let mut prev: Option<u64> = None;
+                for _ in 0..m {
+                    let item = r.get_u64()?;
+                    let y = r.get_u64()?;
+                    if prev.is_some_and(|p| p >= item) {
+                        return Err(corrupt("sampler entries out of order".into()));
+                    }
+                    prev = Some(item);
+                    level.by_item.insert(item, y);
+                    level.by_y.insert((y, item));
+                }
+            }
+        }
+        r.expect_end()?;
+        Ok(sketch)
     }
 
     /// Approximate heap bytes (each stored entry is an `(item, y)` pair plus
@@ -404,6 +516,55 @@ mod tests {
                 Err(CoreError::IncompatibleMerge { .. })
             ));
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let mut s = CorrelatedF0::with_seed(0.2, 0.05, 18, 1 << 18, 11).unwrap();
+        for x in 0..30_000u64 {
+            s.insert(x % 9_000, (x * 7) % (1 << 18)).unwrap();
+        }
+        let bytes = s.snapshot();
+        let restored = CorrelatedF0::restore_from(&bytes).unwrap();
+        assert_eq!(restored.items_processed(), s.items_processed());
+        assert_eq!(restored.stored_tuples(), s.stored_tuples());
+        for c in (0..=(1u64 << 18)).step_by(1 << 13) {
+            assert_eq!(restored.query(c).unwrap(), s.query(c).unwrap(), "c={c}");
+        }
+        // Restored sketches stay merge-compatible with live shards.
+        let mut shard = CorrelatedF0::with_seed(0.2, 0.05, 18, 1 << 18, 11).unwrap();
+        for x in 0..500u64 {
+            shard.insert(10_000 + x, x).unwrap();
+        }
+        let mut a = s.clone();
+        let mut b = restored;
+        a.merge_from(&shard).unwrap();
+        b.merge_from(&shard).unwrap();
+        for c in (0..=(1u64 << 18)).step_by(1 << 14) {
+            assert_eq!(a.query(c).unwrap(), b.query(c).unwrap(), "c={c}");
+        }
+        assert_eq!(s.snapshot(), bytes, "identical state must snapshot identically");
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption_and_wrong_kind() {
+        let mut s = CorrelatedF0::with_seed(0.3, 0.1, 12, 1000, 3).unwrap();
+        for x in 0..200u64 {
+            s.insert(x, x % 1000).unwrap();
+        }
+        let bytes = s.snapshot();
+        let mut corrupt = bytes.clone();
+        corrupt[20] ^= 1;
+        assert!(matches!(
+            CorrelatedF0::restore_from(&corrupt),
+            Err(CoreError::Snapshot { .. })
+        ));
+        assert!(CorrelatedF0::restore_from(&bytes[..bytes.len() - 4]).is_err());
+        // A rarity frame is not an F0 frame.
+        let rarity = crate::rarity::CorrelatedRarity::with_seed(0.3, 12, 1000, 3)
+            .unwrap()
+            .snapshot();
+        assert!(CorrelatedF0::restore_from(&rarity).is_err());
     }
 
     #[test]

@@ -38,8 +38,10 @@ use crate::config::CorrelatedConfig;
 use crate::dyadic::DyadicInterval;
 use crate::error::{CoreError, Result};
 use crate::levels::{BatchOf, LevelEngine, PreparedOf};
+use crate::singleton::SingletonLevel;
+use crate::snapshot::{self, SnapshotKind};
+use cora_sketch::codec::{ByteReader, ByteWriter, CodecError, StateCodec};
 use cora_sketch::SharedUpdate;
-use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// Statistics describing the internal state of a [`CorrelatedSketch`]; used by
@@ -67,10 +69,9 @@ pub struct CorrelatedSketch<A: CorrelatedAggregate> {
     agg: A,
     config: CorrelatedConfig,
     alpha: usize,
-    /// Level 0: singleton buckets keyed by exact y value.
-    singletons: BTreeMap<u64, BucketStore<A>>,
-    /// Eviction watermark `Y_0`; `None` = `+∞`.
-    singleton_y_bound: Option<u64>,
+    /// Level 0: singleton buckets behind a flat fmix64 hash index keyed by
+    /// exact y value (see `crate::singleton`).
+    singletons: SingletonLevel<A>,
     /// All dyadic levels, the packed watermark array, and the shared tail.
     engine: LevelEngine<A>,
     items_processed: u64,
@@ -95,7 +96,6 @@ impl<A: CorrelatedAggregate> Clone for CorrelatedSketch<A> {
             config: self.config.clone(),
             alpha: self.alpha,
             singletons: self.singletons.clone(),
-            singleton_y_bound: self.singleton_y_bound,
             engine: self.engine.clone(),
             items_processed: self.items_processed,
             proto_sketch: self.proto_sketch.clone(),
@@ -121,8 +121,7 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
             agg,
             config,
             alpha,
-            singletons: BTreeMap::new(),
-            singleton_y_bound: None,
+            singletons: SingletonLevel::new(),
             // Levels materialize lazily as the stream's aggregate grows past
             // their thresholds; an empty sketch has none.
             engine: LevelEngine::new(root, max_level),
@@ -269,20 +268,10 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
         }
         debug_assert_eq!(self.alpha, other.alpha);
 
-        // Level 0: entry-wise singleton merge, then re-enforce watermark + α.
-        for (&y, store) in &other.singletons {
-            self.singletons
-                .entry(y)
-                .or_default()
-                .merge_from(&self.agg, store)?;
-        }
-        self.singleton_y_bound =
-            compose::min_watermark(self.singleton_y_bound, other.singleton_y_bound);
-        if let Some(bound) = self.singleton_y_bound {
-            // Entries at or past the watermark can never be composed.
-            self.singletons.split_off(&bound);
-        }
-        self.enforce_singleton_budget();
+        // Level 0: entry-wise singleton merge, then re-enforce watermark + α
+        // (both inside the singleton level, shared with the insert path).
+        self.singletons
+            .merge_from(&self.agg, &other.singletons, self.alpha)?;
 
         // Dyadic levels + shared tail.
         let (agg, alpha) = (&self.agg, self.alpha);
@@ -297,51 +286,30 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
         Ok(())
     }
 
-    /// Level 0 processing: singleton buckets keyed by exact y value.
+    /// Level 0 processing: singleton buckets keyed by exact y value, behind
+    /// the flat hash index (one fmix64 lookup on the hot path).
     fn update_singletons(&mut self, x: u64, y: u64, weight: i64, prepared: &PreparedOf<A>) {
-        if let Some(bound) = self.singleton_y_bound {
-            if y >= bound {
-                return;
-            }
+        if !self.singletons.admits(y) {
+            return;
         }
+        let slot = self.singletons.slot_of(y);
         self.singletons
-            .entry(y)
-            .or_default()
+            .store_mut(slot)
             .update_prepared(&self.agg, x, weight, prepared);
-        self.enforce_singleton_budget();
+        self.singletons.enforce_budget(self.alpha);
     }
 
     /// Level 0 processing for tuple `i` of a prepared batch.
     fn update_singleton_from_batch(&mut self, tuples: &[(u64, u64)], batch: &BatchOf<A>, i: usize) {
         let (_, y) = tuples[i];
-        if let Some(bound) = self.singleton_y_bound {
-            if y >= bound {
-                return;
-            }
+        if !self.singletons.admits(y) {
+            return;
         }
+        let slot = self.singletons.slot_of(y);
         self.singletons
-            .entry(y)
-            .or_default()
+            .store_mut(slot)
             .update_batch_range(&self.agg, tuples, batch, i..i + 1);
-        self.enforce_singleton_budget();
-    }
-
-    /// Enforce the α budget on level 0: discard the singletons with the
-    /// largest y and lower the watermark until the level fits. Shared by the
-    /// insert and merge paths so their eviction policies cannot diverge.
-    fn enforce_singleton_budget(&mut self) {
-        while self.singletons.len() > self.alpha {
-            let (&largest_y, _) = self
-                .singletons
-                .iter()
-                .next_back()
-                .expect("len > alpha >= 1, so non-empty");
-            self.singletons.remove(&largest_y);
-            self.singleton_y_bound = Some(match self.singleton_y_bound {
-                None => largest_y,
-                Some(b) => b.min(largest_y),
-            });
-        }
+        self.singletons.enforce_budget(self.alpha);
     }
 
     /// Answer a correlated query: estimate `f({x : (x, y) ∈ S, y ≤ c})`
@@ -376,15 +344,7 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
             &self.compose_cache,
             self.items_processed,
             c,
-            || {
-                compose::compose_for_threshold(
-                    &self.agg,
-                    &self.singletons,
-                    self.singleton_y_bound,
-                    &self.engine,
-                    c,
-                )
-            },
+            || compose::compose_for_threshold(&self.agg, &self.singletons, &self.engine, c),
             f,
         )
     }
@@ -393,7 +353,7 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
     /// `None` if the query would fail. Exposed for diagnostics and tests.
     pub fn query_level(&self, c: u64) -> Option<u32> {
         let c = c.min(self.config.padded_y_max());
-        compose::query_level(self.singleton_y_bound, &self.engine, c)
+        compose::query_level(self.singletons.y_bound(), &self.engine, c)
     }
 
     /// Estimate the aggregate over the entire stream (threshold `y_max`).
@@ -403,8 +363,16 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
 
     /// Internal statistics (space accounting, level usage).
     pub fn stats(&self) -> SketchStats {
-        let singleton_tuples: usize = self.singletons.values().map(BucketStore::stored_tuples).sum();
-        let singleton_bytes: usize = self.singletons.values().map(BucketStore::space_bytes).sum();
+        let singleton_tuples: usize = self
+            .singletons
+            .live_stores()
+            .map(BucketStore::stored_tuples)
+            .sum();
+        let singleton_bytes: usize = self
+            .singletons
+            .live_stores()
+            .map(BucketStore::space_bytes)
+            .sum();
         let (dyadic_buckets, dyadic_tuples, dyadic_bytes, levels_with_evictions) =
             self.engine.space_accounting();
         SketchStats {
@@ -430,16 +398,105 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
     /// or the `invariant-checks` feature; property tests run it after merges.
     #[cfg(any(test, feature = "invariant-checks"))]
     pub fn check_invariants(&self) {
-        assert!(
-            self.singletons.len() <= self.alpha,
-            "singleton level exceeds its bucket budget"
-        );
-        if let Some(bound) = self.singleton_y_bound {
-            if let Some((&largest, _)) = self.singletons.iter().next_back() {
-                assert!(largest < bound, "singleton stored at or past the watermark");
-            }
-        }
+        self.singletons.check_invariants(self.alpha);
         self.engine.check_invariants();
+    }
+}
+
+impl<A> CorrelatedSketch<A>
+where
+    A: CorrelatedAggregate,
+    A::Sketch: StateCodec,
+{
+    /// Serialise the full sketch state into a versioned, checksummed snapshot
+    /// frame (see [`crate::snapshot`] for the format). The frame embeds the
+    /// configuration — seed included — so the restored sketch answers every
+    /// query **bit-identically** and stays merge-compatible with live
+    /// sketches built from the same configuration.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.snapshot_to(&mut out);
+        out
+    }
+
+    /// [`Self::snapshot`], appending the frame to a caller-provided buffer.
+    pub fn snapshot_to(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new();
+        self.encode_payload(&mut w);
+        snapshot::seal_frame_into(SnapshotKind::Framework, w.as_bytes(), out);
+    }
+
+    /// Rebuild a sketch from [`Self::snapshot`] bytes.
+    ///
+    /// `agg` must be the same aggregate descriptor the snapshot was taken
+    /// with (same accuracy parameters and seed — the decoded per-bucket
+    /// sketch dimensions are verified against it, and the configuration in
+    /// the frame header is validated before any state is interpreted).
+    pub fn restore_from(agg: A, bytes: &[u8]) -> Result<Self> {
+        let payload = snapshot::open_frame(bytes, SnapshotKind::Framework)?;
+        let mut r = ByteReader::new(payload);
+        let sketch = Self::decode_payload(agg, &mut r)?;
+        r.expect_end().map_err(CoreError::from)?;
+        Ok(sketch)
+    }
+
+    /// Fingerprint of the aggregate's per-bucket sketch family: the encoded
+    /// state of a fresh, empty sketch covers its dimensions and seed, so two
+    /// aggregates share a fingerprint iff their sketches are mergeable. This
+    /// catches a wrong-seed restore even when every serialised bucket is
+    /// still exact (no sketched store around to carry the seed itself).
+    fn agg_fingerprint(agg: &A) -> u64 {
+        let mut w = ByteWriter::new();
+        agg.new_sketch().encode_state(&mut w);
+        cora_sketch::codec::fnv1a64(w.as_bytes())
+    }
+
+    /// Encode the frame payload (configuration + aggregate fingerprint +
+    /// level state). Crate-public so wrapper structures (heavy hitters) can
+    /// embed a framework payload inside their own frames.
+    pub(crate) fn encode_payload(&self, w: &mut ByteWriter) {
+        snapshot::encode_config(&self.config, w);
+        w.put_str(&self.agg.name());
+        w.put_u64(Self::agg_fingerprint(&self.agg));
+        w.put_u64(self.alpha as u64);
+        w.put_u64(self.items_processed);
+        self.singletons.encode_state(w);
+        self.engine.encode_state(w);
+    }
+
+    /// Decode a payload written by [`Self::encode_payload`].
+    pub(crate) fn decode_payload(agg: A, r: &mut ByteReader<'_>) -> Result<Self> {
+        let config = snapshot::decode_config(r)?;
+        let mut sketch = Self::new(agg, config)?;
+        let corrupt = |detail: String| CoreError::from(CodecError::Corrupt(detail));
+        let name = r.get_str().map_err(CoreError::from)?;
+        if name != sketch.agg.name() {
+            return Err(corrupt(format!(
+                "snapshot is for aggregate {name:?}, restoring into {:?}",
+                sketch.agg.name()
+            )));
+        }
+        let fingerprint = r.get_u64().map_err(CoreError::from)?;
+        if fingerprint != Self::agg_fingerprint(&sketch.agg) {
+            return Err(corrupt(
+                "aggregate mismatch: the snapshot's per-bucket sketch family \
+                 (dimensions or seed) differs from the restoring aggregate's"
+                    .into(),
+            ));
+        }
+        let alpha = r.get_u64().map_err(CoreError::from)?;
+        if alpha != sketch.alpha as u64 {
+            return Err(corrupt(format!(
+                "bucket budget differs: snapshot alpha {alpha}, derived {}",
+                sketch.alpha
+            )));
+        }
+        sketch.items_processed = r.get_u64().map_err(CoreError::from)?;
+        sketch.singletons = SingletonLevel::decode_state(&sketch.agg, r)?;
+        let root = DyadicInterval::root(sketch.config.y_max);
+        let max_level = sketch.config.num_levels() as u32 - 1;
+        sketch.engine = LevelEngine::decode_state(&sketch.agg, root, max_level, r)?;
+        Ok(sketch)
     }
 }
 
@@ -515,6 +572,77 @@ mod tests {
         // compose_for_threshold returns an equivalent store from the cache.
         let store = s.compose_for_threshold(500).unwrap();
         assert_eq!(store.estimate(s.aggregate()), second);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical_and_merge_compatible() {
+        let mut s = f2_sketch(0.25, 4095, AlphaPolicy::Fixed(24));
+        for i in 0..12_000u64 {
+            s.insert(i % 120, (i * 37) % 4096).unwrap();
+        }
+        let bytes = s.snapshot();
+        let restored =
+            CorrelatedSketch::restore_from(F2Aggregate::new(0.25, 0.1, 7), &bytes).unwrap();
+        restored.check_invariants();
+        assert_eq!(restored.items_processed(), s.items_processed());
+        assert_eq!(restored.stats(), s.stats());
+        for c in (0..=4096u64).step_by(128) {
+            assert_eq!(restored.query(c).unwrap(), s.query(c).unwrap(), "c={c}");
+            assert_eq!(restored.query_level(c), s.query_level(c), "c={c}");
+        }
+        // Restored sketches keep Property V: merging a live shard into the
+        // restored sketch equals merging it into the original.
+        let mut shard = f2_sketch(0.25, 4095, AlphaPolicy::Fixed(24));
+        for i in 0..3_000u64 {
+            shard.insert(i % 60, (i * 11) % 4096).unwrap();
+        }
+        let mut a = s.clone();
+        let mut b = restored;
+        a.merge_from(&shard).unwrap();
+        b.merge_from(&shard).unwrap();
+        for c in (0..=4096u64).step_by(512) {
+            assert_eq!(a.query(c).unwrap(), b.query(c).unwrap(), "c={c}");
+        }
+        // A second snapshot of identical state is identical bytes.
+        assert_eq!(s.snapshot(), bytes);
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_aggregate_and_corruption() {
+        let mut s = f2_sketch(0.3, 1023, AlphaPolicy::Fixed(16));
+        for i in 0..2_000u64 {
+            s.insert(i % 50, i % 1024).unwrap();
+        }
+        let bytes = s.snapshot();
+        // Wrong seed: the per-bucket sketch dimensions check fires.
+        assert!(matches!(
+            CorrelatedSketch::restore_from(F2Aggregate::new(0.3, 0.1, 8), &bytes),
+            Err(CoreError::Snapshot { .. })
+        ));
+        // Wrong accuracy: different sketch width.
+        assert!(CorrelatedSketch::restore_from(F2Aggregate::new(0.1, 0.1, 7), &bytes).is_err());
+        // Truncation and corruption.
+        assert!(CorrelatedSketch::restore_from(
+            F2Aggregate::new(0.3, 0.1, 7),
+            &bytes[..bytes.len() - 9]
+        )
+        .is_err());
+        let mut corrupt = bytes;
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x10;
+        assert!(matches!(
+            CorrelatedSketch::restore_from(F2Aggregate::new(0.3, 0.1, 7), &corrupt),
+            Err(CoreError::Snapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_sketch_snapshot_round_trips() {
+        let s = f2_sketch(0.2, 1023, AlphaPolicy::Fixed(64));
+        let restored =
+            CorrelatedSketch::restore_from(F2Aggregate::new(0.2, 0.1, 7), &s.snapshot()).unwrap();
+        assert_eq!(restored.query(512).unwrap(), 0.0);
+        assert_eq!(restored.items_processed(), 0);
     }
 
     #[test]

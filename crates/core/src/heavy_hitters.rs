@@ -17,6 +17,8 @@ use crate::compose::{self, GenCache};
 use crate::config::{CorrelatedConfig, DEFAULT_SEED};
 use crate::error::Result;
 use crate::framework::CorrelatedSketch;
+use crate::snapshot::{self, SnapshotKind};
+use cora_sketch::codec::{ByteReader, ByteWriter, CodecResult, StateCodec};
 use cora_sketch::error::Result as SketchResult;
 use cora_sketch::{
     CountSketch, Estimate, ExactFrequencies, FastAmsBatch, FastAmsPrepared, FastAmsSketch,
@@ -128,6 +130,18 @@ impl SpaceUsage for HhBucketSketch {
 
     fn space_bytes(&self) -> usize {
         self.f2.space_bytes() + self.counts.space_bytes()
+    }
+}
+
+impl StateCodec for HhBucketSketch {
+    fn encode_state(&self, w: &mut ByteWriter) {
+        self.f2.encode_state(w);
+        self.counts.encode_state(w);
+    }
+
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> CodecResult<()> {
+        self.f2.decode_state(r)?;
+        self.counts.decode_state(r)
     }
 }
 
@@ -299,6 +313,18 @@ impl CorrelatedHeavyHitters {
         self.inner.items_processed()
     }
 
+    /// The aggregate descriptor (dimensions, `phi`-derived candidate
+    /// capacity, seed) — comparable with a freshly built
+    /// [`F2HeavyAggregate`] to verify a restored sketch's parameters.
+    pub fn aggregate(&self) -> &F2HeavyAggregate {
+        self.inner.aggregate()
+    }
+
+    /// The framework configuration the inner sketch was built with.
+    pub fn config(&self) -> &CorrelatedConfig {
+        self.inner.config()
+    }
+
     /// Process a stream element.
     pub fn insert(&mut self, x: u64, y: u64) -> Result<()> {
         self.inner.insert(x, y)
@@ -373,6 +399,65 @@ impl CorrelatedHeavyHitters {
     /// Total stored tuples (space accounting).
     pub fn stored_tuples(&self) -> usize {
         self.inner.stored_tuples()
+    }
+
+    /// Serialise the sketch into a versioned, checksummed snapshot frame
+    /// (see [`crate::snapshot`]). The aggregate's dimensions (including the
+    /// `phi`-derived candidate capacity, which is *not* part of
+    /// [`CorrelatedConfig`]) travel ahead of the framework payload, so
+    /// [`Self::restore_from`] needs only the bytes.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.snapshot_to(&mut out);
+        out
+    }
+
+    /// [`Self::snapshot`], appending the frame to a caller-provided buffer.
+    pub fn snapshot_to(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new();
+        let agg = self.inner.aggregate();
+        w.put_u64(agg.width as u64);
+        w.put_u64(agg.depth as u64);
+        w.put_u64(agg.candidates as u64);
+        w.put_u64(agg.seed);
+        self.inner.encode_payload(&mut w);
+        snapshot::seal_frame_into(SnapshotKind::HeavyHitters, w.as_bytes(), out);
+    }
+
+    /// Rebuild a sketch from [`Self::snapshot`] bytes (magic, version, kind,
+    /// and checksum are validated before any state is interpreted). The
+    /// restored sketch answers `query_f2` and `query_heavy_hitters`
+    /// bit-identically and merges with same-parameter live sketches.
+    pub fn restore_from(bytes: &[u8]) -> Result<Self> {
+        let payload = snapshot::open_frame(bytes, SnapshotKind::HeavyHitters)?;
+        let mut r = ByteReader::new(payload);
+        let agg = F2HeavyAggregate {
+            width: r.get_len()?,
+            depth: r.get_len()?,
+            candidates: r.get_len()?,
+            seed: r.get_u64()?,
+        };
+        // The dimensions drive `width * depth` counter allocations per
+        // bucket; reject anything outside the ranges `F2HeavyAggregate::new`
+        // can produce before building a single sketch.
+        if !(8..=1 << 16).contains(&agg.width)
+            || !(1..=64).contains(&agg.depth)
+            || !(8..=4096).contains(&agg.candidates)
+        {
+            return Err(crate::error::CoreError::Snapshot {
+                detail: format!(
+                    "heavy-hitter sketch dimensions out of range: width {}, depth {}, \
+                     candidate capacity {}",
+                    agg.width, agg.depth, agg.candidates
+                ),
+            });
+        }
+        let inner = CorrelatedSketch::decode_payload(agg, &mut r)?;
+        r.expect_end()?;
+        Ok(Self {
+            inner,
+            candidate_cache: std::sync::Mutex::new(GenCache::new(CANDIDATE_CACHE_CAPACITY)),
+        })
     }
 }
 
@@ -490,6 +575,61 @@ mod tests {
             coarse.merge_from(&build()),
             Err(crate::error::CoreError::IncompatibleMerge { .. })
         ));
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let mut hh = CorrelatedHeavyHitters::with_seed(0.2, 0.1, 0.1, 4095, 100_000, 3).unwrap();
+        for i in 0..6_000u64 {
+            hh.insert(7, i % 1000).unwrap();
+            hh.insert(1000 + (i % 400), (i * 7) % 4096).unwrap();
+        }
+        let bytes = hh.snapshot();
+        let restored = CorrelatedHeavyHitters::restore_from(&bytes).unwrap();
+        assert_eq!(restored.items_processed(), hh.items_processed());
+        assert_eq!(restored.stored_tuples(), hh.stored_tuples());
+        for c in (0..=4096u64).step_by(256) {
+            assert_eq!(restored.query_f2(c).unwrap(), hh.query_f2(c).unwrap(), "c={c}");
+            assert_eq!(
+                restored.query_heavy_hitters(c, 0.05).unwrap(),
+                hh.query_heavy_hitters(c, 0.05).unwrap(),
+                "c={c}"
+            );
+        }
+        // Merge compatibility survives the round trip.
+        let mut shard = CorrelatedHeavyHitters::with_seed(0.2, 0.1, 0.1, 4095, 100_000, 3).unwrap();
+        for i in 0..2_000u64 {
+            shard.insert(9, i % 4096).unwrap();
+        }
+        let mut a = hh.clone();
+        let mut b = restored;
+        a.merge_from(&shard).unwrap();
+        b.merge_from(&shard).unwrap();
+        for c in (0..=4096u64).step_by(1024) {
+            assert_eq!(a.query_f2(c).unwrap(), b.query_f2(c).unwrap(), "c={c}");
+            assert_eq!(
+                a.query_heavy_hitters(c, 0.05).unwrap(),
+                b.query_heavy_hitters(c, 0.05).unwrap(),
+                "c={c}"
+            );
+        }
+        assert_eq!(hh.snapshot(), bytes);
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption_and_truncation() {
+        let mut hh = CorrelatedHeavyHitters::with_seed(0.3, 0.1, 0.1, 255, 1000, 3).unwrap();
+        for i in 0..300u64 {
+            hh.insert(i % 10, i % 256).unwrap();
+        }
+        let bytes = hh.snapshot();
+        let mut corrupt = bytes.clone();
+        corrupt[40] ^= 2;
+        assert!(matches!(
+            CorrelatedHeavyHitters::restore_from(&corrupt),
+            Err(crate::error::CoreError::Snapshot { .. })
+        ));
+        assert!(CorrelatedHeavyHitters::restore_from(&bytes[..bytes.len() / 2]).is_err());
     }
 
     #[test]

@@ -42,6 +42,8 @@ use crate::aggregate::{BucketStore, CorrelatedAggregate};
 use crate::compose::min_watermark;
 use crate::dyadic::DyadicInterval;
 use crate::error::Result;
+use crate::snapshot::{decode_store, encode_store};
+use cora_sketch::codec::{ByteReader, ByteWriter, CodecError, CodecResult, StateCodec};
 use cora_sketch::SharedUpdate;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -589,6 +591,102 @@ impl<A: CorrelatedAggregate> Level<A> {
         }
     }
 
+    /// Serialise the level's live state (snapshot persistence): watermark,
+    /// every live slot **in slot order** — compose iterates slots in that
+    /// order, so preserving it keeps restored query composition bit-identical
+    /// — and the leaf tiling, with slots renumbered densely so tombstones
+    /// cost nothing on the wire.
+    fn encode_state(&self, w: &mut ByteWriter)
+    where
+        A::Sketch: StateCodec,
+    {
+        w.put_u32(self.index);
+        w.put_opt_u64(self.y_bound);
+        w.put_len(self.live);
+        let mut remap: Vec<u32> = vec![NIL; self.arena.meta.len()];
+        let mut next = 0u32;
+        for (slot, (meta, store)) in self.arena.meta.iter().zip(&self.arena.stores).enumerate() {
+            if meta.is_evicted() {
+                continue;
+            }
+            remap[slot] = next;
+            next += 1;
+            w.put_u64(meta.lo);
+            w.put_u64(meta.hi);
+            w.put_f64(meta.headroom);
+            w.put_f64(meta.pending);
+            w.put_bool(meta.is_closed());
+            encode_store(store, w);
+        }
+        w.put_len(self.leaves.len());
+        for (&lo, &slot) in &self.leaves {
+            w.put_u64(lo);
+            w.put_u32(remap[slot as usize]);
+        }
+    }
+
+    /// Rebuild a level from [`Self::encode_state`] bytes: slots are
+    /// re-allocated in wire order (dense, no tombstones), the eviction set
+    /// and live count rebuilt, and the cursor left invalid (it is a pure
+    /// routing hint).
+    fn decode_state(agg: &A, root: DyadicInterval, r: &mut ByteReader<'_>) -> CodecResult<Self>
+    where
+        A::Sketch: StateCodec,
+    {
+        let index = r.get_u32()?;
+        let y_bound = r.get_opt_u64()?;
+        let live = r.get_len()?;
+        let mut level = Self {
+            index,
+            threshold: 2f64.powi(index as i32 + 1),
+            arena: LevelArena::new(),
+            live: 0,
+            leaves: BTreeMap::new(),
+            order: BTreeSet::new(),
+            y_bound,
+            cursor: NIL,
+        };
+        let mut seen = BTreeSet::new();
+        for _ in 0..live {
+            let lo = r.get_u64()?;
+            let hi = r.get_u64()?;
+            if lo > hi || hi > root.hi {
+                return Err(CodecError::Corrupt(format!(
+                    "level {index} bucket [{lo}, {hi}] outside the root domain"
+                )));
+            }
+            if !seen.insert((lo, hi)) {
+                return Err(CodecError::Corrupt(format!(
+                    "level {index} stores interval [{lo}, {hi}] twice"
+                )));
+            }
+            let headroom = r.get_f64()?;
+            let pending = r.get_f64()?;
+            let closed = r.get_bool()?;
+            let store = decode_store(agg, r)?;
+            let slot = level.alloc(DyadicInterval { lo, hi });
+            let s = slot as usize;
+            level.arena.meta[s].headroom = headroom;
+            level.arena.meta[s].pending = pending;
+            if closed {
+                level.arena.meta[s].flags |= FLAG_CLOSED;
+            }
+            level.arena.stores[s] = store;
+        }
+        let n_leaves = r.get_len()?;
+        for _ in 0..n_leaves {
+            let lo = r.get_u64()?;
+            let slot = r.get_u32()?;
+            if slot as usize >= level.arena.meta.len() || level.arena.meta[slot as usize].lo != lo {
+                return Err(CodecError::Corrupt(format!(
+                    "level {index} leaf entry ({lo}, slot {slot}) does not name a stored bucket"
+                )));
+            }
+            level.leaves.insert(lo, slot);
+        }
+        Ok(level)
+    }
+
     /// Assert the level's structural invariants (test / `invariant-checks`
     /// builds only): parallel-array consistency, the leaf tiling of the
     /// reachable y-domain, predecessor-index agreement with a linear scan,
@@ -967,6 +1065,70 @@ impl<A: CorrelatedAggregate> LevelEngine<A> {
             bytes += self.tail.store.space_bytes();
         }
         (buckets, tuples, bytes, levels_with_evictions)
+    }
+
+    /// Serialise the engine (snapshot persistence): every materialized level
+    /// in index order plus the shared tail and its gating state.
+    pub(crate) fn encode_state(&self, w: &mut ByteWriter)
+    where
+        A::Sketch: StateCodec,
+    {
+        w.put_len(self.levels.len());
+        for level in &self.levels {
+            level.encode_state(w);
+        }
+        encode_store(&self.tail.store, w);
+        w.put_f64(self.tail.pending_weight);
+        w.put_f64(self.tail.headroom);
+    }
+
+    /// Rebuild an engine from [`Self::encode_state`] bytes for a structure
+    /// with the given root interval and level budget (both derived from the
+    /// decoded configuration, never trusted from the payload alone).
+    pub(crate) fn decode_state(
+        agg: &A,
+        root: DyadicInterval,
+        max_level: u32,
+        r: &mut ByteReader<'_>,
+    ) -> CodecResult<Self>
+    where
+        A::Sketch: StateCodec,
+    {
+        let n = r.get_len()?;
+        if n > max_level as usize {
+            return Err(CodecError::Corrupt(format!(
+                "snapshot has {n} materialized levels, configuration allows {max_level}"
+            )));
+        }
+        let mut levels = Vec::with_capacity(n);
+        for i in 0..n {
+            let level = Level::decode_state(agg, root, r)?;
+            if level.index != i as u32 + 1 {
+                return Err(CodecError::Corrupt(format!(
+                    "level indices not contiguous: found {} at position {i}",
+                    level.index
+                )));
+            }
+            levels.push(level);
+        }
+        let store = decode_store(agg, r)?;
+        let pending_weight = r.get_f64()?;
+        let headroom = r.get_f64()?;
+        let level_bounds = levels
+            .iter()
+            .map(|l: &Level<A>| l.y_bound.unwrap_or(u64::MAX))
+            .collect();
+        Ok(Self {
+            levels,
+            level_bounds,
+            tail: TailState {
+                store,
+                pending_weight,
+                headroom,
+            },
+            max_level,
+            root,
+        })
     }
 
     /// Assert the engine's structural invariants (test / `invariant-checks`

@@ -52,6 +52,8 @@ pub mod framework;
 pub mod heavy_hitters;
 mod levels;
 pub mod rarity;
+mod singleton;
+pub mod snapshot;
 pub mod sum;
 
 pub use aggregate::{BucketStore, CorrelatedAggregate};
@@ -66,6 +68,7 @@ pub use fk::{correlated_fk, correlated_fk_seeded, CorrelatedFk, FkAggregate};
 pub use framework::{CorrelatedSketch, SketchStats};
 pub use heavy_hitters::{CorrelatedHeavyHitters, HeavyHitter};
 pub use rarity::CorrelatedRarity;
+pub use snapshot::{SnapshotKind, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use sum::{correlated_count, correlated_sum, CorrelatedCount, CorrelatedSum};
 
 #[cfg(test)]

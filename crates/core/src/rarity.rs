@@ -14,9 +14,11 @@
 use crate::compose::{first_answering, min_watermark};
 use crate::config::DEFAULT_SEED;
 use crate::error::{CoreError, Result};
+use crate::snapshot::{self, SnapshotKind};
 use cora_hash::mix::derive_seed;
 use cora_hash::polynomial::PolynomialHash;
 use cora_hash::traits::HashFunction64;
+use cora_sketch::codec::{ByteReader, ByteWriter, CodecError};
 use std::collections::{BTreeSet, HashMap};
 
 /// Occurrence record: the two smallest y values seen for an identifier.
@@ -272,6 +274,26 @@ impl CorrelatedRarity {
         Ok(singletons as f64 / present as f64)
     }
 
+    /// Target relative error.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Largest accepted y value.
+    pub fn y_max(&self) -> u64 {
+        self.y_max
+    }
+
+    /// Master seed the sampler hash function derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// `log2` of the identifier domain this sketch was built for.
+    pub fn x_domain_log2(&self) -> u32 {
+        (self.levels.len() - 1) as u32
+    }
+
     /// Total stored tuples.
     pub fn stored_tuples(&self) -> usize {
         self.levels.iter().map(|l| l.by_item.len()).sum()
@@ -280,6 +302,92 @@ impl CorrelatedRarity {
     /// Number of stream elements processed.
     pub fn items_processed(&self) -> u64 {
         self.items_processed
+    }
+
+    /// Serialise the sketch into a versioned, checksummed snapshot frame
+    /// (see [`crate::snapshot`]); parameters and seed travel in the payload,
+    /// so [`Self::restore_from`] needs only the bytes.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.snapshot_to(&mut out);
+        out
+    }
+
+    /// [`Self::snapshot`], appending the frame to a caller-provided buffer.
+    pub fn snapshot_to(&self, out: &mut Vec<u8>) {
+        let mut w = ByteWriter::new();
+        w.put_f64(self.epsilon);
+        w.put_u64(self.y_max);
+        w.put_u64(self.seed);
+        w.put_u32((self.levels.len() - 1) as u32);
+        w.put_u64(self.items_processed);
+        w.put_len(self.levels.len());
+        for level in &self.levels {
+            w.put_opt_u64(level.evicted_watermark);
+            let mut entries: Vec<(u64, TwoSmallest)> = level
+                .by_item
+                .iter()
+                .map(|(&item, record)| (item, *record))
+                .collect();
+            entries.sort_unstable_by_key(|&(item, _)| item);
+            w.put_len(entries.len());
+            for (item, record) in entries {
+                w.put_u64(item);
+                w.put_u64(record.y1);
+                w.put_opt_u64(record.y2);
+            }
+        }
+        snapshot::seal_frame_into(SnapshotKind::Rarity, w.as_bytes(), out);
+    }
+
+    /// Rebuild a sketch from [`Self::snapshot`] bytes (magic, version, kind,
+    /// and checksum are validated before any state is interpreted).
+    pub fn restore_from(bytes: &[u8]) -> Result<Self> {
+        let payload = snapshot::open_frame(bytes, SnapshotKind::Rarity)?;
+        let mut r = ByteReader::new(payload);
+        let epsilon = r.get_f64()?;
+        let y_max = r.get_u64()?;
+        let seed = r.get_u64()?;
+        let x_domain_log2 = r.get_u32()?;
+        let mut sketch = Self::with_seed(epsilon, x_domain_log2, y_max, seed)?;
+        sketch.items_processed = r.get_u64()?;
+        let corrupt = |detail: String| CoreError::from(CodecError::Corrupt(detail));
+        let levels = r.get_len()?;
+        if levels != sketch.levels.len() {
+            return Err(corrupt(format!(
+                "snapshot has {levels} levels, parameters derive {}",
+                sketch.levels.len()
+            )));
+        }
+        let capacity = sketch.capacity;
+        for level in &mut sketch.levels {
+            level.evicted_watermark = r.get_opt_u64()?;
+            let m = r.get_len()?;
+            if m > capacity {
+                return Err(corrupt(format!(
+                    "snapshot level holds {m} entries, capacity is {capacity}"
+                )));
+            }
+            let mut prev: Option<u64> = None;
+            for _ in 0..m {
+                let item = r.get_u64()?;
+                if prev.is_some_and(|p| p >= item) {
+                    return Err(corrupt("rarity entries out of order".into()));
+                }
+                prev = Some(item);
+                let y1 = r.get_u64()?;
+                let y2 = r.get_opt_u64()?;
+                if y2.is_some_and(|y2| y2 < y1) {
+                    return Err(corrupt(format!(
+                        "occurrence record for item {item} is unordered: y1 {y1} > y2 {y2:?}"
+                    )));
+                }
+                level.by_item.insert(item, TwoSmallest { y1, y2 });
+                level.by_y.insert((y1, item));
+            }
+        }
+        r.expect_end()?;
+        Ok(sketch)
     }
 }
 
@@ -379,6 +487,51 @@ mod tests {
                 Err(CoreError::IncompatibleMerge { .. })
             ));
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let mut s = CorrelatedRarity::with_seed(0.2, 18, 1 << 18, 7).unwrap();
+        for x in 0..20_000u64 {
+            s.insert(x % 6_000, (x * 13) % (1 << 18)).unwrap();
+        }
+        let bytes = s.snapshot();
+        let restored = CorrelatedRarity::restore_from(&bytes).unwrap();
+        assert_eq!(restored.items_processed(), s.items_processed());
+        assert_eq!(restored.stored_tuples(), s.stored_tuples());
+        for c in (0..=(1u64 << 18)).step_by(1 << 13) {
+            assert_eq!(restored.query(c).unwrap(), s.query(c).unwrap(), "c={c}");
+        }
+        // Merge compatibility survives the round trip.
+        let mut shard = CorrelatedRarity::with_seed(0.2, 18, 1 << 18, 7).unwrap();
+        for x in 0..400u64 {
+            shard.insert(7_000 + x, x).unwrap();
+        }
+        let mut a = s.clone();
+        let mut b = restored;
+        a.merge_from(&shard).unwrap();
+        b.merge_from(&shard).unwrap();
+        for c in (0..=(1u64 << 18)).step_by(1 << 14) {
+            assert_eq!(a.query(c).unwrap(), b.query(c).unwrap(), "c={c}");
+        }
+        assert_eq!(s.snapshot(), bytes);
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let mut s = CorrelatedRarity::with_seed(0.3, 12, 1000, 3).unwrap();
+        for x in 0..150u64 {
+            s.insert(x, (x * 3) % 1001).unwrap();
+        }
+        let bytes = s.snapshot();
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x80;
+        assert!(matches!(
+            CorrelatedRarity::restore_from(&corrupt),
+            Err(CoreError::Snapshot { .. })
+        ));
+        assert!(CorrelatedRarity::restore_from(&bytes[..10]).is_err());
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Versioned, checksummed snapshot framing for the correlated structures.
+//!
+//! A snapshot is one self-describing binary **frame**:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"CORA"
+//! 4       2     format version (little-endian u16, currently 1)
+//! 6       1     kind tag (which structure the payload describes)
+//! 7       8     payload length (little-endian u64)
+//! 15      n     payload (structure-specific, see the snapshot methods)
+//! 15+n    8     FNV-1a 64 checksum of the payload
+//! ```
+//!
+//! The payload carries the full construction configuration (accuracy
+//! parameters, domains, **seed**) ahead of the state, so a restored structure
+//! is built with exactly the hash functions the snapshot was, answers every
+//! query bit-identically to the encoded one, and remains merge-compatible
+//! with sketches still running in other processes (Property V needs only the
+//! shared configuration, which the header preserves). Decoding validates the
+//! magic, version, kind, length, and checksum **before** interpreting a
+//! single payload byte, so truncated, corrupted, or foreign files are
+//! rejected with [`CoreError::Snapshot`] instead of deserialising garbage.
+//!
+//! Sketch counter state is serialised through
+//! [`cora_sketch::codec::StateCodec`]; hash coefficient tables are never
+//! written — they are re-derived from the seed on restore.
+//!
+//! Entry points:
+//!
+//! * [`CorrelatedSketch::snapshot`](crate::CorrelatedSketch::snapshot) /
+//!   [`restore_from`](crate::CorrelatedSketch::restore_from) — the generic
+//!   framework sketch (any aggregate whose bucket sketch implements
+//!   `StateCodec`, e.g. correlated `F_2`);
+//! * [`CorrelatedF0`](crate::CorrelatedF0),
+//!   [`CorrelatedRarity`](crate::CorrelatedRarity), and
+//!   [`CorrelatedHeavyHitters`](crate::CorrelatedHeavyHitters) expose the
+//!   same pair with their parameters embedded (restore takes only bytes);
+//! * `cora_stream::sharded::ShardedIngest` snapshots its merged composite
+//!   through the framework frame, so a restored front-end serves identical
+//!   answers.
+
+use crate::aggregate::{BucketStore, CorrelatedAggregate};
+use crate::config::{AlphaPolicy, CorrelatedConfig};
+use crate::error::{CoreError, Result};
+use cora_sketch::codec::{fnv1a64, ByteReader, ByteWriter, CodecError, CodecResult, StateCodec};
+use cora_sketch::ExactFrequencies;
+
+/// The four magic bytes opening every snapshot frame.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"CORA";
+
+/// The current snapshot format version. Bumped on any incompatible payload
+/// change; decoders reject snapshots from other versions.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Which structure a snapshot frame describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SnapshotKind {
+    /// A generic [`CorrelatedSketch`](crate::CorrelatedSketch) (framework
+    /// levels + singleton level + shared tail).
+    Framework = 1,
+    /// A [`CorrelatedF0`](crate::CorrelatedF0) distinct-count sketch.
+    F0 = 2,
+    /// A [`CorrelatedRarity`](crate::CorrelatedRarity) sketch.
+    Rarity = 3,
+    /// A [`CorrelatedHeavyHitters`](crate::CorrelatedHeavyHitters) sketch.
+    HeavyHitters = 4,
+}
+
+impl SnapshotKind {
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(SnapshotKind::Framework),
+            2 => Some(SnapshotKind::F0),
+            3 => Some(SnapshotKind::Rarity),
+            4 => Some(SnapshotKind::HeavyHitters),
+            _ => None,
+        }
+    }
+}
+
+/// Append a sealed frame (magic, version, kind, length, checksum) around
+/// `payload` to a caller-provided buffer — the zero-extra-copy primitive
+/// behind every `snapshot_to`.
+pub(crate) fn seal_frame_into(kind: SnapshotKind, payload: &[u8], out: &mut Vec<u8>) {
+    out.reserve(payload.len() + 23);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.push(kind as u8);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+}
+
+/// Wrap a payload in a sealed frame, as a fresh buffer.
+#[cfg(test)]
+pub(crate) fn seal_frame(kind: SnapshotKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    seal_frame_into(kind, payload, &mut out);
+    out
+}
+
+/// Validate a frame end to end (magic, version, expected kind, exact length,
+/// checksum) and return its payload.
+pub(crate) fn open_frame(bytes: &[u8], expected: SnapshotKind) -> Result<&[u8]> {
+    let err = |detail: String| CoreError::Snapshot { detail };
+    if bytes.len() < 23 {
+        return Err(err(format!(
+            "snapshot too short to hold a frame header: {} bytes",
+            bytes.len()
+        )));
+    }
+    if bytes[..4] != SNAPSHOT_MAGIC {
+        return Err(err("not a cora snapshot (bad magic)".into()));
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != SNAPSHOT_VERSION {
+        return Err(err(format!(
+            "unsupported snapshot version {version} (this build reads version {SNAPSHOT_VERSION})"
+        )));
+    }
+    let kind = SnapshotKind::from_tag(bytes[6])
+        .ok_or_else(|| err(format!("unknown snapshot kind tag {}", bytes[6])))?;
+    if kind != expected {
+        return Err(err(format!(
+            "snapshot holds a {kind:?} structure, expected {expected:?}"
+        )));
+    }
+    let len = u64::from_le_bytes(bytes[7..15].try_into().expect("8 bytes")) as usize;
+    if bytes.len() != 15 + len + 8 {
+        return Err(err(format!(
+            "snapshot length mismatch: header says {len}-byte payload, file holds {}",
+            bytes.len().saturating_sub(23)
+        )));
+    }
+    let payload = &bytes[15..15 + len];
+    let stored = u64::from_le_bytes(bytes[15 + len..].try_into().expect("8 bytes"));
+    let actual = fnv1a64(payload);
+    if stored != actual {
+        return Err(err(format!(
+            "payload checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+        )));
+    }
+    Ok(payload)
+}
+
+/// Serialise a bucket store (exact or sketched representation).
+pub(crate) fn encode_store<A>(store: &BucketStore<A>, w: &mut ByteWriter)
+where
+    A: CorrelatedAggregate,
+    A::Sketch: StateCodec,
+{
+    match store {
+        BucketStore::Exact(freqs) => {
+            w.put_u8(0);
+            freqs.encode_state(w);
+        }
+        BucketStore::Sketched(sketch) => {
+            w.put_u8(1);
+            sketch.encode_state(w);
+        }
+    }
+}
+
+/// Decode a bucket store; sketched representations are decoded into a fresh
+/// sketch from `agg` (same seed and dimensions by construction).
+pub(crate) fn decode_store<A>(agg: &A, r: &mut ByteReader<'_>) -> CodecResult<BucketStore<A>>
+where
+    A: CorrelatedAggregate,
+    A::Sketch: StateCodec,
+{
+    match r.get_u8()? {
+        0 => {
+            let mut freqs = ExactFrequencies::new();
+            freqs.decode_state(r)?;
+            Ok(BucketStore::Exact(freqs))
+        }
+        1 => {
+            let mut sketch = agg.new_sketch();
+            sketch.decode_state(r)?;
+            Ok(BucketStore::Sketched(sketch))
+        }
+        tag => Err(CodecError::Corrupt(format!("unknown bucket-store tag {tag}"))),
+    }
+}
+
+/// Serialise a [`CorrelatedConfig`] (every field, seed included).
+pub(crate) fn encode_config(config: &CorrelatedConfig, w: &mut ByteWriter) {
+    w.put_f64(config.epsilon);
+    w.put_f64(config.delta);
+    w.put_u64(config.y_max);
+    w.put_u32(config.f_max_log2);
+    match config.alpha_policy {
+        AlphaPolicy::Theoretical => w.put_u8(0),
+        AlphaPolicy::Practical { scale } => {
+            w.put_u8(1);
+            w.put_f64(scale);
+        }
+        AlphaPolicy::Fixed(a) => {
+            w.put_u8(2);
+            w.put_u64(a as u64);
+        }
+    }
+    w.put_u64(config.seed);
+}
+
+/// Decode a [`CorrelatedConfig`] written by [`encode_config`].
+pub(crate) fn decode_config(r: &mut ByteReader<'_>) -> CodecResult<CorrelatedConfig> {
+    let epsilon = r.get_f64()?;
+    let delta = r.get_f64()?;
+    let y_max = r.get_u64()?;
+    let f_max_log2 = r.get_u32()?;
+    let alpha_policy = match r.get_u8()? {
+        0 => AlphaPolicy::Theoretical,
+        1 => AlphaPolicy::Practical { scale: r.get_f64()? },
+        2 => AlphaPolicy::Fixed(r.get_len()?),
+        tag => return Err(CodecError::Corrupt(format!("unknown alpha-policy tag {tag}"))),
+    };
+    let seed = r.get_u64()?;
+    let config = CorrelatedConfig {
+        epsilon,
+        delta,
+        y_max,
+        f_max_log2,
+        alpha_policy,
+        seed,
+    };
+    config
+        .validate()
+        .map_err(|e| CodecError::Corrupt(format!("snapshot configuration invalid: {e}")))?;
+    Ok(config)
+}
+
+/// Map a low-level codec error into the crate error type.
+impl From<CodecError> for CoreError {
+    fn from(e: CodecError) -> Self {
+        CoreError::Snapshot {
+            detail: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip_and_rejections() {
+        let payload = b"hello snapshot".to_vec();
+        let frame = seal_frame(SnapshotKind::F0, &payload);
+        assert_eq!(open_frame(&frame, SnapshotKind::F0).unwrap(), &payload[..]);
+
+        // Wrong kind.
+        assert!(open_frame(&frame, SnapshotKind::Framework).is_err());
+        // Truncated.
+        assert!(open_frame(&frame[..frame.len() - 1], SnapshotKind::F0).is_err());
+        assert!(open_frame(&frame[..10], SnapshotKind::F0).is_err());
+        // Flipped payload byte -> checksum mismatch.
+        let mut corrupt = frame.clone();
+        corrupt[16] ^= 0x40;
+        let e = open_frame(&corrupt, SnapshotKind::F0).unwrap_err();
+        assert!(e.to_string().contains("checksum"), "{e}");
+        // Bad magic.
+        let mut foreign = frame.clone();
+        foreign[0] = b'X';
+        assert!(open_frame(&foreign, SnapshotKind::F0).is_err());
+        // Future version.
+        let mut future = frame.clone();
+        future[4] = 0xFF;
+        let e = open_frame(&future, SnapshotKind::F0).unwrap_err();
+        assert!(e.to_string().contains("version"), "{e}");
+        // Unknown kind tag.
+        let mut unknown = frame;
+        unknown[6] = 99;
+        assert!(open_frame(&unknown, SnapshotKind::F0).is_err());
+    }
+
+    #[test]
+    fn config_round_trip_all_policies() {
+        for policy in [
+            AlphaPolicy::Theoretical,
+            AlphaPolicy::Practical { scale: 24.0 },
+            AlphaPolicy::Fixed(77),
+        ] {
+            let config = CorrelatedConfig::new(0.23, 0.07, 4095, 40)
+                .unwrap()
+                .with_alpha_policy(policy)
+                .with_seed(0xDEAD);
+            let mut w = ByteWriter::new();
+            encode_config(&config, &mut w);
+            let bytes = w.into_bytes();
+            let decoded = decode_config(&mut ByteReader::new(&bytes)).unwrap();
+            assert_eq!(decoded, config);
+        }
+    }
+
+    #[test]
+    fn invalid_decoded_config_is_rejected() {
+        let config = CorrelatedConfig::new(0.2, 0.1, 1023, 40).unwrap();
+        let mut w = ByteWriter::new();
+        encode_config(&config, &mut w);
+        let mut bytes = w.into_bytes();
+        // Corrupt epsilon to an out-of-range bit pattern (2.0).
+        bytes[..8].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+        assert!(decode_config(&mut ByteReader::new(&bytes)).is_err());
+    }
+}

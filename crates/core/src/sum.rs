@@ -12,6 +12,7 @@ use crate::aggregate::CorrelatedAggregate;
 use crate::config::{CorrelatedConfig, DEFAULT_SEED};
 use crate::error::Result;
 use crate::framework::CorrelatedSketch;
+use cora_sketch::codec::{ByteReader, ByteWriter, CodecResult, StateCodec};
 use cora_sketch::error::Result as SketchResult;
 use cora_sketch::{
     Estimate, ExactFrequencies, MergeableSketch, SharedUpdate, SpaceUsage, StreamSketch,
@@ -85,6 +86,17 @@ impl SpaceUsage for ScalarSumSketch {
 
     fn space_bytes(&self) -> usize {
         std::mem::size_of::<i64>()
+    }
+}
+
+impl StateCodec for ScalarSumSketch {
+    fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_i64(self.total);
+    }
+
+    fn decode_state(&mut self, r: &mut ByteReader<'_>) -> CodecResult<()> {
+        self.total = r.get_i64()?;
+        Ok(())
     }
 }
 

@@ -1,0 +1,342 @@
+//! A small blocking client for the [`server`](crate::server) line protocol.
+//!
+//! One request, one response line, in order, over a single TCP connection —
+//! exactly what the example binary, the `serve_latency` bench, and the CI
+//! serve-smoke step need. Concurrency comes from opening more clients (the
+//! server runs one thread per connection).
+
+use crate::protocol::{Request, Response};
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors talking to a serve instance.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket I/O failed (including the server closing the connection).
+    Io(std::io::Error),
+    /// The response line was not valid protocol JSON.
+    Protocol(String),
+    /// The server answered `{"ok":false,...}`.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(detail) => write!(f, "protocol error: {detail}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A reported heavy hitter (client-side mirror of
+/// [`cora_core::HeavyHitter`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportedHitter {
+    /// The item identifier.
+    pub item: u64,
+    /// Estimated frequency among tuples with `y ≤ c`.
+    pub frequency: f64,
+    /// Estimated squared-frequency share of `F_2(c)`.
+    pub share: f64,
+}
+
+/// A blocking connection to a running serve instance.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connect to a server (e.g. the address from
+    /// [`RunningServer::local_addr`](crate::server::RunningServer::local_addr)).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request and read its response line.
+    pub fn request(&mut self, request: &Request) -> ClientResult<Response> {
+        let line = request.encode();
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response_line = String::new();
+        let n = self.reader.read_line(&mut response_line)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        let response = Response::parse(response_line.trim()).map_err(ClientError::Protocol)?;
+        if let Some(message) = response.error_message() {
+            return Err(ClientError::Server(message));
+        }
+        Ok(response)
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        self.request(&Request::Ping).map(|_| ())
+    }
+
+    /// The server's construction parameters as raw `(key, value)` pairs.
+    pub fn config(&mut self) -> ClientResult<Response> {
+        self.request(&Request::Config)
+    }
+
+    /// Batch-ingest `(x, y)` tuples; returns the accepted count.
+    pub fn ingest(&mut self, tuples: &[(u64, u64)]) -> ClientResult<u64> {
+        let xs: Vec<u64> = tuples.iter().map(|&(x, _)| x).collect();
+        let ys: Vec<u64> = tuples.iter().map(|&(_, y)| y).collect();
+        let response = self.request(&Request::Ingest { xs, ys })?;
+        response.u64_field("accepted").map_err(ClientError::Protocol)
+    }
+
+    /// Read-your-writes barrier: drains the ingest workers and waits for the
+    /// published composite to cover everything accepted so far.
+    pub fn flush(&mut self) -> ClientResult<()> {
+        self.request(&Request::Flush).map(|_| ())
+    }
+
+    /// Correlated `F_2` at threshold `c` (served from the epoch-published
+    /// composite; see the staleness bound in the crate docs).
+    pub fn query_f2(&mut self, c: u64) -> ClientResult<f64> {
+        let response = self.request(&Request::QueryF2 { c })?;
+        response.f64_field("value").map_err(ClientError::Protocol)
+    }
+
+    /// Correlated distinct count at threshold `c`.
+    pub fn query_f0(&mut self, c: u64) -> ClientResult<f64> {
+        let response = self.request(&Request::QueryF0 { c })?;
+        response.f64_field("value").map_err(ClientError::Protocol)
+    }
+
+    /// Correlated rarity at threshold `c`.
+    pub fn query_rarity(&mut self, c: u64) -> ClientResult<f64> {
+        let response = self.request(&Request::QueryRarity { c })?;
+        response.f64_field("value").map_err(ClientError::Protocol)
+    }
+
+    /// Correlated `F_2`-heavy hitters at threshold `c` with share `phi`,
+    /// sorted by decreasing share.
+    pub fn query_heavy_hitters(&mut self, c: u64, phi: f64) -> ClientResult<Vec<ReportedHitter>> {
+        let response = self.request(&Request::QueryHeavyHitters { c, phi })?;
+        let items = response.u64_array_field("items").map_err(ClientError::Protocol)?;
+        let frequencies = response
+            .f64_array_field("frequencies")
+            .map_err(ClientError::Protocol)?;
+        let shares = response
+            .f64_array_field("shares")
+            .map_err(ClientError::Protocol)?;
+        if items.len() != frequencies.len() || items.len() != shares.len() {
+            return Err(ClientError::Protocol(
+                "heavy-hitter arrays have mismatched lengths".into(),
+            ));
+        }
+        Ok(items
+            .into_iter()
+            .zip(frequencies)
+            .zip(shares)
+            .map(|((item, frequency), share)| ReportedHitter {
+                item,
+                frequency,
+                share,
+            })
+            .collect())
+    }
+
+    /// Service and structure statistics as a parsed response (field access
+    /// via [`Response::u64_field`] etc.).
+    pub fn stats(&mut self) -> ClientResult<Response> {
+        self.request(&Request::Stats)
+    }
+
+    /// Ask the server to write a snapshot bundle to a server-side path;
+    /// returns the bundle size in bytes.
+    pub fn snapshot(&mut self, path: &str) -> ClientResult<u64> {
+        let response = self.request(&Request::Snapshot {
+            path: path.to_string(),
+        })?;
+        response.u64_field("bytes").map_err(ClientError::Protocol)
+    }
+
+    /// Ask the server to stop accepting connections.
+    pub fn shutdown_server(&mut self) -> ClientResult<()> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{start, start_restored, ServeConfig};
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            epsilon: 0.25,
+            delta: 0.1,
+            y_max: 4095,
+            max_stream_len: 100_000,
+            seed: 7,
+            shards: 2,
+            merge_every: 1,
+            phi: 0.05,
+            x_domain_log2: 16,
+        }
+    }
+
+    #[test]
+    fn end_to_end_ingest_query_snapshot_restart() {
+        let server = start(test_config(), "127.0.0.1:0").unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        client.ping().unwrap();
+        assert_eq!(
+            client.config().unwrap().u64_field("y_max").unwrap(),
+            4095
+        );
+
+        // Ingest a stream with a planted heavy hitter.
+        let mut tuples: Vec<(u64, u64)> = Vec::new();
+        for i in 0..4_000u64 {
+            tuples.push((7, i % 1000));
+            tuples.push((1000 + (i % 300), (i * 13) % 4096));
+        }
+        // Singleton items so rarity is non-zero.
+        for i in 0..100u64 {
+            tuples.push((50_000 + i, (i * 41) % 4096));
+        }
+        for chunk in tuples.chunks(500) {
+            assert_eq!(client.ingest(chunk).unwrap(), chunk.len() as u64);
+        }
+        client.flush().unwrap();
+
+        let thresholds: Vec<u64> = (0..=4096).step_by(512).collect();
+        let f2: Vec<f64> = thresholds.iter().map(|&c| client.query_f2(c).unwrap()).collect();
+        let f0: Vec<f64> = thresholds.iter().map(|&c| client.query_f0(c).unwrap()).collect();
+        let rarity: Vec<f64> =
+            thresholds.iter().map(|&c| client.query_rarity(c).unwrap()).collect();
+        let hitters = client.query_heavy_hitters(999, 0.2).unwrap();
+        assert!(f2.iter().all(|&v| v >= 0.0) && f2[8] > 0.0);
+        assert!(f0[8] > 0.0 && rarity[8] > 0.0);
+        assert!(hitters.iter().any(|h| h.item == 7), "hitters: {hitters:?}");
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.u64_field("items_accepted").unwrap(), 8_100);
+        assert_eq!(stats.u64_field("composite_items").unwrap(), 8_100);
+        assert_eq!(stats.u64_field("staleness_batches").unwrap(), 0);
+
+        // Snapshot, restart, and require bit-identical answers.
+        let dir = std::env::temp_dir().join(format!("cora_serve_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.snap");
+        let bytes = client.snapshot(path.to_str().unwrap()).unwrap();
+        assert!(bytes > 0);
+        client.shutdown_server().unwrap();
+        drop(client);
+        server.shutdown();
+
+        let bundle = std::fs::read(&path).unwrap();
+        let restored = start_restored(test_config(), "127.0.0.1:0", &bundle).unwrap();
+        let mut client = ServeClient::connect(restored.local_addr()).unwrap();
+        client.flush().unwrap();
+        for (i, &c) in thresholds.iter().enumerate() {
+            assert_eq!(client.query_f2(c).unwrap(), f2[i], "f2 at c={c}");
+            assert_eq!(client.query_f0(c).unwrap(), f0[i], "f0 at c={c}");
+            assert_eq!(client.query_rarity(c).unwrap(), rarity[i], "rarity at c={c}");
+        }
+        assert_eq!(client.query_heavy_hitters(999, 0.2).unwrap(), hitters);
+
+        // The restored server keeps serving ingest.
+        client.ingest(&[(42, 1), (42, 2)]).unwrap();
+        client.flush().unwrap();
+        assert!(client.query_f2(4095).unwrap() > f2[8]);
+        drop(client);
+        restored.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config_and_garbage() {
+        let server = start(test_config(), "127.0.0.1:0").unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        client.ingest(&[(1, 1), (2, 2)]).unwrap();
+        let dir = std::env::temp_dir().join(format!("cora_serve_rej_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.snap");
+        client.snapshot(path.to_str().unwrap()).unwrap();
+        drop(client);
+        server.shutdown();
+
+        let bundle = std::fs::read(&path).unwrap();
+        let mut other = test_config();
+        other.seed = 99;
+        assert!(start_restored(other, "127.0.0.1:0", &bundle).is_err());
+        // Fields invisible to the F2 config check must still be validated.
+        let mut other = test_config();
+        other.x_domain_log2 = 20;
+        assert!(start_restored(other, "127.0.0.1:0", &bundle).is_err());
+        let mut other = test_config();
+        other.phi = 0.2;
+        assert!(start_restored(other, "127.0.0.1:0", &bundle).is_err());
+        assert!(start_restored(test_config(), "127.0.0.1:0", b"garbage").is_err());
+        let mut corrupt = bundle;
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 8;
+        assert!(start_restored(test_config(), "127.0.0.1:0", &corrupt).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_op_alone_stops_the_listener() {
+        let server = start(test_config(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let mut client = ServeClient::connect(addr).unwrap();
+        client.shutdown_server().unwrap();
+        drop(client);
+        // The op must wake the blocked acceptor by itself: once it exits,
+        // the listener is closed and a fresh request gets no response
+        // (connection refused, reset, or EOF) within the read window.
+        let died = (0..100).any(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            match ServeClient::connect(addr) {
+                Err(_) => true, // refused: listener gone
+                Ok(mut c) => c.ping().is_err(),
+            }
+        });
+        assert!(died, "listener still serving after the shutdown op");
+        server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn bad_requests_get_error_responses_not_disconnects() {
+        let server = start(test_config(), "127.0.0.1:0").unwrap();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+        // Out-of-range y.
+        let err = client.ingest(&[(1, 999_999)]).unwrap_err();
+        assert!(matches!(err, ClientError::Server(_)), "{err}");
+        // The connection survives and keeps working.
+        client.ping().unwrap();
+        assert_eq!(client.ingest(&[(1, 5)]).unwrap(), 1);
+        drop(client);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,65 @@
+//! # cora-serve
+//!
+//! The serving layer of the cora workspace: everything needed to keep a set
+//! of correlated sketches **always on** — ingesting from many clients,
+//! answering queries with bounded staleness and without ever blocking on a
+//! composite rebuild, and surviving restarts through snapshots.
+//!
+//! Three cooperating pieces:
+//!
+//! * [`merger`] — a **background merger**: a dedicated thread that watches a
+//!   [`cora_stream::ShardedIngest`]'s shard generations through a
+//!   [`cora_stream::ShardReader`], rebuilds the merged composite off the
+//!   read path whenever the merge-every-`k` trigger fires, and publishes it
+//!   behind an epoch-tagged atomic slot ([`merger::BackgroundMerger`]).
+//!   Readers take an `Arc` clone of the current composite — a pointer copy —
+//!   so a query issued *during* a rebuild returns immediately against the
+//!   previous epoch instead of waiting (the former ROADMAP item "composite
+//!   rebuilds run on the querying thread" ends here);
+//! * **snapshot persistence** — the server bundles the framework/F0/rarity/
+//!   heavy-hitters snapshot frames of `cora_core::snapshot` into one
+//!   checksummed file ([`server::RunningServer`] op `snapshot`), and
+//!   [`server::start_restored`] boots a server from such a file with
+//!   bit-identical answers;
+//! * [`server`] / [`client`] — a `std::net::TcpListener` **line-protocol
+//!   server** (newline-delimited JSON requests and responses, reusing
+//!   `cora_stream::json`) exposing batch ingest, `f2`/`f0`/`rarity`/
+//!   heavy-hitter queries, flush, snapshot, and stats, plus a small blocking
+//!   [`client::ServeClient`] used by the `serve_demo` example and the
+//!   `serve_latency` bench.
+//!
+//! ## Consistency model
+//!
+//! Ingest is accepted in batches and applied by the sharded workers; the
+//! published composite is rebuilt in the background once at least
+//! `merge_every` new batches have been applied since it was built. A query
+//! therefore observes a composite that lags ingest by **at most
+//! `merge_every − 1` applied batches plus one in-flight rebuild**, and never
+//! waits for that rebuild. `flush` is the read-your-writes barrier: it
+//! drains the workers *and* blocks until the published composite covers
+//! every batch applied before the call.
+//!
+//! ```no_run
+//! use cora_serve::client::ServeClient;
+//! use cora_serve::server::{start, ServeConfig};
+//!
+//! let server = start(ServeConfig::default(), "127.0.0.1:0").unwrap();
+//! let mut client = ServeClient::connect(server.local_addr()).unwrap();
+//! client.ingest(&[(1, 10), (2, 20), (1, 900)]).unwrap();
+//! client.flush().unwrap();
+//! let f2 = client.query_f2(100).unwrap();
+//! assert!(f2 > 0.0);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod merger;
+pub mod protocol;
+pub mod server;
+
+pub use client::ServeClient;
+pub use merger::BackgroundMerger;
+pub use server::{start, start_restored, RunningServer, ServeConfig, ServeError};

@@ -1,0 +1,336 @@
+//! The wire protocol of the query service: newline-delimited JSON.
+//!
+//! Every request and every response is one flat JSON object on one line,
+//! encoded and parsed with the hand-rolled helpers in [`cora_stream::json`]
+//! (the workspace builds offline; there is no serde). Identifier and y
+//! arrays are emitted as JSON integer arrays and parsed losslessly as `u64`
+//! — `f64` round-tripping would corrupt identifiers above 2⁵³.
+//!
+//! ## Requests
+//!
+//! | op              | fields                  | reply                                   |
+//! |-----------------|-------------------------|-----------------------------------------|
+//! | `ping`          | —                       | `{"ok":true}`                           |
+//! | `config`        | —                       | server parameters                       |
+//! | `ingest`        | `xs`, `ys` (u64 arrays) | `{"ok":true,"accepted":n}`              |
+//! | `flush`         | —                       | read-your-writes barrier                |
+//! | `f2`            | `c`                     | `{"ok":true,"value":…}`                 |
+//! | `f0`            | `c`                     | `{"ok":true,"value":…}`                 |
+//! | `rarity`        | `c`                     | `{"ok":true,"value":…}`                 |
+//! | `heavy_hitters` | `c`, `phi`              | `items`/`frequencies`/`shares` arrays   |
+//! | `stats`         | —                       | counters + composite epoch/staleness    |
+//! | `snapshot`      | `path`                  | writes a snapshot bundle server-side    |
+//! | `shutdown`      | —                       | acknowledges, then stops the listener   |
+//!
+//! Errors come back as `{"ok":false,"error":"…"}`; a malformed line never
+//! kills the connection, it answers with an error object.
+
+use cora_stream::json;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Report the server's construction parameters.
+    Config,
+    /// Batch-ingest `(x, y)` tuples (parallel arrays, same length).
+    Ingest {
+        /// Item identifiers.
+        xs: Vec<u64>,
+        /// y values (must be ≤ the server's configured `y_max`).
+        ys: Vec<u64>,
+    },
+    /// Read-your-writes barrier: drain the workers and republish the
+    /// composite.
+    Flush,
+    /// Correlated `F_2` at threshold `c`.
+    QueryF2 {
+        /// Query threshold.
+        c: u64,
+    },
+    /// Correlated distinct count at threshold `c`.
+    QueryF0 {
+        /// Query threshold.
+        c: u64,
+    },
+    /// Correlated rarity at threshold `c`.
+    QueryRarity {
+        /// Query threshold.
+        c: u64,
+    },
+    /// Correlated `F_2`-heavy hitters at threshold `c` with share `phi`.
+    QueryHeavyHitters {
+        /// Query threshold.
+        c: u64,
+        /// Minimum squared-frequency share of `F_2(c)`.
+        phi: f64,
+    },
+    /// Service and structure statistics.
+    Stats,
+    /// Write a snapshot bundle to a server-side path.
+    Snapshot {
+        /// Server-side file path to write.
+        path: String,
+    },
+    /// Stop accepting connections after acknowledging.
+    Shutdown,
+}
+
+/// Emit a JSON array of unsigned integers (lossless, unlike float arrays).
+pub fn u64_array(values: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+    out
+}
+
+/// Parse a JSON array of unsigned integers.
+pub fn parse_u64_array(raw: &str) -> Result<Vec<u64>, String> {
+    let inner = raw
+        .trim()
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| format!("not a JSON array: {raw:?}"))?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner.split(',').map(json::parse_u64).collect()
+}
+
+impl Request {
+    /// Encode the request as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Ping => r#"{"op":"ping"}"#.to_string(),
+            Request::Config => r#"{"op":"config"}"#.to_string(),
+            Request::Ingest { xs, ys } => format!(
+                r#"{{"op":"ingest","xs":{},"ys":{}}}"#,
+                u64_array(xs),
+                u64_array(ys)
+            ),
+            Request::Flush => r#"{"op":"flush"}"#.to_string(),
+            Request::QueryF2 { c } => format!(r#"{{"op":"f2","c":{c}}}"#),
+            Request::QueryF0 { c } => format!(r#"{{"op":"f0","c":{c}}}"#),
+            Request::QueryRarity { c } => format!(r#"{{"op":"rarity","c":{c}}}"#),
+            Request::QueryHeavyHitters { c, phi } => format!(
+                r#"{{"op":"heavy_hitters","c":{c},"phi":{}}}"#,
+                json::float(*phi)
+            ),
+            Request::Stats => r#"{"op":"stats"}"#.to_string(),
+            Request::Snapshot { path } => {
+                format!(r#"{{"op":"snapshot","path":{}}}"#, json::escape(path))
+            }
+            Request::Shutdown => r#"{"op":"shutdown"}"#.to_string(),
+        }
+    }
+
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let fields = json::parse_object(line)?;
+        let get = |name: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| format!("missing field {name:?}"))
+        };
+        let op = json::parse_string(get("op")?)?;
+        match op.as_str() {
+            "ping" => Ok(Request::Ping),
+            "config" => Ok(Request::Config),
+            "ingest" => {
+                let xs = parse_u64_array(get("xs")?)?;
+                let ys = parse_u64_array(get("ys")?)?;
+                if xs.len() != ys.len() {
+                    return Err(format!(
+                        "xs and ys must have equal length ({} vs {})",
+                        xs.len(),
+                        ys.len()
+                    ));
+                }
+                Ok(Request::Ingest { xs, ys })
+            }
+            "flush" => Ok(Request::Flush),
+            "f2" => Ok(Request::QueryF2 { c: json::parse_u64(get("c")?)? }),
+            "f0" => Ok(Request::QueryF0 { c: json::parse_u64(get("c")?)? }),
+            "rarity" => Ok(Request::QueryRarity { c: json::parse_u64(get("c")?)? }),
+            "heavy_hitters" => Ok(Request::QueryHeavyHitters {
+                c: json::parse_u64(get("c")?)?,
+                phi: json::parse_f64(get("phi")?)?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "snapshot" => Ok(Request::Snapshot {
+                path: json::parse_string(get("path")?)?,
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// Build a success response from `(key, raw JSON value)` pairs.
+pub fn ok_with(fields: &[(&str, String)]) -> String {
+    let mut out = String::from(r#"{"ok":true"#);
+    for (key, value) in fields {
+        out.push(',');
+        out.push_str(&json::escape(key));
+        out.push(':');
+        out.push_str(value);
+    }
+    out.push('}');
+    out
+}
+
+/// The bare success response.
+pub fn ok() -> String {
+    ok_with(&[])
+}
+
+/// Build an error response.
+pub fn error(message: &str) -> String {
+    format!(r#"{{"ok":false,"error":{}}}"#, json::escape(message))
+}
+
+/// A parsed response line (client side).
+#[derive(Debug, Clone)]
+pub struct Response {
+    fields: Vec<(String, String)>,
+}
+
+impl Response {
+    /// Parse one response line.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        Ok(Self {
+            fields: json::parse_object(line)?,
+        })
+    }
+
+    /// The raw JSON text of a field.
+    pub fn raw(&self, name: &str) -> Result<&str, String> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| format!("response missing field {name:?}"))
+    }
+
+    /// True when the server reported success.
+    pub fn is_ok(&self) -> bool {
+        self.raw("ok").map(str::trim) == Ok("true")
+    }
+
+    /// The server's error message, if any.
+    pub fn error_message(&self) -> Option<String> {
+        if self.is_ok() {
+            return None;
+        }
+        Some(
+            self.raw("error")
+                .ok()
+                .and_then(|raw| json::parse_string(raw).ok())
+                .unwrap_or_else(|| "malformed error response".to_string()),
+        )
+    }
+
+    /// Decode a numeric field as `f64`.
+    pub fn f64_field(&self, name: &str) -> Result<f64, String> {
+        json::parse_f64(self.raw(name)?)
+    }
+
+    /// Decode a numeric field as `u64`.
+    pub fn u64_field(&self, name: &str) -> Result<u64, String> {
+        json::parse_u64(self.raw(name)?)
+    }
+
+    /// Decode a string field.
+    pub fn str_field(&self, name: &str) -> Result<String, String> {
+        json::parse_string(self.raw(name)?)
+    }
+
+    /// Decode a u64-array field.
+    pub fn u64_array_field(&self, name: &str) -> Result<Vec<u64>, String> {
+        parse_u64_array(self.raw(name)?)
+    }
+
+    /// Decode an f64-array field.
+    pub fn f64_array_field(&self, name: &str) -> Result<Vec<f64>, String> {
+        json::parse_f64_array(self.raw(name)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_encode_parse() {
+        let requests = [
+            Request::Ping,
+            Request::Config,
+            Request::Ingest {
+                xs: vec![1, u64::MAX, 3],
+                ys: vec![10, 20, 30],
+            },
+            Request::Flush,
+            Request::QueryF2 { c: 100 },
+            Request::QueryF0 { c: 0 },
+            Request::QueryRarity { c: u64::MAX },
+            Request::QueryHeavyHitters { c: 7, phi: 0.125 },
+            Request::Stats,
+            Request::Snapshot {
+                path: "/tmp/with \"quotes\".snap".to_string(),
+            },
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = request.encode();
+            assert_eq!(Request::parse(&line).unwrap(), request, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn u64_arrays_are_lossless_above_2_pow_53() {
+        let values = vec![0, 1 << 60, u64::MAX, (1 << 53) + 1];
+        let encoded = u64_array(&values);
+        assert_eq!(parse_u64_array(&encoded).unwrap(), values);
+        assert_eq!(parse_u64_array("[]").unwrap(), Vec::<u64>::new());
+        assert!(parse_u64_array("{}").is_err());
+        assert!(parse_u64_array("[1,-2]").is_err());
+    }
+
+    #[test]
+    fn malformed_requests_error_cleanly() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"op":"warp"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"f2"}"#).is_err(), "missing c");
+        assert!(
+            Request::parse(r#"{"op":"ingest","xs":[1],"ys":[1,2]}"#).is_err(),
+            "length mismatch"
+        );
+    }
+
+    #[test]
+    fn responses_parse_ok_error_and_fields() {
+        let ok_line = ok_with(&[
+            ("value", "1.5".to_string()),
+            ("items", u64_array(&[7, 9])),
+        ]);
+        let response = Response::parse(&ok_line).unwrap();
+        assert!(response.is_ok());
+        assert_eq!(response.f64_field("value").unwrap(), 1.5);
+        assert_eq!(response.u64_array_field("items").unwrap(), vec![7, 9]);
+        assert!(response.error_message().is_none());
+
+        let err_line = error("y 5000 out of range");
+        let response = Response::parse(&err_line).unwrap();
+        assert!(!response.is_ok());
+        assert_eq!(response.error_message().unwrap(), "y 5000 out of range");
+    }
+}

@@ -1,0 +1,752 @@
+//! The always-on query server: a `std::net::TcpListener` line-protocol
+//! front over one sharded correlated-`F_2` ingest (queried through the
+//! [background merger](crate::merger)) plus synchronously-updated
+//! `F_0`/rarity/heavy-hitter sketches, with snapshot persistence.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!            TCP clients (newline-delimited JSON, one thread per conn)
+//!                 │ ingest / flush            │ f2 queries
+//!                 ▼                           ▼
+//!   Mutex<ShardedIngest<F2>>            BackgroundMerger ── epoch-published
+//!      │ SPSC rings → N workers    ◄──── ShardReader          composite
+//!      ▼                                (rebuilds off the read path)
+//!   Mutex<{CorrelatedF0, CorrelatedRarity, CorrelatedHeavyHitters}>
+//!      ▲ f0 / rarity / heavy_hitters queries + synchronous inserts
+//! ```
+//!
+//! `f2` answers come from the merger's published composite and therefore lag
+//! ingest by at most `merge_every − 1` applied batches plus one in-flight
+//! rebuild — and never block on that rebuild. The auxiliary sketches are
+//! updated inline under their own lock (they are `O(1)`-ish per insert) and
+//! answer with read-your-writes semantics. `flush` is the barrier that makes
+//! `f2` exact too.
+//!
+//! ## Snapshot bundle
+//!
+//! The `snapshot` op writes one file: a `CSRV` container holding the four
+//! `cora_core::snapshot` frames (framework composite, F0, rarity, heavy
+//! hitters), each individually checksummed. [`start_restored`] boots a
+//! server from such a file; restored structures answer queries
+//! bit-identically (pinned by the integration tests and the CI serve-smoke
+//! step).
+
+use crate::merger::BackgroundMerger;
+use crate::protocol::{self, Request};
+use cora_core::{
+    CoreError, CorrelatedConfig, CorrelatedF0, CorrelatedHeavyHitters, CorrelatedRarity,
+    F2Aggregate,
+};
+use cora_sketch::codec::{ByteReader, ByteWriter};
+use cora_stream::json;
+use cora_stream::ShardedIngest;
+use std::fmt;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::Duration;
+
+/// Errors starting or restoring a server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A sketch could not be built or restored.
+    Core(CoreError),
+    /// Socket or file I/O failed.
+    Io(std::io::Error),
+    /// The configuration or snapshot bundle is unusable.
+    Invalid(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Core(e) => write!(f, "sketch error: {e}"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Invalid(detail) => write!(f, "invalid serve setup: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Construction parameters for a serving instance. Every sketch the server
+/// hosts is derived from these (and only these), so a config plus a snapshot
+/// bundle fully determines a server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Target relative error for every hosted sketch.
+    pub epsilon: f64,
+    /// Target failure probability.
+    pub delta: f64,
+    /// Largest y value accepted by `ingest`.
+    pub y_max: u64,
+    /// Upper bound on the stream length (sizes the `F_2` level count).
+    pub max_stream_len: u64,
+    /// Master seed shared by every hosted sketch.
+    pub seed: u64,
+    /// Ingest worker shards for the `F_2` structure.
+    pub shards: usize,
+    /// Background-merger trigger: rebuild the published composite once this
+    /// many new batches have been applied (≥ 1; 1 = republish eagerly).
+    pub merge_every: u64,
+    /// Smallest heavy-hitter share threshold the server must support.
+    pub phi: f64,
+    /// `log2` of the identifier domain (sizes the F0/rarity samplers).
+    pub x_domain_log2: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.2,
+            delta: 0.1,
+            y_max: (1 << 20) - 1,
+            max_stream_len: 10_000_000,
+            seed: 0xC04A_5EED,
+            shards: 4,
+            merge_every: 4,
+            phi: 0.05,
+            x_domain_log2: 24,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The derived correlated-`F_2` aggregate.
+    fn f2_aggregate(&self) -> F2Aggregate {
+        F2Aggregate::new(self.epsilon, self.delta, self.seed)
+    }
+
+    /// The derived framework configuration for the `F_2` structure.
+    fn f2_config(&self) -> Result<CorrelatedConfig, CoreError> {
+        use cora_core::CorrelatedAggregate;
+        let agg = self.f2_aggregate();
+        Ok(CorrelatedConfig::new(
+            self.epsilon,
+            self.delta,
+            self.y_max,
+            agg.f_max_log2(self.max_stream_len),
+        )?
+        .with_seed(self.seed))
+    }
+}
+
+/// The auxiliary sketches updated synchronously on every ingest.
+struct AuxSketches {
+    f0: CorrelatedF0,
+    rarity: CorrelatedRarity,
+    hh: CorrelatedHeavyHitters,
+}
+
+/// Shared server state.
+struct ServerCore {
+    config: ServeConfig,
+    sharded: Mutex<ShardedIngest<F2Aggregate>>,
+    aux: Mutex<AuxSketches>,
+    merger: BackgroundMerger<F2Aggregate>,
+    requests: AtomicU64,
+    accepted: AtomicU64,
+    snapshots: AtomicU64,
+}
+
+/// Magic bytes of a snapshot bundle file.
+const BUNDLE_MAGIC: [u8; 4] = *b"CSRV";
+/// Bundle container version.
+const BUNDLE_VERSION: u16 = 1;
+/// Section tags inside a bundle.
+const SECTION_F2: u8 = 1;
+const SECTION_F0: u8 = 2;
+const SECTION_RARITY: u8 = 3;
+const SECTION_HH: u8 = 4;
+
+/// Decoded snapshot bundle: one `cora_core::snapshot` frame per structure.
+struct Bundle {
+    f2: Vec<u8>,
+    f0: Vec<u8>,
+    rarity: Vec<u8>,
+    hh: Vec<u8>,
+}
+
+fn encode_bundle(bundle: &Bundle) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(&BUNDLE_MAGIC);
+    w.put_u16(BUNDLE_VERSION);
+    w.put_u8(4);
+    for (tag, frame) in [
+        (SECTION_F2, &bundle.f2),
+        (SECTION_F0, &bundle.f0),
+        (SECTION_RARITY, &bundle.rarity),
+        (SECTION_HH, &bundle.hh),
+    ] {
+        w.put_u8(tag);
+        w.put_len(frame.len());
+        w.put_bytes(frame);
+    }
+    w.into_bytes()
+}
+
+fn decode_bundle(bytes: &[u8]) -> Result<Bundle, ServeError> {
+    let invalid = |detail: String| ServeError::Invalid(detail);
+    let mut r = ByteReader::new(bytes);
+    let magic = r
+        .take(4)
+        .map_err(|e| invalid(format!("bundle header: {e}")))?;
+    if magic != BUNDLE_MAGIC {
+        return Err(invalid("not a cora-serve snapshot bundle (bad magic)".into()));
+    }
+    let version = r.get_u16().map_err(|e| invalid(e.to_string()))?;
+    if version != BUNDLE_VERSION {
+        return Err(invalid(format!(
+            "unsupported bundle version {version} (this build reads {BUNDLE_VERSION})"
+        )));
+    }
+    let sections = r.get_u8().map_err(|e| invalid(e.to_string()))?;
+    let mut f2 = None;
+    let mut f0 = None;
+    let mut rarity = None;
+    let mut hh = None;
+    for _ in 0..sections {
+        let tag = r.get_u8().map_err(|e| invalid(e.to_string()))?;
+        let len = r.get_len().map_err(|e| invalid(e.to_string()))?;
+        let frame = r
+            .take(len)
+            .map_err(|e| invalid(format!("bundle section {tag}: {e}")))?
+            .to_vec();
+        let slot = match tag {
+            SECTION_F2 => &mut f2,
+            SECTION_F0 => &mut f0,
+            SECTION_RARITY => &mut rarity,
+            SECTION_HH => &mut hh,
+            other => return Err(invalid(format!("unknown bundle section tag {other}"))),
+        };
+        if slot.replace(frame).is_some() {
+            return Err(invalid(format!("bundle holds section tag {tag} twice")));
+        }
+    }
+    if !r.is_empty() {
+        return Err(invalid(format!(
+            "{} trailing bytes after the declared bundle sections",
+            r.remaining()
+        )));
+    }
+    match (f2, f0, rarity, hh) {
+        (Some(f2), Some(f0), Some(rarity), Some(hh)) => Ok(Bundle { f2, f0, rarity, hh }),
+        _ => Err(invalid("bundle is missing one or more structure sections".into())),
+    }
+}
+
+impl ServerCore {
+    /// Build a fresh core (empty sketches) or one restored from a bundle.
+    fn build(config: ServeConfig, bundle: Option<&Bundle>) -> Result<Self, ServeError> {
+        if config.shards == 0 {
+            return Err(ServeError::Invalid("shards must be at least 1".into()));
+        }
+        if !(config.phi > 0.0 && config.phi < 1.0) {
+            return Err(ServeError::Invalid(format!(
+                "phi must be in (0,1), got {}",
+                config.phi
+            )));
+        }
+        let agg = config.f2_aggregate();
+        let f2_config = config.f2_config()?;
+        let (sharded, aux) = match bundle {
+            None => {
+                let sharded = ShardedIngest::new(agg, f2_config, config.shards)?;
+                let aux = AuxSketches {
+                    f0: CorrelatedF0::with_seed(
+                        config.epsilon,
+                        config.delta,
+                        config.x_domain_log2,
+                        config.y_max,
+                        config.seed,
+                    )?,
+                    rarity: CorrelatedRarity::with_seed(
+                        config.epsilon,
+                        config.x_domain_log2,
+                        config.y_max,
+                        config.seed,
+                    )?,
+                    hh: CorrelatedHeavyHitters::with_seed(
+                        config.epsilon,
+                        config.delta,
+                        config.phi,
+                        config.y_max,
+                        config.max_stream_len,
+                        config.seed,
+                    )?,
+                };
+                (sharded, aux)
+            }
+            Some(bundle) => {
+                let mismatch = |what: &str| {
+                    Err(ServeError::Invalid(format!(
+                        "snapshot bundle was taken under a different serve configuration \
+                         ({what} differs) — a config plus a bundle must fully determine \
+                         a server"
+                    )))
+                };
+                let sharded = ShardedIngest::restore_from(agg, config.shards, &bundle.f2)?;
+                if *sharded.config() != f2_config {
+                    return mismatch("F2 accuracy, domain, stream bound, or seed");
+                }
+                let aux = AuxSketches {
+                    f0: CorrelatedF0::restore_from(&bundle.f0)?,
+                    rarity: CorrelatedRarity::restore_from(&bundle.rarity)?,
+                    hh: CorrelatedHeavyHitters::restore_from(&bundle.hh)?,
+                };
+                // Every restored structure must match what this config would
+                // build fresh — including the fields the F2 check cannot see
+                // (x_domain_log2 sizes the samplers, phi the candidate sets).
+                if aux.f0.epsilon() != config.epsilon
+                    || aux.f0.delta() != config.delta
+                    || aux.f0.y_max() != config.y_max
+                    || aux.f0.seed() != config.seed
+                    || aux.f0.x_domain_log2() != config.x_domain_log2
+                {
+                    return mismatch("F0 parameters");
+                }
+                if aux.rarity.epsilon() != config.epsilon
+                    || aux.rarity.y_max() != config.y_max
+                    || aux.rarity.seed() != config.seed
+                    || aux.rarity.x_domain_log2() != config.x_domain_log2
+                {
+                    return mismatch("rarity parameters");
+                }
+                if *aux.hh.aggregate()
+                    != cora_core::heavy_hitters::F2HeavyAggregate::new(
+                        config.epsilon,
+                        config.phi,
+                        config.seed,
+                    )
+                    || *aux.hh.config() != f2_config
+                {
+                    return mismatch("heavy-hitter parameters (phi, accuracy, or seed)");
+                }
+                (sharded, aux)
+            }
+        };
+        let merger = BackgroundMerger::spawn(sharded.reader(), config.merge_every.max(1))?;
+        Ok(Self {
+            config,
+            sharded: Mutex::new(sharded),
+            aux: Mutex::new(aux),
+            merger,
+            requests: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+        })
+    }
+
+    fn snapshot_bundle(&self) -> Result<Vec<u8>, ServeError> {
+        // Hold both locks (sharded before aux, like the ingest path) across
+        // the whole bundle, so every section describes the same stream
+        // prefix — a bundle must fully determine a server.
+        let mut sharded = self.sharded.lock().unwrap_or_else(PoisonError::into_inner);
+        let aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
+        let bundle = Bundle {
+            f2: sharded.snapshot()?,
+            f0: aux.f0.snapshot(),
+            rarity: aux.rarity.snapshot(),
+            hh: aux.hh.snapshot(),
+        };
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(encode_bundle(&bundle))
+    }
+
+    /// Handle one request; the bool asks the listener to shut down.
+    fn handle(&self, request: Request) -> (String, bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let fail = |e: String| (protocol::error(&e), false);
+        match request {
+            Request::Ping => (protocol::ok(), false),
+            Request::Config => {
+                let c = &self.config;
+                (
+                    protocol::ok_with(&[
+                        ("epsilon", json::float(c.epsilon)),
+                        ("delta", json::float(c.delta)),
+                        ("y_max", c.y_max.to_string()),
+                        ("max_stream_len", c.max_stream_len.to_string()),
+                        ("seed", c.seed.to_string()),
+                        ("shards", c.shards.to_string()),
+                        ("merge_every", c.merge_every.to_string()),
+                        ("phi", json::float(c.phi)),
+                        ("x_domain_log2", c.x_domain_log2.to_string()),
+                    ]),
+                    false,
+                )
+            }
+            Request::Ingest { xs, ys } => {
+                // Validate atomically against the *configured* y_max so all
+                // four structures accept or reject a batch together.
+                if let Some(&y) = ys.iter().find(|&&y| y > self.config.y_max) {
+                    return fail(format!("y {y} exceeds configured y_max {}", self.config.y_max));
+                }
+                let tuples: Vec<(u64, u64)> = xs.into_iter().zip(ys).collect();
+                {
+                    // Both locks are held across the whole batch (sharded
+                    // before aux, the order `snapshot_bundle` uses too), so a
+                    // concurrent snapshot can never capture the F2 structure
+                    // and the auxiliary sketches at different stream
+                    // prefixes.
+                    let mut sharded = self.sharded.lock().unwrap_or_else(PoisonError::into_inner);
+                    let mut aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
+                    if let Err(e) = sharded.ingest(&tuples) {
+                        return fail(e.to_string());
+                    }
+                    for &(x, y) in &tuples {
+                        if let Err(e) = aux
+                            .f0
+                            .insert(x, y)
+                            .and_then(|()| aux.rarity.insert(x, y))
+                            .and_then(|()| aux.hh.insert(x, y))
+                        {
+                            return fail(format!("auxiliary sketch rejected a tuple: {e}"));
+                        }
+                    }
+                }
+                let n = tuples.len() as u64;
+                self.accepted.fetch_add(n, Ordering::Relaxed);
+                (protocol::ok_with(&[("accepted", n.to_string())]), false)
+            }
+            Request::Flush => {
+                self.sharded
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .flush();
+                self.merger.refresh();
+                (protocol::ok(), false)
+            }
+            Request::QueryF2 { c } => match self.merger.current().sketch().query(c) {
+                Ok(value) => (protocol::ok_with(&[("value", json::float(value))]), false),
+                Err(e) => fail(e.to_string()),
+            },
+            Request::QueryF0 { c } => {
+                let aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
+                match aux.f0.query(c.min(self.config.y_max)) {
+                    Ok(value) => (protocol::ok_with(&[("value", json::float(value))]), false),
+                    Err(e) => fail(e.to_string()),
+                }
+            }
+            Request::QueryRarity { c } => {
+                let aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
+                match aux.rarity.query(c.min(self.config.y_max)) {
+                    Ok(value) => (protocol::ok_with(&[("value", json::float(value))]), false),
+                    Err(e) => fail(e.to_string()),
+                }
+            }
+            Request::QueryHeavyHitters { c, phi } => {
+                let aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
+                match aux.hh.query_heavy_hitters(c, phi) {
+                    Ok(hitters) => {
+                        let items: Vec<u64> = hitters.iter().map(|h| h.item).collect();
+                        let freqs: Vec<f64> = hitters.iter().map(|h| h.frequency).collect();
+                        let shares: Vec<f64> = hitters.iter().map(|h| h.share).collect();
+                        (
+                            protocol::ok_with(&[
+                                ("items", protocol::u64_array(&items)),
+                                ("frequencies", json::float_array(&freqs)),
+                                ("shares", json::float_array(&shares)),
+                            ]),
+                            false,
+                        )
+                    }
+                    Err(e) => fail(e.to_string()),
+                }
+            }
+            Request::Stats => {
+                let composite = self.merger.current();
+                let stats = composite.sketch().stats();
+                let accepted = self
+                    .sharded
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .items_accepted();
+                (
+                    protocol::ok_with(&[
+                        ("requests", self.requests.load(Ordering::Relaxed).to_string()),
+                        ("items_accepted", accepted.to_string()),
+                        ("composite_items", stats.items_processed.to_string()),
+                        ("composite_epoch", composite.epoch().to_string()),
+                        (
+                            "staleness_batches",
+                            self.merger.staleness_batches().to_string(),
+                        ),
+                        ("singleton_buckets", stats.singleton_buckets.to_string()),
+                        ("dyadic_buckets", stats.dyadic_buckets.to_string()),
+                        ("stored_tuples", stats.stored_tuples.to_string()),
+                        ("space_bytes", stats.space_bytes.to_string()),
+                        (
+                            "snapshots_taken",
+                            self.snapshots.load(Ordering::Relaxed).to_string(),
+                        ),
+                    ]),
+                    false,
+                )
+            }
+            Request::Snapshot { path } => match self.snapshot_bundle() {
+                Ok(bytes) => match std::fs::write(&path, &bytes) {
+                    Ok(()) => (
+                        protocol::ok_with(&[("bytes", bytes.len().to_string())]),
+                        false,
+                    ),
+                    Err(e) => fail(format!("could not write snapshot to {path:?}: {e}")),
+                },
+                Err(e) => fail(e.to_string()),
+            },
+            Request::Shutdown => (protocol::ok(), true),
+        }
+    }
+}
+
+/// Poll interval for connection read timeouts and the accept loop's
+/// shutdown checks.
+const NET_TICK: Duration = Duration::from_millis(50);
+
+/// Serve one connection: read request lines, answer each on its own line.
+/// A read timeout fires every [`NET_TICK`] so the handler notices shutdown
+/// even while a client sits idle.
+fn handle_connection(core: &ServerCore, stream: TcpStream, shutdown: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(NET_TICK));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            // A timeout can fire mid-line with a partial fragment already
+            // appended to `line`; keep it — the next read_line call appends
+            // the rest. Clearing here would corrupt slow/fragmented
+            // requests.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => return,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            line.clear();
+            continue;
+        }
+        let (response, stop) = match Request::parse(trimmed) {
+            Ok(request) => core.handle(request),
+            Err(e) => (protocol::error(&format!("bad request: {e}")), false),
+        };
+        line.clear();
+        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+            return;
+        }
+        if stop {
+            shutdown.store(true, Ordering::Release);
+            // The acceptor may be blocked in accept(); wake it with a
+            // throwaway connection (this socket's local address *is* the
+            // listener's) so the shutdown op alone stops the listener.
+            if let Ok(addr) = writer.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            return;
+        }
+    }
+}
+
+/// A running server: the bound address plus shutdown plumbing. Dropping it
+/// shuts the listener down and joins every service thread.
+pub struct RunningServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<thread::JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// The address the listener is bound to (use port 0 to let the OS pick).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections, wind down every connection handler, and
+    /// join the service threads. Idempotent with the `shutdown` op.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(acceptor) = self.acceptor.take() {
+            // Wake a blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Start a fresh server (empty sketches) bound to `bind`
+/// (e.g. `"127.0.0.1:0"`).
+pub fn start(config: ServeConfig, bind: &str) -> Result<RunningServer, ServeError> {
+    start_inner(config, bind, None)
+}
+
+/// Start a server from a snapshot bundle previously written by the
+/// `snapshot` op. The restored structures answer queries identically to the
+/// snapshotting server's at the moment of the snapshot.
+pub fn start_restored(
+    config: ServeConfig,
+    bind: &str,
+    bundle: &[u8],
+) -> Result<RunningServer, ServeError> {
+    let bundle = decode_bundle(bundle)?;
+    start_inner(config, bind, Some(&bundle))
+}
+
+fn start_inner(
+    config: ServeConfig,
+    bind: &str,
+    bundle: Option<&Bundle>,
+) -> Result<RunningServer, ServeError> {
+    let core = Arc::new(ServerCore::build(config, bundle)?);
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let acceptor_shutdown = Arc::clone(&shutdown);
+    let acceptor = thread::Builder::new()
+        .name("cora-serve-accept".into())
+        .spawn(move || {
+            let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
+            loop {
+                if acceptor_shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if acceptor_shutdown.load(Ordering::Acquire) {
+                            break; // the shutdown wake-up connection
+                        }
+                        let core = Arc::clone(&core);
+                        let shutdown = Arc::clone(&acceptor_shutdown);
+                        if let Ok(handle) = thread::Builder::new()
+                            .name("cora-serve-conn".into())
+                            .spawn(move || handle_connection(&core, stream, &shutdown))
+                        {
+                            handlers.push(handle);
+                        }
+                        // Reap finished handlers so long-lived servers don't
+                        // accumulate join handles.
+                        handlers.retain(|h| !h.is_finished());
+                    }
+                    Err(_) => {
+                        if acceptor_shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                }
+            }
+            for handle in handlers {
+                let _ = handle.join();
+            }
+        })
+        .map_err(|e| ServeError::Invalid(format!("could not spawn the accept loop: {e}")))?;
+    Ok(RunningServer {
+        addr,
+        shutdown,
+        acceptor: Some(acceptor),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_round_trip_and_rejections() {
+        let bundle = Bundle {
+            f2: vec![1, 2, 3],
+            f0: vec![4],
+            rarity: vec![],
+            hh: vec![5, 6],
+        };
+        let bytes = encode_bundle(&bundle);
+        let decoded = decode_bundle(&bytes).unwrap();
+        assert_eq!(decoded.f2, bundle.f2);
+        assert_eq!(decoded.f0, bundle.f0);
+        assert_eq!(decoded.rarity, bundle.rarity);
+        assert_eq!(decoded.hh, bundle.hh);
+
+        assert!(decode_bundle(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_bundle(b"XXXX").is_err());
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 0xFF;
+        assert!(decode_bundle(&wrong_version).is_err());
+    }
+
+    #[test]
+    fn core_rejects_bad_configs() {
+        let no_shards = ServeConfig {
+            shards: 0,
+            ..Default::default()
+        };
+        assert!(ServerCore::build(no_shards, None).is_err());
+        let bad_phi = ServeConfig {
+            phi: 0.0,
+            ..Default::default()
+        };
+        assert!(ServerCore::build(bad_phi, None).is_err());
+    }
+
+    #[test]
+    fn core_handles_requests_without_a_socket() {
+        let config = ServeConfig {
+            shards: 2,
+            merge_every: 1,
+            y_max: 1023,
+            ..Default::default()
+        };
+        let core = ServerCore::build(config, None).unwrap();
+        let (resp, stop) = core.handle(Request::Ping);
+        assert!(resp.contains("true") && !stop);
+        let (resp, _) = core.handle(Request::Ingest {
+            xs: vec![1, 2, 1],
+            ys: vec![10, 20, 900],
+        });
+        assert!(resp.contains("\"accepted\":3"), "{resp}");
+        // Out-of-range y rejected atomically.
+        let (resp, _) = core.handle(Request::Ingest {
+            xs: vec![9],
+            ys: vec![5000],
+        });
+        assert!(resp.contains("false"), "{resp}");
+        core.handle(Request::Flush);
+        let (resp, _) = core.handle(Request::QueryF2 { c: 1023 });
+        let value = protocol::Response::parse(&resp).unwrap().f64_field("value").unwrap();
+        assert!(value > 0.0);
+        let (resp, _) = core.handle(Request::QueryF0 { c: 1023 });
+        assert!(protocol::Response::parse(&resp).unwrap().is_ok());
+        let (resp, stop) = core.handle(Request::Shutdown);
+        assert!(resp.contains("true") && stop);
+    }
+}

@@ -105,6 +105,37 @@ impl CountSketch {
         self.depth
     }
 
+    /// Seed used to derive the hash functions.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Snapshot hook: the candidate-set capacity.
+    pub(crate) fn candidate_capacity(&self) -> usize {
+        self.candidate_capacity
+    }
+
+    /// Snapshot hook: the flat row-major counter array.
+    pub(crate) fn raw_counters(&self) -> &[i64] {
+        &self.counters
+    }
+
+    /// Snapshot hook: the candidate set as raw `(item, recorded estimate)`
+    /// pairs, unordered.
+    pub(crate) fn raw_candidates(&self) -> Vec<(u64, i64)> {
+        self.candidates.iter().map(|(&item, &est)| (item, est)).collect()
+    }
+
+    /// Snapshot hook: overwrite the counters and candidate set. `counters`
+    /// must be `width * depth` long and `candidates` within capacity (the
+    /// codec validates both before calling).
+    pub(crate) fn load_state(&mut self, counters: Vec<i64>, candidates: Vec<(u64, i64)>) {
+        debug_assert_eq!(counters.len(), self.counters.len());
+        debug_assert!(candidates.len() <= self.candidate_capacity);
+        self.counters = counters;
+        self.candidates = candidates.into_iter().collect();
+    }
+
     /// The current heavy-hitter candidates as `(item, estimated frequency)`
     /// pairs, unordered. Empty when candidate tracking is disabled.
     pub fn candidates(&self) -> impl Iterator<Item = (u64, f64)> + '_ {

@@ -174,6 +174,30 @@ impl FastAmsSketch {
         // sumsq = Σ c² is zero exactly when every counter in the row is zero.
         self.rows.iter().all(|r| r.sumsq == 0)
     }
+
+    /// Snapshot hook: the raw counter lane of each row, in row order.
+    pub(crate) fn row_counters(&self) -> impl Iterator<Item = &[i64]> {
+        self.rows.iter().map(|r| r.counters.as_slice())
+    }
+
+    /// Snapshot hook: overwrite every row's counters (`None` = all-zero row)
+    /// and rebuild the incremental sums of squares. `rows` must match the
+    /// sketch's depth and width (the codec validates both before calling).
+    pub(crate) fn load_row_counters(&mut self, rows: &[Option<Vec<i64>>]) {
+        debug_assert_eq!(rows.len(), self.rows.len());
+        for (row, loaded) in self.rows.iter_mut().zip(rows) {
+            match loaded {
+                None => {
+                    row.counters.fill(0);
+                    row.sumsq = 0;
+                }
+                Some(counters) => {
+                    row.counters.copy_from_slice(counters);
+                    row.recompute_sumsq();
+                }
+            }
+        }
+    }
 }
 
 impl StreamSketch for FastAmsSketch {

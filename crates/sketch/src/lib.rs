@@ -27,6 +27,7 @@
 #![warn(clippy::all)]
 
 pub mod ams_f2;
+pub mod codec;
 pub mod count_min;
 pub mod count_sketch;
 pub mod error;
@@ -41,6 +42,7 @@ pub mod space_saving;
 pub mod traits;
 
 pub use ams_f2::AmsF2Sketch;
+pub use codec::{ByteReader, ByteWriter, CodecError, StateCodec};
 pub use count_min::CountMinSketch;
 pub use count_sketch::CountSketch;
 pub use error::{Result, SketchError};

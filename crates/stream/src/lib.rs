@@ -32,7 +32,7 @@ pub mod sharded;
 pub mod tuple;
 
 pub use async_window::{AsyncWindowCount, AsyncWindowF2};
-pub use sharded::{sharded_correlated_f2, ShardedIngest};
+pub use sharded::{sharded_correlated_f2, ShardReader, ShardedIngest};
 pub use driver::{default_thresholds, relative_errors, time_ingest, RunReport};
 pub use generators::{
     f0_experiment_generators, f2_experiment_generators, DatasetGenerator, EthernetGenerator,

@@ -53,6 +53,7 @@
 
 use cora_core::{CoreError, CorrelatedAggregate, CorrelatedConfig, CorrelatedSketch, F2Aggregate};
 use cora_core::{GenCache, Result, SketchStats};
+use cora_sketch::codec::StateCodec;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -220,13 +221,85 @@ where
 }
 
 /// Total batches applied since `cached` (the per-shard generation vector a
-/// composite was built from): the composite's staleness in batches.
-fn staleness(cached: &[u64], current: &[u64]) -> u64 {
+/// composite was built from): the composite's staleness in batches. Public
+/// because the serving layer (`cora-serve`) uses the same arithmetic to
+/// decide when its background merger rebuilds the published composite.
+pub fn staleness(cached: &[u64], current: &[u64]) -> u64 {
     cached
         .iter()
         .zip(current)
         .map(|(&c, &n)| n.saturating_sub(c))
         .sum()
+}
+
+/// A read-side handle onto a [`ShardedIngest`]'s shard sketches, detached
+/// from the front-end's `&mut self` ingest API so a **background merger
+/// thread** can rebuild the merged composite off the ingest and query paths
+/// (see `cora-serve`).
+///
+/// The handle shares the shard state through `Arc`s: building a composite
+/// locks each shard's sketch briefly (the same locks the ingest workers take
+/// per applied batch), never the front-end itself. A reader that outlives
+/// its front-end keeps working against the final, frozen shard state.
+pub struct ShardReader<A>
+where
+    A: CorrelatedAggregate + Send + 'static,
+    CorrelatedSketch<A>: Send,
+{
+    shards: Vec<Arc<Shard<A>>>,
+    agg: A,
+    config: CorrelatedConfig,
+}
+
+impl<A> Clone for ShardReader<A>
+where
+    A: CorrelatedAggregate + Send + 'static,
+    CorrelatedSketch<A>: Send,
+{
+    fn clone(&self) -> Self {
+        Self {
+            shards: self.shards.clone(),
+            agg: self.agg.clone(),
+            config: self.config.clone(),
+        }
+    }
+}
+
+impl<A> ShardReader<A>
+where
+    A: CorrelatedAggregate + Send + 'static,
+    CorrelatedSketch<A>: Send,
+{
+    /// The configuration every shard sketch was built with.
+    pub fn config(&self) -> &CorrelatedConfig {
+        &self.config
+    }
+
+    /// The per-shard applied-batch counters (the generation vector composite
+    /// caches are validated against).
+    pub fn generations(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.processed.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Merge every shard sketch into a fresh composite, returning it with
+    /// the generation vector read **before** the merge — the composite
+    /// contains at least those batches, so tagging it with the pre-read
+    /// vector keeps staleness estimates conservative.
+    pub fn build_composite(&self) -> Result<(Vec<u64>, CorrelatedSketch<A>)> {
+        let generations = self.generations();
+        let mut sketch = CorrelatedSketch::new(self.agg.clone(), self.config.clone())?;
+        for shard in &self.shards {
+            let shard_sketch = shard
+                .sketch
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            sketch.merge_from(&shard_sketch)?;
+        }
+        Ok((generations, sketch))
+    }
 }
 
 /// A worker-sharded ingest front-end over N same-seeded correlated sketches.
@@ -524,6 +597,13 @@ where
         if let Some(sketch) = cache.get_if(admit, &()) {
             return Ok(f(sketch));
         }
+        let sketch = self.fresh_composite()?;
+        Ok(f(cache.insert(generations, (), sketch)))
+    }
+
+    /// Merge every shard sketch into a fresh composite, bypassing the cache
+    /// and any `merge_every` staleness tolerance.
+    fn fresh_composite(&self) -> Result<CorrelatedSketch<A>> {
         let mut sketch = CorrelatedSketch::new(self.agg.clone(), self.config.clone())?;
         for shard in &self.shards {
             let shard_sketch = shard
@@ -532,7 +612,17 @@ where
                 .unwrap_or_else(PoisonError::into_inner);
             sketch.merge_from(&shard_sketch)?;
         }
-        Ok(f(cache.insert(generations, (), sketch)))
+        Ok(sketch)
+    }
+
+    /// A detached read-side handle for background composite rebuilds (see
+    /// [`ShardReader`]).
+    pub fn reader(&self) -> ShardReader<A> {
+        ShardReader {
+            shards: self.shards.clone(),
+            agg: self.agg.clone(),
+            config: self.config.clone(),
+        }
     }
 
     /// Estimate `f({x : y ≤ c})` over everything applied so far (Algorithm 3
@@ -556,6 +646,52 @@ where
     /// Structure statistics of the merged composite.
     pub fn stats(&self) -> Result<SketchStats> {
         self.with_composite(CorrelatedSketch::stats)
+    }
+}
+
+impl<A> ShardedIngest<A>
+where
+    A: CorrelatedAggregate + Send + 'static,
+    CorrelatedSketch<A>: Send,
+    <A as CorrelatedAggregate>::Sketch: StateCodec,
+{
+    /// Serialise the front-end's state: flush every accepted tuple (barrier),
+    /// merge all shards into a fresh composite — ignoring any `merge_every`
+    /// staleness tolerance — and snapshot it as one framework frame (see
+    /// `cora_core::snapshot` for the format). The frame carries the full
+    /// configuration and seed, so [`Self::restore_from`] rebuilds a
+    /// front-end that answers every query identically and whose sketches
+    /// stay merge-compatible with other same-seeded shards.
+    pub fn snapshot(&mut self) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.snapshot_to(&mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::snapshot`], appending the frame to a caller-provided buffer.
+    pub fn snapshot_to(&mut self, out: &mut Vec<u8>) -> Result<()> {
+        self.flush();
+        self.fresh_composite()?.snapshot_to(out);
+        Ok(())
+    }
+
+    /// Rebuild a sharded front-end from [`Self::snapshot`] bytes, spawning
+    /// `num_shards` fresh workers (the shard count need not match the
+    /// snapshotting front-end's — the snapshot is one merged composite).
+    ///
+    /// The restored composite is installed as shard 0's sketch, so the first
+    /// query's N-way merge sees the full pre-snapshot state plus whatever
+    /// the new workers have applied since.
+    pub fn restore_from(agg: A, num_shards: usize, bytes: &[u8]) -> Result<Self> {
+        let composite = CorrelatedSketch::restore_from(agg.clone(), bytes)?;
+        let config = composite.config().clone();
+        let mut front = Self::new(agg, config, num_shards)?;
+        front.items_accepted = composite.items_processed();
+        *front.shards[0]
+            .sketch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = composite;
+        Ok(front)
     }
 }
 
@@ -790,6 +926,76 @@ mod tests {
         sharded.ingest(&more).unwrap();
         sharded.flush();
         assert_eq!(sharded.stats().unwrap().items_processed, 600);
+    }
+
+    #[test]
+    fn reader_builds_composites_off_the_front_end() {
+        let mut sharded = sharded_correlated_f2(0.3, 0.1, 1023, 10_000, 7, 2)
+            .unwrap()
+            .with_batch_size(32);
+        let reader = sharded.reader();
+        assert_eq!(reader.generations(), vec![0, 0]);
+        for i in 0..320u64 {
+            sharded.insert(i % 10, i % 1024).unwrap();
+        }
+        sharded.flush();
+        let generations = reader.generations();
+        assert_eq!(generations.iter().sum::<u64>(), 10);
+        let (tag, composite) = reader.build_composite().unwrap();
+        assert_eq!(tag, generations);
+        assert_eq!(composite.items_processed(), 320);
+        // The reader's composite answers like the front-end's.
+        for c in (0..1024u64).step_by(256) {
+            assert_eq!(composite.query(c).unwrap(), sharded.query(c).unwrap());
+        }
+        assert_eq!(staleness(&tag, &reader.generations()), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_the_front_end() {
+        let mut original = sharded_correlated_f2(0.3, 0.1, 1023, 10_000, 7, 3)
+            .unwrap()
+            .with_batch_size(64);
+        for i in 0..5_000u64 {
+            original.insert(i % 80, (i * 13) % 1024).unwrap();
+        }
+        let bytes = original.snapshot().unwrap();
+        let agg = F2Aggregate::new(0.3, 0.1, 7);
+        // Restore with a different shard count: the snapshot is one merged
+        // composite, so the worker count is a fresh choice.
+        let mut restored = ShardedIngest::restore_from(agg, 2, &bytes).unwrap();
+        assert_eq!(restored.items_accepted(), 5_000);
+        restored.flush();
+        for c in (0..1024u64).step_by(128) {
+            assert_eq!(restored.query(c).unwrap(), original.query(c).unwrap(), "c={c}");
+        }
+        assert_eq!(
+            restored.stats().unwrap().items_processed,
+            original.stats().unwrap().items_processed
+        );
+        // The restored front-end keeps ingesting and reflects new tuples.
+        for i in 0..500u64 {
+            restored.insert(i % 10, 5).unwrap();
+        }
+        restored.flush();
+        assert_eq!(restored.stats().unwrap().items_processed, 5_500);
+        assert!(restored.query(1023).unwrap() > original.query(1023).unwrap());
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_seed_and_corruption() {
+        let mut original = sharded_correlated_f2(0.3, 0.1, 255, 1_000, 7, 2).unwrap();
+        for i in 0..200u64 {
+            original.insert(i, i % 256).unwrap();
+        }
+        let bytes = original.snapshot().unwrap();
+        let wrong_seed = F2Aggregate::new(0.3, 0.1, 8);
+        assert!(ShardedIngest::restore_from(wrong_seed, 2, &bytes).is_err());
+        let agg = F2Aggregate::new(0.3, 0.1, 7);
+        let mut corrupt = bytes;
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 4;
+        assert!(ShardedIngest::restore_from(agg, 2, &corrupt).is_err());
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! End-to-end tour of the serving layer — and the CI serve-smoke step.
+//!
+//! Starts a `cora-serve` instance on a loopback port, drives ingest and all
+//! four query families through the line-protocol client, snapshots the
+//! server to disk, **restarts** it from the snapshot, re-queries, and
+//! asserts the answers are bit-identical. Prints `SERVE SMOKE OK` on
+//! success (the CI step greps for it).
+//!
+//! ```text
+//! cargo run -p cora-examples --release --example serve_demo
+//! ```
+
+use cora_serve::client::ServeClient;
+use cora_serve::server::{start, start_restored, ServeConfig};
+
+fn main() {
+    let config = ServeConfig {
+        epsilon: 0.2,
+        delta: 0.1,
+        y_max: (1 << 16) - 1,
+        max_stream_len: 1_000_000,
+        seed: 42,
+        shards: 2,
+        merge_every: 2,
+        phi: 0.05,
+        x_domain_log2: 20,
+    };
+
+    // --- Phase 1: a fresh server takes ingest and answers queries. -------
+    let server = start(config.clone(), "127.0.0.1:0").expect("start server");
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+    let mut client = ServeClient::connect(addr).expect("connect");
+    client.ping().expect("ping");
+
+    // A synthetic "flow log": x = source id, y = response latency. Source 7
+    // dominates the low-latency traffic; a tail of sources appears once.
+    let mut tuples: Vec<(u64, u64)> = Vec::new();
+    for i in 0..30_000u64 {
+        tuples.push((7, i % 2_000));
+        tuples.push((100 + (i % 800), (i * 131) % (1 << 16)));
+    }
+    for i in 0..200u64 {
+        tuples.push((1_000_000 + i, (i * 257) % (1 << 16)));
+    }
+    for chunk in tuples.chunks(2_000) {
+        client.ingest(chunk).expect("ingest");
+    }
+    client.flush().expect("flush barrier");
+
+    let thresholds: Vec<u64> = (0..17).map(|i| ((1u64 << 16) - 1) * i / 16).collect();
+    let f2: Vec<f64> = thresholds.iter().map(|&c| client.query_f2(c).expect("f2")).collect();
+    let f0: Vec<f64> = thresholds.iter().map(|&c| client.query_f0(c).expect("f0")).collect();
+    let rarity: Vec<f64> = thresholds
+        .iter()
+        .map(|&c| client.query_rarity(c).expect("rarity"))
+        .collect();
+    let hitters = client.query_heavy_hitters(2_000, 0.2).expect("heavy hitters");
+    println!("      c          F2(c)      F0(c)  rarity(c)");
+    for (i, &c) in thresholds.iter().enumerate() {
+        println!("{c:>7}  {:>13.0}  {:>9.0}  {:>9.4}", f2[i], f0[i], rarity[i]);
+    }
+    println!(
+        "heavy hitters below latency 2000 (phi=0.2): {:?}",
+        hitters.iter().map(|h| h.item).collect::<Vec<_>>()
+    );
+    assert!(
+        hitters.iter().any(|h| h.item == 7),
+        "the planted heavy source must be reported"
+    );
+
+    let stats = client.stats().expect("stats");
+    println!(
+        "stats: accepted={} composite_items={} epoch={} staleness_batches={}",
+        stats.u64_field("items_accepted").unwrap(),
+        stats.u64_field("composite_items").unwrap(),
+        stats.u64_field("composite_epoch").unwrap(),
+        stats.u64_field("staleness_batches").unwrap(),
+    );
+
+    // --- Phase 2: snapshot, restart, and verify identical answers. -------
+    let dir = std::env::temp_dir().join(format!("cora_serve_demo_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snapshot_path = dir.join("serve.snap");
+    let bytes = client
+        .snapshot(snapshot_path.to_str().expect("utf8 path"))
+        .expect("snapshot");
+    println!("snapshot written: {bytes} bytes at {}", snapshot_path.display());
+    drop(client);
+    server.shutdown();
+
+    let bundle = std::fs::read(&snapshot_path).expect("read snapshot");
+    let restored = start_restored(config, "127.0.0.1:0", &bundle).expect("restart from snapshot");
+    let mut client = ServeClient::connect(restored.local_addr()).expect("reconnect");
+    client.flush().expect("post-restore flush");
+    for (i, &c) in thresholds.iter().enumerate() {
+        assert_eq!(client.query_f2(c).expect("f2"), f2[i], "f2 differs at c={c}");
+        assert_eq!(client.query_f0(c).expect("f0"), f0[i], "f0 differs at c={c}");
+        assert_eq!(
+            client.query_rarity(c).expect("rarity"),
+            rarity[i],
+            "rarity differs at c={c}"
+        );
+    }
+    let restored_hitters = client.query_heavy_hitters(2_000, 0.2).expect("heavy hitters");
+    assert_eq!(restored_hitters, hitters, "heavy hitters differ after restore");
+    println!("restart verified: {} thresholds bit-identical across f2/f0/rarity + heavy hitters", thresholds.len());
+
+    // The restored server is live, not a read-only archive.
+    client.ingest(&[(7, 0), (7, 1)]).expect("post-restore ingest");
+    client.flush().expect("post-restore flush");
+    assert!(client.query_f2((1 << 16) - 1).expect("f2") > f2[16]);
+
+    drop(client);
+    restored.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("SERVE SMOKE OK");
+}
