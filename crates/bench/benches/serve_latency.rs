@@ -26,6 +26,9 @@ fn bench_serve(c: &mut Criterion) {
         merge_every: 4,
         phi: 0.05,
         x_domain_log2: 20,
+        pane_ticks: 1_024,
+        pane_k: 4,
+        pane_retention: None,
     };
     let server = start(config, "127.0.0.1:0").expect("bind loopback server");
     let mut client = ServeClient::connect(server.local_addr()).expect("connect");

@@ -1,0 +1,64 @@
+//! Cost of the pane-ring windowed structures: per-record `observe` (pane
+//! routing with exponential-histogram rebalancing amortized in), cold window
+//! queries (O(log W) pane merges through the compose path), and the repeat
+//! that hits the generation-keyed composite cache.
+
+use cora_stream::{windowed_f2, DatasetGenerator, PaneConfig, UniformGenerator, WindowedF2, ZipfGenerator};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+const N: usize = 20_000;
+const Y_MAX: u64 = 1_000_000;
+
+fn fresh_ring() -> WindowedF2 {
+    windowed_f2(0.2, 0.05, Y_MAX, N as u64, 3, PaneConfig::new(256)).unwrap()
+}
+
+fn bench_windowed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("windowed_throughput");
+    group.sample_size(10);
+
+    let mut uniform = UniformGenerator::new(500_000, Y_MAX, 7);
+    let uniform_tuples = uniform.generate(N);
+    let mut zipf = ZipfGenerator::new(1.0, 500_000, Y_MAX, 7);
+    let zipf_tuples = zipf.generate(N);
+
+    group.throughput(Throughput::Elements(N as u64));
+    for (name, tuples) in [("uniform", &uniform_tuples), ("zipf1", &zipf_tuples)] {
+        group.bench_function(format!("observe/{name}"), |b| {
+            b.iter_batched(
+                fresh_ring,
+                |mut ring| {
+                    for (i, t) in tuples.iter().enumerate() {
+                        ring.observe(t.x, t.y, i as u64).unwrap();
+                    }
+                    ring
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+
+    // Query latency on a populated ring. A clone starts with a cold cache, so
+    // `query_cold` pays the pane merges every iteration; `query_cached`
+    // repeats the same window on an unchanged ring and must only probe.
+    let mut ring = fresh_ring();
+    for (i, t) in uniform_tuples.iter().enumerate() {
+        ring.observe(t.x, t.y, i as u64).unwrap();
+    }
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("query_cold/window_quarter", |b| {
+        b.iter_batched(
+            || ring.clone(),
+            |r| r.query_sliding((N / 4) as u64, Y_MAX / 2).unwrap(),
+            BatchSize::LargeInput,
+        );
+    });
+    ring.query_sliding((N / 4) as u64, Y_MAX / 2).unwrap();
+    group.bench_function("query_cached/window_quarter", |b| {
+        b.iter(|| ring.query_sliding((N / 4) as u64, Y_MAX / 2).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_windowed);
+criterion_main!(benches);

@@ -10,7 +10,7 @@
 
 use cora_bench::{
     emit, measure_correlated_f0, measure_correlated_f2, measure_correlated_hh,
-    measure_correlated_rarity, ExperimentOptions,
+    measure_correlated_rarity, measure_windowed_f2, ExperimentOptions,
 };
 use cora_stream::{f0_experiment_generators, f2_experiment_generators};
 
@@ -57,4 +57,23 @@ fn main() {
         .filter_map(|r| r.max_relative_error())
         .fold(0.0f64, f64::max);
     println!("# worst extension error across all runs: {worst_ext:.4}");
+
+    // Windowed pane-ring F2: two-dimensional (time window, y-threshold)
+    // slices against an exact replay of each query's resolved span.
+    println!();
+    println!("# Windowed (pane ring): window-vs-oracle relative error");
+    println!("#   three window widths (n/8, n/3, n) crossed with the threshold grid;");
+    println!("#   truth is an exact replay of the pane-aligned resolved span");
+    let mut window_reports = Vec::new();
+    for eps in [0.15, 0.2, 0.25] {
+        for generator in &mut f2_experiment_generators(opts.seed) {
+            window_reports.push(measure_windowed_f2(generator.as_mut(), n, eps, opts.seed));
+        }
+    }
+    emit(&window_reports, opts.json);
+    let worst_window = window_reports
+        .iter()
+        .filter_map(|r| r.max_relative_error())
+        .fold(0.0f64, f64::max);
+    println!("# worst windowed error across all runs: {worst_window:.4}");
 }

@@ -19,7 +19,9 @@
 use cora_core::{
     correlated_f2_seeded, CorrelatedF0, CorrelatedHeavyHitters, CorrelatedRarity, ExactCorrelated,
 };
-use cora_stream::{default_thresholds, DatasetGenerator, RunReport, StreamTuple};
+use cora_stream::{
+    default_thresholds, windowed_f2, DatasetGenerator, PaneConfig, RunReport, StreamTuple,
+};
 
 /// Common command-line options for the figure binaries (parsed by hand to
 /// avoid an argument-parsing dependency).
@@ -265,6 +267,69 @@ pub fn measure_correlated_rarity(
     }
 }
 
+/// Measure the windowed correlated-F2 pane ring on one generated dataset,
+/// timestamping tuples by arrival order.
+///
+/// The error column probes `(window, threshold)` slices — three window
+/// widths crossed with the usual threshold grid — against an exact replay
+/// over the pane-aligned span each query resolved, so the numbers isolate
+/// sketch error from pane quantization (which is a semantic, not an error).
+///
+/// Panes are sized to hold a few hundred tuples each: pane merges cannot
+/// re-refine a sealed pane's dyadic buckets, so very fine panes (tens of
+/// tuples) compound into visible underestimates at low thresholds — see the
+/// granularity note on `cora_stream::windowed::PaneConfig`.
+pub fn measure_windowed_f2(
+    generator: &mut dyn DatasetGenerator,
+    n: usize,
+    epsilon: f64,
+    seed: u64,
+) -> RunReport {
+    let name = generator.name();
+    let y_max = generator.y_max();
+    let tuples = generator.generate(n);
+    let panes = PaneConfig::new(((n as u64) / 32).max(1));
+    let mut ring = windowed_f2(epsilon, 0.05, y_max, n as u64, seed, panes)
+        .expect("valid parameters");
+    let mut tick = 0u64;
+    let ns_per_record = cora_stream::time_ingest(&tuples, |t| {
+        ring.observe(t.x, t.y, tick).expect("y in range");
+        tick += 1;
+    });
+    let now = ring.t_latest().expect("non-empty stream");
+    let mut errors = Vec::new();
+    for window in [n as u64 / 8, n as u64 / 3, n as u64] {
+        let Some((lo, hi)) = ring.resolved_window(now, window).expect("retained") else {
+            continue;
+        };
+        for &c in &default_thresholds(y_max, 5) {
+            let mut freq = std::collections::HashMap::new();
+            for (i, t) in tuples.iter().enumerate() {
+                let tick = i as u64;
+                if tick >= lo && tick < hi && t.y <= c {
+                    *freq.entry(t.x).or_insert(0u64) += 1;
+                }
+            }
+            let truth: f64 = freq.values().map(|&f| (f as f64) * (f as f64)).sum();
+            if truth == 0.0 {
+                continue;
+            }
+            let est = ring.query_sliding(window, c).expect("answerable");
+            errors.push((est - truth).abs() / truth);
+        }
+    }
+    RunReport {
+        dataset: name,
+        sketch: "windowed-F2".into(),
+        epsilon,
+        stream_len: tuples.len(),
+        stored_tuples: ring.stored_tuples(),
+        space_bytes: ring.stored_tuples() * std::mem::size_of::<(u64, i64)>(),
+        ns_per_record,
+        relative_errors: errors,
+    }
+}
+
 /// Measure the exact (linear-storage) baseline on one generated dataset.
 pub fn measure_exact_baseline(generator: &mut dyn DatasetGenerator, n: usize) -> RunReport {
     let name = generator.name();
@@ -343,6 +408,17 @@ mod tests {
         assert!(report.stored_tuples > 0);
         let worst = report.max_relative_error().expect("thresholds probed");
         assert!(worst < 0.2, "worst rarity absolute error {worst}");
+    }
+
+    #[test]
+    fn windowed_measurement_produces_consistent_report() {
+        let mut generator = UniformGenerator::new(10_000, 100_000, 3);
+        let report = measure_windowed_f2(&mut generator, 20_000, 0.25, 7);
+        assert_eq!(report.sketch, "windowed-F2");
+        assert_eq!(report.stream_len, 20_000);
+        assert!(report.stored_tuples > 0);
+        assert!(!report.relative_errors.is_empty());
+        assert!(report.max_relative_error().unwrap() < 0.35);
     }
 
     #[test]

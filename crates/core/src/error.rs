@@ -50,6 +50,16 @@ pub enum CoreError {
         /// What was wrong with the snapshot bytes.
         detail: String,
     },
+    /// A window query reaches back past the retention horizon: panes covering
+    /// part of the requested span were already expired, so any answer would
+    /// silently undercount. Re-issue the query with a window that starts at or
+    /// after `earliest_available`.
+    WindowExpired {
+        /// The requested (inclusive) start of the window, in ticks.
+        requested_start: u64,
+        /// The earliest timestamp still covered by retained panes.
+        earliest_available: u64,
+    },
     /// An underlying whole-stream sketch failed (merge mismatch etc.).
     Sketch(SketchError),
 }
@@ -76,6 +86,11 @@ impl fmt::Display for CoreError {
             CoreError::Snapshot { detail } => {
                 write!(f, "snapshot rejected: {detail}")
             }
+            CoreError::WindowExpired { requested_start, earliest_available } => write!(
+                f,
+                "window starting at tick {requested_start} reaches past the retention horizon \
+                 (earliest retained tick is {earliest_available})"
+            ),
             CoreError::Sketch(e) => write!(f, "sketch error: {e}"),
         }
     }

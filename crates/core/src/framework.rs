@@ -286,6 +286,30 @@ impl<A: CorrelatedAggregate> CorrelatedSketch<A> {
         Ok(())
     }
 
+    /// Merge an ordered collection of same-configured sketches into one fresh
+    /// composite — Property V applied left to right. This is the pane/shard
+    /// composition primitive: the sharded ingest readers and the windowed
+    /// pane rings in `cora-stream` both reduce their multi-part state to a
+    /// single queryable structure through it.
+    ///
+    /// Every part must share `config` (including the seed) or the merge fails
+    /// with [`CoreError::IncompatibleMerge`](crate::error::CoreError) and the
+    /// partial composite is discarded.
+    pub fn merge_all<'a>(
+        agg: A,
+        config: CorrelatedConfig,
+        parts: impl IntoIterator<Item = &'a Self>,
+    ) -> Result<Self>
+    where
+        A: 'a,
+    {
+        let mut composite = Self::new(agg, config)?;
+        for part in parts {
+            composite.merge_from(part)?;
+        }
+        Ok(composite)
+    }
+
     /// Level 0 processing: singleton buckets keyed by exact y value, behind
     /// the flat hash index (one fmix64 lookup on the hot path).
     fn update_singletons(&mut self, x: u64, y: u64, weight: i64, prepared: &PreparedOf<A>) {

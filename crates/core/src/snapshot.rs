@@ -66,6 +66,12 @@ pub enum SnapshotKind {
     Rarity = 3,
     /// A [`CorrelatedHeavyHitters`](crate::CorrelatedHeavyHitters) sketch.
     HeavyHitters = 4,
+    /// A windowed pane ring over framework sketches
+    /// (`cora_stream::windowed::WindowedSketch`).
+    WindowedFramework = 5,
+    /// A windowed pane ring over [`CorrelatedF0`](crate::CorrelatedF0) panes
+    /// (`cora_stream::windowed::WindowedF0`).
+    WindowedF0 = 6,
 }
 
 impl SnapshotKind {
@@ -75,6 +81,8 @@ impl SnapshotKind {
             2 => Some(SnapshotKind::F0),
             3 => Some(SnapshotKind::Rarity),
             4 => Some(SnapshotKind::HeavyHitters),
+            5 => Some(SnapshotKind::WindowedFramework),
+            6 => Some(SnapshotKind::WindowedF0),
             _ => None,
         }
     }
@@ -82,8 +90,10 @@ impl SnapshotKind {
 
 /// Append a sealed frame (magic, version, kind, length, checksum) around
 /// `payload` to a caller-provided buffer — the zero-extra-copy primitive
-/// behind every `snapshot_to`.
-pub(crate) fn seal_frame_into(kind: SnapshotKind, payload: &[u8], out: &mut Vec<u8>) {
+/// behind every `snapshot_to`. Public so out-of-crate structures (the
+/// windowed pane rings in `cora-stream`) can frame their own state in the
+/// same validated format.
+pub fn seal_frame_into(kind: SnapshotKind, payload: &[u8], out: &mut Vec<u8>) {
     out.reserve(payload.len() + 23);
     out.extend_from_slice(&SNAPSHOT_MAGIC);
     out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
@@ -102,8 +112,9 @@ pub(crate) fn seal_frame(kind: SnapshotKind, payload: &[u8]) -> Vec<u8> {
 }
 
 /// Validate a frame end to end (magic, version, expected kind, exact length,
-/// checksum) and return its payload.
-pub(crate) fn open_frame(bytes: &[u8], expected: SnapshotKind) -> Result<&[u8]> {
+/// checksum) and return its payload. Corrupted, truncated, or foreign bytes
+/// are rejected **before** any payload byte is interpreted.
+pub fn open_frame(bytes: &[u8], expected: SnapshotKind) -> Result<&[u8]> {
     let err = |detail: String| CoreError::Snapshot { detail };
     if bytes.len() < 23 {
         return Err(err(format!(
@@ -185,8 +196,10 @@ where
     }
 }
 
-/// Serialise a [`CorrelatedConfig`] (every field, seed included).
-pub(crate) fn encode_config(config: &CorrelatedConfig, w: &mut ByteWriter) {
+/// Serialise a [`CorrelatedConfig`] (every field, seed included). Public for
+/// wrapper structures whose frames must carry a framework configuration of
+/// their own (the windowed pane rings in `cora-stream`).
+pub fn encode_config(config: &CorrelatedConfig, w: &mut ByteWriter) {
     w.put_f64(config.epsilon);
     w.put_f64(config.delta);
     w.put_u64(config.y_max);
@@ -205,8 +218,9 @@ pub(crate) fn encode_config(config: &CorrelatedConfig, w: &mut ByteWriter) {
     w.put_u64(config.seed);
 }
 
-/// Decode a [`CorrelatedConfig`] written by [`encode_config`].
-pub(crate) fn decode_config(r: &mut ByteReader<'_>) -> CodecResult<CorrelatedConfig> {
+/// Decode a [`CorrelatedConfig`] written by [`encode_config`]; the decoded
+/// configuration is re-validated before it is returned.
+pub fn decode_config(r: &mut ByteReader<'_>) -> CodecResult<CorrelatedConfig> {
     let epsilon = r.get_f64()?;
     let delta = r.get_f64()?;
     let y_max = r.get_u64()?;

@@ -54,6 +54,19 @@ pub struct ReportedHitter {
     pub share: f64,
 }
 
+/// A window query's answer: the estimate plus the pane-aligned span
+/// `[resolved_lo, resolved_hi)` it actually covers (see
+/// `cora_stream::windowed` for the resolution semantics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowAnswer {
+    /// The windowed correlated estimate.
+    pub value: f64,
+    /// Inclusive start tick of the resolved span.
+    pub resolved_lo: u64,
+    /// Exclusive end tick of the resolved span.
+    pub resolved_hi: u64,
+}
+
 /// A blocking connection to a running serve instance.
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
@@ -103,11 +116,23 @@ impl ServeClient {
         self.request(&Request::Config)
     }
 
-    /// Batch-ingest `(x, y)` tuples; returns the accepted count.
+    /// Batch-ingest `(x, y)` tuples; returns the accepted count. The server
+    /// stamps each tuple with its arrival tick (see [`Self::ingest_at`] for
+    /// explicit timestamps).
     pub fn ingest(&mut self, tuples: &[(u64, u64)]) -> ClientResult<u64> {
         let xs: Vec<u64> = tuples.iter().map(|&(x, _)| x).collect();
         let ys: Vec<u64> = tuples.iter().map(|&(_, y)| y).collect();
-        let response = self.request(&Request::Ingest { xs, ys })?;
+        let response = self.request(&Request::Ingest { xs, ys, ts: None })?;
+        response.u64_field("accepted").map_err(ClientError::Protocol)
+    }
+
+    /// Batch-ingest `(x, y, t)` tuples with explicit timestamps (ticks) for
+    /// the windowed structures; timestamps may be out of order.
+    pub fn ingest_at(&mut self, tuples: &[(u64, u64, u64)]) -> ClientResult<u64> {
+        let xs: Vec<u64> = tuples.iter().map(|&(x, _, _)| x).collect();
+        let ys: Vec<u64> = tuples.iter().map(|&(_, y, _)| y).collect();
+        let ts: Vec<u64> = tuples.iter().map(|&(_, _, t)| t).collect();
+        let response = self.request(&Request::Ingest { xs, ys, ts: Some(ts) })?;
         response.u64_field("accepted").map_err(ClientError::Protocol)
     }
 
@@ -164,6 +189,27 @@ impl ServeClient {
             .collect())
     }
 
+    /// Windowed correlated `F_2` over the last `window` ticks at threshold
+    /// `c`: the estimate plus the pane-aligned resolved span it covers.
+    pub fn query_window_f2(&mut self, window: u64, c: u64) -> ClientResult<WindowAnswer> {
+        self.window_request(&Request::WindowF2 { window, c })
+    }
+
+    /// Windowed correlated `F_0` over the last `window` ticks at threshold
+    /// `c`: the estimate plus the pane-aligned resolved span it covers.
+    pub fn query_window_f0(&mut self, window: u64, c: u64) -> ClientResult<WindowAnswer> {
+        self.window_request(&Request::WindowF0 { window, c })
+    }
+
+    fn window_request(&mut self, request: &Request) -> ClientResult<WindowAnswer> {
+        let response = self.request(request)?;
+        Ok(WindowAnswer {
+            value: response.f64_field("value").map_err(ClientError::Protocol)?,
+            resolved_lo: response.u64_field("resolved_lo").map_err(ClientError::Protocol)?,
+            resolved_hi: response.u64_field("resolved_hi").map_err(ClientError::Protocol)?,
+        })
+    }
+
     /// Service and structure statistics as a parsed response (field access
     /// via [`Response::u64_field`] etc.).
     pub fn stats(&mut self) -> ClientResult<Response> {
@@ -201,6 +247,9 @@ mod tests {
             merge_every: 1,
             phi: 0.05,
             x_domain_log2: 16,
+            pane_ticks: 256,
+            pane_k: 4,
+            pane_retention: None,
         }
     }
 
@@ -239,6 +288,20 @@ mod tests {
         assert!(f0[8] > 0.0 && rarity[8] > 0.0);
         assert!(hitters.iter().any(|h| h.item == 7), "hitters: {hitters:?}");
 
+        // Windowed queries over the server's arrival-tick clock: the full
+        // stream fits in one suffix window, and a shorter window resolves a
+        // pane-aligned strict suffix.
+        let windows: Vec<u64> = vec![512, 2_048, 16_384];
+        let wf2: Vec<WindowAnswer> =
+            windows.iter().map(|&w| client.query_window_f2(w, 4096).unwrap()).collect();
+        let wf0: Vec<WindowAnswer> =
+            windows.iter().map(|&w| client.query_window_f0(w, 4096).unwrap()).collect();
+        assert_eq!(wf2[2].resolved_lo, 0);
+        // 8_100 arrival ticks land in panes tiling [0, 8_192) at 256/pane.
+        assert_eq!(wf2[2].resolved_hi, 8_192);
+        assert!(wf2[0].resolved_lo > 0 && wf2[0].value > 0.0);
+        assert!(wf0[2].value > 0.0);
+
         let stats = client.stats().unwrap();
         assert_eq!(stats.u64_field("items_accepted").unwrap(), 8_100);
         assert_eq!(stats.u64_field("composite_items").unwrap(), 8_100);
@@ -264,9 +327,20 @@ mod tests {
             assert_eq!(client.query_rarity(c).unwrap(), rarity[i], "rarity at c={c}");
         }
         assert_eq!(client.query_heavy_hitters(999, 0.2).unwrap(), hitters);
+        for (i, &w) in windows.iter().enumerate() {
+            assert_eq!(client.query_window_f2(w, 4096).unwrap(), wf2[i], "window f2 w={w}");
+            assert_eq!(client.query_window_f0(w, 4096).unwrap(), wf0[i], "window f0 w={w}");
+        }
 
-        // The restored server keeps serving ingest.
+        // The restored server keeps serving ingest, resuming the tick clock
+        // where the snapshot left off; explicit timestamps also work.
         client.ingest(&[(42, 1), (42, 2)]).unwrap();
+        client.ingest_at(&[(43, 3, 9_000)]).unwrap();
+        let after = client.query_window_f2(16_384, 4096).unwrap();
+        // t = 9_000 lands in the base pane [8_960, 9_216).
+        assert_eq!(after.resolved_hi, 9_216);
+        assert!(after.value > wf2[2].value);
+        client.flush().unwrap();
         client.flush().unwrap();
         assert!(client.query_f2(4095).unwrap() > f2[8]);
         drop(client);

@@ -12,15 +12,23 @@
 //! |-----------------|-------------------------|-----------------------------------------|
 //! | `ping`          | —                       | `{"ok":true}`                           |
 //! | `config`        | —                       | server parameters                       |
-//! | `ingest`        | `xs`, `ys` (u64 arrays) | `{"ok":true,"accepted":n}`              |
+//! | `ingest`        | `xs`, `ys` (u64 arrays), optional `ts` | `{"ok":true,"accepted":n}` |
 //! | `flush`         | —                       | read-your-writes barrier                |
 //! | `f2`            | `c`                     | `{"ok":true,"value":…}`                 |
 //! | `f0`            | `c`                     | `{"ok":true,"value":…}`                 |
 //! | `rarity`        | `c`                     | `{"ok":true,"value":…}`                 |
 //! | `heavy_hitters` | `c`, `phi`              | `items`/`frequencies`/`shares` arrays   |
+//! | `window_f2`     | `window`, `c`           | `value` + `resolved_lo`/`resolved_hi`   |
+//! | `window_f0`     | `window`, `c`           | `value` + `resolved_lo`/`resolved_hi`   |
 //! | `stats`         | —                       | counters + composite epoch/staleness    |
 //! | `snapshot`      | `path`                  | writes a snapshot bundle server-side    |
 //! | `shutdown`      | —                       | acknowledges, then stops the listener   |
+//!
+//! The optional `ts` array on `ingest` carries per-tuple timestamps (ticks)
+//! for the windowed structures; without it the server assigns each tuple the
+//! next value of its monotonic arrival counter. Window queries are answered
+//! over the pane-aligned *resolved* span `[resolved_lo, resolved_hi)` (see
+//! `cora_stream::windowed`), which the response reports alongside the value.
 //!
 //! Errors come back as `{"ok":false,"error":"…"}`; a malformed line never
 //! kills the connection, it answers with an error object.
@@ -40,6 +48,9 @@ pub enum Request {
         xs: Vec<u64>,
         /// y values (must be ≤ the server's configured `y_max`).
         ys: Vec<u64>,
+        /// Optional per-tuple timestamps in ticks (same length as `xs`);
+        /// omitted tuples are stamped by the server's arrival counter.
+        ts: Option<Vec<u64>>,
     },
     /// Read-your-writes barrier: drain the workers and republish the
     /// composite.
@@ -65,6 +76,20 @@ pub enum Request {
         c: u64,
         /// Minimum squared-frequency share of `F_2(c)`.
         phi: f64,
+    },
+    /// Windowed correlated `F_2` over the last `window` ticks at threshold `c`.
+    WindowF2 {
+        /// Window width in ticks (ending at the newest observed timestamp).
+        window: u64,
+        /// Query threshold.
+        c: u64,
+    },
+    /// Windowed correlated `F_0` over the last `window` ticks at threshold `c`.
+    WindowF0 {
+        /// Window width in ticks (ending at the newest observed timestamp).
+        window: u64,
+        /// Query threshold.
+        c: u64,
     },
     /// Service and structure statistics.
     Stats,
@@ -110,11 +135,19 @@ impl Request {
         match self {
             Request::Ping => r#"{"op":"ping"}"#.to_string(),
             Request::Config => r#"{"op":"config"}"#.to_string(),
-            Request::Ingest { xs, ys } => format!(
-                r#"{{"op":"ingest","xs":{},"ys":{}}}"#,
-                u64_array(xs),
-                u64_array(ys)
-            ),
+            Request::Ingest { xs, ys, ts } => match ts {
+                Some(ts) => format!(
+                    r#"{{"op":"ingest","xs":{},"ys":{},"ts":{}}}"#,
+                    u64_array(xs),
+                    u64_array(ys),
+                    u64_array(ts)
+                ),
+                None => format!(
+                    r#"{{"op":"ingest","xs":{},"ys":{}}}"#,
+                    u64_array(xs),
+                    u64_array(ys)
+                ),
+            },
             Request::Flush => r#"{"op":"flush"}"#.to_string(),
             Request::QueryF2 { c } => format!(r#"{{"op":"f2","c":{c}}}"#),
             Request::QueryF0 { c } => format!(r#"{{"op":"f0","c":{c}}}"#),
@@ -123,6 +156,12 @@ impl Request {
                 r#"{{"op":"heavy_hitters","c":{c},"phi":{}}}"#,
                 json::float(*phi)
             ),
+            Request::WindowF2 { window, c } => {
+                format!(r#"{{"op":"window_f2","window":{window},"c":{c}}}"#)
+            }
+            Request::WindowF0 { window, c } => {
+                format!(r#"{{"op":"window_f0","window":{window},"c":{c}}}"#)
+            }
             Request::Stats => r#"{"op":"stats"}"#.to_string(),
             Request::Snapshot { path } => {
                 format!(r#"{{"op":"snapshot","path":{}}}"#, json::escape(path))
@@ -155,7 +194,21 @@ impl Request {
                         ys.len()
                     ));
                 }
-                Ok(Request::Ingest { xs, ys })
+                let ts = fields
+                    .iter()
+                    .find(|(k, _)| k == "ts")
+                    .map(|(_, v)| parse_u64_array(v))
+                    .transpose()?;
+                if let Some(ts) = &ts {
+                    if ts.len() != xs.len() {
+                        return Err(format!(
+                            "ts must match xs length ({} vs {})",
+                            ts.len(),
+                            xs.len()
+                        ));
+                    }
+                }
+                Ok(Request::Ingest { xs, ys, ts })
             }
             "flush" => Ok(Request::Flush),
             "f2" => Ok(Request::QueryF2 { c: json::parse_u64(get("c")?)? }),
@@ -164,6 +217,14 @@ impl Request {
             "heavy_hitters" => Ok(Request::QueryHeavyHitters {
                 c: json::parse_u64(get("c")?)?,
                 phi: json::parse_f64(get("phi")?)?,
+            }),
+            "window_f2" => Ok(Request::WindowF2 {
+                window: json::parse_u64(get("window")?)?,
+                c: json::parse_u64(get("c")?)?,
+            }),
+            "window_f0" => Ok(Request::WindowF0 {
+                window: json::parse_u64(get("window")?)?,
+                c: json::parse_u64(get("c")?)?,
             }),
             "stats" => Ok(Request::Stats),
             "snapshot" => Ok(Request::Snapshot {
@@ -277,12 +338,20 @@ mod tests {
             Request::Ingest {
                 xs: vec![1, u64::MAX, 3],
                 ys: vec![10, 20, 30],
+                ts: None,
+            },
+            Request::Ingest {
+                xs: vec![4, 5],
+                ys: vec![6, 7],
+                ts: Some(vec![100, 99]),
             },
             Request::Flush,
             Request::QueryF2 { c: 100 },
             Request::QueryF0 { c: 0 },
             Request::QueryRarity { c: u64::MAX },
             Request::QueryHeavyHitters { c: 7, phi: 0.125 },
+            Request::WindowF2 { window: 3_600, c: 42 },
+            Request::WindowF0 { window: 60, c: u64::MAX },
             Request::Stats,
             Request::Snapshot {
                 path: "/tmp/with \"quotes\".snap".to_string(),
@@ -314,6 +383,11 @@ mod tests {
             Request::parse(r#"{"op":"ingest","xs":[1],"ys":[1,2]}"#).is_err(),
             "length mismatch"
         );
+        assert!(
+            Request::parse(r#"{"op":"ingest","xs":[1],"ys":[1],"ts":[1,2]}"#).is_err(),
+            "ts length mismatch"
+        );
+        assert!(Request::parse(r#"{"op":"window_f2","c":9}"#).is_err(), "missing window");
     }
 
     #[test]

@@ -23,14 +23,24 @@
 //! answer with read-your-writes semantics. `flush` is the barrier that makes
 //! `f2` exact too.
 //!
+//! ## Windowed structures
+//!
+//! Alongside the whole-stream sketches the server hosts two pane rings
+//! (`cora_stream::windowed`): a windowed correlated `F_2` and a windowed
+//! correlated `F_0`, updated under their own lock on every ingest. Tuples
+//! carry either client-supplied timestamps (the optional `ts` ingest array)
+//! or consecutive server-side arrival ticks; `window_f2` / `window_f0`
+//! answer sliding-window thresholds over them and report the pane-aligned
+//! resolved span alongside the value.
+//!
 //! ## Snapshot bundle
 //!
-//! The `snapshot` op writes one file: a `CSRV` container holding the four
+//! The `snapshot` op writes one file: a `CSRV` container holding the six
 //! `cora_core::snapshot` frames (framework composite, F0, rarity, heavy
-//! hitters), each individually checksummed. [`start_restored`] boots a
-//! server from such a file; restored structures answer queries
-//! bit-identically (pinned by the integration tests and the CI serve-smoke
-//! step).
+//! hitters, and the two windowed pane rings), each individually checksummed.
+//! [`start_restored`] boots a server from such a file; restored structures
+//! answer queries bit-identically (pinned by the integration tests and the
+//! CI serve-smoke step).
 
 use crate::merger::BackgroundMerger;
 use crate::protocol::{self, Request};
@@ -40,6 +50,9 @@ use cora_core::{
 };
 use cora_sketch::codec::{ByteReader, ByteWriter};
 use cora_stream::json;
+use cora_stream::windowed::{
+    windowed_f0, windowed_f2, PaneConfig, PaneRing, WindowPane, WindowedF0, WindowedF2,
+};
 use cora_stream::ShardedIngest;
 use std::fmt;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -108,6 +121,13 @@ pub struct ServeConfig {
     pub phi: f64,
     /// `log2` of the identifier domain (sizes the F0/rarity samplers).
     pub x_domain_log2: u32,
+    /// Base pane width (ticks) of the windowed structures.
+    pub pane_ticks: u64,
+    /// Per-class pane budget of the windowed structures (≥ 2).
+    pub pane_k: usize,
+    /// Retention horizon of the windowed structures in ticks
+    /// (`None` = landmark mode, keep coarsening history forever).
+    pub pane_retention: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -122,6 +142,9 @@ impl Default for ServeConfig {
             merge_every: 4,
             phi: 0.05,
             x_domain_log2: 24,
+            pane_ticks: 1_024,
+            pane_k: 4,
+            pane_retention: None,
         }
     }
 }
@@ -144,6 +167,24 @@ impl ServeConfig {
         )?
         .with_seed(self.seed))
     }
+
+    /// The derived pane geometry for the windowed structures.
+    fn pane_config(&self) -> PaneConfig {
+        PaneConfig {
+            pane_ticks: self.pane_ticks,
+            k: self.pane_k,
+            retention: self.pane_retention,
+        }
+    }
+}
+
+/// The windowed structures plus the server's tick clock: tuples ingested
+/// without explicit timestamps are stamped with consecutive arrival ticks;
+/// explicit timestamps advance the clock past themselves.
+struct WindowState {
+    f2: WindowedF2,
+    f0: WindowedF0,
+    clock: u64,
 }
 
 /// The auxiliary sketches updated synchronously on every ingest.
@@ -158,6 +199,7 @@ struct ServerCore {
     config: ServeConfig,
     sharded: Mutex<ShardedIngest<F2Aggregate>>,
     aux: Mutex<AuxSketches>,
+    windows: Mutex<WindowState>,
     merger: BackgroundMerger<F2Aggregate>,
     requests: AtomicU64,
     accepted: AtomicU64,
@@ -166,13 +208,18 @@ struct ServerCore {
 
 /// Magic bytes of a snapshot bundle file.
 const BUNDLE_MAGIC: [u8; 4] = *b"CSRV";
-/// Bundle container version.
-const BUNDLE_VERSION: u16 = 1;
+/// Bundle container version. Version 2 added the windowed sections (5, 6);
+/// version-1 bundles predate the windowed structures and are refused rather
+/// than restored into a server that would silently answer window queries
+/// from an empty ring.
+const BUNDLE_VERSION: u16 = 2;
 /// Section tags inside a bundle.
 const SECTION_F2: u8 = 1;
 const SECTION_F0: u8 = 2;
 const SECTION_RARITY: u8 = 3;
 const SECTION_HH: u8 = 4;
+const SECTION_WINDOW_F2: u8 = 5;
+const SECTION_WINDOW_F0: u8 = 6;
 
 /// Decoded snapshot bundle: one `cora_core::snapshot` frame per structure.
 struct Bundle {
@@ -180,18 +227,22 @@ struct Bundle {
     f0: Vec<u8>,
     rarity: Vec<u8>,
     hh: Vec<u8>,
+    window_f2: Vec<u8>,
+    window_f0: Vec<u8>,
 }
 
 fn encode_bundle(bundle: &Bundle) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_bytes(&BUNDLE_MAGIC);
     w.put_u16(BUNDLE_VERSION);
-    w.put_u8(4);
+    w.put_u8(6);
     for (tag, frame) in [
         (SECTION_F2, &bundle.f2),
         (SECTION_F0, &bundle.f0),
         (SECTION_RARITY, &bundle.rarity),
         (SECTION_HH, &bundle.hh),
+        (SECTION_WINDOW_F2, &bundle.window_f2),
+        (SECTION_WINDOW_F0, &bundle.window_f0),
     ] {
         w.put_u8(tag);
         w.put_len(frame.len());
@@ -220,6 +271,8 @@ fn decode_bundle(bytes: &[u8]) -> Result<Bundle, ServeError> {
     let mut f0 = None;
     let mut rarity = None;
     let mut hh = None;
+    let mut window_f2 = None;
+    let mut window_f0 = None;
     for _ in 0..sections {
         let tag = r.get_u8().map_err(|e| invalid(e.to_string()))?;
         let len = r.get_len().map_err(|e| invalid(e.to_string()))?;
@@ -232,6 +285,8 @@ fn decode_bundle(bytes: &[u8]) -> Result<Bundle, ServeError> {
             SECTION_F0 => &mut f0,
             SECTION_RARITY => &mut rarity,
             SECTION_HH => &mut hh,
+            SECTION_WINDOW_F2 => &mut window_f2,
+            SECTION_WINDOW_F0 => &mut window_f0,
             other => return Err(invalid(format!("unknown bundle section tag {other}"))),
         };
         if slot.replace(frame).is_some() {
@@ -244,10 +299,39 @@ fn decode_bundle(bytes: &[u8]) -> Result<Bundle, ServeError> {
             r.remaining()
         )));
     }
-    match (f2, f0, rarity, hh) {
-        (Some(f2), Some(f0), Some(rarity), Some(hh)) => Ok(Bundle { f2, f0, rarity, hh }),
+    match (f2, f0, rarity, hh, window_f2, window_f0) {
+        (Some(f2), Some(f0), Some(rarity), Some(hh), Some(window_f2), Some(window_f0)) => {
+            Ok(Bundle { f2, f0, rarity, hh, window_f2, window_f0 })
+        }
         _ => Err(invalid("bundle is missing one or more structure sections".into())),
     }
+}
+
+/// Answer one window query: the estimate plus the pane-aligned resolved span
+/// `[resolved_lo, resolved_hi)` it actually covers (all zero while the ring
+/// is empty or nothing falls inside the window).
+fn window_answer<P: WindowPane>(
+    ring: &PaneRing<P>,
+    window: u64,
+    c: u64,
+) -> Result<Vec<(&'static str, String)>, String> {
+    let empty = vec![
+        ("value", json::float(0.0)),
+        ("resolved_lo", "0".to_string()),
+        ("resolved_hi", "0".to_string()),
+    ];
+    let Some(now) = ring.t_latest() else {
+        return Ok(empty);
+    };
+    let Some((lo, hi)) = ring.resolved_window(now, window).map_err(|e| e.to_string())? else {
+        return Ok(empty);
+    };
+    let value = ring.query_sliding(window, c).map_err(|e| e.to_string())?;
+    Ok(vec![
+        ("value", json::float(value)),
+        ("resolved_lo", lo.to_string()),
+        ("resolved_hi", hi.to_string()),
+    ])
 }
 
 impl ServerCore {
@@ -264,7 +348,28 @@ impl ServerCore {
         }
         let agg = config.f2_aggregate();
         let f2_config = config.f2_config()?;
-        let (sharded, aux) = match bundle {
+        let fresh_windows = || -> Result<WindowState, ServeError> {
+            Ok(WindowState {
+                f2: windowed_f2(
+                    config.epsilon,
+                    config.delta,
+                    config.y_max,
+                    config.max_stream_len,
+                    config.seed,
+                    config.pane_config(),
+                )?,
+                f0: windowed_f0(
+                    config.epsilon,
+                    config.delta,
+                    config.x_domain_log2,
+                    config.y_max,
+                    config.seed,
+                    config.pane_config(),
+                )?,
+                clock: 0,
+            })
+        };
+        let (sharded, aux, windows) = match bundle {
             None => {
                 let sharded = ShardedIngest::new(agg, f2_config, config.shards)?;
                 let aux = AuxSketches {
@@ -290,7 +395,7 @@ impl ServerCore {
                         config.seed,
                     )?,
                 };
-                (sharded, aux)
+                (sharded, aux, fresh_windows()?)
             }
             Some(bundle) => {
                 let mismatch = |what: &str| {
@@ -337,7 +442,29 @@ impl ServerCore {
                 {
                     return mismatch("heavy-hitter parameters (phi, accuracy, or seed)");
                 }
-                (sharded, aux)
+                let wf2 = WindowedF2::restore_from(config.f2_aggregate(), &bundle.window_f2)?;
+                let wf0 = WindowedF0::restore_from(&bundle.window_f0)?;
+                let fresh = fresh_windows()?;
+                if wf2.template().config() != fresh.f2.template().config()
+                    || wf2.pane_config() != fresh.f2.pane_config()
+                {
+                    return mismatch("windowed F2 parameters or pane geometry");
+                }
+                let f0t = wf0.template();
+                let fresh_f0t = fresh.f0.template();
+                if f0t.epsilon() != fresh_f0t.epsilon()
+                    || f0t.delta() != fresh_f0t.delta()
+                    || f0t.y_max() != fresh_f0t.y_max()
+                    || f0t.seed() != fresh_f0t.seed()
+                    || f0t.x_domain_log2() != fresh_f0t.x_domain_log2()
+                    || wf0.pane_config() != fresh.f0.pane_config()
+                {
+                    return mismatch("windowed F0 parameters or pane geometry");
+                }
+                // The arrival clock resumes one past the newest restored tick.
+                let clock = wf2.t_latest().map_or(0, |t| t.saturating_add(1));
+                let windows = WindowState { f2: wf2, f0: wf0, clock };
+                (sharded, aux, windows)
             }
         };
         let merger = BackgroundMerger::spawn(sharded.reader(), config.merge_every.max(1))?;
@@ -345,6 +472,7 @@ impl ServerCore {
             config,
             sharded: Mutex::new(sharded),
             aux: Mutex::new(aux),
+            windows: Mutex::new(windows),
             merger,
             requests: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
@@ -353,16 +481,19 @@ impl ServerCore {
     }
 
     fn snapshot_bundle(&self) -> Result<Vec<u8>, ServeError> {
-        // Hold both locks (sharded before aux, like the ingest path) across
-        // the whole bundle, so every section describes the same stream
-        // prefix — a bundle must fully determine a server.
+        // Hold all three locks (sharded before aux before windows, like the
+        // ingest path) across the whole bundle, so every section describes
+        // the same stream prefix — a bundle must fully determine a server.
         let mut sharded = self.sharded.lock().unwrap_or_else(PoisonError::into_inner);
         let aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
+        let windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
         let bundle = Bundle {
             f2: sharded.snapshot()?,
             f0: aux.f0.snapshot(),
             rarity: aux.rarity.snapshot(),
             hh: aux.hh.snapshot(),
+            window_f2: windows.f2.snapshot(),
+            window_f0: windows.f0.snapshot(),
         };
         self.snapshots.fetch_add(1, Ordering::Relaxed);
         Ok(encode_bundle(&bundle))
@@ -387,25 +518,31 @@ impl ServerCore {
                         ("merge_every", c.merge_every.to_string()),
                         ("phi", json::float(c.phi)),
                         ("x_domain_log2", c.x_domain_log2.to_string()),
+                        ("pane_ticks", c.pane_ticks.to_string()),
+                        ("pane_k", c.pane_k.to_string()),
+                        (
+                            "pane_retention",
+                            c.pane_retention.map_or("null".to_string(), |r| r.to_string()),
+                        ),
                     ]),
                     false,
                 )
             }
-            Request::Ingest { xs, ys } => {
+            Request::Ingest { xs, ys, ts } => {
                 // Validate atomically against the *configured* y_max so all
-                // four structures accept or reject a batch together.
+                // hosted structures accept or reject a batch together.
                 if let Some(&y) = ys.iter().find(|&&y| y > self.config.y_max) {
                     return fail(format!("y {y} exceeds configured y_max {}", self.config.y_max));
                 }
                 let tuples: Vec<(u64, u64)> = xs.into_iter().zip(ys).collect();
                 {
-                    // Both locks are held across the whole batch (sharded
-                    // before aux, the order `snapshot_bundle` uses too), so a
-                    // concurrent snapshot can never capture the F2 structure
-                    // and the auxiliary sketches at different stream
-                    // prefixes.
+                    // All three locks are held across the whole batch (sharded
+                    // before aux before windows, the order `snapshot_bundle`
+                    // uses too), so a concurrent snapshot can never capture
+                    // the structures at different stream prefixes.
                     let mut sharded = self.sharded.lock().unwrap_or_else(PoisonError::into_inner);
                     let mut aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
+                    let mut windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
                     if let Err(e) = sharded.ingest(&tuples) {
                         return fail(e.to_string());
                     }
@@ -417,6 +554,30 @@ impl ServerCore {
                             .and_then(|()| aux.hh.insert(x, y))
                         {
                             return fail(format!("auxiliary sketch rejected a tuple: {e}"));
+                        }
+                    }
+                    // Windowed structures: explicit per-tuple timestamps when
+                    // the client sent them, the arrival counter otherwise.
+                    let windows = &mut *windows;
+                    for (i, &(x, y)) in tuples.iter().enumerate() {
+                        let t = match &ts {
+                            Some(ts) => {
+                                let t = ts[i];
+                                windows.clock = windows.clock.max(t.saturating_add(1));
+                                t
+                            }
+                            None => {
+                                let t = windows.clock;
+                                windows.clock = windows.clock.saturating_add(1);
+                                t
+                            }
+                        };
+                        if let Err(e) = windows
+                            .f2
+                            .observe(x, y, t)
+                            .and_then(|()| windows.f0.observe(x, y, t))
+                        {
+                            return fail(format!("windowed structure rejected a tuple: {e}"));
                         }
                     }
                 }
@@ -469,6 +630,20 @@ impl ServerCore {
                     Err(e) => fail(e.to_string()),
                 }
             }
+            Request::WindowF2 { window, c } => {
+                let windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
+                match window_answer(&windows.f2, window, c.min(self.config.y_max)) {
+                    Ok(fields) => (protocol::ok_with(&fields), false),
+                    Err(e) => fail(e),
+                }
+            }
+            Request::WindowF0 { window, c } => {
+                let windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
+                match window_answer(&windows.f0, window, c.min(self.config.y_max)) {
+                    Ok(fields) => (protocol::ok_with(&fields), false),
+                    Err(e) => fail(e),
+                }
+            }
             Request::Stats => {
                 let composite = self.merger.current();
                 let stats = composite.sketch().stats();
@@ -477,6 +652,10 @@ impl ServerCore {
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
                     .items_accepted();
+                let (window_panes, window_late_dropped, window_clock) = {
+                    let windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
+                    (windows.f2.pane_count(), windows.f2.late_dropped(), windows.clock)
+                };
                 (
                     protocol::ok_with(&[
                         ("requests", self.requests.load(Ordering::Relaxed).to_string()),
@@ -495,6 +674,9 @@ impl ServerCore {
                             "snapshots_taken",
                             self.snapshots.load(Ordering::Relaxed).to_string(),
                         ),
+                        ("window_panes", window_panes.to_string()),
+                        ("window_late_dropped", window_late_dropped.to_string()),
+                        ("window_clock", window_clock.to_string()),
                     ]),
                     false,
                 )
@@ -689,6 +871,8 @@ mod tests {
             f0: vec![4],
             rarity: vec![],
             hh: vec![5, 6],
+            window_f2: vec![7],
+            window_f0: vec![8, 9],
         };
         let bytes = encode_bundle(&bundle);
         let decoded = decode_bundle(&bytes).unwrap();
@@ -696,6 +880,8 @@ mod tests {
         assert_eq!(decoded.f0, bundle.f0);
         assert_eq!(decoded.rarity, bundle.rarity);
         assert_eq!(decoded.hh, bundle.hh);
+        assert_eq!(decoded.window_f2, bundle.window_f2);
+        assert_eq!(decoded.window_f0, bundle.window_f0);
 
         assert!(decode_bundle(&bytes[..bytes.len() - 1]).is_err());
         assert!(decode_bundle(b"XXXX").is_err());
@@ -716,6 +902,11 @@ mod tests {
             ..Default::default()
         };
         assert!(ServerCore::build(bad_phi, None).is_err());
+        let bad_panes = ServeConfig {
+            pane_ticks: 0,
+            ..Default::default()
+        };
+        assert!(ServerCore::build(bad_panes, None).is_err());
     }
 
     #[test]
@@ -724,6 +915,7 @@ mod tests {
             shards: 2,
             merge_every: 1,
             y_max: 1023,
+            pane_ticks: 4,
             ..Default::default()
         };
         let core = ServerCore::build(config, None).unwrap();
@@ -732,12 +924,14 @@ mod tests {
         let (resp, _) = core.handle(Request::Ingest {
             xs: vec![1, 2, 1],
             ys: vec![10, 20, 900],
+            ts: None,
         });
         assert!(resp.contains("\"accepted\":3"), "{resp}");
         // Out-of-range y rejected atomically.
         let (resp, _) = core.handle(Request::Ingest {
             xs: vec![9],
             ys: vec![5000],
+            ts: None,
         });
         assert!(resp.contains("false"), "{resp}");
         core.handle(Request::Flush);
@@ -748,5 +942,48 @@ mod tests {
         assert!(protocol::Response::parse(&resp).unwrap().is_ok());
         let (resp, stop) = core.handle(Request::Shutdown);
         assert!(resp.contains("true") && stop);
+    }
+
+    #[test]
+    fn core_answers_window_queries_with_resolved_spans() {
+        let config = ServeConfig {
+            shards: 1,
+            merge_every: 1,
+            y_max: 1023,
+            pane_ticks: 8,
+            ..Default::default()
+        };
+        let core = ServerCore::build(config, None).unwrap();
+        // Empty ring answers zero with an empty resolved span.
+        let (resp, _) = core.handle(Request::WindowF2 { window: 100, c: 1023 });
+        let r = protocol::Response::parse(&resp).unwrap();
+        assert!(r.is_ok(), "{resp}");
+        assert_eq!(r.u64_field("resolved_hi").unwrap(), 0);
+        // Default clock stamps arrival ticks 0, 1, 2, ...
+        let n = 64u64;
+        let (resp, _) = core.handle(Request::Ingest {
+            xs: (0..n).collect(),
+            ys: (0..n).map(|i| i % 1024).collect(),
+            ts: None,
+        });
+        assert!(resp.contains("\"accepted\""), "{resp}");
+        let (resp, _) = core.handle(Request::WindowF2 { window: 32, c: 1023 });
+        let r = protocol::Response::parse(&resp).unwrap();
+        assert!(r.is_ok(), "{resp}");
+        assert!(r.f64_field("value").unwrap() > 0.0);
+        let lo = r.u64_field("resolved_lo").unwrap();
+        let hi = r.u64_field("resolved_hi").unwrap();
+        assert!(lo >= 32 && hi == 64, "resolved [{lo}, {hi})");
+        // Explicit timestamps drive the window clock.
+        let (resp, _) = core.handle(Request::Ingest {
+            xs: vec![7, 7],
+            ys: vec![1, 2],
+            ts: Some(vec![1000, 990]),
+        });
+        assert!(resp.contains("\"accepted\":2"), "{resp}");
+        let (resp, _) = core.handle(Request::WindowF0 { window: 16, c: 1023 });
+        let r = protocol::Response::parse(&resp).unwrap();
+        assert!(r.is_ok(), "{resp}");
+        assert!(r.u64_field("resolved_hi").unwrap() > 1000);
     }
 }

@@ -48,7 +48,7 @@ pub use count_sketch::CountSketch;
 pub use error::{Result, SketchError};
 pub use exact::ExactFrequencies;
 pub use f0::{DistinctSampler, F0Sketch, FlajoletMartin, KmvSketch};
-pub use fast_ams::{FastAmsBatch, FastAmsPrepared, FastAmsSketch};
+pub use fast_ams::{DecayedF2Accumulator, FastAmsBatch, FastAmsPrepared, FastAmsSketch};
 pub use fk::{FkPrepared, FkSketch};
 pub use misra_gries::MisraGries;
 pub use quantiles::GkQuantiles;

@@ -11,6 +11,13 @@
 //!
 //! [`AsyncWindowF2`] and [`AsyncWindowCount`] wrap the corresponding
 //! correlated sketches behind a window-oriented API.
+//!
+//! This reduction answers any suffix window exactly at base-tick resolution,
+//! but the single sketch's y-domain spans all of `[0, t_max]` and nothing is
+//! ever forgotten. The pane ring in [`crate::windowed`] makes the opposite
+//! trade: pane-quantized window edges in exchange for bounded pane counts,
+//! retention/expiry, landmark queries, a second (y-threshold) dimension, and
+//! a fading-factor decayed variant.
 
 use cora_core::error::Result;
 use cora_core::f2::{correlated_f2_seeded, CorrelatedF2};

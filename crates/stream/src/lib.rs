@@ -12,6 +12,9 @@
 //!   lower bound (Section 4.1);
 //! * [`async_window`] — sliding-window aggregation over asynchronous
 //!   (out-of-order) streams via the reduction to correlated aggregates;
+//! * [`windowed`] — the exponential-histogram pane ring answering
+//!   `(time window, y-threshold)` two-dimensional slices (sliding, landmark,
+//!   and fading-factor decayed variants) by composing mergeable panes;
 //! * [`sharded`] — the worker-sharded parallel ingest front-end
 //!   ([`ShardedIngest`]): lock-free SPSC rings feeding N same-seeded
 //!   correlated sketches, merged at query time (Property V);
@@ -30,8 +33,13 @@ pub mod lower_bound;
 pub mod multipass;
 pub mod sharded;
 pub mod tuple;
+pub mod windowed;
 
 pub use async_window::{AsyncWindowCount, AsyncWindowF2};
+pub use windowed::{
+    windowed_count, windowed_f0, windowed_f2, PaneConfig, PaneRing, WindowPane, WindowedCount,
+    WindowedF0, WindowedF2,
+};
 pub use sharded::{sharded_correlated_f2, ShardReader, ShardedIngest};
 pub use driver::{default_thresholds, relative_errors, time_ingest, RunReport};
 pub use generators::{

@@ -1,16 +1,17 @@
 //! End-to-end tour of the serving layer — and the CI serve-smoke step.
 //!
-//! Starts a `cora-serve` instance on a loopback port, drives ingest and all
-//! four query families through the line-protocol client, snapshots the
-//! server to disk, **restarts** it from the snapshot, re-queries, and
-//! asserts the answers are bit-identical. Prints `SERVE SMOKE OK` on
-//! success (the CI step greps for it).
+//! Starts a `cora-serve` instance on a loopback port, drives ingest, all
+//! four query families, and windowed (time window × y-threshold) slices
+//! through the line-protocol client, snapshots the server to disk,
+//! **restarts** it from the snapshot, re-queries, and asserts the answers
+//! are bit-identical. Prints `SERVE SMOKE OK` on success (the CI step greps
+//! for it).
 //!
 //! ```text
 //! cargo run -p cora-examples --release --example serve_demo
 //! ```
 
-use cora_serve::client::ServeClient;
+use cora_serve::client::{ServeClient, WindowAnswer};
 use cora_serve::server::{start, start_restored, ServeConfig};
 
 fn main() {
@@ -24,6 +25,9 @@ fn main() {
         merge_every: 2,
         phi: 0.05,
         x_domain_log2: 20,
+        pane_ticks: 1_024,
+        pane_k: 4,
+        pane_retention: None,
     };
 
     // --- Phase 1: a fresh server takes ingest and answers queries. -------
@@ -69,6 +73,28 @@ fn main() {
         "the planted heavy source must be reported"
     );
 
+    // Two-dimensional slices: recent time window × latency threshold. The
+    // server stamps ingest with arrival ticks, so "the last 8192 ticks" is
+    // the most recent 8192 accepted tuples.
+    let windows: Vec<u64> = vec![8_192, 65_536];
+    let window_f2: Vec<WindowAnswer> = windows
+        .iter()
+        .map(|&w| client.query_window_f2(w, 2_000).expect("window f2"))
+        .collect();
+    let window_f0: Vec<WindowAnswer> = windows
+        .iter()
+        .map(|&w| client.query_window_f0(w, 2_000).expect("window f0"))
+        .collect();
+    println!(" window        F2(y<=2000)      F0(y<=2000)   resolved span");
+    for (i, &w) in windows.iter().enumerate() {
+        println!(
+            "{w:>7}  {:>16.0}  {:>15.0}   [{}, {})",
+            window_f2[i].value, window_f0[i].value, window_f2[i].resolved_lo,
+            window_f2[i].resolved_hi
+        );
+    }
+    assert!(window_f2[1].value > 0.0 && window_f0[1].value > 0.0);
+
     let stats = client.stats().expect("stats");
     println!(
         "stats: accepted={} composite_items={} epoch={} staleness_batches={}",
@@ -104,7 +130,23 @@ fn main() {
     }
     let restored_hitters = client.query_heavy_hitters(2_000, 0.2).expect("heavy hitters");
     assert_eq!(restored_hitters, hitters, "heavy hitters differ after restore");
-    println!("restart verified: {} thresholds bit-identical across f2/f0/rarity + heavy hitters", thresholds.len());
+    for (i, &w) in windows.iter().enumerate() {
+        assert_eq!(
+            client.query_window_f2(w, 2_000).expect("window f2"),
+            window_f2[i],
+            "windowed f2 differs at window={w}"
+        );
+        assert_eq!(
+            client.query_window_f0(w, 2_000).expect("window f0"),
+            window_f0[i],
+            "windowed f0 differs at window={w}"
+        );
+    }
+    println!(
+        "restart verified: {} thresholds bit-identical across f2/f0/rarity + heavy hitters, {} windowed slices",
+        thresholds.len(),
+        2 * windows.len()
+    );
 
     // The restored server is live, not a read-only archive.
     client.ingest(&[(7, 0), (7, 1)]).expect("post-restore ingest");

@@ -12,7 +12,10 @@ use cora_core::{
     correlated_f2_seeded, CorrelatedF0, CorrelatedHeavyHitters, CorrelatedRarity,
     CorrelatedSketch, F2Aggregate,
 };
-use cora_stream::{DatasetGenerator, UniformGenerator, ZipfGenerator};
+use cora_stream::{
+    windowed_f0, windowed_f2, DatasetGenerator, PaneConfig, UniformGenerator, WindowedF0,
+    WindowedF2, ZipfGenerator,
+};
 use cora_tests::stream_len;
 
 const Y_MAX: u64 = (1 << 18) - 1;
@@ -185,6 +188,131 @@ fn heavy_hitters_snapshot_restore_answers_bit_identically_and_merges() {
             );
         }
     }
+}
+
+/// A windowed ring pair (F2 + F0) fed the same timestamped workload, for the
+/// windowed roundtrip tests. Timestamps stride so panes of several classes
+/// exist and rebalancing has happened.
+fn windowed_pair(n: usize) -> (WindowedF2, WindowedF0) {
+    let panes = PaneConfig::new(512);
+    let mut wf2 = windowed_f2(0.25, 0.1, Y_MAX, 1_000_000, SEED, panes.clone()).unwrap();
+    let mut wf0 = windowed_f0(0.25, 0.1, 20, Y_MAX, SEED, panes).unwrap();
+    for t in UniformGenerator::new(50_000, Y_MAX, SEED)
+        .generate(n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (t.x, t.y, (i as u64) * 3))
+    {
+        wf2.observe(t.0, t.1, t.2).unwrap();
+        wf0.observe(t.0, t.1, t.2).unwrap();
+    }
+    (wf2, wf0)
+}
+
+#[test]
+fn windowed_snapshot_restore_answers_bit_identically() {
+    let (wf2, wf0) = windowed_pair(stream_len(20_000));
+    let rf2 = WindowedF2::restore_from(F2Aggregate::new(0.25, 0.1, SEED), &wf2.snapshot()).unwrap();
+    let rf0 = WindowedF0::restore_from(&wf0.snapshot()).unwrap();
+
+    // Ring geometry and clocks restore exactly.
+    assert_eq!(rf2.pane_spans(), wf2.pane_spans());
+    assert_eq!(rf0.pane_spans(), wf0.pane_spans());
+    assert_eq!(rf2.t_latest(), wf2.t_latest());
+    assert_eq!(rf2.stored_tuples(), wf2.stored_tuples());
+
+    // Sliding, landmark, and decayed answers are bit-identical, window by
+    // window and threshold by threshold.
+    let span = wf2.coverage().unwrap().1;
+    for &window in &[span / 8, span / 3, span] {
+        for &c in &thresholds() {
+            assert_eq!(
+                rf2.query_sliding(window, c).unwrap(),
+                wf2.query_sliding(window, c).unwrap(),
+                "windowed f2 differs at window={window} c={c}"
+            );
+            assert_eq!(
+                rf0.query_sliding(window, c).unwrap(),
+                wf0.query_sliding(window, c).unwrap(),
+                "windowed f0 differs at window={window} c={c}"
+            );
+        }
+    }
+    for &landmark in &[0u64, span / 2] {
+        assert_eq!(
+            rf2.query_landmark(landmark, Y_MAX).unwrap(),
+            wf2.query_landmark(landmark, Y_MAX).unwrap(),
+            "windowed f2 landmark differs at {landmark}"
+        );
+    }
+    for &lambda in &[1.0f64, 0.999] {
+        assert_eq!(
+            rf2.query_decayed(lambda, Y_MAX).unwrap(),
+            wf2.query_decayed(lambda, Y_MAX).unwrap(),
+            "windowed f2 decayed differs at lambda={lambda}"
+        );
+    }
+
+    // The restored ring keeps ingesting: both sides observe one more pane's
+    // worth of tuples and still agree.
+    let (mut live, mut back) = (wf2, rf2);
+    let t_next = live.t_latest().unwrap() + 1;
+    for i in 0..600u64 {
+        live.observe(i % 40, i % Y_MAX, t_next + i).unwrap();
+        back.observe(i % 40, i % Y_MAX, t_next + i).unwrap();
+    }
+    assert_eq!(
+        back.query_sliding(span, Y_MAX).unwrap(),
+        live.query_sliding(span, Y_MAX).unwrap(),
+        "windowed f2 diverges after post-restore ingest"
+    );
+}
+
+#[test]
+fn damaged_windowed_snapshots_are_rejected_before_decode() {
+    let (wf2, wf0) = windowed_pair(stream_len(6_000));
+    let restore_f2 = |bytes: &[u8]| -> bool {
+        WindowedF2::restore_from(F2Aggregate::new(0.25, 0.1, SEED), bytes).is_ok()
+    };
+    let restore_f0 = |bytes: &[u8]| -> bool { WindowedF0::restore_from(bytes).is_ok() };
+    type Case<'a> = (&'a str, Vec<u8>, &'a dyn Fn(&[u8]) -> bool);
+    let cases: Vec<Case> = vec![
+        ("windowed-f2", wf2.snapshot(), &restore_f2),
+        ("windowed-f0", wf0.snapshot(), &restore_f0),
+    ];
+    for (name, bytes, restore) in &cases {
+        assert!(restore(bytes), "{name}: pristine snapshot must restore");
+        for cut in [1, 10, bytes.len() / 3, bytes.len() / 2, bytes.len() - 1] {
+            assert!(!restore(&bytes[..cut]), "{name}: truncation at {cut} accepted");
+        }
+        // A flipped byte anywhere — outer frame header, ring geometry, or
+        // deep inside a nested pane frame — trips a checksum before any pane
+        // is decoded into a live structure.
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x20;
+        assert!(!restore(&corrupt), "{name}: mid-payload corruption accepted");
+        let mut tail = bytes.clone();
+        let last = tail.len() - 9;
+        tail[last] ^= 0x01;
+        assert!(!restore(&tail), "{name}: tail corruption accepted");
+        let mut future = bytes.clone();
+        future[4] = 0xEE;
+        assert!(!restore(&future), "{name}: future version accepted");
+        // Cross-kind confusion: the other windowed snapshot and a plain
+        // (un-windowed) snapshot are both refused by kind.
+        for (other, other_bytes, _) in &cases {
+            if other != name {
+                assert!(!restore(other_bytes), "{name}: accepted a {other} snapshot");
+            }
+        }
+    }
+    let mut plain = correlated_f2_seeded(0.25, 0.1, Y_MAX, 1_000_000, SEED).unwrap();
+    plain.insert(1, 1).unwrap();
+    assert!(
+        !restore_f2(&plain.snapshot()),
+        "windowed-f2 accepted a plain f2 snapshot"
+    );
 }
 
 #[test]

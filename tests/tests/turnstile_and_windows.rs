@@ -1,13 +1,15 @@
 //! Cross-crate integration tests for the turnstile-model machinery (multipass,
-//! lower-bound instances) and the asynchronous sliding-window reduction.
+//! lower-bound instances), the asynchronous sliding-window reduction, and the
+//! pane-ring windowed structures checked against an exact replay oracle.
 
-use cora_core::ExactCorrelated;
+use cora_core::{CoreError, ExactCorrelated};
 use cora_stream::{
-    greater_than_instance, multipass_f2, solve_exactly, AsyncWindowCount, StoredStream,
-    StreamTuple,
+    greater_than_instance, multipass_f2, solve_exactly, windowed_count, windowed_f0, windowed_f2,
+    AsyncWindowCount, PaneConfig, StoredStream, StreamTuple,
 };
+use cora_tests::{stream_len, WindowOracle};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{seq::SliceRandom, Rng, SeedableRng};
 
 #[test]
 fn multipass_agrees_with_exact_correlated_f2_under_deletions() {
@@ -74,6 +76,207 @@ fn async_window_count_matches_brute_force_across_windows() {
         let err = (est - truth).abs() / truth;
         assert!(err < 0.25, "window {w}: est {est}, truth {truth}");
     }
+}
+
+/// One random `(x, y, t)` stream shared by the windowed property tests:
+/// timestamps uniform over `[0, t_span)`, observed in shuffled order.
+fn windowed_stream(n: usize, t_span: u64, y_max: u64, seed: u64) -> Vec<(u64, u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events: Vec<(u64, u64, u64)> = (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..400u64),
+                rng.gen_range(0..=y_max),
+                rng.gen_range(0..t_span),
+            )
+        })
+        .collect();
+    events.shuffle(&mut rng);
+    events
+}
+
+#[test]
+fn windowed_sliding_queries_match_the_oracle_at_the_configured_rate() {
+    let (eps, delta) = (0.25, 0.2);
+    let y_max = 1_023u64;
+    let t_span = 8_192u64;
+    let n = stream_len(20_000);
+    let panes = PaneConfig::new(128);
+    let mut f2 = windowed_f2(eps, delta, y_max, n as u64, 11, panes.clone()).unwrap();
+    let mut f0 = windowed_f0(eps, delta, 16, y_max, 11, panes.clone()).unwrap();
+    let mut count = windowed_count(eps, delta, y_max, n as u64, 11, panes).unwrap();
+    let mut oracle = WindowOracle::new();
+    for &(x, y, t) in &windowed_stream(n, t_span, y_max, 29) {
+        f2.observe(x, y, t).unwrap();
+        f0.observe(x, y, t).unwrap();
+        count.observe(x, y, t).unwrap();
+        oracle.observe(x, y, t);
+    }
+
+    // Random window widths, query times, and thresholds; each estimate is
+    // judged against the exact aggregate of the pane-aligned span the ring
+    // resolved, so only sketch error (never pane quantization) counts.
+    let mut rng = StdRng::seed_from_u64(31);
+    let t_latest = f2.t_latest().unwrap();
+    let mut checks = 0usize;
+    let mut misses = 0usize;
+    for trial in 0..40 {
+        let window = rng.gen_range(256..=t_span);
+        let now = if trial % 2 == 0 {
+            t_latest
+        } else {
+            rng.gen_range(t_span / 2..t_span)
+        };
+        let c = rng.gen_range(y_max / 8..=y_max);
+        let Some((lo, hi)) = f2.resolved_window(now, window).unwrap() else {
+            continue;
+        };
+        // All three rings saw the same observe sequence with the same pane
+        // geometry, so they resolve identical spans.
+        assert_eq!(count.resolved_window(now, window).unwrap(), Some((lo, hi)));
+        assert_eq!(f0.resolved_window(now, window).unwrap(), Some((lo, hi)));
+        for (est, truth) in [
+            (f2.query_at(now, window, c).unwrap(), oracle.f2(lo, hi, c)),
+            (f0.query_at(now, window, c).unwrap(), oracle.f0(lo, hi, c)),
+            (count.query_at(now, window, c).unwrap(), oracle.count(lo, hi, c)),
+        ] {
+            if truth < 20.0 {
+                continue;
+            }
+            checks += 1;
+            if (est - truth).abs() / truth > eps {
+                misses += 1;
+            }
+        }
+    }
+    assert!(checks >= 60, "degenerate trial set: only {checks} checks");
+    let allowed = ((checks as f64) * delta).ceil() as usize;
+    assert!(
+        misses <= allowed,
+        "windowed queries out of eps={eps} band {misses}/{checks} times (allowed {allowed})"
+    );
+}
+
+#[test]
+fn windowed_landmark_and_decayed_queries_match_the_oracle() {
+    let eps = 0.25;
+    let y_max = 511u64;
+    let t_span = 4_096u64;
+    let n = stream_len(12_000);
+    let panes = PaneConfig::new(64);
+    let mut ring = windowed_f2(eps, 0.1, y_max, n as u64, 17, panes).unwrap();
+    let mut oracle = WindowOracle::new();
+    for &(x, y, t) in &windowed_stream(n, t_span, y_max, 43) {
+        ring.observe(x, y, t).unwrap();
+        oracle.observe(x, y, t);
+    }
+    let t_latest = ring.t_latest().unwrap();
+
+    // Landmark queries at three cut points, two thresholds each.
+    let mut checks = 0usize;
+    let mut misses = 0usize;
+    for &landmark in &[0u64, t_span / 3, (3 * t_span) / 4] {
+        let window = t_latest + 1 - landmark;
+        let (lo, hi) = ring.resolved_window(t_latest, window).unwrap().unwrap();
+        assert!(lo >= landmark, "resolved span must not reach before the landmark");
+        for &c in &[y_max / 2, y_max] {
+            let est = ring.query_landmark(landmark, c).unwrap();
+            let truth = oracle.f2(lo, hi, c);
+            checks += 1;
+            if (est - truth).abs() / truth.max(1.0) > eps {
+                misses += 1;
+            }
+        }
+    }
+
+    // Decayed variant: fold each pane with weight λ^age and compare against
+    // the oracle's exactly-weighted union, for three fading factors.
+    let spans = ring.pane_spans();
+    for &lambda in &[1.0f64, 0.999, 0.995] {
+        let weighted: Vec<(u64, u64, f64)> = spans
+            .iter()
+            .map(|&(s, e, _)| (s, e, ring.decay_weight(lambda, e)))
+            .collect();
+        for &c in &[y_max / 2, y_max] {
+            let est = ring.query_decayed(lambda, c).unwrap();
+            let truth = oracle.decayed_f2(&weighted, c);
+            checks += 1;
+            if (est - truth).abs() / truth.max(1.0) > eps {
+                misses += 1;
+            }
+        }
+    }
+    assert!(
+        misses <= 2,
+        "landmark/decayed estimates out of band {misses}/{checks} times"
+    );
+}
+
+#[test]
+fn pane_seal_and_retention_boundaries_are_pinned() {
+    // Query exactly at a pane seal: ticks 0..48 fill three 16-tick panes, and
+    // windows that are pane multiples resolve to exactly the requested span.
+    let mut ring = windowed_count(0.2, 0.1, 255, 10_000, 5, PaneConfig::new(16)).unwrap();
+    let mut oracle = WindowOracle::new();
+    for t in 0..48u64 {
+        ring.observe(t % 10, t % 256, t).unwrap();
+        oracle.observe(t % 10, t % 256, t);
+    }
+    assert_eq!(ring.resolved_window(47, 16).unwrap(), Some((32, 48)));
+    assert_eq!(ring.resolved_window(47, 48).unwrap(), Some((0, 48)));
+    // A zero-width window resolves nothing and answers zero.
+    assert_eq!(ring.resolved_window(47, 0).unwrap(), None);
+    assert_eq!(ring.query_at(47, 0, 255).unwrap(), 0.0);
+    let est = ring.query_at(47, 16, 255).unwrap();
+    let truth = oracle.count(32, 48, 255);
+    assert!((est - truth).abs() / truth <= 0.2, "pane-seal query: {est} vs {truth}");
+
+    // Retention: with a 64-tick horizon, a 200-tick stream expires its old
+    // panes. Windows reaching past the horizon fail loudly; a window starting
+    // exactly at the expiry boundary still answers.
+    let panes = PaneConfig::new(16).with_retention(64);
+    let mut ring = windowed_count(0.2, 0.1, 255, 10_000, 5, panes).unwrap();
+    for t in 0..200u64 {
+        ring.observe(t % 10, t % 256, t).unwrap();
+    }
+    let horizon = ring.expired_through().expect("old panes must have expired");
+    assert!(horizon > 0 && horizon <= 136, "horizon {horizon} out of range");
+    let too_wide = 200 - (horizon - 1);
+    assert!(matches!(
+        ring.query_sliding(too_wide, 255),
+        Err(CoreError::WindowExpired { .. })
+    ));
+    assert!(ring.query_sliding(200 - horizon, 255).is_ok());
+    // A tuple older than the horizon is counted as dropped, not inserted.
+    let before = ring.stored_tuples();
+    ring.observe(1, 1, 0).unwrap();
+    assert_eq!(ring.late_dropped(), 1);
+    assert_eq!(ring.stored_tuples(), before);
+}
+
+#[test]
+fn repeated_window_queries_reuse_cached_composites() {
+    let mut ring = windowed_f2(0.25, 0.1, 255, 10_000, 3, PaneConfig::new(32)).unwrap();
+    for t in 0..2_000u64 {
+        ring.observe(t % 50, t % 256, t).unwrap();
+    }
+    let base = ring.composites_built();
+    ring.query_sliding(256, 128).unwrap();
+    assert_eq!(ring.composites_built(), base + 1, "first query merges panes");
+    for _ in 0..5 {
+        ring.query_sliding(256, 128).unwrap();
+        ring.query_sliding(256, 64).unwrap(); // same span, different threshold
+    }
+    assert_eq!(
+        ring.composites_built(),
+        base + 1,
+        "repeats at an unchanged ring must hit the composite cache"
+    );
+    ring.query_sliding(1_024, 128).unwrap();
+    assert_eq!(ring.composites_built(), base + 2, "a new span merges once");
+    ring.observe(1, 1, 2_000).unwrap();
+    ring.query_sliding(256, 128).unwrap();
+    assert_eq!(ring.composites_built(), base + 3, "mutation invalidates the cache");
 }
 
 #[test]
