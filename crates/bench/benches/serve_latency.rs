@@ -1,22 +1,25 @@
-//! End-to-end latency of the `cora-serve` line protocol over loopback TCP:
-//! what one client round-trip costs for each query op, and the throughput of
-//! batch ingest through the server.
+//! End-to-end latency of the `cora-serve` protocols over loopback TCP:
+//! what one client round-trip costs for each query op (over both the JSON
+//! line protocol and the binary frame protocol), and the throughput of
+//! batch ingest through the server — acked JSON, acked binary, and
+//! pipelined no-ack binary.
 //!
-//! These numbers include the OS socket stack, so they are noisier than the
-//! in-process benches; the CI bench gate deliberately does **not** filter on
-//! them (see `.github/workflows/ci.yml`), they are recorded for the
-//! trajectory only.
+//! The `serve_latency` rows include the OS socket stack, so they are
+//! noisier than the in-process benches; the CI bench gate deliberately does
+//! **not** filter on them (see `.github/workflows/ci.yml`). The
+//! `serve_ingest`/`serve_ingest_binary` throughput rows **are** gated —
+//! they pin the server-path ingest tax against the in-process baseline.
 
 use cora_serve::client::ServeClient;
-use cora_serve::server::{start, ServeConfig};
+use cora_serve::server::{start, RunningServer, ServeConfig};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 const Y_MAX: u64 = (1 << 20) - 1;
 const INGEST_BATCH: usize = 1_000;
 
-fn bench_serve(c: &mut Criterion) {
-    let config = ServeConfig {
+fn bench_config() -> ServeConfig {
+    ServeConfig {
         epsilon: 0.2,
         delta: 0.1,
         y_max: Y_MAX,
@@ -29,18 +32,29 @@ fn bench_serve(c: &mut Criterion) {
         pane_ticks: 1_024,
         pane_k: 4,
         pane_retention: None,
-    };
-    let server = start(config, "127.0.0.1:0").expect("bind loopback server");
-    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+        max_connections: 1_024,
+    }
+}
 
-    // Pre-load a moderate stream so queries touch real structure.
+/// A fresh server pre-loaded to exactly 50k tuples. Every ingest row starts
+/// from its own copy of this state: the windowed structures' marginal cost
+/// grows with stream length, so rows sharing one server would measure their
+/// position in the run order, not their protocol.
+fn preloaded_server() -> RunningServer {
+    let server = start(bench_config(), "127.0.0.1:0").expect("bind loopback server");
     let tuples: Vec<(u64, u64)> = (0..50_000u64)
         .map(|i| (i % 5_000, (i * 127) % (Y_MAX + 1)))
         .collect();
-    for chunk in tuples.chunks(INGEST_BATCH) {
-        client.ingest(chunk).expect("preload ingest");
-    }
-    client.flush().expect("preload flush");
+    let mut loader = ServeClient::connect_binary(server.local_addr()).expect("preload connect");
+    loader.ingest_pipelined(&tuples, INGEST_BATCH).expect("preload ingest");
+    loader.flush().expect("preload flush");
+    server
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let server = preloaded_server();
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+    let mut binary = ServeClient::connect_binary(server.local_addr()).expect("binary connect");
 
     let mut group = c.benchmark_group("serve_latency");
     group.sample_size(30);
@@ -56,21 +70,74 @@ fn bench_serve(c: &mut Criterion) {
     group.bench_function("heavy_hitters_round_trip", |b| {
         b.iter(|| black_box(client.query_heavy_hitters(black_box(Y_MAX), 0.05).unwrap()))
     });
-    group.finish();
-
-    let mut group = c.benchmark_group("serve_ingest");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(INGEST_BATCH as u64));
-    let batch: Vec<(u64, u64)> = (0..INGEST_BATCH as u64)
-        .map(|i| (i % 700, (i * 31) % (Y_MAX + 1)))
-        .collect();
-    group.bench_function("ingest_1k_batch", |b| {
-        b.iter(|| client.ingest(black_box(&batch)).unwrap())
+    group.bench_function("ping_round_trip_binary", |b| {
+        b.iter(|| binary.ping().unwrap())
+    });
+    group.bench_function("f2_query_round_trip_binary", |b| {
+        b.iter(|| black_box(binary.query_f2(black_box(Y_MAX / 2)).unwrap()))
+    });
+    group.bench_function("heavy_hitters_round_trip_binary", |b| {
+        b.iter(|| black_box(binary.query_heavy_hitters(black_box(Y_MAX), 0.05).unwrap()))
     });
     group.finish();
 
     drop(client);
+    drop(binary);
     server.shutdown();
+
+    let batch: Vec<(u64, u64)> = (0..INGEST_BATCH as u64)
+        .map(|i| (i % 700, (i * 31) % (Y_MAX + 1)))
+        .collect();
+
+    {
+        let server = preloaded_server();
+        let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+        let mut group = c.benchmark_group("serve_ingest");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(INGEST_BATCH as u64));
+        group.bench_function("ingest_1k_batch", |b| {
+            b.iter(|| client.ingest(black_box(&batch)).unwrap())
+        });
+        group.finish();
+        drop(client);
+        server.shutdown();
+    }
+
+    {
+        let server = preloaded_server();
+        let mut binary = ServeClient::connect_binary(server.local_addr()).expect("connect");
+        let mut group = c.benchmark_group("serve_ingest_binary");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(INGEST_BATCH as u64));
+        group.bench_function("ingest_1k_batch", |b| {
+            b.iter(|| binary.ingest(black_box(&batch)).unwrap())
+        });
+        group.finish();
+        drop(binary);
+        server.shutdown();
+    }
+
+    {
+        let server = preloaded_server();
+        let mut binary = ServeClient::connect_binary(server.local_addr()).expect("connect");
+        // The pipelined hot path: stream no-ack batches, one sync round
+        // trip for the whole train instead of one per batch.
+        const PIPELINE_DEPTH: usize = 20;
+        let mut group = c.benchmark_group("serve_ingest_binary");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements((INGEST_BATCH * PIPELINE_DEPTH) as u64));
+        group.bench_function("ingest_20x1k_pipelined", |b| {
+            b.iter(|| {
+                for _ in 0..PIPELINE_DEPTH {
+                    binary.ingest_noack(black_box(&batch)).unwrap();
+                }
+                binary.sync().unwrap();
+            })
+        });
+        group.finish();
+        drop(binary);
+        server.shutdown();
+    }
 }
 
 criterion_group!(benches, bench_serve);

@@ -471,11 +471,11 @@ impl<A: CorrelatedAggregate> Level<A> {
         }
     }
 
-    /// Build the merge of two same-index levels (Property V): the node set is
-    /// the union of both dyadic trees, per-interval stores are merged
-    /// (summaries are composable because all bucket sketches share hash
-    /// seeds), and bucket-closing is re-run on every merged node so the level
-    /// respects its threshold again.
+    /// Merge another same-index level into this one **in place** (Property
+    /// V): the node set becomes the union of both dyadic trees, per-interval
+    /// stores are merged (summaries are composable because all bucket
+    /// sketches share hash seeds), and bucket-closing is re-run with fresh
+    /// headroom on every node the merge touched.
     ///
     /// Soundness: both inputs are ancestor-closed subtrees of the same dyadic
     /// tree, so their union is too, and below the merged watermark
@@ -483,75 +483,161 @@ impl<A: CorrelatedAggregate> Level<A> {
     /// reachable `y`, the deeper of the two input leaves containing `y` is
     /// the unique union leaf). Every item summarised by either input sits in
     /// exactly one merged node, so query-time composition counts it exactly
-    /// once. Interior nodes inherit `closed` from either input; a leaf whose
+    /// once. Interior nodes inherit `closed` from either input; a node whose
     /// merged estimate now reaches the threshold is closed here rather than
     /// on its next insert. Nodes at or above the merged watermark can never
     /// be composed (queries require `c < Y_ℓ`) and are dropped to keep the α
     /// budget for reachable buckets.
-    fn merge_of(a: &Self, b: &Self, agg: &A, alpha: usize) -> Result<Self> {
-        debug_assert_eq!(a.index, b.index);
-        let y_bound = min_watermark(a.y_bound, b.y_bound);
-        // Union the live nodes by interval, merging stores.
-        let mut by_interval: BTreeMap<(u64, u64), (BucketStore<A>, bool)> = BTreeMap::new();
-        for level in [a, b] {
-            for (meta, store) in level.arena.meta.iter().zip(&level.arena.stores) {
-                if meta.is_evicted() {
-                    continue;
-                }
-                let interval = meta.interval();
-                if let Some(bound) = y_bound {
-                    if interval.lo >= bound {
-                        continue; // unreachable past the merged watermark
-                    }
-                }
-                let key = (interval.lo, interval.len());
-                let closed = meta.is_closed();
-                match by_interval.entry(key) {
-                    std::collections::btree_map::Entry::Occupied(mut e) => {
-                        let (merged, merged_closed) = e.get_mut();
-                        merged.merge_from(agg, store)?;
-                        *merged_closed |= closed;
-                    }
-                    std::collections::btree_map::Entry::Vacant(e) => {
-                        e.insert((store.clone(), closed));
-                    }
+    ///
+    /// Nodes of `self` that `other` does not store are left untouched: their
+    /// pending/headroom gating state still describes exactly the same store,
+    /// and a threshold crossing one of them may have silently accumulated is
+    /// caught by its next gated insert — the same laziness the insert path
+    /// itself relies on. That is what makes the merge asymmetric: the cost is
+    /// `O(|other| log α)` — each incoming node finds its match through the
+    /// eviction-order set, which doubles as an interval index — not cloning
+    /// and re-estimating `self`: absorbing a small pane into a large
+    /// accumulator no longer pays for the accumulator.
+    fn absorb(&mut self, other: &Self, agg: &A, alpha: usize) -> Result<()> {
+        debug_assert_eq!(self.index, other.index);
+        let bound = min_watermark(self.y_bound, other.y_bound);
+        if bound != self.y_bound {
+            // Other's watermark is lower: self's nodes at or past it become
+            // unreachable and are dropped, as a rebuild would.
+            if let Some(b) = bound {
+                self.drop_from(b);
+            }
+            self.y_bound = bound;
+        }
+        // Other's live nodes in (lo, depth) order, so fresh slots are
+        // allocated deterministically.
+        let mut incoming: Vec<(u64, u64, u32)> = other
+            .arena
+            .meta
+            .iter()
+            .enumerate()
+            .filter(|(_, meta)| !meta.is_evicted())
+            .map(|(slot, meta)| (meta.lo, meta.interval().len(), slot as u32))
+            .collect();
+        incoming.sort_unstable();
+        let mut added = false;
+        for (lo, len, other_slot) in incoming {
+            if let Some(b) = bound {
+                if lo >= b {
+                    continue; // unreachable past the merged watermark
                 }
             }
-        }
-        let mut level = Self {
-            index: a.index,
-            threshold: a.threshold,
-            arena: LevelArena::new(),
-            live: 0,
-            leaves: BTreeMap::new(),
-            order: BTreeSet::new(),
-            y_bound,
-            cursor: NIL,
-        };
-        let stored: BTreeSet<(u64, u64)> = by_interval.keys().copied().collect();
-        for ((lo, len), (store, closed)) in by_interval {
-            let interval = DyadicInterval { lo, hi: lo + (len - 1) };
-            let slot = level.alloc(interval);
+            let other_meta = &other.arena.meta[other_slot as usize];
+            let other_store = &other.arena.stores[other_slot as usize];
+            // The eviction-order set is keyed `(lo, !len, slot)`, so an
+            // exact-interval probe is one O(log α) range lookup — no
+            // interval map has to be built over self.
+            let order_key = u64::MAX - len;
+            let existing = self
+                .order
+                .range((lo, order_key, 0)..=(lo, order_key, u32::MAX))
+                .next()
+                .map(|&(_, _, slot)| slot);
+            let slot = match existing {
+                Some(slot) => {
+                    self.arena.stores[slot as usize].merge_from(agg, other_store)?;
+                    slot
+                }
+                None => {
+                    let slot = self.alloc(DyadicInterval { lo, hi: lo + (len - 1) });
+                    self.arena.stores[slot as usize] = other_store.clone();
+                    added = true;
+                    slot
+                }
+            };
+            // Re-run the closing check with fresh headroom on the touched
+            // node: the merged estimate may have crossed the threshold even
+            // if neither input had (unit intervals never close, as in
+            // `update`).
             let s = slot as usize;
-            // Re-run the closing check with fresh headroom: the merged
-            // estimate may have crossed the threshold even if neither input
-            // had (and unit intervals never close, as in `update`).
-            let estimate = store.estimate(agg);
-            if !interval.is_unit() && (closed || estimate >= level.threshold) {
-                level.arena.meta[s].flags |= FLAG_CLOSED;
+            let estimate = self.arena.stores[s].estimate(agg);
+            let meta = &mut self.arena.meta[s];
+            if !meta.is_unit() && (other_meta.is_closed() || estimate >= self.threshold) {
+                meta.flags |= FLAG_CLOSED;
             }
-            level.arena.meta[s].headroom = agg.weight_headroom(estimate, level.threshold);
-            level.arena.stores[s] = store;
-            // A union node routes updates (is a stored leaf) iff its left
-            // child is absent from the union; at each left endpoint that
-            // picks exactly the deepest stored interval.
-            let is_leaf = interval.is_unit() || !stored.contains(&(lo, len / 2));
-            if is_leaf {
-                level.leaves.insert(lo, slot);
-            }
+            meta.headroom = agg.weight_headroom(estimate, self.threshold);
+            meta.pending = 0.0;
         }
-        level.evict_overflow(alpha);
-        Ok(level)
+        if added {
+            self.rebuild_leaves();
+        }
+        self.cursor = NIL;
+        self.evict_overflow(alpha);
+        Ok(())
+    }
+
+    /// Recompute the leaf tiling from the eviction-order set: a node routes
+    /// updates (is a stored leaf) iff its left child is absent, and
+    /// ancestor-closure makes the chain of nodes sharing a left endpoint
+    /// contiguous — so the leaf at each endpoint is exactly the deepest
+    /// stored interval, i.e. the last entry of each endpoint's group in the
+    /// `(lo, !len)`-ordered set.
+    fn rebuild_leaves(&mut self) {
+        self.leaves.clear();
+        let mut pending: Option<(u64, u32)> = None;
+        for &(lo, _, slot) in &self.order {
+            if let Some((plo, pslot)) = pending {
+                if plo != lo {
+                    self.leaves.insert(plo, pslot);
+                }
+            }
+            pending = Some((lo, slot));
+        }
+        if let Some((plo, pslot)) = pending {
+            self.leaves.insert(plo, pslot);
+        }
+    }
+
+    /// Merge a dormant level's shared-tail store into this level — the
+    /// degenerate [`Self::absorb`] where `other` is a single open root
+    /// holding `tail` (exactly what a not-yet-materialized level contains).
+    /// The union adds no node (a non-empty ancestor-closed level always
+    /// stores its root), so this is one store merge plus the root's closing
+    /// re-check.
+    fn absorb_tail(&mut self, tail: &BucketStore<A>, agg: &A) -> Result<()> {
+        // The root has the smallest eviction key (left endpoint 0, largest
+        // span), so it is the range's first entry — and it is only ever
+        // evicted last, so an empty range means an empty (fully evicted,
+        // watermark 0) level, where nothing is reachable and a rebuild would
+        // drop the tail node too.
+        let Some(&(_, _, slot)) = self.order.range((0, 0, 0)..(1, 0, 0)).next() else {
+            return Ok(());
+        };
+        let s = slot as usize;
+        self.arena.stores[s].merge_from(agg, tail)?;
+        let estimate = self.arena.stores[s].estimate(agg);
+        let meta = &mut self.arena.meta[s];
+        if !meta.is_unit() && estimate >= self.threshold {
+            meta.flags |= FLAG_CLOSED;
+        }
+        meta.headroom = agg.weight_headroom(estimate, self.threshold);
+        meta.pending = 0.0;
+        Ok(())
+    }
+
+    /// Drop every live node whose left endpoint is at or past `bound`
+    /// (unreachable once the watermark sits there). Unlike
+    /// [`Self::evict_overflow`] this does not lower the watermark — the
+    /// caller is installing `bound` itself.
+    fn drop_from(&mut self, bound: u64) {
+        for slot in 0..self.arena.meta.len() as u32 {
+            let meta = self.arena.meta[slot as usize];
+            if meta.is_evicted() || meta.lo < bound {
+                continue;
+            }
+            self.order.remove(&Self::order_key(meta.interval(), slot));
+            if self.leaves.get(&meta.lo) == Some(&slot) {
+                self.leaves.remove(&meta.lo);
+            }
+            self.arena.evict(slot);
+            self.live -= 1;
+        }
+        self.cursor = NIL;
     }
 
     /// A one-bucket stand-in for a dormant level: an *open* root holding a
@@ -994,33 +1080,30 @@ impl<A: CorrelatedAggregate> LevelEngine<A> {
     }
 
     /// Merge `other` into `self` (Property V, lifted to whole level sets):
-    /// same-index levels are union-merged, a level materialized in only one
-    /// input is merged against the other's shared tail (which is exactly
-    /// that input's dormant level), and the tails merge with the
-    /// materialization check re-run — the combined stream's estimate may
-    /// have crossed thresholds neither input had reached.
+    /// same-index levels are union-merged in place, a level materialized in
+    /// only one input absorbs the other's shared tail (which is exactly that
+    /// input's dormant level), and the tails merge with the materialization
+    /// check re-run — the combined stream's estimate may have crossed
+    /// thresholds neither input had reached.
     pub(crate) fn merge_from(&mut self, agg: &A, alpha: usize, other: &Self) -> Result<()> {
         debug_assert_eq!(self.max_level, other.max_level);
         debug_assert_eq!(self.root, other.root);
-        let merged_len = self.levels.len().max(other.levels.len());
-        let mut merged_levels = Vec::with_capacity(merged_len);
-        for i in 0..merged_len {
-            let index = i as u32 + 1;
-            let level = match (self.levels.get(i), other.levels.get(i)) {
-                (Some(a), Some(b)) => Level::merge_of(a, b, agg, alpha)?,
-                (Some(a), None) => {
-                    let virt = Level::from_tail(index, self.root, &other.tail.store);
-                    Level::merge_of(a, &virt, agg, alpha)?
-                }
-                (None, Some(b)) => {
-                    let virt = Level::from_tail(index, self.root, &self.tail.store);
-                    Level::merge_of(&virt, b, agg, alpha)?
-                }
-                (None, None) => unreachable!("i < max(levels)"),
-            };
-            merged_levels.push(level);
+        let both = self.levels.len().min(other.levels.len());
+        for (a, b) in self.levels.iter_mut().zip(&other.levels) {
+            a.absorb(b, agg, alpha)?;
         }
-        self.levels = merged_levels;
+        // Levels only self has materialized: other's dormant level is exactly
+        // its shared tail — one open root over other's whole stream.
+        for level in self.levels.iter_mut().skip(both) {
+            level.absorb_tail(&other.tail.store, agg)?;
+        }
+        // Levels only other has materialized: self's dormant level is its
+        // (pre-merge) shared tail.
+        for i in self.levels.len()..other.levels.len() {
+            let mut level = Level::from_tail(i as u32 + 1, self.root, &self.tail.store);
+            level.absorb(&other.levels[i], agg, alpha)?;
+            self.levels.push(level);
+        }
         self.level_bounds = self
             .levels
             .iter()
@@ -1183,7 +1266,7 @@ mod tests {
     }
 
     #[test]
-    fn merge_of_unions_trees_and_keeps_invariants() {
+    fn absorb_unions_trees_and_keeps_invariants() {
         let agg = agg();
         let root = DyadicInterval::root(1023);
         let mut a = Level::new(2, root);
@@ -1197,13 +1280,104 @@ mod tests {
                 b.update(&agg, 32, x, y, 1, &p);
             }
         }
-        let merged = Level::merge_of(&a, &b, &agg, 32).unwrap();
-        merged.check_invariants(root);
-        assert!(merged.live <= 32);
+        a.absorb(&b, &agg, 32).unwrap();
+        a.check_invariants(root);
+        assert!(a.live <= 32);
         // The merged level summarises both inputs: total stored weight at
         // least either side's.
-        let merged_tuples: usize = merged.live_buckets().map(|(_, s)| s.stored_tuples()).sum();
+        let merged_tuples: usize = a.live_buckets().map(|(_, s)| s.stored_tuples()).sum();
         assert!(merged_tuples > 0);
+    }
+
+    #[test]
+    fn absorb_node_set_is_direction_independent() {
+        let agg = agg();
+        let root = DyadicInterval::root(4095);
+        let build = |mult: u64, n: u64| {
+            let mut level = Level::new(3, root);
+            for i in 0..n {
+                let (x, y) = (i % 40, (i * mult) % 4096);
+                let p = prepared(&agg, x, 1);
+                level.update(&agg, 256, x, y, 1, &p);
+            }
+            level
+        };
+        // No evictions at this budget, so the union must be exact: the same
+        // node set (and leaf tiling) whichever side absorbs the other.
+        let (a, b) = (build(37, 2_000), build(11, 600));
+        let mut ab = a.clone();
+        ab.absorb(&b, &agg, 256).unwrap();
+        let mut ba = b.clone();
+        ba.absorb(&a, &agg, 256).unwrap();
+        ab.check_invariants(root);
+        ba.check_invariants(root);
+        let nodes = |l: &Level<F2Aggregate>| -> Vec<(DyadicInterval, usize)> {
+            let mut v: Vec<_> = l.live_buckets().map(|(iv, s)| (iv, s.stored_tuples())).collect();
+            v.sort_unstable_by_key(|&(iv, _)| (iv.lo, iv.len()));
+            v
+        };
+        assert_eq!(nodes(&ab), nodes(&ba));
+        let leaves = |l: &Level<F2Aggregate>| -> Vec<(u64, DyadicInterval)> {
+            l.leaves.iter().map(|(&lo, &s)| (lo, l.arena.interval(s))).collect()
+        };
+        assert_eq!(leaves(&ab), leaves(&ba));
+        // In-place absorb kept everything either side stored.
+        let tuples = |l: &Level<F2Aggregate>| -> usize {
+            l.live_buckets().map(|(_, s)| s.stored_tuples()).sum()
+        };
+        assert!(tuples(&ab) >= tuples(&a).max(tuples(&b)));
+    }
+
+    #[test]
+    fn absorb_adopts_the_lower_watermark_and_drops_unreachable_nodes() {
+        let agg = agg();
+        let root = DyadicInterval::root(255);
+        let mut a = Level::new(1, root);
+        let mut b = Level::new(1, root);
+        for i in 0..2_000u64 {
+            let (x, y) = (i % 40, (i * 37) % 256);
+            let p = prepared(&agg, x, 1);
+            a.update(&agg, 1024, x, y, 1, &p); // no evictions: budget is ample
+            b.update(&agg, 8, x, y, 1, &p); // tiny budget: forced evictions
+        }
+        assert_eq!(a.y_bound, None);
+        let bound = b.y_bound.expect("alpha = 8 must force evictions");
+        // Ample post-merge budget, so no further eviction lowers the
+        // watermark past the one inherited from `b`.
+        a.absorb(&b, &agg, 1024).unwrap();
+        a.check_invariants(root);
+        assert_eq!(a.y_bound, Some(bound));
+        for (iv, _) in a.live_buckets() {
+            assert!(iv.lo < bound, "node at {iv:?} is unreachable past {bound}");
+        }
+    }
+
+    #[test]
+    fn absorb_tail_feeds_the_root_and_recloses() {
+        let agg = agg();
+        let root = DyadicInterval::root(1023);
+        let mut level = Level::new(2, root);
+        for i in 0..500u64 {
+            let (x, y) = (i % 20, (i * 13) % 1024);
+            let p = prepared(&agg, x, 1);
+            level.update(&agg, 64, x, y, 1, &p);
+        }
+        let before: usize = level.live_buckets().map(|(_, s)| s.stored_tuples()).sum();
+        let node_count = level.live;
+        // A dormant level's stand-in: a tail store with some weight.
+        let mut tail: BucketStore<F2Aggregate> = BucketStore::new();
+        for x in 0..30u64 {
+            tail.update(&agg, x, 2);
+        }
+        level.absorb_tail(&tail, &agg).unwrap();
+        level.check_invariants(root);
+        assert_eq!(level.live, node_count, "absorbing a tail adds no node");
+        let after: usize = level.live_buckets().map(|(_, s)| s.stored_tuples()).sum();
+        assert!(after >= before, "root store must have grown: {before} -> {after}");
+        // The root (largest span at endpoint 0) must now be closed: the tail
+        // pushed its estimate far past the level-2 threshold of 8.
+        let (_, _, root_slot) = *level.order.range((0, 0, 0)..(1, 0, 0)).next().unwrap();
+        assert!(level.arena.meta[root_slot as usize].is_closed());
     }
 
     #[test]

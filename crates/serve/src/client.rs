@@ -1,13 +1,34 @@
-//! A small blocking client for the [`server`](crate::server) line protocol.
+//! A small blocking client for the [`server`](crate::server), speaking
+//! either wire protocol.
 //!
-//! One request, one response line, in order, over a single TCP connection —
+//! [`ServeClient::connect`] opens a newline-JSON connection;
+//! [`ServeClient::connect_binary`] opens a [binary-framed](crate::wire)
+//! one. Every typed method works identically on both — same answers,
+//! byte-identical field text — so transports are interchangeable. Binary
+//! connections additionally support **pipelined ingest**: stream batches
+//! with [`ServeClient::ingest_noack`] (no per-batch round trip), then call
+//! [`ServeClient::sync`] to flush the pipe and surface any errors:
+//!
+//! ```no_run
+//! # use cora_serve::client::ServeClient;
+//! # let addr = "127.0.0.1:9999";
+//! let mut client = ServeClient::connect_binary(addr).unwrap();
+//! for chunk in (0..100_000u64).collect::<Vec<_>>().chunks(1_000) {
+//!     let batch: Vec<(u64, u64)> = chunk.iter().map(|&i| (i % 700, i % 4096)).collect();
+//!     client.ingest_noack(&batch).unwrap(); // queued, not awaited
+//! }
+//! client.sync().unwrap(); // one round trip for the whole load
+//! ```
+//!
+//! One request, one response, in order, over a single TCP connection —
 //! exactly what the example binary, the `serve_latency` bench, and the CI
 //! serve-smoke step need. Concurrency comes from opening more clients (the
-//! server runs one thread per connection).
+//! server multiplexes connections over a small worker pool).
 
 use crate::protocol::{Request, Response};
+use crate::wire::{self, DecodedReply};
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// Errors talking to a serve instance.
@@ -67,27 +88,67 @@ pub struct WindowAnswer {
     pub resolved_hi: u64,
 }
 
+/// Which wire protocol a connection speaks (fixed at connect time; the
+/// server sniffs the first byte and never switches mid-stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Json,
+    Binary,
+}
+
 /// A blocking connection to a running serve instance.
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    writer: BufWriter<TcpStream>,
+    mode: Mode,
 }
 
 impl ServeClient {
     /// Connect to a server (e.g. the address from
-    /// [`RunningServer::local_addr`](crate::server::RunningServer::local_addr)).
+    /// [`RunningServer::local_addr`](crate::server::RunningServer::local_addr))
+    /// speaking the newline-JSON line protocol.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        Self::connect_mode(addr, Mode::Json)
+    }
+
+    /// Connect speaking the [binary frame protocol](crate::wire) — same
+    /// request surface and byte-identical answers, plus pipelined ingest
+    /// ([`Self::ingest_noack`] / [`Self::sync`]).
+    pub fn connect_binary<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        Self::connect_mode(addr, Mode::Binary)
+    }
+
+    fn connect_mode<A: ToSocketAddrs>(addr: A, mode: Mode) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(stream),
-            writer,
+            writer: BufWriter::new(writer),
+            mode,
         })
     }
 
-    /// Send one request and read its response line.
+    /// Whether this connection speaks the binary frame protocol.
+    pub fn is_binary(&self) -> bool {
+        self.mode == Mode::Binary
+    }
+
+    /// Send one request and read its response.
     pub fn request(&mut self, request: &Request) -> ClientResult<Response> {
+        match self.mode {
+            Mode::Json => self.request_json(request),
+            Mode::Binary => {
+                let frame = wire::encode_request(request, 0);
+                let expect = frame[2];
+                self.writer.write_all(&frame)?;
+                self.writer.flush()?;
+                self.read_reply(expect)
+            }
+        }
+    }
+
+    fn request_json(&mut self, request: &Request) -> ClientResult<Response> {
         let line = request.encode();
         writeln!(self.writer, "{line}")?;
         self.writer.flush()?;
@@ -106,6 +167,99 @@ impl ServeClient {
         Ok(response)
     }
 
+    /// Read one binary frame: `(opcode, flags, payload)`.
+    fn read_frame(&mut self) -> ClientResult<(u8, u8, Vec<u8>)> {
+        let mut header = [0u8; wire::HEADER_BYTES];
+        self.reader.read_exact(&mut header)?;
+        let header =
+            wire::parse_header(&header).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let mut payload = vec![0u8; header.len];
+        self.reader.read_exact(&mut payload)?;
+        Ok((header.opcode, header.flags, payload))
+    }
+
+    /// Read the response to a just-sent binary request. An error frame for
+    /// an earlier pipelined (`NO_ACK`) ingest may arrive first; it is
+    /// surfaced as the failure it is rather than silently dropped.
+    fn read_reply(&mut self, expect: u8) -> ClientResult<Response> {
+        let (opcode, flags, payload) = self.read_frame()?;
+        let reply = wire::decode_reply(flags, &payload).map_err(ClientError::Protocol)?;
+        match reply {
+            DecodedReply::Error(message) => Err(ClientError::Server(message)),
+            DecodedReply::Ok(_) if opcode != expect => Err(ClientError::Protocol(format!(
+                "response opcode 0x{opcode:02X} does not match request 0x{expect:02X}"
+            ))),
+            DecodedReply::Ok(fields) => Ok(Response::from_fields(
+                fields
+                    .into_iter()
+                    .map(|(key, value)| (key, value.render_json()))
+                    .collect(),
+            )),
+        }
+    }
+
+    /// Queue one ingest batch **without waiting for its response** (binary
+    /// connections only). The batch is framed with `NO_ACK`: the server
+    /// suppresses the success response and answers only on error. Call
+    /// [`Self::sync`] to flush the pipe and learn whether every queued
+    /// batch was accepted.
+    pub fn ingest_noack(&mut self, tuples: &[(u64, u64)]) -> ClientResult<()> {
+        if self.mode != Mode::Binary {
+            return Err(ClientError::Protocol(
+                "pipelined no-ack ingest requires a binary connection".into(),
+            ));
+        }
+        let frame = wire::encode_ingest(tuples, None, wire::FLAG_NO_ACK);
+        self.writer.write_all(&frame)?;
+        Ok(())
+    }
+
+    /// Pipelining sync point: flush queued frames, then round-trip a ping
+    /// and drain everything ahead of its reply. Returns the first pipelined
+    /// ingest error, if any batch since the last sync was rejected. On JSON
+    /// connections (where every request is answered synchronously) this is
+    /// just a ping.
+    pub fn sync(&mut self) -> ClientResult<()> {
+        if self.mode == Mode::Json {
+            return self.ping();
+        }
+        self.writer.write_all(&wire::encode_request(&Request::Ping, 0))?;
+        self.writer.flush()?;
+        let mut first_error: Option<String> = None;
+        loop {
+            let (opcode, flags, payload) = self.read_frame()?;
+            let reply = wire::decode_reply(flags, &payload).map_err(ClientError::Protocol)?;
+            if opcode == wire::Opcode::Ping as u8 {
+                return match (first_error, reply) {
+                    (Some(message), _) | (None, DecodedReply::Error(message)) => {
+                        Err(ClientError::Server(message))
+                    }
+                    (None, DecodedReply::Ok(_)) => Ok(()),
+                };
+            }
+            match reply {
+                DecodedReply::Error(message) => {
+                    first_error.get_or_insert(message);
+                }
+                DecodedReply::Ok(_) => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected success frame 0x{opcode:02X} while draining the pipe"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Stream `tuples` as pipelined no-ack batches of `batch` tuples, then
+    /// [`Self::sync`] once — a bulk load with a single round trip (binary
+    /// connections only).
+    pub fn ingest_pipelined(&mut self, tuples: &[(u64, u64)], batch: usize) -> ClientResult<()> {
+        for chunk in tuples.chunks(batch.max(1)) {
+            self.ingest_noack(chunk)?;
+        }
+        self.sync()
+    }
+
     /// Liveness check.
     pub fn ping(&mut self) -> ClientResult<()> {
         self.request(&Request::Ping).map(|_| ())
@@ -120,9 +274,20 @@ impl ServeClient {
     /// stamps each tuple with its arrival tick (see [`Self::ingest_at`] for
     /// explicit timestamps).
     pub fn ingest(&mut self, tuples: &[(u64, u64)]) -> ClientResult<u64> {
-        let xs: Vec<u64> = tuples.iter().map(|&(x, _)| x).collect();
-        let ys: Vec<u64> = tuples.iter().map(|&(_, y)| y).collect();
-        let response = self.request(&Request::Ingest { xs, ys, ts: None })?;
+        let response = match self.mode {
+            Mode::Binary => {
+                // Frame straight from the tuple slice — no xs/ys splits.
+                let frame = wire::encode_ingest(tuples, None, 0);
+                self.writer.write_all(&frame)?;
+                self.writer.flush()?;
+                self.read_reply(wire::Opcode::Ingest as u8)?
+            }
+            Mode::Json => {
+                let xs: Vec<u64> = tuples.iter().map(|&(x, _)| x).collect();
+                let ys: Vec<u64> = tuples.iter().map(|&(_, y)| y).collect();
+                self.request(&Request::Ingest { xs, ys, ts: None })?
+            }
+        };
         response.u64_field("accepted").map_err(ClientError::Protocol)
     }
 
@@ -250,6 +415,7 @@ mod tests {
             pane_ticks: 256,
             pane_k: 4,
             pane_retention: None,
+            max_connections: 1_024,
         }
     }
 

@@ -21,12 +21,17 @@
 //!   checksummed file ([`server::RunningServer`] op `snapshot`), and
 //!   [`server::start_restored`] boots a server from such a file with
 //!   bit-identical answers;
-//! * [`server`] / [`client`] — a `std::net::TcpListener` **line-protocol
-//!   server** (newline-delimited JSON requests and responses, reusing
-//!   `cora_stream::json`) exposing batch ingest, `f2`/`f0`/`rarity`/
-//!   heavy-hitter queries, flush, snapshot, and stats, plus a small blocking
-//!   [`client::ServeClient`] used by the `serve_demo` example and the
-//!   `serve_latency` bench.
+//! * [`server`] / [`client`] / [`wire`] — a `std::net::TcpListener` server
+//!   speaking **two wire protocols**, negotiated per connection by its
+//!   first byte: newline-delimited JSON (reusing `cora_stream::json`) and
+//!   a length-prefixed **binary frame protocol** ([`wire`]) with pipelined
+//!   no-ack batch ingest. Both expose the same ops — batch ingest,
+//!   `f2`/`f0`/`rarity`/heavy-hitter queries, windowed slices, flush,
+//!   snapshot, stats — with bit-identical answers. Connections are
+//!   multiplexed over a small fixed worker pool and bounded by
+//!   [`server::ServeConfig::max_connections`]. The blocking
+//!   [`client::ServeClient`] speaks either protocol and is used by the
+//!   `serve_demo` example and the `serve_latency` bench.
 //!
 //! ## Consistency model
 //!
@@ -59,6 +64,7 @@ pub mod client;
 pub mod merger;
 pub mod protocol;
 pub mod server;
+pub mod wire;
 
 pub use client::ServeClient;
 pub use merger::BackgroundMerger;

@@ -23,24 +23,44 @@
 //!
 //! ## Staleness bound, end to end
 //!
-//! Let `B` be the ingest batch size. The published composite is missing at
-//! most `merge_every − 1` *applied* batches (the trigger) plus the batches
-//! applied during one in-flight rebuild, i.e. reads lag writes by
-//! `O(merge_every · B)` tuples plus one merge duration — and never block.
-//! Tuples still buffered or in the SPSC rings are invisible to even a
-//! foreground merge; `ShardedIngest::flush` +
+//! Let `B` be the ingest batch size. Once the lag trigger is reached, a
+//! rebuild starts as soon as a reader has shown up (every
+//! [`current`](BackgroundMerger::current) bumps a demand counter) or the
+//! published composite is older than the [`STALENESS_FLOOR`]; reads lag
+//! writes by `O(merge_every · B)` tuples plus the floor plus one merge
+//! duration — and never block. Tuples still buffered or in the SPSC rings
+//! are invisible to even a foreground merge; `ShardedIngest::flush` +
 //! [`refresh`](BackgroundMerger::refresh) is the read-your-writes barrier
 //! over everything accepted.
+//!
+//! ## Demand- and duty-bounded rebuilds
+//!
+//! Rebuilding a composite costs real CPU — on a small box it competes with
+//! ingest for cores, and an ingest-only workload (a loader, the
+//! `serve_ingest` bench) used to pay a ~2x tax for composites nobody read.
+//! The loop therefore rebuilds only when (a) a
+//! [`refresh`](BackgroundMerger::refresh) barrier forces
+//! it, or (b) the lag trigger has fired **and** either a reader has asked
+//! for a composite since the last publish or the staleness floor has
+//! elapsed. Unforced rebuilds are additionally duty-capped: after a rebuild
+//! that took `d`, the next unforced one waits at least `d`, bounding the
+//! merger at half a core even under a query storm.
 
 use cora_core::{CoreError, CorrelatedAggregate, CorrelatedSketch, Result};
 use cora_stream::sharded::{staleness, ShardReader};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long the merger parks between generation polls while idle.
 const POLL_INTERVAL: Duration = Duration::from_micros(500);
+
+/// Wall-clock freshness floor: with the lag trigger fired but no reader
+/// demand, a rebuild still runs once the published composite is this old,
+/// so an idle-reader system converges instead of serving arbitrarily stale
+/// epochs to the *first* query that eventually arrives.
+pub const STALENESS_FLOOR: Duration = Duration::from_millis(250);
 
 /// Test/ops instrumentation invoked between building a composite and
 /// publishing it (e.g. an artificial delay proving readers don't block).
@@ -88,6 +108,9 @@ where
     /// Set by [`BackgroundMerger::refresh`] to force a rebuild regardless of
     /// staleness.
     force: AtomicBool,
+    /// Reader arrivals since the last publish — the demand signal that lets
+    /// an ingest-only workload skip rebuilds nobody would read.
+    demand: AtomicU64,
     shutdown: AtomicBool,
     /// Rebuilds completed (diagnostics; epoch of the current composite).
     epoch: AtomicU64,
@@ -98,11 +121,18 @@ impl<A: CorrelatedAggregate + Send + Sync + 'static> Shared<A>
 where
     CorrelatedSketch<A>: Send + Sync,
 {
-    fn current(&self) -> Arc<EpochComposite<A>> {
+    /// The published composite without registering reader demand (the
+    /// merger loop's own view).
+    fn peek(&self) -> Arc<EpochComposite<A>> {
         self.published
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .clone()
+    }
+
+    fn current(&self) -> Arc<EpochComposite<A>> {
+        self.demand.fetch_add(1, Ordering::Relaxed);
+        self.peek()
     }
 
     fn publish(&self, built_from: Vec<u64>, sketch: CorrelatedSketch<A>) {
@@ -119,27 +149,43 @@ where
     }
 }
 
-/// The merger loop: poll generations, rebuild + publish when the staleness
-/// trigger (or a forced refresh) fires, park briefly otherwise.
+/// The merger loop: poll generations; rebuild + publish when a forced
+/// refresh fires, or when the lag trigger has been reached *and* the
+/// rebuild is wanted (reader demand since the last publish, or the
+/// staleness floor elapsed) *and* the duty cap allows it; park briefly
+/// otherwise.
 fn merger_loop<A>(shared: &Shared<A>)
 where
     A: CorrelatedAggregate + Send + Sync + 'static,
     CorrelatedSketch<A>: Send + Sync,
 {
+    let mut last_publish = Instant::now();
+    let mut last_cost = Duration::ZERO;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
         let current = shared.reader.generations();
-        let lag = staleness(&shared.current().built_from, &current);
+        let lag = staleness(&shared.peek().built_from, &current);
         let forced = shared.force.swap(false, Ordering::AcqRel);
-        if forced || lag >= shared.merge_every {
+        // Order matters: the demand counter is consumed (swapped to zero)
+        // only once the lag trigger and the duty cap both allow a rebuild,
+        // so demand arriving during the cooldown is not silently dropped.
+        let since_publish = last_publish.elapsed();
+        let due = lag >= shared.merge_every
+            && since_publish >= last_cost
+            && (shared.demand.swap(0, Ordering::AcqRel) > 0
+                || since_publish >= STALENESS_FLOOR);
+        if forced || due {
+            let start = Instant::now();
             match shared.reader.build_composite() {
                 Ok((built_from, sketch)) => {
                     if let Some(hook) = &shared.hook {
                         hook();
                     }
                     shared.publish(built_from, sketch);
+                    last_cost = start.elapsed();
+                    last_publish = Instant::now();
                 }
                 Err(_) => {
                     // A failed merge (config drift mid-shutdown) leaves the
@@ -196,6 +242,7 @@ where
             })),
             merge_every: merge_every.max(1),
             force: AtomicBool::new(false),
+            demand: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             epoch: AtomicU64::new(0),
             hook,

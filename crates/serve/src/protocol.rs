@@ -236,6 +236,71 @@ impl Request {
     }
 }
 
+/// One typed response field value — the protocol-agnostic layer between
+/// [`crate::server`] and the two renderings (JSON text here, binary frames
+/// in [`crate::wire`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer (lossless above 2⁵³, unlike `f64`).
+    U64(u64),
+    /// A floating-point estimate.
+    F64(f64),
+    /// An array of unsigned integers.
+    U64Array(Vec<u64>),
+    /// An array of floating-point values.
+    F64Array(Vec<f64>),
+    /// An absent/optional value (`null` in JSON).
+    Null,
+}
+
+impl Value {
+    /// Render as raw JSON text — exactly what the line protocol has always
+    /// emitted for this kind of field, so the JSON rendering of a [`Reply`]
+    /// is byte-identical to the pre-`Reply` server.
+    pub fn render_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::F64(v) => json::float(*v),
+            Value::U64Array(vs) => u64_array(vs),
+            Value::F64Array(vs) => json::float_array(vs),
+            Value::Null => "null".to_string(),
+        }
+    }
+}
+
+/// A protocol-agnostic server response: the server core produces these and
+/// each transport renders them (`render_json` here; frames in
+/// [`crate::wire`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Success, with named result fields.
+    Ok(Vec<(&'static str, Value)>),
+    /// Failure, with a message.
+    Error(String),
+}
+
+impl Reply {
+    /// The bare success reply.
+    pub fn ok() -> Self {
+        Reply::Ok(Vec::new())
+    }
+
+    /// Render as one JSON response line (no trailing newline), byte-identical
+    /// to [`ok_with`]/[`error`] output.
+    pub fn render_json(&self) -> String {
+        match self {
+            Reply::Ok(fields) => {
+                let rendered: Vec<(&str, String)> = fields
+                    .iter()
+                    .map(|(key, value)| (*key, value.render_json()))
+                    .collect();
+                ok_with(&rendered)
+            }
+            Reply::Error(message) => error(message),
+        }
+    }
+}
+
 /// Build a success response from `(key, raw JSON value)` pairs.
 pub fn ok_with(fields: &[(&str, String)]) -> String {
     let mut out = String::from(r#"{"ok":true"#);
@@ -271,6 +336,14 @@ impl Response {
         Ok(Self {
             fields: json::parse_object(line)?,
         })
+    }
+
+    /// Build a response from already-decoded `(key, raw JSON value)` pairs —
+    /// the binary client renders decoded frame fields through
+    /// [`Value::render_json`] so both transports expose the same accessors
+    /// with identical semantics.
+    pub(crate) fn from_fields(fields: Vec<(String, String)>) -> Self {
+        Self { fields }
     }
 
     /// The raw JSON text of a field.

@@ -1,20 +1,31 @@
-//! The always-on query server: a `std::net::TcpListener` line-protocol
-//! front over one sharded correlated-`F_2` ingest (queried through the
+//! The always-on query server: a `std::net::TcpListener` front speaking
+//! both wire protocols (newline-JSON and [binary frames](crate::wire),
+//! negotiated per connection by its first byte) over one sharded
+//! correlated-`F_2` ingest (queried through the
 //! [background merger](crate::merger)) plus synchronously-updated
 //! `F_0`/rarity/heavy-hitter sketches, with snapshot persistence.
 //!
 //! ## Architecture
 //!
 //! ```text
-//!            TCP clients (newline-delimited JSON, one thread per conn)
-//!                 │ ingest / flush            │ f2 queries
-//!                 ▼                           ▼
-//!   Mutex<ShardedIngest<F2>>            BackgroundMerger ── epoch-published
-//!      │ SPSC rings → N workers    ◄──── ShardReader          composite
-//!      ▼                                (rebuilds off the read path)
-//!   Mutex<{CorrelatedF0, CorrelatedRarity, CorrelatedHeavyHitters}>
+//!      TCP clients (JSON lines or binary frames; first-byte sniff)
+//!        │ accept thread → fixed worker pool, non-blocking reads
+//!        │ ingest / flush            │ f2 queries
+//!        ▼                           ▼
+//!   Mutex<ShardedIngest<F2>>   BackgroundMerger ── epoch-published
+//!      │ SPSC rings → N shards ◄── ShardReader       composite
+//!      ▼                          (demand-bounded rebuilds off the
+//!   Mutex<{CorrelatedF0,            read path)
+//!          CorrelatedRarity, CorrelatedHeavyHitters}>
 //!      ▲ f0 / rarity / heavy_hitters queries + synchronous inserts
 //! ```
+//!
+//! Connections are served by a **fixed pool of polling workers** (2–4
+//! threads) instead of one thread each: the acceptor hands sockets to
+//! workers round-robin; each worker sweeps its sockets with non-blocking
+//! reads, spinning while traffic flows and backing off to timed sleeps as
+//! they idle. [`ServeConfig::max_connections`] bounds the total; over the
+//! limit, a connection is answered with one error line and closed.
 //!
 //! `f2` answers come from the merger's published composite and therefore lag
 //! ingest by at most `merge_every − 1` applied batches plus one in-flight
@@ -43,19 +54,19 @@
 //! CI serve-smoke step).
 
 use crate::merger::BackgroundMerger;
-use crate::protocol::{self, Request};
+use crate::protocol::{self, Reply, Request, Value};
+use crate::wire::{self, Opcode};
 use cora_core::{
     CoreError, CorrelatedConfig, CorrelatedF0, CorrelatedHeavyHitters, CorrelatedRarity,
     F2Aggregate,
 };
 use cora_sketch::codec::{ByteReader, ByteWriter};
-use cora_stream::json;
 use cora_stream::windowed::{
     windowed_f0, windowed_f2, PaneConfig, PaneRing, WindowPane, WindowedF0, WindowedF2,
 };
 use cora_stream::ShardedIngest;
 use std::fmt;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -128,6 +139,9 @@ pub struct ServeConfig {
     /// Retention horizon of the windowed structures in ticks
     /// (`None` = landmark mode, keep coarsening history forever).
     pub pane_retention: Option<u64>,
+    /// Simultaneous client connections accepted before new ones are turned
+    /// away with an error (resource hardening; see the accept loop).
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -145,6 +159,7 @@ impl Default for ServeConfig {
             pane_ticks: 1_024,
             pane_k: 4,
             pane_retention: None,
+            max_connections: 1_024,
         }
     }
 }
@@ -314,11 +329,11 @@ fn window_answer<P: WindowPane>(
     ring: &PaneRing<P>,
     window: u64,
     c: u64,
-) -> Result<Vec<(&'static str, String)>, String> {
+) -> Result<Vec<(&'static str, Value)>, String> {
     let empty = vec![
-        ("value", json::float(0.0)),
-        ("resolved_lo", "0".to_string()),
-        ("resolved_hi", "0".to_string()),
+        ("value", Value::F64(0.0)),
+        ("resolved_lo", Value::U64(0)),
+        ("resolved_hi", Value::U64(0)),
     ];
     let Some(now) = ring.t_latest() else {
         return Ok(empty);
@@ -328,9 +343,9 @@ fn window_answer<P: WindowPane>(
     };
     let value = ring.query_sliding(window, c).map_err(|e| e.to_string())?;
     Ok(vec![
-        ("value", json::float(value)),
-        ("resolved_lo", lo.to_string()),
-        ("resolved_hi", hi.to_string()),
+        ("value", Value::F64(value)),
+        ("resolved_lo", Value::U64(lo)),
+        ("resolved_hi", Value::U64(hi)),
     ])
 }
 
@@ -499,91 +514,106 @@ impl ServerCore {
         Ok(encode_bundle(&bundle))
     }
 
-    /// Handle one request; the bool asks the listener to shut down.
-    fn handle(&self, request: Request) -> (String, bool) {
+    /// Ingest one validated batch into every hosted structure — the shared
+    /// semantic path behind both the JSON `ingest` op and the binary
+    /// protocol's zero-per-tuple-allocation fast path (which decodes frames
+    /// straight into reusable scratch slices and calls this).
+    ///
+    /// `ts` carries explicit per-tuple timestamps (same length as `tuples`)
+    /// or is empty, in which case the arrival clock stamps each tuple.
+    fn ingest_tuples(&self, tuples: &[(u64, u64)], ts: &[u64]) -> Reply {
+        let fail = Reply::Error;
+        debug_assert!(ts.is_empty() || ts.len() == tuples.len());
+        // Validate atomically against the *configured* y_max so all hosted
+        // structures accept or reject a batch together.
+        if let Some(&(_, y)) = tuples.iter().find(|&&(_, y)| y > self.config.y_max) {
+            return fail(format!("y {y} exceeds configured y_max {}", self.config.y_max));
+        }
+        {
+            // All three locks are held across the whole batch (sharded
+            // before aux before windows, the order `snapshot_bundle` uses
+            // too), so a concurrent snapshot can never capture the
+            // structures at different stream prefixes.
+            let mut sharded = self.sharded.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Err(e) = sharded.ingest(tuples) {
+                return fail(e.to_string());
+            }
+            for &(x, y) in tuples {
+                if let Err(e) = aux
+                    .f0
+                    .insert(x, y)
+                    .and_then(|()| aux.rarity.insert(x, y))
+                    .and_then(|()| aux.hh.insert(x, y))
+                {
+                    return fail(format!("auxiliary sketch rejected a tuple: {e}"));
+                }
+            }
+            // Windowed structures: explicit per-tuple timestamps when the
+            // client sent them, the arrival counter otherwise.
+            let windows = &mut *windows;
+            for (i, &(x, y)) in tuples.iter().enumerate() {
+                let t = match ts.get(i) {
+                    Some(&t) => {
+                        windows.clock = windows.clock.max(t.saturating_add(1));
+                        t
+                    }
+                    None => {
+                        let t = windows.clock;
+                        windows.clock = windows.clock.saturating_add(1);
+                        t
+                    }
+                };
+                if let Err(e) = windows
+                    .f2
+                    .observe(x, y, t)
+                    .and_then(|()| windows.f0.observe(x, y, t))
+                {
+                    return fail(format!("windowed structure rejected a tuple: {e}"));
+                }
+            }
+        }
+        let n = tuples.len() as u64;
+        self.accepted.fetch_add(n, Ordering::Relaxed);
+        Reply::Ok(vec![("accepted", Value::U64(n))])
+    }
+
+    /// Handle one request; the bool asks the listener to shut down. The
+    /// reply is protocol-agnostic — the connection loop renders it as a JSON
+    /// line or a binary frame to match the client.
+    fn handle(&self, request: Request) -> (Reply, bool) {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let fail = |e: String| (protocol::error(&e), false);
+        let fail = |e: String| (Reply::Error(e), false);
         match request {
-            Request::Ping => (protocol::ok(), false),
+            Request::Ping => (Reply::ok(), false),
             Request::Config => {
                 let c = &self.config;
                 (
-                    protocol::ok_with(&[
-                        ("epsilon", json::float(c.epsilon)),
-                        ("delta", json::float(c.delta)),
-                        ("y_max", c.y_max.to_string()),
-                        ("max_stream_len", c.max_stream_len.to_string()),
-                        ("seed", c.seed.to_string()),
-                        ("shards", c.shards.to_string()),
-                        ("merge_every", c.merge_every.to_string()),
-                        ("phi", json::float(c.phi)),
-                        ("x_domain_log2", c.x_domain_log2.to_string()),
-                        ("pane_ticks", c.pane_ticks.to_string()),
-                        ("pane_k", c.pane_k.to_string()),
+                    Reply::Ok(vec![
+                        ("epsilon", Value::F64(c.epsilon)),
+                        ("delta", Value::F64(c.delta)),
+                        ("y_max", Value::U64(c.y_max)),
+                        ("max_stream_len", Value::U64(c.max_stream_len)),
+                        ("seed", Value::U64(c.seed)),
+                        ("shards", Value::U64(c.shards as u64)),
+                        ("merge_every", Value::U64(c.merge_every)),
+                        ("phi", Value::F64(c.phi)),
+                        ("x_domain_log2", Value::U64(u64::from(c.x_domain_log2))),
+                        ("pane_ticks", Value::U64(c.pane_ticks)),
+                        ("pane_k", Value::U64(c.pane_k as u64)),
                         (
                             "pane_retention",
-                            c.pane_retention.map_or("null".to_string(), |r| r.to_string()),
+                            c.pane_retention.map_or(Value::Null, Value::U64),
                         ),
+                        ("max_connections", Value::U64(c.max_connections as u64)),
                     ]),
                     false,
                 )
             }
             Request::Ingest { xs, ys, ts } => {
-                // Validate atomically against the *configured* y_max so all
-                // hosted structures accept or reject a batch together.
-                if let Some(&y) = ys.iter().find(|&&y| y > self.config.y_max) {
-                    return fail(format!("y {y} exceeds configured y_max {}", self.config.y_max));
-                }
                 let tuples: Vec<(u64, u64)> = xs.into_iter().zip(ys).collect();
-                {
-                    // All three locks are held across the whole batch (sharded
-                    // before aux before windows, the order `snapshot_bundle`
-                    // uses too), so a concurrent snapshot can never capture
-                    // the structures at different stream prefixes.
-                    let mut sharded = self.sharded.lock().unwrap_or_else(PoisonError::into_inner);
-                    let mut aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
-                    let mut windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
-                    if let Err(e) = sharded.ingest(&tuples) {
-                        return fail(e.to_string());
-                    }
-                    for &(x, y) in &tuples {
-                        if let Err(e) = aux
-                            .f0
-                            .insert(x, y)
-                            .and_then(|()| aux.rarity.insert(x, y))
-                            .and_then(|()| aux.hh.insert(x, y))
-                        {
-                            return fail(format!("auxiliary sketch rejected a tuple: {e}"));
-                        }
-                    }
-                    // Windowed structures: explicit per-tuple timestamps when
-                    // the client sent them, the arrival counter otherwise.
-                    let windows = &mut *windows;
-                    for (i, &(x, y)) in tuples.iter().enumerate() {
-                        let t = match &ts {
-                            Some(ts) => {
-                                let t = ts[i];
-                                windows.clock = windows.clock.max(t.saturating_add(1));
-                                t
-                            }
-                            None => {
-                                let t = windows.clock;
-                                windows.clock = windows.clock.saturating_add(1);
-                                t
-                            }
-                        };
-                        if let Err(e) = windows
-                            .f2
-                            .observe(x, y, t)
-                            .and_then(|()| windows.f0.observe(x, y, t))
-                        {
-                            return fail(format!("windowed structure rejected a tuple: {e}"));
-                        }
-                    }
-                }
-                let n = tuples.len() as u64;
-                self.accepted.fetch_add(n, Ordering::Relaxed);
-                (protocol::ok_with(&[("accepted", n.to_string())]), false)
+                (self.ingest_tuples(&tuples, ts.as_deref().unwrap_or(&[])), false)
             }
             Request::Flush => {
                 self.sharded
@@ -591,23 +621,23 @@ impl ServerCore {
                     .unwrap_or_else(PoisonError::into_inner)
                     .flush();
                 self.merger.refresh();
-                (protocol::ok(), false)
+                (Reply::ok(), false)
             }
             Request::QueryF2 { c } => match self.merger.current().sketch().query(c) {
-                Ok(value) => (protocol::ok_with(&[("value", json::float(value))]), false),
+                Ok(value) => (Reply::Ok(vec![("value", Value::F64(value))]), false),
                 Err(e) => fail(e.to_string()),
             },
             Request::QueryF0 { c } => {
                 let aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
                 match aux.f0.query(c.min(self.config.y_max)) {
-                    Ok(value) => (protocol::ok_with(&[("value", json::float(value))]), false),
+                    Ok(value) => (Reply::Ok(vec![("value", Value::F64(value))]), false),
                     Err(e) => fail(e.to_string()),
                 }
             }
             Request::QueryRarity { c } => {
                 let aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
                 match aux.rarity.query(c.min(self.config.y_max)) {
-                    Ok(value) => (protocol::ok_with(&[("value", json::float(value))]), false),
+                    Ok(value) => (Reply::Ok(vec![("value", Value::F64(value))]), false),
                     Err(e) => fail(e.to_string()),
                 }
             }
@@ -619,10 +649,10 @@ impl ServerCore {
                         let freqs: Vec<f64> = hitters.iter().map(|h| h.frequency).collect();
                         let shares: Vec<f64> = hitters.iter().map(|h| h.share).collect();
                         (
-                            protocol::ok_with(&[
-                                ("items", protocol::u64_array(&items)),
-                                ("frequencies", json::float_array(&freqs)),
-                                ("shares", json::float_array(&shares)),
+                            Reply::Ok(vec![
+                                ("items", Value::U64Array(items)),
+                                ("frequencies", Value::F64Array(freqs)),
+                                ("shares", Value::F64Array(shares)),
                             ]),
                             false,
                         )
@@ -633,14 +663,14 @@ impl ServerCore {
             Request::WindowF2 { window, c } => {
                 let windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
                 match window_answer(&windows.f2, window, c.min(self.config.y_max)) {
-                    Ok(fields) => (protocol::ok_with(&fields), false),
+                    Ok(fields) => (Reply::Ok(fields), false),
                     Err(e) => fail(e),
                 }
             }
             Request::WindowF0 { window, c } => {
                 let windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
                 match window_answer(&windows.f0, window, c.min(self.config.y_max)) {
-                    Ok(fields) => (protocol::ok_with(&fields), false),
+                    Ok(fields) => (Reply::Ok(fields), false),
                     Err(e) => fail(e),
                 }
             }
@@ -657,26 +687,26 @@ impl ServerCore {
                     (windows.f2.pane_count(), windows.f2.late_dropped(), windows.clock)
                 };
                 (
-                    protocol::ok_with(&[
-                        ("requests", self.requests.load(Ordering::Relaxed).to_string()),
-                        ("items_accepted", accepted.to_string()),
-                        ("composite_items", stats.items_processed.to_string()),
-                        ("composite_epoch", composite.epoch().to_string()),
+                    Reply::Ok(vec![
+                        ("requests", Value::U64(self.requests.load(Ordering::Relaxed))),
+                        ("items_accepted", Value::U64(accepted)),
+                        ("composite_items", Value::U64(stats.items_processed)),
+                        ("composite_epoch", Value::U64(composite.epoch())),
                         (
                             "staleness_batches",
-                            self.merger.staleness_batches().to_string(),
+                            Value::U64(self.merger.staleness_batches()),
                         ),
-                        ("singleton_buckets", stats.singleton_buckets.to_string()),
-                        ("dyadic_buckets", stats.dyadic_buckets.to_string()),
-                        ("stored_tuples", stats.stored_tuples.to_string()),
-                        ("space_bytes", stats.space_bytes.to_string()),
+                        ("singleton_buckets", Value::U64(stats.singleton_buckets as u64)),
+                        ("dyadic_buckets", Value::U64(stats.dyadic_buckets as u64)),
+                        ("stored_tuples", Value::U64(stats.stored_tuples as u64)),
+                        ("space_bytes", Value::U64(stats.space_bytes as u64)),
                         (
                             "snapshots_taken",
-                            self.snapshots.load(Ordering::Relaxed).to_string(),
+                            Value::U64(self.snapshots.load(Ordering::Relaxed)),
                         ),
-                        ("window_panes", window_panes.to_string()),
-                        ("window_late_dropped", window_late_dropped.to_string()),
-                        ("window_clock", window_clock.to_string()),
+                        ("window_panes", Value::U64(window_panes as u64)),
+                        ("window_late_dropped", Value::U64(window_late_dropped)),
+                        ("window_clock", Value::U64(window_clock)),
                     ]),
                     false,
                 )
@@ -684,70 +714,397 @@ impl ServerCore {
             Request::Snapshot { path } => match self.snapshot_bundle() {
                 Ok(bytes) => match std::fs::write(&path, &bytes) {
                     Ok(()) => (
-                        protocol::ok_with(&[("bytes", bytes.len().to_string())]),
+                        Reply::Ok(vec![("bytes", Value::U64(bytes.len() as u64))]),
                         false,
                     ),
                     Err(e) => fail(format!("could not write snapshot to {path:?}: {e}")),
                 },
                 Err(e) => fail(e.to_string()),
             },
-            Request::Shutdown => (protocol::ok(), true),
+            Request::Shutdown => (Reply::ok(), true),
         }
     }
 }
 
-/// Poll interval for connection read timeouts and the accept loop's
-/// shutdown checks.
+/// Poll interval for the accept loop's shutdown checks and the deepest
+/// idle-sleep tier of the connection workers.
 const NET_TICK: Duration = Duration::from_millis(50);
 
-/// Serve one connection: read request lines, answer each on its own line.
-/// A read timeout fires every [`NET_TICK`] so the handler notices shutdown
-/// even while a client sits idle.
-fn handle_connection(core: &ServerCore, stream: TcpStream, shutdown: &AtomicBool) {
-    let _ = stream.set_read_timeout(Some(NET_TICK));
-    let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = write_half;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+/// How many scheduler-yield spins an active worker burns before it starts
+/// sleeping — long enough to cover a client's turnaround on loopback, so
+/// request/response ping-pong never eats a sleep latency.
+const IDLE_SPINS: u32 = 256;
+
+/// First sleep tier after the spin budget; doubles up to [`NET_TICK`].
+const IDLE_SLEEP_FLOOR: Duration = Duration::from_micros(200);
+
+/// Which protocol a connection speaks, decided once by its first byte.
+enum ConnMode {
+    /// Nothing received yet.
+    Sniffing,
+    /// Newline-delimited JSON (first byte `{` or leading whitespace).
+    Json,
+    /// Length-prefixed binary frames (first byte [`wire::MAGIC`]).
+    Binary,
+}
+
+/// What one service pass over a connection produced.
+enum ConnStep {
+    /// Bytes moved or requests were handled — keep spinning.
+    Progress,
+    /// Nothing to do right now.
+    Idle,
+    /// Connection finished (client closed, fatal error, or protocol abuse).
+    Close,
+}
+
+/// Per-connection state owned by a worker: the socket (non-blocking), the
+/// inbound byte buffer, pending outbound bytes, and the binary ingest
+/// scratch that makes frame decoding allocation-free per tuple.
+struct Conn {
+    stream: TcpStream,
+    mode: ConnMode,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// Close once `outbuf` has drained (protocol abuse or shutdown ack).
+    close_after_flush: bool,
+    /// Reused binary-ingest decode targets.
+    tuples: Vec<(u64, u64)>,
+    ts: Vec<u64>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            mode: ConnMode::Sniffing,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            close_after_flush: false,
+            tuples: Vec::new(),
+            ts: Vec::new(),
+        }
+    }
+
+    fn queue(&mut self, bytes: &[u8]) {
+        self.outbuf.extend_from_slice(bytes);
+    }
+
+    fn queue_json_line(&mut self, line: &str) {
+        self.outbuf.extend_from_slice(line.as_bytes());
+        self.outbuf.push(b'\n');
+    }
+
+    /// Push pending output to the socket without blocking. Returns false on
+    /// a fatal socket error.
+    fn flush_out(&mut self, progress: &mut bool) -> bool {
+        while self.outpos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.outpos..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.outpos += n;
+                    *progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.outpos == self.outbuf.len() && self.outpos > 0 {
+            self.outbuf.clear();
+            self.outpos = 0;
+        }
+        true
+    }
+
+    /// Read whatever the socket has ready (bounded per pass so one firehose
+    /// client cannot starve its worker's other connections). Returns false
+    /// when the connection is done (EOF or fatal error).
+    fn fill_in(&mut self, chunk: &mut [u8], progress: &mut bool) -> bool {
+        for _ in 0..16 {
+            match self.stream.read(chunk) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    *progress = true;
+                    if n < chunk.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// One service pass: flush, read, then handle every complete message
+    /// sitting in the inbound buffer.
+    fn step(
+        &mut self,
+        core: &ServerCore,
+        shutdown: &Arc<AtomicBool>,
+        listener_addr: SocketAddr,
+        chunk: &mut [u8],
+    ) -> ConnStep {
+        let mut progress = false;
+        if !self.flush_out(&mut progress) {
+            return ConnStep::Close;
+        }
+        if self.close_after_flush {
+            return if self.outpos < self.outbuf.len() {
+                ConnStep::Idle
+            } else {
+                ConnStep::Close
+            };
+        }
+        if !self.fill_in(chunk, &mut progress) {
+            // Serve whatever complete requests arrived before EOF, then
+            // close once the answers are flushed.
+            self.close_after_flush = true;
+        }
+        let mut pos = 0usize;
+        loop {
+            match self.mode {
+                ConnMode::Sniffing => {
+                    // Skip leading whitespace (blank lines between JSON
+                    // requests would land here on a reconnect-free client).
+                    while pos < self.inbuf.len()
+                        && matches!(self.inbuf[pos], b' ' | b'\t' | b'\r' | b'\n')
+                    {
+                        pos += 1;
+                    }
+                    match self.inbuf.get(pos) {
+                        None => break,
+                        Some(&wire::MAGIC) => self.mode = ConnMode::Binary,
+                        Some(&b'{') => self.mode = ConnMode::Json,
+                        Some(&other) => {
+                            self.queue_json_line(&protocol::error(&format!(
+                                "unrecognized protocol: first byte 0x{other:02X} is neither \
+                                 JSON ('{{') nor a binary frame (0x{:02X})",
+                                wire::MAGIC
+                            )));
+                            self.close_after_flush = true;
+                            break;
+                        }
+                    }
+                }
+                ConnMode::Json => {
+                    let Some(nl) = self.inbuf[pos..].iter().position(|&b| b == b'\n') else {
+                        if self.inbuf.len() - pos > wire::MAX_FRAME_BYTES {
+                            self.queue_json_line(&protocol::error(&format!(
+                                "request line exceeds the {}-byte cap",
+                                wire::MAX_FRAME_BYTES
+                            )));
+                            self.close_after_flush = true;
+                        }
+                        break;
+                    };
+                    let line = &self.inbuf[pos..pos + nl];
+                    pos += nl + 1;
+                    let text = String::from_utf8_lossy(line);
+                    let trimmed = text.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    progress = true;
+                    let (reply, stop) = match Request::parse(trimmed) {
+                        Ok(request) => core.handle(request),
+                        Err(e) => (Reply::Error(format!("bad request: {e}")), false),
+                    };
+                    let line = reply.render_json();
+                    self.queue_json_line(&line);
+                    if stop {
+                        self.begin_shutdown(shutdown, listener_addr);
+                        break;
+                    }
+                }
+                ConnMode::Binary => {
+                    let avail = &self.inbuf[pos..];
+                    if avail.len() < wire::HEADER_BYTES {
+                        break;
+                    }
+                    let header_bytes: &[u8; wire::HEADER_BYTES] =
+                        avail[..wire::HEADER_BYTES].try_into().expect("header size");
+                    let header = match wire::parse_header(header_bytes) {
+                        Ok(header) => header,
+                        Err(e) => {
+                            // Framing can't be trusted past a bad header
+                            // (magic, version, or a hostile length — which
+                            // is rejected before any payload is buffered).
+                            self.queue(&wire::encode_reply(
+                                header_bytes[2],
+                                &Reply::Error(e.to_string()),
+                            ));
+                            self.close_after_flush = true;
+                            progress = true;
+                            break;
+                        }
+                    };
+                    if avail.len() < wire::HEADER_BYTES + header.len {
+                        break; // incomplete frame; wait for more bytes
+                    }
+                    let payload_start = pos + wire::HEADER_BYTES;
+                    pos = payload_start + header.len;
+                    progress = true;
+                    let no_ack = header.flags & wire::FLAG_NO_ACK != 0;
+                    match Opcode::from_byte(header.opcode) {
+                        Some(Opcode::Ingest) => {
+                            // The hot path: decode straight into this
+                            // connection's scratch, no per-tuple allocation,
+                            // and skip the ack entirely when pipelined.
+                            let payload = &self.inbuf[payload_start..pos];
+                            let reply = match wire::decode_ingest_into(
+                                payload,
+                                &mut self.tuples,
+                                &mut self.ts,
+                            ) {
+                                Ok(_) => {
+                                    core.requests.fetch_add(1, Ordering::Relaxed);
+                                    core.ingest_tuples(&self.tuples, &self.ts)
+                                }
+                                Err(e) => Reply::Error(format!("bad ingest frame: {e}")),
+                            };
+                            let suppress = no_ack && matches!(reply, Reply::Ok(_));
+                            if !suppress {
+                                self.queue(&wire::encode_reply(header.opcode, &reply));
+                            }
+                        }
+                        Some(opcode) => {
+                            let payload = &self.inbuf[payload_start..pos];
+                            let (reply, stop) = match wire::decode_request(opcode, payload) {
+                                Ok(request) => core.handle(request),
+                                Err(e) => {
+                                    (Reply::Error(format!("bad request frame: {e}")), false)
+                                }
+                            };
+                            let suppress = no_ack && matches!(reply, Reply::Ok(_)) && !stop;
+                            if !suppress {
+                                self.queue(&wire::encode_reply(header.opcode, &reply));
+                            }
+                            if stop {
+                                self.begin_shutdown(shutdown, listener_addr);
+                                break;
+                            }
+                        }
+                        None => {
+                            // A well-formed frame with an unknown opcode:
+                            // answer and keep serving, like the JSON
+                            // protocol's unknown-op error.
+                            self.queue(&wire::encode_reply(
+                                header.opcode,
+                                &Reply::Error(format!("unknown opcode 0x{:02X}", header.opcode)),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if pos > 0 {
+            self.inbuf.drain(..pos);
+        }
+        if !self.flush_out(&mut progress) {
+            return ConnStep::Close;
+        }
+        if self.close_after_flush && self.outpos >= self.outbuf.len() {
+            return ConnStep::Close;
+        }
+        if progress {
+            ConnStep::Progress
+        } else {
+            ConnStep::Idle
+        }
+    }
+
+    /// The shutdown op: deliver the ack, then stop the listener. The ack is
+    /// flushed with a short blocking retry so the flag flip can't race the
+    /// worker teardown and eat the response.
+    fn begin_shutdown(&mut self, shutdown: &Arc<AtomicBool>, listener_addr: SocketAddr) {
+        let deadline = std::time::Instant::now() + NET_TICK;
+        let mut progress = false;
+        while self.outpos < self.outbuf.len() && std::time::Instant::now() < deadline {
+            if !self.flush_out(&mut progress) {
+                break;
+            }
+            if self.outpos < self.outbuf.len() {
+                thread::sleep(Duration::from_micros(100));
+            }
+        }
+        shutdown.store(true, Ordering::Release);
+        // The acceptor may be blocked in accept(); wake it with a throwaway
+        // connection so the shutdown op alone stops the listener.
+        let _ = TcpStream::connect(listener_addr);
+        self.close_after_flush = true;
+    }
+}
+
+/// A connection worker: owns a set of sockets, polls them with non-blocking
+/// reads, and escalates from spinning to sleeping as they go idle. A fixed
+/// pool of these replaces one-thread-per-connection — thousands of idle
+/// clients cost failed `read` syscalls on a few threads, not thousands of
+/// parked stacks.
+#[allow(clippy::needless_pass_by_value)]
+fn worker_loop(
+    core: Arc<ServerCore>,
+    shutdown: Arc<AtomicBool>,
+    rx: std::sync::mpsc::Receiver<TcpStream>,
+    live: Arc<AtomicU64>,
+    listener_addr: SocketAddr,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut chunk = vec![0u8; 16 * 1024];
+    let mut spins = 0u32;
+    let mut sleep = IDLE_SLEEP_FLOOR;
     loop {
         if shutdown.load(Ordering::Acquire) {
+            live.fetch_sub(conns.len() as u64, Ordering::AcqRel);
             return;
         }
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {}
-            // A timeout can fire mid-line with a partial fragment already
-            // appended to `line`; keep it — the next read_line call appends
-            // the rest. Clearing here would corrupt slow/fragmented
-            // requests.
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
-            Err(_) => return,
+        while let Ok(stream) = rx.try_recv() {
+            let _ = stream.set_nonblocking(true);
+            let _ = stream.set_nodelay(true);
+            conns.push(Conn::new(stream));
         }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            line.clear();
+        let mut progress = false;
+        let mut index = 0;
+        while index < conns.len() {
+            match conns[index].step(&core, &shutdown, listener_addr, &mut chunk) {
+                ConnStep::Progress => {
+                    progress = true;
+                    index += 1;
+                }
+                ConnStep::Idle => index += 1,
+                ConnStep::Close => {
+                    conns.swap_remove(index);
+                    live.fetch_sub(1, Ordering::AcqRel);
+                    progress = true;
+                }
+            }
+        }
+        if progress {
+            spins = 0;
+            sleep = IDLE_SLEEP_FLOOR;
             continue;
         }
-        let (response, stop) = match Request::parse(trimmed) {
-            Ok(request) => core.handle(request),
-            Err(e) => (protocol::error(&format!("bad request: {e}")), false),
-        };
-        line.clear();
-        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
-            return;
-        }
-        if stop {
-            shutdown.store(true, Ordering::Release);
-            // The acceptor may be blocked in accept(); wake it with a
-            // throwaway connection (this socket's local address *is* the
-            // listener's) so the shutdown op alone stops the listener.
-            if let Ok(addr) = writer.local_addr() {
-                let _ = TcpStream::connect(addr);
+        if conns.is_empty() {
+            // Nothing to poll: block on the hand-off channel (bounded so the
+            // shutdown flag is still noticed).
+            if let Ok(stream) = rx.recv_timeout(NET_TICK) {
+                let _ = stream.set_nonblocking(true);
+                let _ = stream.set_nodelay(true);
+                conns.push(Conn::new(stream));
             }
-            return;
+            continue;
+        }
+        spins += 1;
+        if spins <= IDLE_SPINS {
+            thread::yield_now();
+        } else {
+            thread::sleep(sleep);
+            sleep = (sleep * 2).min(NET_TICK);
         }
     }
 }
@@ -811,35 +1168,67 @@ fn start_inner(
     bind: &str,
     bundle: Option<&Bundle>,
 ) -> Result<RunningServer, ServeError> {
+    let max_connections = config.max_connections;
     let core = Arc::new(ServerCore::build(config, bundle)?);
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    // A small fixed worker pool services every connection with non-blocking
+    // reads; the acceptor only hands sockets over. Thousands of idle clients
+    // therefore cost a few polling threads, not thousands of parked stacks.
+    let workers = thread::available_parallelism()
+        .map_or(2, |n| n.get().clamp(2, 4));
+    let live = Arc::new(AtomicU64::new(0));
     let acceptor_shutdown = Arc::clone(&shutdown);
     let acceptor = thread::Builder::new()
         .name("cora-serve-accept".into())
         .spawn(move || {
-            let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
+            let mut txs = Vec::with_capacity(workers);
+            let mut pool = Vec::with_capacity(workers);
+            for i in 0..workers {
+                let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
+                let core = Arc::clone(&core);
+                let shutdown = Arc::clone(&acceptor_shutdown);
+                let live = Arc::clone(&live);
+                if let Ok(handle) = thread::Builder::new()
+                    .name(format!("cora-serve-worker-{i}"))
+                    .spawn(move || worker_loop(core, shutdown, rx, live, addr))
+                {
+                    txs.push(tx);
+                    pool.push(handle);
+                }
+            }
+            let mut next = 0usize;
             loop {
                 if acceptor_shutdown.load(Ordering::Acquire) {
                     break;
                 }
                 match listener.accept() {
-                    Ok((stream, _)) => {
+                    Ok((mut stream, _)) => {
                         if acceptor_shutdown.load(Ordering::Acquire) {
                             break; // the shutdown wake-up connection
                         }
-                        let core = Arc::clone(&core);
-                        let shutdown = Arc::clone(&acceptor_shutdown);
-                        if let Ok(handle) = thread::Builder::new()
-                            .name("cora-serve-conn".into())
-                            .spawn(move || handle_connection(&core, stream, &shutdown))
-                        {
-                            handlers.push(handle);
+                        if live.load(Ordering::Acquire) >= max_connections as u64 {
+                            // Over the configured limit: answer with one
+                            // error line and close, instead of silently
+                            // queueing in the accept backlog. (Binary
+                            // clients see a failed handshake — the reply is
+                            // not a frame — and close too.)
+                            let refusal = protocol::error(&format!(
+                                "connection limit reached (max_connections = {max_connections})"
+                            ));
+                            let _ = stream.write_all(refusal.as_bytes());
+                            let _ = stream.write_all(b"\n");
+                            continue;
                         }
-                        // Reap finished handlers so long-lived servers don't
-                        // accumulate join handles.
-                        handlers.retain(|h| !h.is_finished());
+                        if txs.is_empty() {
+                            continue;
+                        }
+                        live.fetch_add(1, Ordering::AcqRel);
+                        if txs[next % txs.len()].send(stream).is_err() {
+                            live.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        next = next.wrapping_add(1);
                     }
                     Err(_) => {
                         if acceptor_shutdown.load(Ordering::Acquire) {
@@ -848,7 +1237,8 @@ fn start_inner(
                     }
                 }
             }
-            for handle in handlers {
+            drop(txs);
+            for handle in pool {
                 let _ = handle.join();
             }
         })
@@ -919,29 +1309,31 @@ mod tests {
             ..Default::default()
         };
         let core = ServerCore::build(config, None).unwrap();
-        let (resp, stop) = core.handle(Request::Ping);
-        assert!(resp.contains("true") && !stop);
-        let (resp, _) = core.handle(Request::Ingest {
+        let (reply, stop) = core.handle(Request::Ping);
+        assert!(reply.render_json().contains("true") && !stop);
+        let (reply, _) = core.handle(Request::Ingest {
             xs: vec![1, 2, 1],
             ys: vec![10, 20, 900],
             ts: None,
         });
+        let resp = reply.render_json();
         assert!(resp.contains("\"accepted\":3"), "{resp}");
         // Out-of-range y rejected atomically.
-        let (resp, _) = core.handle(Request::Ingest {
+        let (reply, _) = core.handle(Request::Ingest {
             xs: vec![9],
             ys: vec![5000],
             ts: None,
         });
-        assert!(resp.contains("false"), "{resp}");
+        assert!(matches!(reply, Reply::Error(_)), "{reply:?}");
         core.handle(Request::Flush);
-        let (resp, _) = core.handle(Request::QueryF2 { c: 1023 });
+        let (reply, _) = core.handle(Request::QueryF2 { c: 1023 });
+        let resp = reply.render_json();
         let value = protocol::Response::parse(&resp).unwrap().f64_field("value").unwrap();
         assert!(value > 0.0);
-        let (resp, _) = core.handle(Request::QueryF0 { c: 1023 });
-        assert!(protocol::Response::parse(&resp).unwrap().is_ok());
-        let (resp, stop) = core.handle(Request::Shutdown);
-        assert!(resp.contains("true") && stop);
+        let (reply, _) = core.handle(Request::QueryF0 { c: 1023 });
+        assert!(protocol::Response::parse(&reply.render_json()).unwrap().is_ok());
+        let (reply, stop) = core.handle(Request::Shutdown);
+        assert!(reply.render_json().contains("true") && stop);
     }
 
     #[test]
@@ -954,36 +1346,37 @@ mod tests {
             ..Default::default()
         };
         let core = ServerCore::build(config, None).unwrap();
+        let answer = |request: Request| {
+            let (reply, _) = core.handle(request);
+            protocol::Response::parse(&reply.render_json()).unwrap()
+        };
         // Empty ring answers zero with an empty resolved span.
-        let (resp, _) = core.handle(Request::WindowF2 { window: 100, c: 1023 });
-        let r = protocol::Response::parse(&resp).unwrap();
-        assert!(r.is_ok(), "{resp}");
+        let r = answer(Request::WindowF2 { window: 100, c: 1023 });
+        assert!(r.is_ok());
         assert_eq!(r.u64_field("resolved_hi").unwrap(), 0);
         // Default clock stamps arrival ticks 0, 1, 2, ...
         let n = 64u64;
-        let (resp, _) = core.handle(Request::Ingest {
+        let r = answer(Request::Ingest {
             xs: (0..n).collect(),
             ys: (0..n).map(|i| i % 1024).collect(),
             ts: None,
         });
-        assert!(resp.contains("\"accepted\""), "{resp}");
-        let (resp, _) = core.handle(Request::WindowF2 { window: 32, c: 1023 });
-        let r = protocol::Response::parse(&resp).unwrap();
-        assert!(r.is_ok(), "{resp}");
+        assert_eq!(r.u64_field("accepted").unwrap(), n);
+        let r = answer(Request::WindowF2 { window: 32, c: 1023 });
+        assert!(r.is_ok());
         assert!(r.f64_field("value").unwrap() > 0.0);
         let lo = r.u64_field("resolved_lo").unwrap();
         let hi = r.u64_field("resolved_hi").unwrap();
         assert!(lo >= 32 && hi == 64, "resolved [{lo}, {hi})");
         // Explicit timestamps drive the window clock.
-        let (resp, _) = core.handle(Request::Ingest {
+        let r = answer(Request::Ingest {
             xs: vec![7, 7],
             ys: vec![1, 2],
             ts: Some(vec![1000, 990]),
         });
-        assert!(resp.contains("\"accepted\":2"), "{resp}");
-        let (resp, _) = core.handle(Request::WindowF0 { window: 16, c: 1023 });
-        let r = protocol::Response::parse(&resp).unwrap();
-        assert!(r.is_ok(), "{resp}");
+        assert_eq!(r.u64_field("accepted").unwrap(), 2);
+        let r = answer(Request::WindowF0 { window: 16, c: 1023 });
+        assert!(r.is_ok());
         assert!(r.u64_field("resolved_hi").unwrap() > 1000);
     }
 }

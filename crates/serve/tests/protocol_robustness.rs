@@ -1,0 +1,327 @@
+//! Fuzz-ish robustness tests for both wire protocols, plus the
+//! pipelined-ingest equivalence property.
+//!
+//! The contract under test: whatever bytes a client sends — random garbage,
+//! truncated frames, lying length prefixes, unknown opcodes — the server
+//! never panics or wedges, keeps already-open connections working, and
+//! keeps accepting new ones. And the binary transport is *semantically
+//! invisible*: N pipelined no-ack batches produce bit-identical answers to
+//! the same batches ingested sequentially over JSON.
+
+use cora_serve::client::{ClientError, ServeClient};
+use cora_serve::server::{start, RunningServer, ServeConfig};
+use cora_serve::wire;
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        epsilon: 0.25,
+        delta: 0.1,
+        y_max: 1023,
+        max_stream_len: 100_000,
+        seed: 11,
+        shards: 2,
+        merge_every: 1,
+        phi: 0.1,
+        x_domain_log2: 16,
+        pane_ticks: 64,
+        pane_k: 4,
+        pane_retention: None,
+        max_connections: 1_024,
+    }
+}
+
+/// A raw socket with a read timeout, so a wedged server fails the test
+/// instead of hanging it.
+fn connect_raw(server: &RunningServer) -> TcpStream {
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+}
+
+/// Write `bytes`, half-close, and drain whatever the server answers. The
+/// content is irrelevant — the property is that this returns (the server
+/// closed the connection or answered) instead of panicking or hanging.
+fn poke(server: &RunningServer, bytes: &[u8]) {
+    let mut stream = connect_raw(server);
+    // The server may close mid-write on garbage; broken pipes are expected.
+    let _ = stream.write_all(bytes);
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut sink = Vec::new();
+    let _ = stream.read_to_end(&mut sink);
+}
+
+/// The liveness probe run after every hostile connection: a fresh client
+/// must still be able to ingest and query.
+fn assert_server_alive(server: &RunningServer) {
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect after garbage");
+    client.ping().expect("ping after garbage");
+    assert_eq!(client.ingest(&[(1, 1)]).expect("ingest after garbage"), 1);
+    let mut binary =
+        ServeClient::connect_binary(server.local_addr()).expect("binary connect after garbage");
+    assert!(binary.query_f2(1023).expect("query after garbage") >= 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn random_garbage_never_kills_the_server(
+        blobs in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..200), 8..13),
+    ) {
+        let server = start(test_config(), "127.0.0.1:0").unwrap();
+        for blob in &blobs {
+            poke(&server, blob);
+        }
+        // Garbage that happens to start with the magic byte exercises the
+        // binary header validation; force a few of those too.
+        for blob in &blobs {
+            let mut framed = vec![wire::MAGIC];
+            framed.extend_from_slice(blob);
+            poke(&server, &framed);
+        }
+        assert_server_alive(&server);
+        server.shutdown();
+    }
+
+    #[test]
+    fn truncated_frames_never_kill_the_server(
+        cuts in prop::collection::vec(any::<u16>(), 6..10),
+    ) {
+        let server = start(test_config(), "127.0.0.1:0").unwrap();
+        let tuples: Vec<(u64, u64)> = (0..50).map(|i| (i, i % 1024)).collect();
+        let frames = [
+            wire::encode_ingest(&tuples, None, 0),
+            wire::encode_ingest(&tuples, None, wire::FLAG_NO_ACK),
+            wire::encode_request(&cora_serve::protocol::Request::QueryHeavyHitters {
+                c: 10,
+                phi: 0.5,
+            }, 0),
+            wire::encode_request(&cora_serve::protocol::Request::Snapshot {
+                path: "/tmp/never-written.snap".to_string(),
+            }, 0),
+        ];
+        for (i, &cut) in cuts.iter().enumerate() {
+            let frame = &frames[i % frames.len()];
+            let cut = cut as usize % frame.len();
+            poke(&server, &frame[..cut]);
+        }
+        assert_server_alive(&server);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn oversized_declared_length_is_rejected_before_buffering() {
+    let server = start(test_config(), "127.0.0.1:0").unwrap();
+    let mut stream = connect_raw(&server);
+    // A well-formed header whose length field exceeds the frame cap. The
+    // server must answer with an ERROR frame and close — without ever
+    // allocating or waiting for the phantom gigabyte.
+    let mut header = vec![wire::MAGIC, wire::VERSION, 0x01, 0];
+    header.extend_from_slice(&(u32::MAX).to_le_bytes());
+    stream.write_all(&header).unwrap();
+    let mut reply_header = [0u8; wire::HEADER_BYTES];
+    stream.read_exact(&mut reply_header).expect("error frame header");
+    let parsed = wire::parse_header(&reply_header).expect("valid reply header");
+    assert_eq!(parsed.flags & wire::FLAG_ERROR, wire::FLAG_ERROR);
+    let mut payload = vec![0u8; parsed.len];
+    stream.read_exact(&mut payload).expect("error frame payload");
+    match wire::decode_reply(parsed.flags, &payload).expect("decodable reply") {
+        wire::DecodedReply::Error(message) => {
+            assert!(message.contains("cap"), "unexpected message: {message}")
+        }
+        other => panic!("expected an error reply, got {other:?}"),
+    }
+    // The connection is closed after a framing-level failure.
+    let mut rest = Vec::new();
+    let n = stream.read_to_end(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "connection should be closed after a bad header");
+    assert_server_alive(&server);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_opcode_keeps_the_connection_usable() {
+    let server = start(test_config(), "127.0.0.1:0").unwrap();
+    let mut stream = connect_raw(&server);
+    // Unknown opcode in a well-formed frame: an error reply, and the same
+    // connection must keep answering well-formed requests.
+    let mut bad = vec![wire::MAGIC, wire::VERSION, 0x7F, 0];
+    bad.extend_from_slice(&0u32.to_le_bytes());
+    stream.write_all(&bad).unwrap();
+    let mut reply_header = [0u8; wire::HEADER_BYTES];
+    stream.read_exact(&mut reply_header).expect("error frame header");
+    let parsed = wire::parse_header(&reply_header).expect("valid reply header");
+    assert_eq!(parsed.flags & wire::FLAG_ERROR, wire::FLAG_ERROR);
+    let mut payload = vec![0u8; parsed.len];
+    stream.read_exact(&mut payload).expect("error frame payload");
+
+    // Now a valid ping on the *same* connection.
+    stream
+        .write_all(&wire::encode_request(&cora_serve::protocol::Request::Ping, 0))
+        .unwrap();
+    stream.read_exact(&mut reply_header).expect("pong header");
+    let parsed = wire::parse_header(&reply_header).expect("valid pong header");
+    assert_eq!(parsed.opcode, wire::Opcode::Ping as u8);
+    assert_eq!(parsed.flags & wire::FLAG_ERROR, 0);
+    let mut payload = vec![0u8; parsed.len];
+    stream.read_exact(&mut payload).expect("pong payload");
+    server.shutdown();
+}
+
+#[test]
+fn first_byte_sniffing_routes_whitespace_json_and_rejects_junk() {
+    let server = start(test_config(), "127.0.0.1:0").unwrap();
+
+    // Leading whitespace before a JSON request is tolerated by the sniffer.
+    let mut stream = connect_raw(&server);
+    stream.write_all(b"  \t {\"op\":\"ping\"}\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":true"), "got: {line}");
+
+    // A first byte that is neither whitespace, '{', nor the magic gets one
+    // JSON error line, then the connection closes.
+    let mut stream = connect_raw(&server);
+    stream.write_all(b"[1,2,3]\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":false"), "got: {line}");
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection stays open");
+
+    // A garbage JSON line gets an error response and the connection lives.
+    let mut stream = connect_raw(&server);
+    stream.write_all(b"{\"op\":\"nonsense\"}\n{\"op\":\"ping\"}\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":false"), "got: {line}");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":true"), "got: {line}");
+    server.shutdown();
+}
+
+/// The headline equivalence property: N pipelined no-ack binary batches ≡
+/// the same N batches ingested sequentially over JSON, down to the last
+/// bit, observed through both transports.
+#[test]
+fn pipelined_binary_ingest_matches_sequential_json() {
+    let json_server = start(test_config(), "127.0.0.1:0").unwrap();
+    let binary_server = start(test_config(), "127.0.0.1:0").unwrap();
+
+    let tuples: Vec<(u64, u64)> = (0..12_000u64)
+        .map(|i| ((i * 7) % 900, (i * 131) % 1024))
+        .collect();
+
+    let mut json_client = ServeClient::connect(json_server.local_addr()).unwrap();
+    for chunk in tuples.chunks(500) {
+        assert_eq!(json_client.ingest(chunk).unwrap(), chunk.len() as u64);
+    }
+    json_client.flush().unwrap();
+
+    let mut binary_client = ServeClient::connect_binary(binary_server.local_addr()).unwrap();
+    assert!(binary_client.is_binary());
+    binary_client.ingest_pipelined(&tuples, 500).unwrap();
+    binary_client.flush().unwrap();
+
+    let thresholds: Vec<u64> = (0..=1024).step_by(128).collect();
+    // A second pair of eyes on the binary-ingested server: the JSON
+    // transport must render the very same answers.
+    let mut json_on_binary = ServeClient::connect(binary_server.local_addr()).unwrap();
+    for &c in &thresholds {
+        let f2 = json_client.query_f2(c).unwrap();
+        assert_eq!(binary_client.query_f2(c).unwrap(), f2, "f2 at c={c}");
+        assert_eq!(json_on_binary.query_f2(c).unwrap(), f2, "f2 via json at c={c}");
+        let f0 = json_client.query_f0(c).unwrap();
+        assert_eq!(binary_client.query_f0(c).unwrap(), f0, "f0 at c={c}");
+        let rarity = json_client.query_rarity(c).unwrap();
+        assert_eq!(binary_client.query_rarity(c).unwrap(), rarity, "rarity at c={c}");
+    }
+    assert_eq!(
+        binary_client.query_heavy_hitters(1023, 0.2).unwrap(),
+        json_client.query_heavy_hitters(1023, 0.2).unwrap(),
+    );
+    for window in [64u64, 512, 1 << 20] {
+        assert_eq!(
+            binary_client.query_window_f2(window, 1024).unwrap(),
+            json_client.query_window_f2(window, 1024).unwrap(),
+            "window f2 w={window}"
+        );
+        assert_eq!(
+            binary_client.query_window_f0(window, 1024).unwrap(),
+            json_client.query_window_f0(window, 1024).unwrap(),
+            "window f0 w={window}"
+        );
+    }
+    let stats = binary_client.stats().unwrap();
+    assert_eq!(stats.u64_field("items_accepted").unwrap(), tuples.len() as u64);
+
+    // A rejected batch inside the pipe surfaces at the sync point, and the
+    // connection keeps working afterwards.
+    binary_client.ingest_noack(&[(1, 1)]).unwrap();
+    binary_client.ingest_noack(&[(2, 1_000_000)]).unwrap(); // y out of range
+    binary_client.ingest_noack(&[(3, 2)]).unwrap();
+    let err = binary_client.sync().unwrap_err();
+    assert!(matches!(err, ClientError::Server(_)), "{err}");
+    binary_client.ping().unwrap();
+    binary_client.flush().unwrap();
+    // The two good batches around the bad one were still accepted.
+    let stats = binary_client.stats().unwrap();
+    assert_eq!(
+        stats.u64_field("items_accepted").unwrap(),
+        tuples.len() as u64 + 2
+    );
+
+    json_server.shutdown();
+    binary_server.shutdown();
+}
+
+#[test]
+fn connection_limit_refuses_with_an_error_line() {
+    let mut config = test_config();
+    config.max_connections = 2;
+    let server = start(config, "127.0.0.1:0").unwrap();
+
+    let mut a = ServeClient::connect(server.local_addr()).unwrap();
+    let mut b = ServeClient::connect_binary(server.local_addr()).unwrap();
+    a.ping().unwrap();
+    b.ping().unwrap();
+
+    // The third connection is answered with one error line and closed.
+    let stream = connect_raw(&server);
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("refusal line");
+    assert!(line.contains("connection limit"), "got: {line}");
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).unwrap(), 0, "refused conn stays open");
+
+    // Freeing a slot lets new connections in (the worker notices the close
+    // on its next sweep, so poll briefly).
+    drop(a);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let admitted = loop {
+        let mut c = ServeClient::connect(server.local_addr()).unwrap();
+        if c.ping().is_ok() {
+            break true;
+        }
+        if std::time::Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(admitted, "slot was never reclaimed after dropping a client");
+    b.ping().unwrap();
+    server.shutdown();
+}

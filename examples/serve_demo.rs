@@ -1,11 +1,12 @@
 //! End-to-end tour of the serving layer — and the CI serve-smoke step.
 //!
-//! Starts a `cora-serve` instance on a loopback port, drives ingest, all
-//! four query families, and windowed (time window × y-threshold) slices
-//! through the line-protocol client, snapshots the server to disk,
-//! **restarts** it from the snapshot, re-queries, and asserts the answers
-//! are bit-identical. Prints `SERVE SMOKE OK` on success (the CI step greps
-//! for it).
+//! Starts a `cora-serve` instance on a loopback port, drives bulk ingest
+//! through the **pipelined binary protocol**, then answers all four query
+//! families and windowed (time window × y-threshold) slices over **both
+//! transports** — JSON lines and binary frames — asserting they are
+//! bit-identical. It then snapshots the server to disk, **restarts** it
+//! from the snapshot, re-queries, and asserts the answers survived. Prints
+//! `SERVE SMOKE OK` on success (the CI step greps for it).
 //!
 //! ```text
 //! cargo run -p cora-examples --release --example serve_demo
@@ -28,6 +29,7 @@ fn main() {
         pane_ticks: 1_024,
         pane_k: 4,
         pane_retention: None,
+        max_connections: 1_024,
     };
 
     // --- Phase 1: a fresh server takes ingest and answers queries. -------
@@ -36,6 +38,8 @@ fn main() {
     println!("serving on {addr}");
     let mut client = ServeClient::connect(addr).expect("connect");
     client.ping().expect("ping");
+    let mut binary = ServeClient::connect_binary(addr).expect("binary connect");
+    binary.ping().expect("binary ping");
 
     // A synthetic "flow log": x = source id, y = response latency. Source 7
     // dominates the low-latency traffic; a tail of sources appears once.
@@ -47,9 +51,9 @@ fn main() {
     for i in 0..200u64 {
         tuples.push((1_000_000 + i, (i * 257) % (1 << 16)));
     }
-    for chunk in tuples.chunks(2_000) {
-        client.ingest(chunk).expect("ingest");
-    }
+    // Bulk load through the pipelined binary path: every 2 000-tuple batch
+    // is framed no-ack, one sync round trip closes the whole train.
+    binary.ingest_pipelined(&tuples, 2_000).expect("pipelined ingest");
     client.flush().expect("flush barrier");
 
     let thresholds: Vec<u64> = (0..17).map(|i| ((1u64 << 16) - 1) * i / 16).collect();
@@ -73,6 +77,27 @@ fn main() {
         "the planted heavy source must be reported"
     );
 
+    // Transport divergence check: the binary protocol must produce the very
+    // same answers, bit for bit, as the JSON lines above.
+    for (i, &c) in thresholds.iter().enumerate() {
+        assert_eq!(binary.query_f2(c).expect("binary f2"), f2[i], "binary f2 diverges at c={c}");
+        assert_eq!(binary.query_f0(c).expect("binary f0"), f0[i], "binary f0 diverges at c={c}");
+        assert_eq!(
+            binary.query_rarity(c).expect("binary rarity"),
+            rarity[i],
+            "binary rarity diverges at c={c}"
+        );
+    }
+    assert_eq!(
+        binary.query_heavy_hitters(2_000, 0.2).expect("binary heavy hitters"),
+        hitters,
+        "binary heavy hitters diverge"
+    );
+    println!(
+        "binary/JSON divergence: none across {} thresholds + heavy hitters",
+        thresholds.len()
+    );
+
     // Two-dimensional slices: recent time window × latency threshold. The
     // server stamps ingest with arrival ticks, so "the last 8192 ticks" is
     // the most recent 8192 accepted tuples.
@@ -91,6 +116,16 @@ fn main() {
             "{w:>7}  {:>16.0}  {:>15.0}   [{}, {})",
             window_f2[i].value, window_f0[i].value, window_f2[i].resolved_lo,
             window_f2[i].resolved_hi
+        );
+        assert_eq!(
+            binary.query_window_f2(w, 2_000).expect("binary window f2"),
+            window_f2[i],
+            "binary windowed f2 diverges at window={w}"
+        );
+        assert_eq!(
+            binary.query_window_f0(w, 2_000).expect("binary window f0"),
+            window_f0[i],
+            "binary windowed f0 diverges at window={w}"
         );
     }
     assert!(window_f2[1].value > 0.0 && window_f0[1].value > 0.0);
@@ -113,6 +148,7 @@ fn main() {
         .expect("snapshot");
     println!("snapshot written: {bytes} bytes at {}", snapshot_path.display());
     drop(client);
+    drop(binary);
     server.shutdown();
 
     let bundle = std::fs::read(&snapshot_path).expect("read snapshot");
@@ -142,8 +178,23 @@ fn main() {
             "windowed f0 differs at window={w}"
         );
     }
+    // And the binary transport agrees with all of it after the restart too.
+    let mut binary = ServeClient::connect_binary(restored.local_addr()).expect("binary reconnect");
+    for (i, &c) in thresholds.iter().enumerate() {
+        assert_eq!(
+            binary.query_f2(c).expect("binary f2"),
+            f2[i],
+            "binary f2 diverges after restore at c={c}"
+        );
+    }
+    assert_eq!(
+        binary.query_heavy_hitters(2_000, 0.2).expect("binary heavy hitters"),
+        hitters,
+        "binary heavy hitters diverge after restore"
+    );
+    drop(binary);
     println!(
-        "restart verified: {} thresholds bit-identical across f2/f0/rarity + heavy hitters, {} windowed slices",
+        "restart verified: {} thresholds bit-identical across f2/f0/rarity + heavy hitters, {} windowed slices, both transports",
         thresholds.len(),
         2 * windows.len()
     );

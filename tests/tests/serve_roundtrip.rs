@@ -25,6 +25,7 @@ fn config() -> ServeConfig {
         pane_ticks: 512,
         pane_k: 4,
         pane_retention: None,
+        max_connections: 1_024,
     }
 }
 
