@@ -11,9 +11,10 @@
 //! they pin the server-path ingest tax against the in-process baseline.
 
 use cora_serve::client::ServeClient;
-use cora_serve::server::{start, RunningServer, ServeConfig};
+use cora_serve::server::{start, DurabilityConfig, RunningServer, ServeConfig};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::path::PathBuf;
 
 const Y_MAX: u64 = (1 << 20) - 1;
 const INGEST_BATCH: usize = 1_000;
@@ -33,6 +34,7 @@ fn bench_config() -> ServeConfig {
         pane_k: 4,
         pane_retention: None,
         max_connections: 1_024,
+        durability: None,
     }
 }
 
@@ -41,7 +43,11 @@ fn bench_config() -> ServeConfig {
 /// grows with stream length, so rows sharing one server would measure their
 /// position in the run order, not their protocol.
 fn preloaded_server() -> RunningServer {
-    let server = start(bench_config(), "127.0.0.1:0").expect("bind loopback server");
+    preloaded_with(bench_config())
+}
+
+fn preloaded_with(config: ServeConfig) -> RunningServer {
+    let server = start(config, "127.0.0.1:0").expect("bind loopback server");
     let tuples: Vec<(u64, u64)> = (0..50_000u64)
         .map(|i| (i % 5_000, (i * 127) % (Y_MAX + 1)))
         .collect();
@@ -49,6 +55,13 @@ fn preloaded_server() -> RunningServer {
     loader.ingest_pipelined(&tuples, INGEST_BATCH).expect("preload ingest");
     loader.flush().expect("preload flush");
     server
+}
+
+/// A scratch durable directory for the journaled ingest rows.
+fn durable_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cora_bench_journal_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 fn bench_serve(c: &mut Criterion) {
@@ -137,6 +150,36 @@ fn bench_serve(c: &mut Criterion) {
         group.finish();
         drop(binary);
         server.shutdown();
+    }
+
+    {
+        // The durability tax: same acked binary 1k-batch row, but every
+        // batch is journaled and fsync'd before the ack (the crash-safe
+        // default). The delta against `serve_ingest_binary/ingest_1k_batch`
+        // is the cost of the WAL; ROADMAP.md records the measured overhead.
+        let dir = durable_dir();
+        let server = preloaded_with(ServeConfig {
+            durability: Some(DurabilityConfig {
+                dir: dir.clone(),
+                // No automatic rotation mid-measurement: snapshots are
+                // triggered far beyond what this bench ingests.
+                snapshot_every_tuples: 0,
+                snapshot_interval_ms: 0,
+                fsync_each_batch: true,
+            }),
+            ..bench_config()
+        });
+        let mut binary = ServeClient::connect_binary(server.local_addr()).expect("connect");
+        let mut group = c.benchmark_group("serve_ingest_journaled");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(INGEST_BATCH as u64));
+        group.bench_function("ingest_1k_batch", |b| {
+            b.iter(|| binary.ingest(black_box(&batch)).unwrap())
+        });
+        group.finish();
+        drop(binary);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 

@@ -72,6 +72,11 @@ pub enum SnapshotKind {
     /// A windowed pane ring over [`CorrelatedF0`](crate::CorrelatedF0) panes
     /// (`cora_stream::windowed::WindowedF0`).
     WindowedF0 = 6,
+    /// Serving-layer metadata that must travel with the sketches to keep a
+    /// restored server semantically identical: the per-writer ingest
+    /// sequence high-water marks that make batch replay idempotent
+    /// (`cora_serve`'s snapshot bundle and write-ahead journal).
+    ServeMeta = 7,
 }
 
 impl SnapshotKind {
@@ -83,6 +88,7 @@ impl SnapshotKind {
             4 => Some(SnapshotKind::HeavyHitters),
             5 => Some(SnapshotKind::WindowedFramework),
             6 => Some(SnapshotKind::WindowedF0),
+            7 => Some(SnapshotKind::ServeMeta),
             _ => None,
         }
     }

@@ -1,0 +1,101 @@
+//! Standalone durable serve node — the process the crash-recovery tests
+//! `SIGKILL` and restart.
+//!
+//! ```text
+//! cora_serve_node --dir /var/lib/cora [--bind 127.0.0.1:0]
+//!     [--snap-tuples N] [--snap-ms MS] [--no-fsync]
+//! ```
+//!
+//! Prints `LISTENING <addr>` on stdout once the socket is bound (the test
+//! harness parses this to learn the OS-chosen port), then parks until the
+//! `shutdown` op arrives. The serve configuration is fixed — both sides of
+//! a kill/restart cycle must build identical sketches, and a config plus a
+//! durable directory fully determines a server.
+
+use cora_serve::server::{start, DurabilityConfig, ServeConfig};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn usage(detail: &str) -> ExitCode {
+    eprintln!("error: {detail}");
+    eprintln!(
+        "usage: cora_serve_node --dir DIR [--bind ADDR] [--snap-tuples N] \
+         [--snap-ms MS] [--no-fsync]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut bind = "127.0.0.1:0".to_string();
+    let mut dir: Option<String> = None;
+    let mut snap_tuples: u64 = 200_000;
+    let mut snap_ms: u64 = 0;
+    let mut fsync = true;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--bind" => match value("--bind") {
+                Ok(v) => bind = v,
+                Err(e) => return usage(&e),
+            },
+            "--dir" => match value("--dir") {
+                Ok(v) => dir = Some(v),
+                Err(e) => return usage(&e),
+            },
+            "--snap-tuples" => match value("--snap-tuples").map(|v| v.parse()) {
+                Ok(Ok(v)) => snap_tuples = v,
+                _ => return usage("--snap-tuples requires an unsigned integer"),
+            },
+            "--snap-ms" => match value("--snap-ms").map(|v| v.parse()) {
+                Ok(Ok(v)) => snap_ms = v,
+                _ => return usage("--snap-ms requires an unsigned integer"),
+            },
+            "--no-fsync" => fsync = false,
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(dir) = dir else {
+        return usage("--dir is required");
+    };
+
+    let config = ServeConfig {
+        // Fixed small-but-real sketch parameters: restarts must rebuild the
+        // exact same structures the journal and snapshots were taken under.
+        epsilon: 0.25,
+        delta: 0.1,
+        y_max: 4095,
+        max_stream_len: 1_000_000,
+        seed: 7,
+        shards: 2,
+        merge_every: 1,
+        x_domain_log2: 16,
+        pane_ticks: 256,
+        durability: Some(DurabilityConfig {
+            dir: dir.into(),
+            snapshot_every_tuples: snap_tuples,
+            snapshot_interval_ms: snap_ms,
+            fsync_each_batch: fsync,
+        }),
+        ..ServeConfig::default()
+    };
+
+    let server = match start(config, &bind) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: could not start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("LISTENING {}", server.local_addr());
+    // The harness reads the line immediately; without the flush it can sit
+    // in the stdout buffer forever (and a SIGKILL would discard it).
+    let _ = std::io::stdout().flush();
+    server.wait();
+    server.shutdown();
+    ExitCode::SUCCESS
+}

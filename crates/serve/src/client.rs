@@ -30,24 +30,46 @@ use crate::wire::{self, DecodedReply};
 use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A structured server-side failure: the protocol's error `kind`
+/// (`"request"`, `"sketch"`, `"io"`, or `"server"`) plus its message. Both
+/// transports carry the same pair, so retry policy can branch on `kind`
+/// without parsing messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerError {
+    /// The error kind tag.
+    pub kind: String,
+    /// The human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind, self.message)
+    }
+}
 
 /// Errors talking to a serve instance.
 #[derive(Debug)]
 pub enum ClientError {
     /// Socket I/O failed (including the server closing the connection).
     Io(std::io::Error),
+    /// A configured socket timeout elapsed before the server answered.
+    Timeout(std::io::Error),
     /// The response line was not valid protocol JSON.
     Protocol(String),
     /// The server answered `{"ok":false,...}`.
-    Server(String),
+    Server(ServerError),
 }
 
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Timeout(e) => write!(f, "timed out: {e}"),
             ClientError::Protocol(detail) => write!(f, "protocol error: {detail}"),
-            ClientError::Server(message) => write!(f, "server error: {message}"),
+            ClientError::Server(e) => write!(f, "server {e}"),
         }
     }
 }
@@ -56,7 +78,26 @@ impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Io(e)
+        // Read/write timeouts surface as TimedOut or WouldBlock depending
+        // on the platform; both mean "the configured timeout elapsed".
+        match e.kind() {
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                ClientError::Timeout(e)
+            }
+            _ => ClientError::Io(e),
+        }
+    }
+}
+
+impl ClientError {
+    /// Build the structured server error from a parsed error response.
+    fn from_response(response: &Response, message: String) -> Self {
+        ClientError::Server(ServerError {
+            kind: response
+                .error_kind()
+                .unwrap_or_else(|| "server".to_string()),
+            message,
+        })
     }
 }
 
@@ -134,6 +175,20 @@ impl ServeClient {
         self.mode == Mode::Binary
     }
 
+    /// Configure socket read/write timeouts (`None` = block forever, the
+    /// default). A request outlasting a timeout fails with
+    /// [`ClientError::Timeout`]; the connection should then be considered
+    /// broken (a late response would desynchronize the stream) — reconnect,
+    /// or let [`RetryingClient`](crate::retry::RetryingClient) do it.
+    pub fn set_timeouts(
+        &mut self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(read)?;
+        self.writer.get_ref().set_write_timeout(write)
+    }
+
     /// Send one request and read its response.
     pub fn request(&mut self, request: &Request) -> ClientResult<Response> {
         match self.mode {
@@ -162,7 +217,7 @@ impl ServeClient {
         }
         let response = Response::parse(response_line.trim()).map_err(ClientError::Protocol)?;
         if let Some(message) = response.error_message() {
-            return Err(ClientError::Server(message));
+            return Err(ClientError::from_response(&response, message));
         }
         Ok(response)
     }
@@ -185,7 +240,9 @@ impl ServeClient {
         let (opcode, flags, payload) = self.read_frame()?;
         let reply = wire::decode_reply(flags, &payload).map_err(ClientError::Protocol)?;
         match reply {
-            DecodedReply::Error(message) => Err(ClientError::Server(message)),
+            DecodedReply::Error { kind, message } => {
+                Err(ClientError::Server(ServerError { kind, message }))
+            }
             DecodedReply::Ok(_) if opcode != expect => Err(ClientError::Protocol(format!(
                 "response opcode 0x{opcode:02X} does not match request 0x{expect:02X}"
             ))),
@@ -204,12 +261,24 @@ impl ServeClient {
     /// [`Self::sync`] to flush the pipe and learn whether every queued
     /// batch was accepted.
     pub fn ingest_noack(&mut self, tuples: &[(u64, u64)]) -> ClientResult<()> {
+        self.ingest_noack_seq(tuples, None)
+    }
+
+    /// [`Self::ingest_noack`] with an optional `(writer, seq)` idempotency
+    /// pair. A sequence-tagged batch can be blindly resent after a
+    /// reconnect: the server acks already-applied sequence numbers as
+    /// duplicates instead of double-counting them.
+    pub fn ingest_noack_seq(
+        &mut self,
+        tuples: &[(u64, u64)],
+        seq: Option<(u64, u64)>,
+    ) -> ClientResult<()> {
         if self.mode != Mode::Binary {
             return Err(ClientError::Protocol(
                 "pipelined no-ack ingest requires a binary connection".into(),
             ));
         }
-        let frame = wire::encode_ingest(tuples, None, wire::FLAG_NO_ACK);
+        let frame = wire::encode_ingest(tuples, None, seq, wire::FLAG_NO_ACK);
         self.writer.write_all(&frame)?;
         Ok(())
     }
@@ -225,21 +294,22 @@ impl ServeClient {
         }
         self.writer.write_all(&wire::encode_request(&Request::Ping, 0))?;
         self.writer.flush()?;
-        let mut first_error: Option<String> = None;
+        let mut first_error: Option<ServerError> = None;
         loop {
             let (opcode, flags, payload) = self.read_frame()?;
             let reply = wire::decode_reply(flags, &payload).map_err(ClientError::Protocol)?;
             if opcode == wire::Opcode::Ping as u8 {
                 return match (first_error, reply) {
-                    (Some(message), _) | (None, DecodedReply::Error(message)) => {
-                        Err(ClientError::Server(message))
+                    (Some(error), _) => Err(ClientError::Server(error)),
+                    (None, DecodedReply::Error { kind, message }) => {
+                        Err(ClientError::Server(ServerError { kind, message }))
                     }
                     (None, DecodedReply::Ok(_)) => Ok(()),
                 };
             }
             match reply {
-                DecodedReply::Error(message) => {
-                    first_error.get_or_insert(message);
+                DecodedReply::Error { kind, message } => {
+                    first_error.get_or_insert(ServerError { kind, message });
                 }
                 DecodedReply::Ok(_) => {
                     return Err(ClientError::Protocol(format!(
@@ -274,10 +344,21 @@ impl ServeClient {
     /// stamps each tuple with its arrival tick (see [`Self::ingest_at`] for
     /// explicit timestamps).
     pub fn ingest(&mut self, tuples: &[(u64, u64)]) -> ClientResult<u64> {
+        self.ingest_seq(tuples, None)
+    }
+
+    /// [`Self::ingest`] with an optional `(writer, seq)` idempotency pair;
+    /// a batch at or below the writer's high-water mark on the server is
+    /// acked with `accepted = 0` instead of being applied twice.
+    pub fn ingest_seq(
+        &mut self,
+        tuples: &[(u64, u64)],
+        seq: Option<(u64, u64)>,
+    ) -> ClientResult<u64> {
         let response = match self.mode {
             Mode::Binary => {
                 // Frame straight from the tuple slice — no xs/ys splits.
-                let frame = wire::encode_ingest(tuples, None, 0);
+                let frame = wire::encode_ingest(tuples, None, seq, 0);
                 self.writer.write_all(&frame)?;
                 self.writer.flush()?;
                 self.read_reply(wire::Opcode::Ingest as u8)?
@@ -285,7 +366,7 @@ impl ServeClient {
             Mode::Json => {
                 let xs: Vec<u64> = tuples.iter().map(|&(x, _)| x).collect();
                 let ys: Vec<u64> = tuples.iter().map(|&(_, y)| y).collect();
-                self.request(&Request::Ingest { xs, ys, ts: None })?
+                self.request(&Request::Ingest { xs, ys, ts: None, seq })?
             }
         };
         response.u64_field("accepted").map_err(ClientError::Protocol)
@@ -297,7 +378,7 @@ impl ServeClient {
         let xs: Vec<u64> = tuples.iter().map(|&(x, _, _)| x).collect();
         let ys: Vec<u64> = tuples.iter().map(|&(_, y, _)| y).collect();
         let ts: Vec<u64> = tuples.iter().map(|&(_, _, t)| t).collect();
-        let response = self.request(&Request::Ingest { xs, ys, ts: Some(ts) })?;
+        let response = self.request(&Request::Ingest { xs, ys, ts: Some(ts), seq: None })?;
         response.u64_field("accepted").map_err(ClientError::Protocol)
     }
 
@@ -390,6 +471,14 @@ impl ServeClient {
         response.u64_field("bytes").map_err(ClientError::Protocol)
     }
 
+    /// Force a durable snapshot rotation on a durability-enabled server
+    /// (the `snapshot` op with an empty path); returns the new generation
+    /// number.
+    pub fn snapshot_rotate(&mut self) -> ClientResult<u64> {
+        let response = self.request(&Request::Snapshot { path: String::new() })?;
+        response.u64_field("generation").map_err(ClientError::Protocol)
+    }
+
     /// Ask the server to stop accepting connections.
     pub fn shutdown_server(&mut self) -> ClientResult<()> {
         self.request(&Request::Shutdown).map(|_| ())
@@ -416,6 +505,7 @@ mod tests {
             pane_k: 4,
             pane_retention: None,
             max_connections: 1_024,
+            durability: None,
         }
     }
 

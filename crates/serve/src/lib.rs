@@ -16,11 +16,20 @@
 //!   so a query issued *during* a rebuild returns immediately against the
 //!   previous epoch instead of waiting (the former ROADMAP item "composite
 //!   rebuilds run on the querying thread" ends here);
-//! * **snapshot persistence** — the server bundles the framework/F0/rarity/
-//!   heavy-hitters snapshot frames of `cora_core::snapshot` into one
-//!   checksummed file ([`server::RunningServer`] op `snapshot`), and
+//! * **snapshot persistence & crash-safe durability** — the server bundles
+//!   the framework/F0/rarity/heavy-hitters snapshot frames of
+//!   `cora_core::snapshot` into one checksummed file
+//!   ([`server::RunningServer`] op `snapshot`), and
 //!   [`server::start_restored`] boots a server from such a file with
-//!   bit-identical answers;
+//!   bit-identical answers. With [`server::DurabilityConfig`] set, a
+//!   write-ahead [`journal`] makes every acked ingest batch crash-safe:
+//!   batches are journaled (fsync'd) before they are applied, a background
+//!   thread rotates snapshot generations, and recovery-on-start restores
+//!   the newest readable snapshot plus the journal tail — proven by a
+//!   deterministic fault-injection harness ([`faults`]) and `SIGKILL`
+//!   process tests. [`retry::RetryingClient`] completes the story
+//!   client-side with reconnect, exponential backoff, and idempotent
+//!   sequence-numbered replay;
 //! * [`server`] / [`client`] / [`wire`] — a `std::net::TcpListener` server
 //!   speaking **two wire protocols**, negotiated per connection by its
 //!   first byte: newline-delimited JSON (reusing `cora_stream::json`) and
@@ -61,11 +70,20 @@
 #![warn(clippy::all)]
 
 pub mod client;
+pub mod faults;
+pub mod journal;
 pub mod merger;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 pub mod wire;
 
 pub use client::ServeClient;
+pub use faults::{FaultPlan, FaultyStorage};
+pub use journal::{DiskStorage, JournalWriter, Storage};
 pub use merger::BackgroundMerger;
-pub use server::{start, start_restored, RunningServer, ServeConfig, ServeError};
+pub use retry::{RetryPolicy, RetryingClient};
+pub use server::{
+    start, start_restored, start_with_storage, DurabilityConfig, RunningServer, ServeConfig,
+    ServeError,
+};

@@ -12,7 +12,7 @@
 //! |-----------------|-------------------------|-----------------------------------------|
 //! | `ping`          | —                       | `{"ok":true}`                           |
 //! | `config`        | —                       | server parameters                       |
-//! | `ingest`        | `xs`, `ys` (u64 arrays), optional `ts` | `{"ok":true,"accepted":n}` |
+//! | `ingest`        | `xs`, `ys` (u64 arrays), optional `ts`, optional `writer`+`seq` | `{"ok":true,"accepted":n}` |
 //! | `flush`         | —                       | read-your-writes barrier                |
 //! | `f2`            | `c`                     | `{"ok":true,"value":…}`                 |
 //! | `f0`            | `c`                     | `{"ok":true,"value":…}`                 |
@@ -30,8 +30,13 @@
 //! over the pane-aligned *resolved* span `[resolved_lo, resolved_hi)` (see
 //! `cora_stream::windowed`), which the response reports alongside the value.
 //!
-//! Errors come back as `{"ok":false,"error":"…"}`; a malformed line never
-//! kills the connection, it answers with an error object.
+//! Errors come back as `{"ok":false,"error":"…","kind":"…"}` where `kind`
+//! is one of [`ErrorKind`]'s wire names — `"io"` marks a server-side
+//! journal/snapshot failure with the underlying `io::Error` detail in the
+//! message. A malformed line never kills the connection, it answers with an
+//! error object. The optional `writer`+`seq` pair on `ingest` (sent
+//! together or not at all) makes the batch idempotent: replaying it after a
+//! reconnect answers `duplicate:1` instead of double-counting.
 
 use cora_stream::json;
 
@@ -51,6 +56,11 @@ pub enum Request {
         /// Optional per-tuple timestamps in ticks (same length as `xs`);
         /// omitted tuples are stamped by the server's arrival counter.
         ts: Option<Vec<u64>>,
+        /// Optional `(writer, seq)` idempotency pair: the server keeps a
+        /// per-writer high-water mark and answers a batch at or below it
+        /// with `accepted: 0, duplicate: 1` instead of applying it twice —
+        /// what makes client-side replay after a reconnect safe.
+        seq: Option<(u64, u64)>,
     },
     /// Read-your-writes barrier: drain the workers and republish the
     /// composite.
@@ -135,19 +145,21 @@ impl Request {
         match self {
             Request::Ping => r#"{"op":"ping"}"#.to_string(),
             Request::Config => r#"{"op":"config"}"#.to_string(),
-            Request::Ingest { xs, ys, ts } => match ts {
-                Some(ts) => format!(
-                    r#"{{"op":"ingest","xs":{},"ys":{},"ts":{}}}"#,
-                    u64_array(xs),
-                    u64_array(ys),
-                    u64_array(ts)
-                ),
-                None => format!(
-                    r#"{{"op":"ingest","xs":{},"ys":{}}}"#,
+            Request::Ingest { xs, ys, ts, seq } => {
+                let mut line = format!(
+                    r#"{{"op":"ingest","xs":{},"ys":{}"#,
                     u64_array(xs),
                     u64_array(ys)
-                ),
-            },
+                );
+                if let Some(ts) = ts {
+                    line.push_str(&format!(r#","ts":{}"#, u64_array(ts)));
+                }
+                if let Some((writer, seq)) = seq {
+                    line.push_str(&format!(r#","writer":{writer},"seq":{seq}"#));
+                }
+                line.push('}');
+                line
+            }
             Request::Flush => r#"{"op":"flush"}"#.to_string(),
             Request::QueryF2 { c } => format!(r#"{{"op":"f2","c":{c}}}"#),
             Request::QueryF0 { c } => format!(r#"{{"op":"f0","c":{c}}}"#),
@@ -208,7 +220,23 @@ impl Request {
                         ));
                     }
                 }
-                Ok(Request::Ingest { xs, ys, ts })
+                let opt_u64 = |name: &str| -> Result<Option<u64>, String> {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == name)
+                        .map(|(_, v)| json::parse_u64(v))
+                        .transpose()
+                };
+                let seq = match (opt_u64("writer")?, opt_u64("seq")?) {
+                    (Some(writer), Some(seq)) => Some((writer, seq)),
+                    (None, None) => None,
+                    _ => {
+                        return Err(
+                            "writer and seq must be sent together (or both omitted)".into()
+                        )
+                    }
+                };
+                Ok(Request::Ingest { xs, ys, ts, seq })
             }
             "flush" => Ok(Request::Flush),
             "f2" => Ok(Request::QueryF2 { c: json::parse_u64(get("c")?)? }),
@@ -268,6 +296,53 @@ impl Value {
     }
 }
 
+/// What failed, at the granularity a client can act on: retry the request
+/// (`Request`), surface a data problem (`Sketch`), treat the server's
+/// storage as degraded (`Io`), or back off entirely (`Server`). Carried on
+/// both transports (a `kind` field in JSON, a trailing string in binary
+/// error frames) so snapshot/journal I/O failures are distinguishable from
+/// a bad request without parsing prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request itself was malformed or out of range.
+    Request,
+    /// A hosted sketch rejected the operation.
+    Sketch,
+    /// Server-side storage (journal append or snapshot write) failed; the
+    /// message carries the underlying `io::Error` detail.
+    Io,
+    /// A server-side resource limit or internal failure.
+    Server,
+}
+
+impl ErrorKind {
+    /// The wire name of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Request => "request",
+            ErrorKind::Sketch => "sketch",
+            ErrorKind::Io => "io",
+            ErrorKind::Server => "server",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A structured server-side failure: the kind plus a human-readable
+/// message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorBody {
+    /// What failed.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
 /// A protocol-agnostic server response: the server core produces these and
 /// each transport renders them (`render_json` here; frames in
 /// [`crate::wire`]).
@@ -275,8 +350,8 @@ impl Value {
 pub enum Reply {
     /// Success, with named result fields.
     Ok(Vec<(&'static str, Value)>),
-    /// Failure, with a message.
-    Error(String),
+    /// Failure, with a structured kind and message.
+    Error(ErrorBody),
 }
 
 impl Reply {
@@ -285,8 +360,28 @@ impl Reply {
         Reply::Ok(Vec::new())
     }
 
+    /// A malformed-request failure.
+    pub fn request_error(message: impl Into<String>) -> Self {
+        Reply::Error(ErrorBody { kind: ErrorKind::Request, message: message.into() })
+    }
+
+    /// A sketch-rejected-the-operation failure.
+    pub fn sketch_error(message: impl Into<String>) -> Self {
+        Reply::Error(ErrorBody { kind: ErrorKind::Sketch, message: message.into() })
+    }
+
+    /// A storage (journal/snapshot) I/O failure.
+    pub fn io_error(message: impl Into<String>) -> Self {
+        Reply::Error(ErrorBody { kind: ErrorKind::Io, message: message.into() })
+    }
+
+    /// A server-side limit or internal failure.
+    pub fn server_error(message: impl Into<String>) -> Self {
+        Reply::Error(ErrorBody { kind: ErrorKind::Server, message: message.into() })
+    }
+
     /// Render as one JSON response line (no trailing newline), byte-identical
-    /// to [`ok_with`]/[`error`] output.
+    /// to [`ok_with`]/[`error_with_kind`] output.
     pub fn render_json(&self) -> String {
         match self {
             Reply::Ok(fields) => {
@@ -296,7 +391,7 @@ impl Reply {
                     .collect();
                 ok_with(&rendered)
             }
-            Reply::Error(message) => error(message),
+            Reply::Error(body) => error_with_kind(body.kind, &body.message),
         }
     }
 }
@@ -319,9 +414,19 @@ pub fn ok() -> String {
     ok_with(&[])
 }
 
-/// Build an error response.
+/// Build an error response of kind [`ErrorKind::Request`] (the default for
+/// protocol-level refusals: unparseable lines, unknown first bytes).
 pub fn error(message: &str) -> String {
-    format!(r#"{{"ok":false,"error":{}}}"#, json::escape(message))
+    error_with_kind(ErrorKind::Request, message)
+}
+
+/// Build an error response carrying an explicit kind.
+pub fn error_with_kind(kind: ErrorKind, message: &str) -> String {
+    format!(
+        r#"{{"ok":false,"error":{},"kind":{}}}"#,
+        json::escape(message),
+        json::escape(kind.as_str())
+    )
 }
 
 /// A parsed response line (client side).
@@ -373,6 +478,21 @@ impl Response {
         )
     }
 
+    /// The server's error kind (`"request"`, `"sketch"`, `"io"`,
+    /// `"server"`), if this is an error response. Responses from servers
+    /// predating structured kinds report `"server"`.
+    pub fn error_kind(&self) -> Option<String> {
+        if self.is_ok() {
+            return None;
+        }
+        Some(
+            self.raw("kind")
+                .ok()
+                .and_then(|raw| json::parse_string(raw).ok())
+                .unwrap_or_else(|| ErrorKind::Server.as_str().to_string()),
+        )
+    }
+
     /// Decode a numeric field as `f64`.
     pub fn f64_field(&self, name: &str) -> Result<f64, String> {
         json::parse_f64(self.raw(name)?)
@@ -412,11 +532,19 @@ mod tests {
                 xs: vec![1, u64::MAX, 3],
                 ys: vec![10, 20, 30],
                 ts: None,
+                seq: None,
             },
             Request::Ingest {
                 xs: vec![4, 5],
                 ys: vec![6, 7],
                 ts: Some(vec![100, 99]),
+                seq: None,
+            },
+            Request::Ingest {
+                xs: vec![8],
+                ys: vec![9],
+                ts: None,
+                seq: Some((3, u64::MAX)),
             },
             Request::Flush,
             Request::QueryF2 { c: 100 },
@@ -460,6 +588,14 @@ mod tests {
             Request::parse(r#"{"op":"ingest","xs":[1],"ys":[1],"ts":[1,2]}"#).is_err(),
             "ts length mismatch"
         );
+        assert!(
+            Request::parse(r#"{"op":"ingest","xs":[1],"ys":[1],"writer":4}"#).is_err(),
+            "writer without seq"
+        );
+        assert!(
+            Request::parse(r#"{"op":"ingest","xs":[1],"ys":[1],"seq":4}"#).is_err(),
+            "seq without writer"
+        );
         assert!(Request::parse(r#"{"op":"window_f2","c":9}"#).is_err(), "missing window");
     }
 
@@ -479,5 +615,14 @@ mod tests {
         let response = Response::parse(&err_line).unwrap();
         assert!(!response.is_ok());
         assert_eq!(response.error_message().unwrap(), "y 5000 out of range");
+        assert_eq!(response.error_kind().unwrap(), "request");
+
+        let io_line = error_with_kind(ErrorKind::Io, "journal append failed");
+        let response = Response::parse(&io_line).unwrap();
+        assert_eq!(response.error_kind().unwrap(), "io");
+        // Errors from pre-kind servers degrade to the generic kind.
+        let legacy = Response::parse(r#"{"ok":false,"error":"old"}"#).unwrap();
+        assert_eq!(legacy.error_kind().unwrap(), "server");
+        assert_eq!(legacy.error_message().unwrap(), "old");
     }
 }

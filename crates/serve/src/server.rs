@@ -46,32 +46,55 @@
 //!
 //! ## Snapshot bundle
 //!
-//! The `snapshot` op writes one file: a `CSRV` container holding the six
+//! The `snapshot` op writes one file: a `CSRV` container holding the seven
 //! `cora_core::snapshot` frames (framework composite, F0, rarity, heavy
-//! hitters, and the two windowed pane rings), each individually checksummed.
-//! [`start_restored`] boots a server from such a file; restored structures
-//! answer queries bit-identically (pinned by the integration tests and the
-//! CI serve-smoke step).
+//! hitters, the two windowed pane rings, and the per-writer ingest sequence
+//! map), each individually checksummed. [`start_restored`] boots a server
+//! from such a file; restored structures answer queries bit-identically
+//! (pinned by the integration tests and the CI serve-smoke step).
+//!
+//! ## Durability
+//!
+//! With [`ServeConfig::durability`] set, the server journals every accepted
+//! ingest batch to a write-ahead log *before* applying it (`crate::journal`),
+//! fsyncing by default, so the ack a client receives is a durability
+//! receipt. A background thread rotates generations — publish snapshot
+//! `snap-<g>.csrv` atomically, open journal `journal-<g>.cjl` for the
+//! batches after it — on tuple-count and/or wall-clock triggers; the
+//! `snapshot` op with an empty `path` forces a rotation. On start the server
+//! recovers: newest readable snapshot (falling back past torn or corrupt
+//! ones to the previous generation), then valid-prefix replay of every
+//! journal at or after it. Acked batches survive `SIGKILL`; unsynced ones
+//! are bounded by the journal's fsync policy. All storage goes through the
+//! injectable [`Storage`] trait so the fault-injection suite
+//! (`crate::faults`) can prove the recovery paths deterministically.
 
+use crate::journal::{
+    journal_path, list_generations, scan_journal, snapshot_path, JournalRecord, JournalWriter,
+    Storage,
+};
 use crate::merger::BackgroundMerger;
 use crate::protocol::{self, Reply, Request, Value};
 use crate::wire::{self, Opcode};
+use cora_core::snapshot::{open_frame, seal_frame_into};
 use cora_core::{
     CoreError, CorrelatedConfig, CorrelatedF0, CorrelatedHeavyHitters, CorrelatedRarity,
-    F2Aggregate,
+    F2Aggregate, SnapshotKind,
 };
 use cora_sketch::codec::{ByteReader, ByteWriter};
 use cora_stream::windowed::{
     windowed_f0, windowed_f2, PaneConfig, PaneRing, WindowPane, WindowedF0, WindowedF2,
 };
 use cora_stream::ShardedIngest;
+use std::collections::HashMap;
 use std::fmt;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Errors starting or restoring a server.
 #[derive(Debug)]
@@ -142,6 +165,42 @@ pub struct ServeConfig {
     /// Simultaneous client connections accepted before new ones are turned
     /// away with an error (resource hardening; see the accept loop).
     pub max_connections: usize,
+    /// Crash-safe durability: journal every ingest batch and keep rotating
+    /// snapshots in the configured directory (`None` = in-memory only, the
+    /// historical behavior).
+    pub durability: Option<DurabilityConfig>,
+}
+
+/// Durability parameters: where the journal and snapshots live and when the
+/// background thread rotates generations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Directory holding `snap-<g>.csrv` / `journal-<g>.cjl` generation
+    /// files (created if missing).
+    pub dir: PathBuf,
+    /// Rotate once this many tuples have been journaled since the last
+    /// snapshot (0 disables the tuple trigger).
+    pub snapshot_every_tuples: u64,
+    /// Rotate once this many milliseconds have passed since the last
+    /// snapshot (0 disables the time trigger).
+    pub snapshot_interval_ms: u64,
+    /// Fsync the journal after every batch append. `true` (the default)
+    /// makes every ack a durability receipt; `false` trades bounded loss
+    /// (up to one OS write-back window) for throughput.
+    pub fsync_each_batch: bool,
+}
+
+impl DurabilityConfig {
+    /// Durability in `dir` with the default policy: fsync every batch,
+    /// rotate every 200 000 tuples, no time trigger.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            snapshot_every_tuples: 200_000,
+            snapshot_interval_ms: 0,
+            fsync_each_batch: true,
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -160,6 +219,7 @@ impl Default for ServeConfig {
             pane_k: 4,
             pane_retention: None,
             max_connections: 1_024,
+            durability: None,
         }
     }
 }
@@ -209,6 +269,24 @@ struct AuxSketches {
     hh: CorrelatedHeavyHitters,
 }
 
+/// The live durability machinery: the open journal plus rotation state.
+/// `None` inside the server's `durable` slot while durability is off (and
+/// during recovery replay, which must not re-journal what it reads).
+struct DurableState {
+    storage: Arc<dyn Storage>,
+    dir: PathBuf,
+    fsync: bool,
+    journal: JournalWriter,
+    /// Generation of the newest successfully published snapshot — the
+    /// retention floor (everything older than the *previous* good snapshot
+    /// is deleted after a rotation, keeping one fallback generation).
+    last_good: u64,
+    /// Tuples journaled since the last snapshot (the rotation trigger).
+    tuples_since: u64,
+    /// When the last snapshot was published (the time trigger).
+    last_snapshot: Instant,
+}
+
 /// Shared server state.
 struct ServerCore {
     config: ServeConfig,
@@ -216,18 +294,29 @@ struct ServerCore {
     aux: Mutex<AuxSketches>,
     windows: Mutex<WindowState>,
     merger: BackgroundMerger<F2Aggregate>,
+    /// Per-writer ingest sequence high-water marks: a batch tagged
+    /// `(writer, seq)` with `seq` at or below the mark is a duplicate
+    /// resend and is acked without being applied (idempotent replay).
+    seqs: Mutex<HashMap<u64, u64>>,
+    /// `Some` once durability is open. Lock order: `sharded` → `aux` →
+    /// `windows` → `seqs` → `durable` (ingest and rotation both follow it).
+    durable: Mutex<Option<DurableState>>,
     requests: AtomicU64,
     accepted: AtomicU64,
     snapshots: AtomicU64,
+    journal_batches: AtomicU64,
+    journal_bytes: AtomicU64,
+    auto_snapshots: AtomicU64,
+    snapshot_errors: AtomicU64,
 }
 
 /// Magic bytes of a snapshot bundle file.
 const BUNDLE_MAGIC: [u8; 4] = *b"CSRV";
 /// Bundle container version. Version 2 added the windowed sections (5, 6);
-/// version-1 bundles predate the windowed structures and are refused rather
-/// than restored into a server that would silently answer window queries
-/// from an empty ring.
-const BUNDLE_VERSION: u16 = 2;
+/// version 3 added the ingest-sequence section (7). Older bundles are
+/// refused rather than restored into a server that would silently answer
+/// window queries from an empty ring or re-apply replayed batches.
+const BUNDLE_VERSION: u16 = 3;
 /// Section tags inside a bundle.
 const SECTION_F2: u8 = 1;
 const SECTION_F0: u8 = 2;
@@ -235,6 +324,7 @@ const SECTION_RARITY: u8 = 3;
 const SECTION_HH: u8 = 4;
 const SECTION_WINDOW_F2: u8 = 5;
 const SECTION_WINDOW_F0: u8 = 6;
+const SECTION_SEQS: u8 = 7;
 
 /// Decoded snapshot bundle: one `cora_core::snapshot` frame per structure.
 struct Bundle {
@@ -244,13 +334,14 @@ struct Bundle {
     hh: Vec<u8>,
     window_f2: Vec<u8>,
     window_f0: Vec<u8>,
+    seqs: Vec<u8>,
 }
 
 fn encode_bundle(bundle: &Bundle) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_bytes(&BUNDLE_MAGIC);
     w.put_u16(BUNDLE_VERSION);
-    w.put_u8(6);
+    w.put_u8(7);
     for (tag, frame) in [
         (SECTION_F2, &bundle.f2),
         (SECTION_F0, &bundle.f0),
@@ -258,6 +349,7 @@ fn encode_bundle(bundle: &Bundle) -> Vec<u8> {
         (SECTION_HH, &bundle.hh),
         (SECTION_WINDOW_F2, &bundle.window_f2),
         (SECTION_WINDOW_F0, &bundle.window_f0),
+        (SECTION_SEQS, &bundle.seqs),
     ] {
         w.put_u8(tag);
         w.put_len(frame.len());
@@ -288,6 +380,7 @@ fn decode_bundle(bytes: &[u8]) -> Result<Bundle, ServeError> {
     let mut hh = None;
     let mut window_f2 = None;
     let mut window_f0 = None;
+    let mut seqs = None;
     for _ in 0..sections {
         let tag = r.get_u8().map_err(|e| invalid(e.to_string()))?;
         let len = r.get_len().map_err(|e| invalid(e.to_string()))?;
@@ -302,6 +395,7 @@ fn decode_bundle(bytes: &[u8]) -> Result<Bundle, ServeError> {
             SECTION_HH => &mut hh,
             SECTION_WINDOW_F2 => &mut window_f2,
             SECTION_WINDOW_F0 => &mut window_f0,
+            SECTION_SEQS => &mut seqs,
             other => return Err(invalid(format!("unknown bundle section tag {other}"))),
         };
         if slot.replace(frame).is_some() {
@@ -314,12 +408,61 @@ fn decode_bundle(bytes: &[u8]) -> Result<Bundle, ServeError> {
             r.remaining()
         )));
     }
-    match (f2, f0, rarity, hh, window_f2, window_f0) {
-        (Some(f2), Some(f0), Some(rarity), Some(hh), Some(window_f2), Some(window_f0)) => {
-            Ok(Bundle { f2, f0, rarity, hh, window_f2, window_f0 })
-        }
+    match (f2, f0, rarity, hh, window_f2, window_f0, seqs) {
+        (
+            Some(f2),
+            Some(f0),
+            Some(rarity),
+            Some(hh),
+            Some(window_f2),
+            Some(window_f0),
+            Some(seqs),
+        ) => Ok(Bundle { f2, f0, rarity, hh, window_f2, window_f0, seqs }),
         _ => Err(invalid("bundle is missing one or more structure sections".into())),
     }
+}
+
+/// Seal the per-writer sequence map as a `cora_core::snapshot` frame
+/// ([`SnapshotKind::ServeMeta`]): `u32 count`, then `count × (u64 writer,
+/// u64 seq)` sorted by writer for deterministic bytes.
+fn encode_seqs_frame(seqs: &HashMap<u64, u64>) -> Vec<u8> {
+    let mut pairs: Vec<(u64, u64)> = seqs.iter().map(|(&w, &s)| (w, s)).collect();
+    pairs.sort_unstable();
+    let mut w = ByteWriter::new();
+    w.put_u32(pairs.len() as u32);
+    for (writer, seq) in pairs {
+        w.put_u64(writer);
+        w.put_u64(seq);
+    }
+    let mut out = Vec::new();
+    seal_frame_into(SnapshotKind::ServeMeta, w.as_bytes(), &mut out);
+    out
+}
+
+fn decode_seqs_frame(bytes: &[u8]) -> Result<HashMap<u64, u64>, ServeError> {
+    let payload = open_frame(bytes, SnapshotKind::ServeMeta)?;
+    let invalid = |e: cora_sketch::codec::CodecError| {
+        ServeError::Invalid(format!("sequence section: {e}"))
+    };
+    let mut r = ByteReader::new(payload);
+    let count = r.get_u32().map_err(invalid)? as usize;
+    let mut seqs = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let writer = r.get_u64().map_err(invalid)?;
+        let seq = r.get_u64().map_err(invalid)?;
+        if seqs.insert(writer, seq).is_some() {
+            return Err(ServeError::Invalid(format!(
+                "sequence section lists writer {writer} twice"
+            )));
+        }
+    }
+    if !r.is_empty() {
+        return Err(ServeError::Invalid(format!(
+            "{} trailing bytes after the declared sequence entries",
+            r.remaining()
+        )));
+    }
+    Ok(seqs)
 }
 
 /// Answer one window query: the estimate plus the pane-aligned resolved span
@@ -482,6 +625,10 @@ impl ServerCore {
                 (sharded, aux, windows)
             }
         };
+        let seqs = match bundle {
+            None => HashMap::new(),
+            Some(bundle) => decode_seqs_frame(&bundle.seqs)?,
+        };
         let merger = BackgroundMerger::spawn(sharded.reader(), config.merge_every.max(1))?;
         Ok(Self {
             config,
@@ -489,19 +636,27 @@ impl ServerCore {
             aux: Mutex::new(aux),
             windows: Mutex::new(windows),
             merger,
+            seqs: Mutex::new(seqs),
+            durable: Mutex::new(None),
             requests: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
+            journal_batches: AtomicU64::new(0),
+            journal_bytes: AtomicU64::new(0),
+            auto_snapshots: AtomicU64::new(0),
+            snapshot_errors: AtomicU64::new(0),
         })
     }
 
-    fn snapshot_bundle(&self) -> Result<Vec<u8>, ServeError> {
-        // Hold all three locks (sharded before aux before windows, like the
-        // ingest path) across the whole bundle, so every section describes
-        // the same stream prefix — a bundle must fully determine a server.
-        let mut sharded = self.sharded.lock().unwrap_or_else(PoisonError::into_inner);
-        let aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
-        let windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
+    /// Encode the full bundle from already-locked structures, so the caller
+    /// chooses the consistency scope (the plain `snapshot` op versus a
+    /// durable rotation that must also swap the journal atomically).
+    fn bundle_bytes_locked(
+        sharded: &mut ShardedIngest<F2Aggregate>,
+        aux: &AuxSketches,
+        windows: &WindowState,
+        seqs: &HashMap<u64, u64>,
+    ) -> Result<Vec<u8>, ServeError> {
         let bundle = Bundle {
             f2: sharded.snapshot()?,
             f0: aux.f0.snapshot(),
@@ -509,34 +664,206 @@ impl ServerCore {
             hh: aux.hh.snapshot(),
             window_f2: windows.f2.snapshot(),
             window_f0: windows.f0.snapshot(),
+            seqs: encode_seqs_frame(seqs),
         };
-        self.snapshots.fetch_add(1, Ordering::Relaxed);
         Ok(encode_bundle(&bundle))
+    }
+
+    fn snapshot_bundle(&self) -> Result<Vec<u8>, ServeError> {
+        // Hold the locks (sharded before aux before windows before seqs,
+        // like the ingest path) across the whole bundle, so every section
+        // describes the same stream prefix — a bundle must fully determine
+        // a server.
+        let mut sharded = self.sharded.lock().unwrap_or_else(PoisonError::into_inner);
+        let aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
+        let windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
+        let seqs = self.seqs.lock().unwrap_or_else(PoisonError::into_inner);
+        let bytes = Self::bundle_bytes_locked(&mut sharded, &aux, &windows, &seqs)?;
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(bytes)
+    }
+
+    /// Install the durability machinery: open the journal for `generation`,
+    /// publish the matching snapshot of the current (recovered) state, and
+    /// prune generations older than the `retain_from` fallback. Called once
+    /// at start, after recovery replay and before any connection is served.
+    fn open_durable(
+        &self,
+        storage: &Arc<dyn Storage>,
+        config: &DurabilityConfig,
+        generation: u64,
+        retain_from: Option<u64>,
+    ) -> Result<(), ServeError> {
+        // Journal before snapshot: if we crash between the two, recovery
+        // restores the previous snapshot and replays straight through this
+        // (empty) journal — no batch can land in a file recovery won't read.
+        let journal = JournalWriter::create(storage.as_ref(), &config.dir, generation)?;
+        let bytes = self.snapshot_bundle()?;
+        storage.write_atomic(&snapshot_path(&config.dir, generation), &bytes)?;
+        if let Some(floor) = retain_from {
+            Self::prune_generations(storage, &config.dir, floor);
+        }
+        let state = DurableState {
+            storage: Arc::clone(storage),
+            dir: config.dir.clone(),
+            fsync: config.fsync_each_batch,
+            journal,
+            last_good: generation,
+            tuples_since: 0,
+            last_snapshot: Instant::now(),
+        };
+        *self.durable.lock().unwrap_or_else(PoisonError::into_inner) = Some(state);
+        Ok(())
+    }
+
+    /// Best-effort retention: delete every generation file strictly older
+    /// than `floor` (the previous good snapshot stays as the fallback).
+    fn prune_generations(storage: &Arc<dyn Storage>, dir: &std::path::Path, floor: u64) {
+        let Ok(listing) = list_generations(storage.as_ref(), dir) else {
+            return;
+        };
+        for &g in listing.snapshots.iter().filter(|&&g| g < floor) {
+            let _ = storage.remove(&snapshot_path(dir, g));
+        }
+        for &g in listing.journals.iter().filter(|&&g| g < floor) {
+            let _ = storage.remove(&journal_path(dir, g));
+        }
+    }
+
+    /// Rotate the durable generation: publish a snapshot of the current
+    /// state and start a fresh journal for the batches after it. Returns
+    /// the new generation and the snapshot's size in bytes.
+    ///
+    /// Failure leaves the previous generation fully in charge (the old
+    /// journal keeps absorbing batches unless it was already poisoned) and
+    /// is counted in `snapshot_errors`.
+    fn durable_snapshot(&self, auto: bool) -> Result<(u64, u64), ServeError> {
+        // Same lock order as ingest; holding all of them across the
+        // journal swap means every batch lands either before the snapshot
+        // (in its bytes) or after it (in the new journal), never both.
+        let mut sharded = self.sharded.lock().unwrap_or_else(PoisonError::into_inner);
+        let aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
+        let windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
+        let seqs = self.seqs.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut durable = self.durable.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(ds) = durable.as_mut() else {
+            return Err(ServeError::Invalid(
+                "durability is not configured on this server".into(),
+            ));
+        };
+        let fail = |this: &Self, e: ServeError| {
+            this.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+            Err(e)
+        };
+        let new_gen = ds.journal.generation() + 1;
+        let prev_good = ds.last_good;
+        let bytes = match Self::bundle_bytes_locked(&mut sharded, &aux, &windows, &seqs) {
+            Ok(bytes) => bytes,
+            Err(e) => return fail(self, e),
+        };
+        // Fresh journal first, snapshot second: a crash between the two
+        // leaves snap-(prev) + a full journal-(old) + an empty
+        // journal-(new), which recovery replays losslessly. The reverse
+        // order would strand post-snapshot batches in a journal older than
+        // the restored snapshot.
+        let journal = match JournalWriter::create(ds.storage.as_ref(), &ds.dir, new_gen) {
+            Ok(journal) => journal,
+            Err(e) => return fail(self, ServeError::Io(e)),
+        };
+        if let Err(e) =
+            ds.storage.write_atomic(&snapshot_path(&ds.dir, new_gen), &bytes)
+        {
+            // The unused journal-(new) file stays behind; recovery replays
+            // it as empty and the next rotation attempt recreates it.
+            return fail(self, ServeError::Io(e));
+        }
+        ds.journal = journal;
+        ds.last_good = new_gen;
+        ds.tuples_since = 0;
+        ds.last_snapshot = Instant::now();
+        Self::prune_generations(&ds.storage, &ds.dir, prev_good);
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        if auto {
+            self.auto_snapshots.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((new_gen, bytes.len() as u64))
+    }
+
+    /// Whether the background snapshotter should rotate now.
+    fn snapshot_due(&self, config: &DurabilityConfig) -> bool {
+        let durable = self.durable.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(ds) = durable.as_ref() else {
+            return false;
+        };
+        let by_tuples = config.snapshot_every_tuples > 0
+            && ds.tuples_since >= config.snapshot_every_tuples;
+        let by_time = config.snapshot_interval_ms > 0
+            && ds.last_snapshot.elapsed() >= Duration::from_millis(config.snapshot_interval_ms)
+            && ds.journal.batches() > 0;
+        // A poisoned journal is rotated out as soon as the snapshotter
+        // notices, restoring write availability without operator action.
+        by_tuples || by_time || ds.journal.is_poisoned()
     }
 
     /// Ingest one validated batch into every hosted structure — the shared
     /// semantic path behind both the JSON `ingest` op and the binary
     /// protocol's zero-per-tuple-allocation fast path (which decodes frames
-    /// straight into reusable scratch slices and calls this).
+    /// straight into reusable scratch slices and calls this). Recovery
+    /// replay uses it too: before `open_durable` installs the journal, the
+    /// durable slot is `None`, so replayed batches are not re-journaled.
     ///
     /// `ts` carries explicit per-tuple timestamps (same length as `tuples`)
     /// or is empty, in which case the arrival clock stamps each tuple.
-    fn ingest_tuples(&self, tuples: &[(u64, u64)], ts: &[u64]) -> Reply {
-        let fail = Reply::Error;
+    /// `seq` is the client's `(writer, seq)` idempotency pair: a batch at
+    /// or below the writer's high-water mark answers
+    /// `accepted: 0, duplicate: 1` without being applied or journaled.
+    fn ingest_tuples(&self, tuples: &[(u64, u64)], ts: &[u64], seq: Option<(u64, u64)>) -> Reply {
+        let fail = Reply::sketch_error;
         debug_assert!(ts.is_empty() || ts.len() == tuples.len());
         // Validate atomically against the *configured* y_max so all hosted
         // structures accept or reject a batch together.
         if let Some(&(_, y)) = tuples.iter().find(|&&(_, y)| y > self.config.y_max) {
-            return fail(format!("y {y} exceeds configured y_max {}", self.config.y_max));
+            return Reply::request_error(format!(
+                "y {y} exceeds configured y_max {}",
+                self.config.y_max
+            ));
         }
         {
-            // All three locks are held across the whole batch (sharded
-            // before aux before windows, the order `snapshot_bundle` uses
-            // too), so a concurrent snapshot can never capture the
-            // structures at different stream prefixes.
+            // All locks are held across the whole batch (sharded before aux
+            // before windows before seqs before durable, the order the
+            // snapshot paths use too), so a concurrent snapshot can never
+            // capture the structures at different stream prefixes, and the
+            // journal receives batches in exactly apply order.
             let mut sharded = self.sharded.lock().unwrap_or_else(PoisonError::into_inner);
             let mut aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
             let mut windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut seqs = self.seqs.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some((writer, s)) = seq {
+                if seqs.get(&writer).is_some_and(|&high| s <= high) {
+                    return Reply::Ok(vec![
+                        ("accepted", Value::U64(0)),
+                        ("duplicate", Value::U64(1)),
+                    ]);
+                }
+            }
+            {
+                // Write-ahead: the batch reaches stable storage before any
+                // in-memory structure sees it, so the Ok ack below is a
+                // durability receipt. A journal failure (including a
+                // poisoned journal awaiting rotation) refuses the batch
+                // with a structured io error and applies nothing.
+                let mut durable = self.durable.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some(ds) = durable.as_mut() {
+                    let before = ds.journal.bytes();
+                    if let Err(e) = ds.journal.append_batch(tuples, ts, seq, ds.fsync) {
+                        return Reply::io_error(format!("journal append failed: {e}"));
+                    }
+                    ds.tuples_since += tuples.len() as u64;
+                    self.journal_batches.fetch_add(1, Ordering::Relaxed);
+                    self.journal_bytes
+                        .fetch_add(ds.journal.bytes() - before, Ordering::Relaxed);
+                }
+            }
             if let Err(e) = sharded.ingest(tuples) {
                 return fail(e.to_string());
             }
@@ -573,6 +900,12 @@ impl ServerCore {
                     return fail(format!("windowed structure rejected a tuple: {e}"));
                 }
             }
+            // Raise the high-water mark only after the batch is journaled
+            // and applied, so a failed batch can be retried with the same
+            // sequence number.
+            if let Some((writer, s)) = seq {
+                seqs.insert(writer, s);
+            }
         }
         let n = tuples.len() as u64;
         self.accepted.fetch_add(n, Ordering::Relaxed);
@@ -584,7 +917,7 @@ impl ServerCore {
     /// line or a binary frame to match the client.
     fn handle(&self, request: Request) -> (Reply, bool) {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let fail = |e: String| (Reply::Error(e), false);
+        let fail = |e: String| (Reply::sketch_error(e), false);
         match request {
             Request::Ping => (Reply::ok(), false),
             Request::Config => {
@@ -611,9 +944,12 @@ impl ServerCore {
                     false,
                 )
             }
-            Request::Ingest { xs, ys, ts } => {
+            Request::Ingest { xs, ys, ts, seq } => {
                 let tuples: Vec<(u64, u64)> = xs.into_iter().zip(ys).collect();
-                (self.ingest_tuples(&tuples, ts.as_deref().unwrap_or(&[])), false)
+                (
+                    self.ingest_tuples(&tuples, ts.as_deref().unwrap_or(&[]), seq),
+                    false,
+                )
             }
             Request::Flush => {
                 self.sharded
@@ -686,6 +1022,13 @@ impl ServerCore {
                     let windows = self.windows.lock().unwrap_or_else(PoisonError::into_inner);
                     (windows.f2.pane_count(), windows.f2.late_dropped(), windows.clock)
                 };
+                let (durable_on, generation, journal_poisoned) = {
+                    let durable = self.durable.lock().unwrap_or_else(PoisonError::into_inner);
+                    match durable.as_ref() {
+                        Some(ds) => (1, ds.journal.generation(), u64::from(ds.journal.is_poisoned())),
+                        None => (0, 0, 0),
+                    }
+                };
                 (
                     Reply::Ok(vec![
                         ("requests", Value::U64(self.requests.load(Ordering::Relaxed))),
@@ -707,9 +1050,47 @@ impl ServerCore {
                         ("window_panes", Value::U64(window_panes as u64)),
                         ("window_late_dropped", Value::U64(window_late_dropped)),
                         ("window_clock", Value::U64(window_clock)),
+                        ("durable", Value::U64(durable_on)),
+                        ("generation", Value::U64(generation)),
+                        ("journal_poisoned", Value::U64(journal_poisoned)),
+                        (
+                            "journal_batches",
+                            Value::U64(self.journal_batches.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "journal_bytes",
+                            Value::U64(self.journal_bytes.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "auto_snapshots",
+                            Value::U64(self.auto_snapshots.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "snapshot_errors",
+                            Value::U64(self.snapshot_errors.load(Ordering::Relaxed)),
+                        ),
                     ]),
                     false,
                 )
+            }
+            Request::Snapshot { path } if path.is_empty() => {
+                // Empty path = durable rotation: publish the next snapshot
+                // generation and swap in a fresh journal.
+                match self.durable_snapshot(false) {
+                    Ok((generation, bytes)) => (
+                        Reply::Ok(vec![
+                            ("generation", Value::U64(generation)),
+                            ("bytes", Value::U64(bytes)),
+                        ]),
+                        false,
+                    ),
+                    Err(ServeError::Io(e)) => (
+                        Reply::io_error(format!("snapshot rotation failed: {e}")),
+                        false,
+                    ),
+                    Err(ServeError::Invalid(e)) => (Reply::request_error(e), false),
+                    Err(e) => (Reply::server_error(e.to_string()), false),
+                }
             }
             Request::Snapshot { path } => match self.snapshot_bundle() {
                 Ok(bytes) => match std::fs::write(&path, &bytes) {
@@ -717,8 +1098,15 @@ impl ServerCore {
                         Reply::Ok(vec![("bytes", Value::U64(bytes.len() as u64))]),
                         false,
                     ),
-                    Err(e) => fail(format!("could not write snapshot to {path:?}: {e}")),
+                    Err(e) => (
+                        Reply::io_error(format!("could not write snapshot to {path:?}: {e}")),
+                        false,
+                    ),
                 },
+                Err(ServeError::Io(e)) => (
+                    Reply::io_error(format!("snapshot failed: {e}")),
+                    false,
+                ),
                 Err(e) => fail(e.to_string()),
             },
             Request::Shutdown => (Reply::ok(), true),
@@ -913,7 +1301,7 @@ impl Conn {
                     progress = true;
                     let (reply, stop) = match Request::parse(trimmed) {
                         Ok(request) => core.handle(request),
-                        Err(e) => (Reply::Error(format!("bad request: {e}")), false),
+                        Err(e) => (Reply::request_error(format!("bad request: {e}")), false),
                     };
                     let line = reply.render_json();
                     self.queue_json_line(&line);
@@ -937,7 +1325,7 @@ impl Conn {
                             // is rejected before any payload is buffered).
                             self.queue(&wire::encode_reply(
                                 header_bytes[2],
-                                &Reply::Error(e.to_string()),
+                                &Reply::request_error(e.to_string()),
                             ));
                             self.close_after_flush = true;
                             progress = true;
@@ -962,11 +1350,11 @@ impl Conn {
                                 &mut self.tuples,
                                 &mut self.ts,
                             ) {
-                                Ok(_) => {
+                                Ok(meta) => {
                                     core.requests.fetch_add(1, Ordering::Relaxed);
-                                    core.ingest_tuples(&self.tuples, &self.ts)
+                                    core.ingest_tuples(&self.tuples, &self.ts, meta.seq)
                                 }
-                                Err(e) => Reply::Error(format!("bad ingest frame: {e}")),
+                                Err(e) => Reply::request_error(format!("bad ingest frame: {e}")),
                             };
                             let suppress = no_ack && matches!(reply, Reply::Ok(_));
                             if !suppress {
@@ -978,7 +1366,7 @@ impl Conn {
                             let (reply, stop) = match wire::decode_request(opcode, payload) {
                                 Ok(request) => core.handle(request),
                                 Err(e) => {
-                                    (Reply::Error(format!("bad request frame: {e}")), false)
+                                    (Reply::request_error(format!("bad request frame: {e}")), false)
                                 }
                             };
                             let suppress = no_ack && matches!(reply, Reply::Ok(_)) && !stop;
@@ -996,7 +1384,10 @@ impl Conn {
                             // protocol's unknown-op error.
                             self.queue(&wire::encode_reply(
                                 header.opcode,
-                                &Reply::Error(format!("unknown opcode 0x{:02X}", header.opcode)),
+                                &Reply::request_error(format!(
+                                    "unknown opcode 0x{:02X}",
+                                    header.opcode
+                                )),
                             ));
                         }
                     }
@@ -1115,12 +1506,22 @@ pub struct RunningServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<thread::JoinHandle<()>>,
+    snapshotter: Option<thread::JoinHandle<()>>,
 }
 
 impl RunningServer {
     /// The address the listener is bound to (use port 0 to let the OS pick).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Block until the server is asked to stop (the `shutdown` op or a
+    /// signal-driven [`RunningServer::shutdown`] from another thread). The
+    /// standalone `cora_serve_node` binary parks its main thread here.
+    pub fn wait(&self) {
+        while !self.shutdown.load(Ordering::Acquire) {
+            thread::sleep(NET_TICK);
+        }
     }
 
     /// Stop accepting connections, wind down every connection handler, and
@@ -1136,6 +1537,9 @@ impl RunningServer {
             let _ = TcpStream::connect(self.addr);
             let _ = acceptor.join();
         }
+        if let Some(snapshotter) = self.snapshotter.take() {
+            let _ = snapshotter.join();
+        }
     }
 }
 
@@ -1145,31 +1549,177 @@ impl Drop for RunningServer {
     }
 }
 
+/// What recovery found in a durable directory: the state to restore, the
+/// journal batches to replay onto it, and where the fresh generation opens.
+struct Recovered {
+    bundle: Option<Bundle>,
+    /// Generation of the snapshot `bundle` came from (the retention floor).
+    restored_generation: Option<u64>,
+    replay: Vec<JournalRecord>,
+    /// The generation to open next — past every file on disk, so recovery
+    /// never appends to (or overwrites) a file it just read.
+    open_generation: u64,
+}
+
+/// Probe the durable directory: newest readable snapshot wins (torn or
+/// corrupt ones are skipped, falling back to the previous generation), then
+/// the valid prefix of every journal at or after it is queued for replay.
+///
+/// Refuses to start only when proceeding would mean *silent* loss of
+/// previously-acked data: no snapshot is readable and the journal history
+/// does not reach back to generation 0.
+fn recover(storage: &Arc<dyn Storage>, dir: &std::path::Path) -> Result<Recovered, ServeError> {
+    storage.create_dir_all(dir)?;
+    let listing = list_generations(storage.as_ref(), dir)?;
+    let mut restored: Option<(u64, Bundle)> = None;
+    for &g in &listing.snapshots {
+        let Ok(bytes) = storage.read(&snapshot_path(dir, g)) else {
+            continue;
+        };
+        if let Ok(bundle) = decode_bundle(&bytes) {
+            restored = Some((g, bundle));
+            break;
+        }
+        // Torn or corrupt snapshot: fall back to the previous generation —
+        // its journal chain replays the difference.
+    }
+    let base = match &restored {
+        Some((g, _)) => *g,
+        None => {
+            let first = listing.journals.first().copied();
+            let complete_history =
+                first == Some(0) || (first.is_none() && listing.snapshots.is_empty());
+            if !complete_history {
+                return Err(ServeError::Invalid(format!(
+                    "no readable snapshot in {dir:?} and the journal history begins at \
+                     generation {first:?}, not 0 — recovering would silently drop acked \
+                     batches; restore a snapshot file or point durability at a fresh \
+                     directory"
+                )));
+            }
+            0
+        }
+    };
+    let mut replay = Vec::new();
+    let relevant: Vec<u64> = listing.journals.iter().copied().filter(|&g| g >= base).collect();
+    for (i, &g) in relevant.iter().enumerate() {
+        let newest = i + 1 == relevant.len();
+        let scanned = storage
+            .read(&journal_path(dir, g))
+            .map_err(|e| e.to_string())
+            .and_then(|bytes| scan_journal(&bytes));
+        match scanned {
+            Ok(scan) if scan.generation == g => replay.extend(scan.records),
+            // The newest journal may have died mid-header (a crash inside
+            // rotation); it holds no acked batches, so skip it. Anywhere
+            // else an unreadable journal is a hole in acked history.
+            _ if newest => {}
+            Ok(scan) => {
+                return Err(ServeError::Invalid(format!(
+                    "journal file for generation {g} carries header generation {} — \
+                     refusing to replay a mislabeled journal",
+                    scan.generation
+                )));
+            }
+            Err(e) => {
+                return Err(ServeError::Invalid(format!(
+                    "journal for generation {g} is unreadable ({e}) but newer journals \
+                     exist — refusing to recover with a hole in acked history"
+                )));
+            }
+        }
+    }
+    let open_generation = listing
+        .snapshots
+        .first()
+        .copied()
+        .into_iter()
+        .chain(listing.journals.last().copied())
+        .max()
+        .map_or(0, |g| g + 1);
+    Ok(Recovered {
+        restored_generation: restored.as_ref().map(|(g, _)| *g),
+        bundle: restored.map(|(_, b)| b),
+        replay,
+        open_generation,
+    })
+}
+
 /// Start a fresh server (empty sketches) bound to `bind`
-/// (e.g. `"127.0.0.1:0"`).
+/// (e.g. `"127.0.0.1:0"`). With [`ServeConfig::durability`] set, recovery
+/// runs first against the real filesystem.
 pub fn start(config: ServeConfig, bind: &str) -> Result<RunningServer, ServeError> {
-    start_inner(config, bind, None)
+    start_inner(config, bind, None, None)
+}
+
+/// [`start`], but with an injectable [`Storage`] backing the durability
+/// layer — the seam the deterministic fault-injection suite uses. Requires
+/// [`ServeConfig::durability`] to be set.
+pub fn start_with_storage(
+    config: ServeConfig,
+    bind: &str,
+    storage: Arc<dyn Storage>,
+) -> Result<RunningServer, ServeError> {
+    if config.durability.is_none() {
+        return Err(ServeError::Invalid(
+            "start_with_storage requires ServeConfig::durability".into(),
+        ));
+    }
+    start_inner(config, bind, None, Some(storage))
 }
 
 /// Start a server from a snapshot bundle previously written by the
 /// `snapshot` op. The restored structures answer queries identically to the
-/// snapshotting server's at the moment of the snapshot.
+/// snapshotting server's at the moment of the snapshot. Incompatible with
+/// [`ServeConfig::durability`], whose recovery decides for itself what to
+/// restore.
 pub fn start_restored(
     config: ServeConfig,
     bind: &str,
     bundle: &[u8],
 ) -> Result<RunningServer, ServeError> {
+    if config.durability.is_some() {
+        return Err(ServeError::Invalid(
+            "start_restored cannot be combined with durability — recovery restores \
+             from the durable directory itself"
+                .into(),
+        ));
+    }
     let bundle = decode_bundle(bundle)?;
-    start_inner(config, bind, Some(&bundle))
+    start_inner(config, bind, Some(&bundle), None)
 }
 
 fn start_inner(
     config: ServeConfig,
     bind: &str,
     bundle: Option<&Bundle>,
+    storage: Option<Arc<dyn Storage>>,
 ) -> Result<RunningServer, ServeError> {
     let max_connections = config.max_connections;
-    let core = Arc::new(ServerCore::build(config, bundle)?);
+    let durability = config.durability.clone();
+    let storage = durability
+        .as_ref()
+        .map(|_| storage.unwrap_or_else(crate::journal::disk_storage));
+    let recovered = match (&durability, &storage) {
+        (Some(d), Some(storage)) => Some(recover(storage, &d.dir)?),
+        _ => None,
+    };
+    let effective_bundle = bundle.or(recovered.as_ref().and_then(|r| r.bundle.as_ref()));
+    let core = Arc::new(ServerCore::build(config, effective_bundle)?);
+    if let Some(recovered) = &recovered {
+        // Replay the journal tail through the normal ingest path (the
+        // durable slot is still None, so nothing is re-journaled). Errors
+        // cannot occur for batches that were validated before being
+        // journaled; a reply is still produced and ignored deliberately.
+        for record in &recovered.replay {
+            let _ = core.ingest_tuples(&record.tuples, &record.ts, record.seq);
+        }
+        let (d, storage) = (
+            durability.as_ref().expect("durability implies recovery"),
+            storage.as_ref().expect("durability implies storage"),
+        );
+        core.open_durable(storage, d, recovered.open_generation, recovered.restored_generation)?;
+    }
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -1179,6 +1729,33 @@ fn start_inner(
     let workers = thread::available_parallelism()
         .map_or(2, |n| n.get().clamp(2, 4));
     let live = Arc::new(AtomicU64::new(0));
+    // The background snapshotter: polls the rotation triggers while the
+    // server runs. Spawned before the acceptor moves `core`.
+    let snapshotter = match &durability {
+        Some(d)
+            if d.snapshot_every_tuples > 0
+                || d.snapshot_interval_ms > 0 =>
+        {
+            let core = Arc::clone(&core);
+            let shutdown = Arc::clone(&shutdown);
+            let d = d.clone();
+            thread::Builder::new()
+                .name("cora-serve-snapshot".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::Acquire) {
+                        if core.snapshot_due(&d) {
+                            // Failures are counted in snapshot_errors and
+                            // retried on the next trigger; the previous
+                            // generation stays in charge meanwhile.
+                            let _ = core.durable_snapshot(true);
+                        }
+                        thread::sleep(Duration::from_millis(20));
+                    }
+                })
+                .ok()
+        }
+        _ => None,
+    };
     let acceptor_shutdown = Arc::clone(&shutdown);
     let acceptor = thread::Builder::new()
         .name("cora-serve-accept".into())
@@ -1214,9 +1791,13 @@ fn start_inner(
                             // queueing in the accept backlog. (Binary
                             // clients see a failed handshake — the reply is
                             // not a frame — and close too.)
-                            let refusal = protocol::error(&format!(
-                                "connection limit reached (max_connections = {max_connections})"
-                            ));
+                            let refusal = protocol::error_with_kind(
+                                protocol::ErrorKind::Server,
+                                &format!(
+                                    "connection limit reached \
+                                     (max_connections = {max_connections})"
+                                ),
+                            );
                             let _ = stream.write_all(refusal.as_bytes());
                             let _ = stream.write_all(b"\n");
                             continue;
@@ -1247,6 +1828,7 @@ fn start_inner(
         addr,
         shutdown,
         acceptor: Some(acceptor),
+        snapshotter,
     })
 }
 
@@ -1263,6 +1845,7 @@ mod tests {
             hh: vec![5, 6],
             window_f2: vec![7],
             window_f0: vec![8, 9],
+            seqs: vec![10],
         };
         let bytes = encode_bundle(&bundle);
         let decoded = decode_bundle(&bytes).unwrap();
@@ -1272,6 +1855,7 @@ mod tests {
         assert_eq!(decoded.hh, bundle.hh);
         assert_eq!(decoded.window_f2, bundle.window_f2);
         assert_eq!(decoded.window_f0, bundle.window_f0);
+        assert_eq!(decoded.seqs, bundle.seqs);
 
         assert!(decode_bundle(&bytes[..bytes.len() - 1]).is_err());
         assert!(decode_bundle(b"XXXX").is_err());
@@ -1315,6 +1899,7 @@ mod tests {
             xs: vec![1, 2, 1],
             ys: vec![10, 20, 900],
             ts: None,
+            seq: None,
         });
         let resp = reply.render_json();
         assert!(resp.contains("\"accepted\":3"), "{resp}");
@@ -1323,8 +1908,29 @@ mod tests {
             xs: vec![9],
             ys: vec![5000],
             ts: None,
+            seq: None,
         });
         assert!(matches!(reply, Reply::Error(_)), "{reply:?}");
+        // Sequence-tagged batches: at-or-below the high-water mark is a
+        // duplicate; above it applies.
+        let (reply, _) = core.handle(Request::Ingest {
+            xs: vec![5],
+            ys: vec![50],
+            ts: None,
+            seq: Some((7, 1)),
+        });
+        assert!(reply.render_json().contains("\"accepted\":1"));
+        let (reply, _) = core.handle(Request::Ingest {
+            xs: vec![5],
+            ys: vec![50],
+            ts: None,
+            seq: Some((7, 1)),
+        });
+        let resp = reply.render_json();
+        assert!(
+            resp.contains("\"accepted\":0") && resp.contains("\"duplicate\":1"),
+            "{resp}"
+        );
         core.handle(Request::Flush);
         let (reply, _) = core.handle(Request::QueryF2 { c: 1023 });
         let resp = reply.render_json();
@@ -1360,6 +1966,7 @@ mod tests {
             xs: (0..n).collect(),
             ys: (0..n).map(|i| i % 1024).collect(),
             ts: None,
+            seq: None,
         });
         assert_eq!(r.u64_field("accepted").unwrap(), n);
         let r = answer(Request::WindowF2 { window: 32, c: 1023 });
@@ -1373,6 +1980,7 @@ mod tests {
             xs: vec![7, 7],
             ys: vec![1, 2],
             ts: Some(vec![1000, 990]),
+            seq: None,
         });
         assert_eq!(r.u64_field("accepted").unwrap(), 2);
         let r = answer(Request::WindowF0 { window: 16, c: 1023 });

@@ -41,7 +41,7 @@
 //! |--------|-----------------|--------------------------------------------------|
 //! | 0x01   | `ping`          | —                                                |
 //! | 0x02   | `config`        | —                                                |
-//! | 0x03   | `ingest`        | `u32 n`, `u8 has_ts`, `n×u64 xs`, `n×u64 ys`, `[n×u64 ts]` |
+//! | 0x03   | `ingest`        | `u32 n`, `u8 meta`, `[u64 writer, u64 seq]`, `n×u64 xs`, `n×u64 ys`, `[n×u64 ts]` |
 //! | 0x04   | `flush`         | —                                                |
 //! | 0x05   | `f2`            | `u64 c`                                          |
 //! | 0x06   | `f0`            | `u64 c`                                          |
@@ -53,11 +53,17 @@
 //! | 0x0C   | `snapshot`      | `str path` (u64 length + UTF-8 bytes)            |
 //! | 0x0D   | `shutdown`      | —                                                |
 //!
-//! A response payload is either `str message` (ERROR flag set) or a field
-//! list: `u8 nfields`, then per field `str key`, `u8 tag`, value — tags
-//! 0 `u64`, 1 `f64` (IEEE bits), 2 `u64` array (`u32 n` + values),
-//! 3 `f64` array, 4 null. Field lists mirror the JSON object fields
-//! one-for-one, so both transports answer identically.
+//! The ingest `meta` byte carries bit 0 = explicit timestamps follow the y
+//! lane, bit 1 = a `(writer, seq)` idempotency pair precedes the x lane
+//! (see [`crate::protocol::Request::Ingest`]); other bits are rejected.
+//!
+//! A response payload is either `str message`, `str kind` (ERROR flag set;
+//! `kind` is an [`crate::protocol::ErrorKind`] wire name, mirroring the
+//! JSON `kind` field) or a field list: `u8 nfields`, then per field
+//! `str key`, `u8 tag`, value — tags 0 `u64`, 1 `f64` (IEEE bits),
+//! 2 `u64` array (`u32 n` + values), 3 `f64` array, 4 null. Field lists
+//! mirror the JSON object fields one-for-one, so both transports answer
+//! identically.
 //!
 //! ## Pipelining
 //!
@@ -70,6 +76,11 @@
 
 use crate::protocol::{Reply, Request, Value};
 use cora_sketch::codec::{ByteReader, ByteWriter};
+
+/// Ingest `meta` bit: explicit per-tuple timestamps follow the y lane.
+const INGEST_HAS_TS: u8 = 1;
+/// Ingest `meta` bit: a `(writer, seq)` pair precedes the x lane.
+const INGEST_HAS_SEQ: u8 = 2;
 
 /// First byte of every binary frame — also the negotiation byte (JSON lines
 /// start with `{`).
@@ -223,9 +234,20 @@ pub fn encode_request(request: &Request, flags: u8) -> Vec<u8> {
     let opcode = match request {
         Request::Ping => Opcode::Ping,
         Request::Config => Opcode::Config,
-        Request::Ingest { xs, ys, ts } => {
+        Request::Ingest { xs, ys, ts, seq } => {
             w.put_u32(xs.len() as u32);
-            w.put_u8(u8::from(ts.is_some()));
+            let mut meta = 0u8;
+            if ts.is_some() {
+                meta |= INGEST_HAS_TS;
+            }
+            if seq.is_some() {
+                meta |= INGEST_HAS_SEQ;
+            }
+            w.put_u8(meta);
+            if let Some((writer, seq)) = seq {
+                w.put_u64(*writer);
+                w.put_u64(*seq);
+            }
             for &x in xs {
                 w.put_u64(x);
             }
@@ -279,11 +301,28 @@ pub fn encode_request(request: &Request, flags: u8) -> Vec<u8> {
 
 /// Encode an ingest request frame directly from tuple slices (no
 /// intermediate `xs`/`ys` vectors — the client's pipelined hot path).
-pub fn encode_ingest(tuples: &[(u64, u64)], ts: Option<&[u64]>, flags: u8) -> Vec<u8> {
+/// `seq` is the optional `(writer, seq)` idempotency pair.
+pub fn encode_ingest(
+    tuples: &[(u64, u64)],
+    ts: Option<&[u64]>,
+    seq: Option<(u64, u64)>,
+    flags: u8,
+) -> Vec<u8> {
     debug_assert!(ts.map_or(true, |ts| ts.len() == tuples.len()));
     let mut w = ByteWriter::new();
     w.put_u32(tuples.len() as u32);
-    w.put_u8(u8::from(ts.is_some()));
+    let mut meta = 0u8;
+    if ts.is_some() {
+        meta |= INGEST_HAS_TS;
+    }
+    if seq.is_some() {
+        meta |= INGEST_HAS_SEQ;
+    }
+    w.put_u8(meta);
+    if let Some((writer, seq)) = seq {
+        w.put_u64(writer);
+        w.put_u64(seq);
+    }
     for &(x, _) in tuples {
         w.put_u64(x);
     }
@@ -298,22 +337,38 @@ pub fn encode_ingest(tuples: &[(u64, u64)], ts: Option<&[u64]>, flags: u8) -> Ve
     frame(Opcode::Ingest as u8, flags, w.as_bytes())
 }
 
+/// What an ingest payload carried besides the tuples themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestMeta {
+    /// Explicit per-tuple timestamps were present.
+    pub has_ts: bool,
+    /// The `(writer, seq)` idempotency pair, when sent.
+    pub seq: Option<(u64, u64)>,
+}
+
 /// Decode an ingest payload into reusable scratch buffers — the server's
 /// zero-per-tuple-allocation path (`tuples`/`ts` are cleared, then filled).
-/// Returns `true` when the payload carried explicit timestamps.
 pub fn decode_ingest_into(
     payload: &[u8],
     tuples: &mut Vec<(u64, u64)>,
     ts: &mut Vec<u64>,
-) -> Result<bool, String> {
+) -> Result<IngestMeta, String> {
     tuples.clear();
     ts.clear();
     let mut r = ByteReader::new(payload);
     let n = r.get_u32().map_err(|e| e.to_string())? as usize;
-    let has_ts = match r.get_u8().map_err(|e| e.to_string())? {
-        0 => false,
-        1 => true,
-        other => return Err(format!("invalid has_ts byte {other}")),
+    let meta = r.get_u8().map_err(|e| e.to_string())?;
+    if meta & !(INGEST_HAS_TS | INGEST_HAS_SEQ) != 0 {
+        return Err(format!("invalid ingest meta byte 0x{meta:02X}"));
+    }
+    let has_ts = meta & INGEST_HAS_TS != 0;
+    let seq = if meta & INGEST_HAS_SEQ != 0 {
+        Some((
+            r.get_u64().map_err(|e| e.to_string())?,
+            r.get_u64().map_err(|e| e.to_string())?,
+        ))
+    } else {
+        None
     };
     let lanes = if has_ts { 3 } else { 2 };
     if r.remaining() != n * 8 * lanes {
@@ -339,7 +394,7 @@ pub fn decode_ingest_into(
             ts.push(u64::from_le_bytes(tc.try_into().expect("8-byte chunk")));
         }
     }
-    Ok(has_ts)
+    Ok(IngestMeta { has_ts, seq })
 }
 
 /// Decode a non-ingest request payload (ingest goes through
@@ -353,11 +408,12 @@ pub fn decode_request(opcode: Opcode, payload: &[u8]) -> Result<Request, String>
         Opcode::Ingest => {
             let mut tuples = Vec::new();
             let mut ts = Vec::new();
-            let has_ts = decode_ingest_into(payload, &mut tuples, &mut ts)?;
+            let meta = decode_ingest_into(payload, &mut tuples, &mut ts)?;
             return Ok(Request::Ingest {
                 xs: tuples.iter().map(|&(x, _)| x).collect(),
                 ys: tuples.iter().map(|&(_, y)| y).collect(),
-                ts: has_ts.then_some(ts),
+                ts: meta.has_ts.then_some(ts),
+                seq: meta.seq,
             });
         }
         Opcode::Flush => Request::Flush,
@@ -395,8 +451,9 @@ const TAG_NULL: u8 = 4;
 pub fn encode_reply(opcode: u8, reply: &Reply) -> Vec<u8> {
     let mut w = ByteWriter::new();
     let flags = match reply {
-        Reply::Error(message) => {
-            w.put_str(message);
+        Reply::Error(body) => {
+            w.put_str(&body.message);
+            w.put_str(body.kind.as_str());
             FLAG_ERROR
         }
         Reply::Ok(fields) => {
@@ -437,11 +494,17 @@ pub fn encode_reply(opcode: u8, reply: &Reply) -> Vec<u8> {
     frame(opcode, flags, w.as_bytes())
 }
 
-/// A decoded response payload: the error message, or named field values.
+/// A decoded response payload: the error, or named field values.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DecodedReply {
     /// The ERROR flag was set.
-    Error(String),
+    Error {
+        /// The structured error kind's wire name (see
+        /// [`crate::protocol::ErrorKind`]).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
     /// Success, with `(key, value)` fields.
     Ok(Vec<(String, Value)>),
 }
@@ -452,8 +515,9 @@ pub fn decode_reply(flags: u8, payload: &[u8]) -> Result<DecodedReply, String> {
     let e = |err: cora_sketch::codec::CodecError| err.to_string();
     if flags & FLAG_ERROR != 0 {
         let message = r.get_str().map_err(e)?;
+        let kind = r.get_str().map_err(e)?;
         r.expect_end().map_err(e)?;
-        return Ok(DecodedReply::Error(message));
+        return Ok(DecodedReply::Error { kind, message });
     }
     let nfields = r.get_u8().map_err(e)?;
     let mut fields = Vec::with_capacity(nfields as usize);
@@ -504,13 +568,21 @@ mod tests {
                 xs: vec![1, u64::MAX, 3],
                 ys: vec![10, 20, 30],
                 ts: None,
+                seq: None,
             },
             Request::Ingest {
                 xs: vec![4, 5],
                 ys: vec![6, 7],
                 ts: Some(vec![100, 99]),
+                seq: None,
             },
-            Request::Ingest { xs: vec![], ys: vec![], ts: None },
+            Request::Ingest {
+                xs: vec![4, 5],
+                ys: vec![6, 7],
+                ts: Some(vec![100, 99]),
+                seq: Some((11, u64::MAX)),
+            },
+            Request::Ingest { xs: vec![], ys: vec![], ts: None, seq: None },
             Request::Flush,
             Request::QueryF2 { c: 100 },
             Request::QueryF0 { c: 0 },
@@ -538,17 +610,25 @@ mod tests {
     fn ingest_fast_path_matches_the_generic_decoder() {
         let tuples = vec![(1u64, 10u64), (2, 20), (u64::MAX, 0)];
         let ts = vec![5u64, 4, 3];
-        let bytes = encode_ingest(&tuples, Some(&ts), FLAG_NO_ACK);
+        let bytes = encode_ingest(&tuples, Some(&ts), Some((42, 7)), FLAG_NO_ACK);
         let header: &[u8; HEADER_BYTES] = bytes[..HEADER_BYTES].try_into().unwrap();
         let header = parse_header(header).unwrap();
         assert_eq!(header.flags, FLAG_NO_ACK);
         let mut got_tuples = vec![(9, 9)]; // stale scratch must be cleared
         let mut got_ts = vec![7];
-        let has_ts =
+        let meta =
             decode_ingest_into(&bytes[HEADER_BYTES..], &mut got_tuples, &mut got_ts).unwrap();
-        assert!(has_ts);
+        assert!(meta.has_ts);
+        assert_eq!(meta.seq, Some((42, 7)));
         assert_eq!(got_tuples, tuples);
         assert_eq!(got_ts, ts);
+        // Without the pair the meta byte degrades to the original has_ts
+        // values 0/1, so pre-seq frames decode unchanged.
+        let bytes = encode_ingest(&tuples, None, None, 0);
+        assert_eq!(bytes[HEADER_BYTES + 4], 0);
+        let meta =
+            decode_ingest_into(&bytes[HEADER_BYTES..], &mut got_tuples, &mut got_ts).unwrap();
+        assert_eq!(meta, IngestMeta { has_ts: false, seq: None });
     }
 
     #[test]
@@ -562,7 +642,8 @@ mod tests {
                 ("freqs", Value::F64Array(vec![0.25, 0.75])),
                 ("retention", Value::Null),
             ]),
-            Reply::Error("y 5000 out of range".to_string()),
+            Reply::sketch_error("y 5000 out of range"),
+            Reply::io_error("journal append failed: disk full"),
         ];
         for reply in replies {
             let bytes = encode_reply(Opcode::Stats as u8, &reply);
@@ -570,7 +651,10 @@ mod tests {
             let header = parse_header(header).unwrap();
             let decoded = decode_reply(header.flags, &bytes[HEADER_BYTES..]).unwrap();
             match (&reply, &decoded) {
-                (Reply::Error(want), DecodedReply::Error(got)) => assert_eq!(got, want),
+                (Reply::Error(want), DecodedReply::Error { kind, message }) => {
+                    assert_eq!(message, &want.message);
+                    assert_eq!(kind, want.kind.as_str());
+                }
                 (Reply::Ok(want), DecodedReply::Ok(got)) => {
                     assert_eq!(got.len(), want.len());
                     for ((wk, wv), (gk, gv)) in want.iter().zip(got) {
@@ -608,7 +692,7 @@ mod tests {
     #[test]
     fn truncated_and_inconsistent_payloads_error_cleanly() {
         let frame = encode_request(
-            &Request::Ingest { xs: vec![1, 2], ys: vec![3, 4], ts: None },
+            &Request::Ingest { xs: vec![1, 2], ys: vec![3, 4], ts: None, seq: None },
             0,
         );
         let payload = &frame[HEADER_BYTES..];

@@ -31,6 +31,7 @@ fn test_config() -> ServeConfig {
         pane_k: 4,
         pane_retention: None,
         max_connections: 1_024,
+        durability: None,
     }
 }
 
@@ -97,8 +98,8 @@ proptest! {
         let server = start(test_config(), "127.0.0.1:0").unwrap();
         let tuples: Vec<(u64, u64)> = (0..50).map(|i| (i, i % 1024)).collect();
         let frames = [
-            wire::encode_ingest(&tuples, None, 0),
-            wire::encode_ingest(&tuples, None, wire::FLAG_NO_ACK),
+            wire::encode_ingest(&tuples, None, None, 0),
+            wire::encode_ingest(&tuples, None, Some((1, 1)), wire::FLAG_NO_ACK),
             wire::encode_request(&cora_serve::protocol::Request::QueryHeavyHitters {
                 c: 10,
                 phi: 0.5,
@@ -134,8 +135,9 @@ fn oversized_declared_length_is_rejected_before_buffering() {
     let mut payload = vec![0u8; parsed.len];
     stream.read_exact(&mut payload).expect("error frame payload");
     match wire::decode_reply(parsed.flags, &payload).expect("decodable reply") {
-        wire::DecodedReply::Error(message) => {
-            assert!(message.contains("cap"), "unexpected message: {message}")
+        wire::DecodedReply::Error { kind, message } => {
+            assert!(message.contains("cap"), "unexpected message: {message}");
+            assert_eq!(kind, "request");
         }
         other => panic!("expected an error reply, got {other:?}"),
     }
@@ -324,4 +326,29 @@ fn connection_limit_refuses_with_an_error_line() {
     assert!(admitted, "slot was never reclaimed after dropping a client");
     b.ping().unwrap();
     server.shutdown();
+}
+
+/// A stalled server (accepts, never answers) must fail the request with
+/// the structured [`ClientError::Timeout`] once a read timeout is set —
+/// not hang, and not collapse into a generic `Io` error.
+#[test]
+fn read_timeout_surfaces_as_structured_timeout_error() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+    let hold = std::thread::spawn(move || {
+        // Hold the accepted socket open, silent, until the test finishes.
+        let (_sock, _) = listener.accept().unwrap();
+        let _ = done_rx.recv();
+    });
+
+    let mut client = ServeClient::connect_binary(addr).unwrap();
+    client
+        .set_timeouts(Some(Duration::from_millis(50)), Some(Duration::from_millis(50)))
+        .unwrap();
+    let err = client.ping().unwrap_err();
+    assert!(matches!(err, ClientError::Timeout(_)), "expected Timeout, got {err:?}");
+
+    drop(done_tx);
+    hold.join().unwrap();
 }

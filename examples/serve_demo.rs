@@ -30,6 +30,7 @@ fn main() {
         pane_k: 4,
         pane_retention: None,
         max_connections: 1_024,
+        durability: None,
     };
 
     // --- Phase 1: a fresh server takes ingest and answers queries. -------

@@ -26,6 +26,7 @@ fn config() -> ServeConfig {
         pane_k: 4,
         pane_retention: None,
         max_connections: 1_024,
+        durability: None,
     }
 }
 
