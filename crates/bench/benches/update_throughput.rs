@@ -2,6 +2,7 @@
 //! the exact baseline, on the paper's workloads.
 
 use cora_core::{correlated_f2_seeded, CorrelatedF0, ExactCorrelated};
+use cora_sketch::{FastAmsBatch, FastAmsSketch, SharedUpdate};
 use cora_stream::{DatasetGenerator, UniformGenerator, ZipfGenerator};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
@@ -52,6 +53,24 @@ fn bench_updates(c: &mut Criterion) {
                     for t in tuples {
                         sketch.insert(t.x, t.y).unwrap();
                     }
+                    sketch
+                },
+                BatchSize::LargeInput,
+            );
+        });
+        // The fast-AMS apply kernel in isolation: hashing happens once in
+        // setup (`prepare_batch_into`), so the measured loop is exactly the
+        // unrolled counter-update kernel. Sketch shape matches what
+        // `F2Aggregate::new(0.2, ...)` builds (width 200, depth 3).
+        let proto = FastAmsSketch::with_dimensions(200, 3, 7);
+        let weighted: Vec<(u64, i64)> = tuples.iter().map(|t| (t.x, 1i64)).collect();
+        let mut prepared = FastAmsBatch::default();
+        proto.prepare_batch_into(&weighted, &mut prepared);
+        group.bench_function(format!("fast_ams_batch_apply/{name}"), |b| {
+            b.iter_batched(
+                || FastAmsSketch::with_dimensions(200, 3, 7),
+                |mut sketch| {
+                    sketch.apply_prepared_range(&prepared, 0..weighted.len());
                     sketch
                 },
                 BatchSize::LargeInput,

@@ -17,6 +17,12 @@
 //! reported informationally. Benches present in only one file are reported
 //! but never fail the gate (new benches appear, old ones get renamed).
 //!
+//! When both files carry a `min_ns` for a bench, the fastest samples are
+//! printed alongside the medians. The gate itself always compares medians;
+//! the min column exists because RTT-shaped benches (`serve_latency/*`)
+//! have medians dominated by scheduler jitter while their min tracks the
+//! actual protocol cost.
+//!
 //! Absolute nanoseconds are machine-dependent, so comparing a committed
 //! baseline against a different runner class would gate on hardware, not
 //! code. `--anchor SUBSTR` fixes that: each gated bench is normalized by the
@@ -65,10 +71,21 @@ fn json_number_field(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// Parse a criterion-shim JSONL file into `bench name -> median_ns`. The
-/// shim appends, so a name can repeat across runs; the **last** occurrence
-/// wins (most recent run).
-fn parse_summary(path: &str) -> Result<BTreeMap<String, f64>, String> {
+/// One bench's summarized timings from a shim JSONL line.
+#[derive(Debug, Clone, Copy)]
+struct BenchStat {
+    median_ns: f64,
+    /// Fastest sample, when the line carries one. The gate always compares
+    /// medians, but for RTT-shaped benches (`serve_latency/*`) the median
+    /// soaks up scheduler jitter while the min tracks the protocol cost, so
+    /// it is reported alongside for eyeballing.
+    min_ns: Option<f64>,
+}
+
+/// Parse a criterion-shim JSONL file into `bench name -> stats`. The shim
+/// appends, so a name can repeat across runs; the **last** occurrence wins
+/// (most recent run).
+fn parse_summary(path: &str) -> Result<BTreeMap<String, BenchStat>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut out = BTreeMap::new();
     for line in text.lines() {
@@ -76,13 +93,14 @@ fn parse_summary(path: &str) -> Result<BTreeMap<String, f64>, String> {
         if line.is_empty() {
             continue;
         }
-        let (Some(bench), Some(median)) = (
+        let (Some(bench), Some(median_ns)) = (
             json_string_field(line, "bench"),
             json_number_field(line, "median_ns"),
         ) else {
             return Err(format!("malformed summary line in {path}: {line}"));
         };
-        out.insert(bench, median);
+        let min_ns = json_number_field(line, "min_ns");
+        out.insert(bench, BenchStat { median_ns, min_ns });
     }
     Ok(out)
 }
@@ -141,11 +159,15 @@ fn parse_args() -> Result<Options, String> {
 
 /// The median of the unique bench matching `needle` in `summary`, for anchor
 /// normalization. Errors when the match is missing or ambiguous.
-fn anchor_median(summary: &BTreeMap<String, f64>, needle: &str, file: &str) -> Result<f64, String> {
-    let matches: Vec<(&String, &f64)> =
+fn anchor_median(
+    summary: &BTreeMap<String, BenchStat>,
+    needle: &str,
+    file: &str,
+) -> Result<f64, String> {
+    let matches: Vec<(&String, &BenchStat)> =
         summary.iter().filter(|(name, _)| name.contains(needle)).collect();
     match matches.as_slice() {
-        [(_, &median)] if median > 0.0 => Ok(median),
+        [(_, stat)] if stat.median_ns > 0.0 => Ok(stat.median_ns),
         [] => Err(format!("anchor '{needle}' not found in {file}")),
         [(_, _)] => Err(format!("anchor '{needle}' has a non-positive median in {file}")),
         _ => Err(format!(
@@ -204,11 +226,13 @@ fn main() -> ExitCode {
     // Gated benches per filter: every filter must match at least one bench
     // present in both files, or the gate for that group is silently vacuous.
     let mut gated_per_filter = vec![0usize; opts.filters.len()];
-    for (bench, &fresh_ns) in &fresh {
-        let Some(&base_ns) = baseline.get(bench) else {
+    for (bench, &fresh_stat) in &fresh {
+        let fresh_ns = fresh_stat.median_ns;
+        let Some(&base_stat) = baseline.get(bench) else {
             println!("{bench:<60} NEW     {fresh_ns:>14.0} ns");
             continue;
         };
+        let base_ns = base_stat.median_ns;
         let mut in_gate = false;
         for (slot, filter) in gated_per_filter.iter_mut().zip(&opts.filters) {
             if bench.contains(filter.as_str()) {
@@ -230,8 +254,14 @@ fn main() -> ExitCode {
                 marker = "FAIL".to_string();
             }
         }
+        // Medians drive the gate; mins ride along so jitter-dominated rows
+        // (RTT benches) can be judged by their floor instead of their median.
+        let min_col = match (base_stat.min_ns, fresh_stat.min_ns) {
+            (Some(b), Some(f)) => format!("  [min {b:>12.0} -> {f:>12.0} ns]"),
+            _ => String::new(),
+        };
         println!(
-            "{bench:<60} {marker}  {base_ns:>14.0} -> {fresh_ns:>14.0} ns  ({:+.1}%)",
+            "{bench:<60} {marker}  {base_ns:>14.0} -> {fresh_ns:>14.0} ns  ({:+.1}%){min_col}",
             delta * 100.0
         );
     }
@@ -276,6 +306,7 @@ mod tests {
             "update_throughput/correlated_f2/uniform"
         );
         assert_eq!(json_number_field(line, "median_ns").unwrap(), 32_500_000.0);
+        assert_eq!(json_number_field(line, "min_ns").unwrap(), 31_000_000.0);
         assert_eq!(json_number_field(line, "throughput_per_s").unwrap(), 615_384.6);
         // Escaped quotes/backslashes round-trip.
         let escaped = r#"{"bench":"a\"b\\c","median_ns":1}"#;
@@ -286,16 +317,20 @@ mod tests {
     fn anchor_normalization_cancels_machine_speed() {
         // A "fresh" machine that is uniformly 2x slower: raw deltas are
         // +100%, but the anchored ratio is unchanged.
-        let base: BTreeMap<String, f64> = [
-            ("update_throughput/correlated_f2/uniform".to_string(), 30.0e6),
-            ("update_throughput/exact_baseline/uniform".to_string(), 4.0e6),
+        let stat = |median_ns: f64| BenchStat { median_ns, min_ns: None };
+        let base: BTreeMap<String, BenchStat> = [
+            ("update_throughput/correlated_f2/uniform".to_string(), stat(30.0e6)),
+            ("update_throughput/exact_baseline/uniform".to_string(), stat(4.0e6)),
         ]
         .into_iter()
         .collect();
         let anchor = anchor_median(&base, "exact_baseline/uniform", "base").unwrap();
         assert_eq!(anchor, 4.0e6);
         let slow_anchor = anchor_median(
-            &base.iter().map(|(k, v)| (k.clone(), v * 2.0)).collect(),
+            &base
+                .iter()
+                .map(|(k, v)| (k.clone(), stat(v.median_ns * 2.0)))
+                .collect(),
             "exact_baseline/uniform",
             "fresh",
         )
@@ -314,11 +349,12 @@ mod tests {
         let path = dir.join("appended.jsonl");
         std::fs::write(
             &path,
-            "{\"bench\":\"g/a\",\"median_ns\":100}\n{\"bench\":\"g/a\",\"median_ns\":200}\n",
+            "{\"bench\":\"g/a\",\"median_ns\":100}\n{\"bench\":\"g/a\",\"median_ns\":200,\"min_ns\":150}\n",
         )
         .unwrap();
         let parsed = parse_summary(path.to_str().unwrap()).unwrap();
-        assert_eq!(parsed["g/a"], 200.0);
+        assert_eq!(parsed["g/a"].median_ns, 200.0);
+        assert_eq!(parsed["g/a"].min_ns, Some(150.0));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -84,7 +84,15 @@ impl CorrelatedAggregate for F2Aggregate {
     }
 
     fn new_sketch(&self) -> FastAmsSketch {
-        FastAmsSketch::with_dimensions(self.width, self.depth, self.seed)
+        let mut sketch = FastAmsSketch::with_dimensions(self.width, self.depth, self.seed);
+        // Adaptive depth trimming: when the configured γ needs fewer than
+        // `depth` rows, restrict the hot loops to that prefix. Every sketch
+        // this aggregate builds gets the same trim (so merges agree), the
+        // sketch is freshly built and empty (so the trim cannot fail), and
+        // snapshot restore decodes into aggregate-built sketches (so the
+        // trim survives round trips).
+        let _ = sketch.trim_to_delta(self.gamma);
+        sketch
     }
 
     fn sketch_size_hint(&self) -> usize {
@@ -178,6 +186,20 @@ mod tests {
         let full = s.query_all().unwrap();
         let half = s.query(511).unwrap();
         assert!(full > 0.0 && half > 0.0 && half <= full * 1.05);
+    }
+
+    #[test]
+    fn loose_gamma_trims_sketch_depth() {
+        // A failure budget loose enough to need fewer than `depth` rows must
+        // trim the hot loops; the default budgets must not.
+        let tight = F2Aggregate::new(0.2, 0.05, 1);
+        assert_eq!(tight.new_sketch().active_rows(), 3);
+        let loose = F2Aggregate::new(0.2, 0.9, 1);
+        let s = loose.new_sketch();
+        assert!(s.active_rows() < 3, "γ=0.9 should need fewer than 3 rows");
+        // Sketches of one aggregate share the trim, so they merge.
+        let mut a = loose.new_sketch();
+        assert!(cora_sketch::MergeableSketch::merge_from(&mut a, &s).is_ok());
     }
 
     #[test]

@@ -45,7 +45,7 @@ use crate::error::Result;
 use crate::snapshot::{decode_store, encode_store};
 use cora_sketch::codec::{ByteReader, ByteWriter, CodecError, CodecResult, StateCodec};
 use cora_sketch::SharedUpdate;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Shorthand for the prepared-update type of an aggregate's bucket sketch.
 pub(crate) type PreparedOf<A> = <<A as CorrelatedAggregate>::Sketch as SharedUpdate>::Prepared;
@@ -186,6 +186,80 @@ impl<A: CorrelatedAggregate> LevelArena<A> {
     }
 }
 
+/// The stored-leaf routing index of one level: `(left endpoint, slot)` pairs
+/// in a flat array sorted by endpoint. Routing is the hottest operation in
+/// the whole engine — every tuple does a predecessor lookup on every
+/// materialized level it reaches — so the lookup is a binary search over
+/// contiguous memory instead of a pointer-chasing ordered-map descent. The
+/// rare mutations (splits, evictions, rebuilds) pay the `O(n)` memmove a
+/// sorted array needs; they are bounded by bucket closings, not stream
+/// length.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct LeafIndex {
+    entries: Vec<(u64, u32)>,
+}
+
+impl LeafIndex {
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Insert or overwrite the entry for `lo`.
+    fn insert(&mut self, lo: u64, slot: u32) {
+        match self.entries.binary_search_by_key(&lo, |e| e.0) {
+            Ok(i) => self.entries[i].1 = slot,
+            Err(i) => self.entries.insert(i, (lo, slot)),
+        }
+    }
+
+    /// The slot stored for exactly `lo`, if any.
+    fn get(&self, lo: u64) -> Option<u32> {
+        self.entries
+            .binary_search_by_key(&lo, |e| e.0)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Remove the entry for `lo` iff it currently maps to `slot`.
+    fn remove_if(&mut self, lo: u64, slot: u32) {
+        if let Ok(i) = self.entries.binary_search_by_key(&lo, |e| e.0) {
+            if self.entries[i].1 == slot {
+                self.entries.remove(i);
+            }
+        }
+    }
+
+    /// The leaf with the largest endpoint `≤ y` (the dyadic leaf containing
+    /// `y`, by the tiling invariant).
+    #[inline]
+    fn predecessor(&self, y: u64) -> Option<u32> {
+        let i = self.entries.partition_point(|e| e.0 <= y);
+        if i == 0 {
+            None
+        } else {
+            Some(self.entries[i - 1].1)
+        }
+    }
+
+    /// Append an entry with an endpoint at or past the current maximum
+    /// (bulk-rebuild path, where entries arrive already sorted).
+    fn push_sorted(&mut self, lo: u64, slot: u32) {
+        if let Some(&(last, _)) = self.entries.last() {
+            debug_assert!(last < lo, "push_sorted got out-of-order endpoint");
+        }
+        self.entries.push((lo, slot));
+    }
+
+    /// The entries in ascending endpoint order.
+    fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
 /// One level `ℓ ≥ 1` of the structure: a lazily-grown dyadic tree in a SoA
 /// arena, with the stored leaves indexed by left endpoint.
 ///
@@ -207,8 +281,8 @@ pub(crate) struct Level<A: CorrelatedAggregate> {
     arena: LevelArena<A>,
     /// Number of live (non-evicted) buckets.
     live: usize,
-    /// Stored leaves keyed by left endpoint: the routing index.
-    leaves: BTreeMap<u64, u32>,
+    /// Stored leaves keyed by left endpoint: the flat routing index.
+    leaves: LeafIndex,
     /// Eviction priority over live slots, keyed `(lo, !len, slot)`: the
     /// victim is the maximum — largest left endpoint first, deepest node
     /// first among equal endpoints — so victims are always leaves.
@@ -227,7 +301,7 @@ impl<A: CorrelatedAggregate> Level<A> {
             threshold: 2f64.powi(index as i32 + 1),
             arena: LevelArena::new(),
             live: 0,
-            leaves: BTreeMap::new(),
+            leaves: LeafIndex::default(),
             order: BTreeSet::new(),
             y_bound: None,
             cursor: NIL,
@@ -241,7 +315,7 @@ impl<A: CorrelatedAggregate> Level<A> {
     /// materialization path to seed the root store).
     fn root_slot(&self) -> u32 {
         debug_assert_eq!(self.live, 1);
-        *self.leaves.get(&0).expect("fresh level has its root stored")
+        self.leaves.get(0).expect("fresh level has its root stored")
     }
 
     /// Level index `ℓ`.
@@ -286,7 +360,7 @@ impl<A: CorrelatedAggregate> Level<A> {
     fn route(&self, y: u64) -> Option<u32> {
         match self.cursor {
             c if c != NIL && self.arena.meta[c as usize].contains(y) => Some(c),
-            _ => self.leaves.range(..=y).next_back().map(|(_, &leaf)| leaf),
+            _ => self.leaves.predecessor(y),
         }
     }
 
@@ -583,13 +657,15 @@ impl<A: CorrelatedAggregate> Level<A> {
         for &(lo, _, slot) in &self.order {
             if let Some((plo, pslot)) = pending {
                 if plo != lo {
-                    self.leaves.insert(plo, pslot);
+                    // The eviction set iterates in ascending (lo, depth)
+                    // order, so the rebuilt index is appended sorted.
+                    self.leaves.push_sorted(plo, pslot);
                 }
             }
             pending = Some((lo, slot));
         }
         if let Some((plo, pslot)) = pending {
-            self.leaves.insert(plo, pslot);
+            self.leaves.push_sorted(plo, pslot);
         }
     }
 
@@ -631,9 +707,7 @@ impl<A: CorrelatedAggregate> Level<A> {
                 continue;
             }
             self.order.remove(&Self::order_key(meta.interval(), slot));
-            if self.leaves.get(&meta.lo) == Some(&slot) {
-                self.leaves.remove(&meta.lo);
-            }
+            self.leaves.remove_if(meta.lo, slot);
             self.arena.evict(slot);
             self.live -= 1;
         }
@@ -665,9 +739,7 @@ impl<A: CorrelatedAggregate> Level<A> {
             // The victim is the deepest node with the largest left endpoint,
             // so if it is in the leaf tiling its entry is its own; interior
             // victims (whose children went first) have no entry left.
-            if self.leaves.get(&lo) == Some(&slot) {
-                self.leaves.remove(&lo);
-            }
+            self.leaves.remove_if(lo, slot);
             self.live -= 1;
             self.cursor = NIL;
             self.y_bound = Some(match self.y_bound {
@@ -705,7 +777,7 @@ impl<A: CorrelatedAggregate> Level<A> {
             encode_store(store, w);
         }
         w.put_len(self.leaves.len());
-        for (&lo, &slot) in &self.leaves {
+        for (lo, slot) in self.leaves.iter() {
             w.put_u64(lo);
             w.put_u32(remap[slot as usize]);
         }
@@ -727,7 +799,7 @@ impl<A: CorrelatedAggregate> Level<A> {
             threshold: 2f64.powi(index as i32 + 1),
             arena: LevelArena::new(),
             live: 0,
-            leaves: BTreeMap::new(),
+            leaves: LeafIndex::default(),
             order: BTreeSet::new(),
             y_bound,
             cursor: NIL,
@@ -810,7 +882,7 @@ impl<A: CorrelatedAggregate> Level<A> {
         // The stored leaves tile the reachable y-domain [0, min(Y_ℓ, y_max+1)).
         let reach = self.y_bound.unwrap_or(root.hi + 1).min(root.hi + 1);
         let mut cover = 0u64;
-        for (&lo, &slot) in &self.leaves {
+        for (lo, slot) in self.leaves.iter() {
             assert!(!a.is_evicted(slot), "leaf map points at a tombstone");
             assert_eq!(a.meta[slot as usize].lo, lo, "leaf map key disagrees with the slot");
             if cover >= reach {
@@ -823,7 +895,7 @@ impl<A: CorrelatedAggregate> Level<A> {
         // The predecessor index agrees with a linear scan over the arena:
         // for each leaf boundary, the deepest live slot containing y is the
         // leaf the routing lookup returns.
-        for (&lo, &slot) in &self.leaves {
+        for (lo, slot) in self.leaves.iter() {
             for y in [lo, a.meta[slot as usize].hi] {
                 if y >= reach {
                     continue;
@@ -838,15 +910,15 @@ impl<A: CorrelatedAggregate> Level<A> {
                     }
                 }
                 assert_eq!(deepest, Some(slot), "linear scan disagrees with leaf map at y={y}");
-                let routed = self.leaves.range(..=y).next_back().map(|(_, &l)| l);
+                let routed = self.leaves.predecessor(y);
                 assert_eq!(routed, Some(slot), "predecessor lookup disagrees at y={y}");
             }
         }
         if self.cursor != NIL {
             assert!(!a.is_evicted(self.cursor), "cursor points at a tombstone");
             assert_eq!(
-                self.leaves.get(&a.meta[self.cursor as usize].lo),
-                Some(&self.cursor),
+                self.leaves.get(a.meta[self.cursor as usize].lo),
+                Some(self.cursor),
                 "cursor is not a stored leaf"
             );
         }
@@ -1318,7 +1390,7 @@ mod tests {
         };
         assert_eq!(nodes(&ab), nodes(&ba));
         let leaves = |l: &Level<F2Aggregate>| -> Vec<(u64, DyadicInterval)> {
-            l.leaves.iter().map(|(&lo, &s)| (lo, l.arena.interval(s))).collect()
+            l.leaves.iter().map(|(lo, s)| (lo, l.arena.interval(s))).collect()
         };
         assert_eq!(leaves(&ab), leaves(&ba));
         // In-place absorb kept everything either side stored.

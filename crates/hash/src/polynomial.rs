@@ -22,8 +22,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Multiply two values modulo 2^61 − 1 without overflow.
+///
+/// Public because hot-path specialisations (the fast-AMS hash kernel in
+/// `cora-sketch`) inline fixed-arity polynomial evaluation against these
+/// exact primitives; any drift between the two would silently change every
+/// hash value, so there is one implementation.
 #[inline]
-fn mul_mod_m61(a: u64, b: u64) -> u64 {
+pub fn mul_mod_m61(a: u64, b: u64) -> u64 {
     let prod = u128::from(a) * u128::from(b);
     // Split into low 61 bits and the rest, then fold (since 2^61 ≡ 1 mod p).
     let lo = (prod & u128::from(MERSENNE_61)) as u64;
@@ -35,9 +40,10 @@ fn mul_mod_m61(a: u64, b: u64) -> u64 {
     s
 }
 
-/// Add two values modulo 2^61 − 1.
+/// Add two values modulo 2^61 − 1. Public for the same reason as
+/// [`mul_mod_m61`].
 #[inline]
-fn add_mod_m61(a: u64, b: u64) -> u64 {
+pub fn add_mod_m61(a: u64, b: u64) -> u64 {
     let mut s = a + b; // both < 2^61, so no overflow in u64
     if s >= MERSENNE_61 {
         s -= MERSENNE_61;
@@ -78,6 +84,17 @@ impl PolynomialHash {
     /// The independence level (number of coefficients) of this function.
     pub fn independence(&self) -> usize {
         self.coefficients.len()
+    }
+
+    /// The polynomial's coefficients `a_0 .. a_{k-1}` (all in `[0, 2^61−1)`).
+    ///
+    /// Exposed so callers that evaluate many same-shaped polynomials per key
+    /// (e.g. the fast-AMS row kernel) can copy the coefficients into flat
+    /// fixed-arity storage and share the single `key mod 2^61−1` reduction
+    /// across all of them, while still deriving every coefficient through
+    /// this constructor so the values stay bit-identical.
+    pub fn coefficients(&self) -> &[u64] {
+        &self.coefficients
     }
 
     /// Evaluate the polynomial at `key` (reduced into the field first),

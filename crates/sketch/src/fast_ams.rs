@@ -11,113 +11,260 @@
 //!
 //! Like the classic AMS sketch this is a linear sketch: it supports turnstile
 //! (negative-weight) updates and merges by counter-wise addition.
+//!
+//! # Kernel layout
+//!
+//! The counters live in **one flat row-major `depth × width` lane**
+//! (`lane[r * width + b]` is bucket `b` of row `r`) with a per-row `Σ c²`
+//! sideband held exactly in `i128`. Row hash functions are stored as inline
+//! fixed-arity coefficient arrays (`k = 2` bucket polynomial, `k = 4` sign
+//! polynomial over GF(2^61 − 1)), copied verbatim out of
+//! [`PolynomialHash`], so one `key mod 2^61−1` reduction is shared by all
+//! `2 × depth` polynomial evaluations of an update instead of being redone
+//! per hash call.
+//!
+//! Updates are split into a **hash phase** and an **apply phase**
+//! (see [`SharedUpdate`]): `prepare_batch_into` computes every
+//! `(row, bucket, signed delta)` coordinate of a batch in one pass and lays
+//! them out row-major, and `apply_prepared_range` then walks one contiguous
+//! coordinate slice per row against that row's contiguous lane segment in an
+//! explicitly unrolled, bounds-check-free inner loop
+//! (`apply_row_kernel`). The kernel is *scalar-exact*: coordinates are
+//! applied in stream order, so duplicate buckets inside an unrolled quad see
+//! each other's writes exactly as a one-at-a-time loop would, and the
+//! resulting counters and sidebands are bit-identical to the per-tuple path
+//! (pinned by the `kernel_equivalence` test suite).
+//!
+//! # The `simd` feature contract
+//!
+//! With the `simd` cargo feature enabled (and on `x86_64` with AVX2
+//! available at runtime), the counter-wise **merge** addition uses
+//! `core::arch` vector intrinsics. Only operations whose vector form is
+//! bit-identical to the portable form are ever vectorized: element-wise
+//! integer lane addition commutes with any execution order, and no
+//! floating-point sum is ever reassociated. The portable path remains the
+//! default and the two paths produce identical sketches on every input.
+//!
+//! # Adaptive depth trimming
+//!
+//! A sketch built with depth `d` can serve a caller whose failure budget δ
+//! only needs `d' = O(log 1/δ) ≤ d` rows: [`FastAmsSketch::trim_to_delta`]
+//! restricts the hot update/estimate loops to the first `d'` rows (the
+//! remaining rows stay allocated but are provably all-zero). Trimming is a
+//! construction-time choice — it must happen before the first update, and
+//! merges require both sides to agree on the trim — so estimates remain
+//! well-defined medians over rows that saw the whole stream.
 
 use crate::error::{check_delta, check_epsilon, Result, SketchError};
-use crate::estimator_util::{median, median_mut};
+use crate::estimator_util::{median_mut, repetitions_for_delta};
 use crate::traits::{Estimate, MergeableSketch, SharedUpdate, SpaceUsage, StreamSketch};
 use cora_hash::mix::derive_seed;
-use cora_hash::polynomial::PolynomialHash;
-use cora_hash::traits::HashFunction64;
+use cora_hash::polynomial::{add_mod_m61, mul_mod_m61, PolynomialHash};
+use cora_hash::MERSENNE_61;
 
-/// One row of the fast AMS sketch: a bucket hash, a sign hash, counters, and
-/// the incrementally-maintained sum of squared counters.
-#[derive(Debug, Clone)]
-struct Row {
-    bucket_hash: PolynomialHash,
-    sign_hash: PolynomialHash,
-    counters: Vec<i64>,
-    /// `Σ c²` over `counters`, maintained on every update so the per-row `F_2`
-    /// estimate is O(1) instead of O(width). Kept in `i128` so the running
-    /// value is *exact* (each counter fits in `i64`, so `c²` fits in `i128`
-    /// with enormous headroom) — the estimate is bit-for-bit the true sum of
-    /// squares, with none of the rounding a recomputed `f64` sum would have.
-    sumsq: i128,
+/// The odd constant [`PolynomialHash`]'s `hash64` multiplies by to spread a
+/// 61-bit field element over the full 64-bit range (kept identical here so
+/// the inline evaluators reproduce `hash64` bit-for-bit).
+const SPREAD: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One row's hash functions as inline fixed-arity coefficient arrays: the
+/// degree-1 bucket polynomial and the degree-3 sign polynomial. 48 bytes,
+/// `Copy`, no heap indirection on the hot path.
+#[derive(Debug, Clone, Copy)]
+struct RowHashes {
+    /// Bucket polynomial coefficients `a_0, a_1` (2-wise independence).
+    bucket: [u64; 2],
+    /// Sign polynomial coefficients `a_0 .. a_3` (4-wise independence).
+    sign: [u64; 4],
 }
 
-impl Row {
-    fn new(width: usize, seed: u64) -> Self {
+impl RowHashes {
+    /// Derive the row's hash coefficients from its seed, through the same
+    /// [`PolynomialHash`] constructor the scalar path always used — the
+    /// coefficient *values* (and therefore every hash) are unchanged.
+    fn new(seed: u64) -> Self {
+        let bucket_hash = PolynomialHash::new(2, derive_seed(seed, 0xB));
+        let sign_hash = PolynomialHash::new(4, derive_seed(seed, 0x5));
+        let b = bucket_hash.coefficients();
+        let s = sign_hash.coefficients();
         Self {
-            bucket_hash: PolynomialHash::new(2, derive_seed(seed, 0xB)),
-            sign_hash: PolynomialHash::new(4, derive_seed(seed, 0x5)),
-            counters: vec![0; width],
-            sumsq: 0,
+            bucket: [b[0], b[1]],
+            sign: [s[0], s[1], s[2], s[3]],
         }
     }
 
+    /// The row's bucket for a key already reduced into the field
+    /// (`x = key mod 2^61−1`): Horner evaluation, 64-bit spread, Lemire
+    /// range reduction — step for step what
+    /// `PolynomialHash::hash_range(key, width)` computes.
     #[inline]
-    fn sign(&self, item: u64) -> i64 {
-        if (self.sign_hash.hash64(item) >> 62) & 1 == 1 {
+    fn bucket_of(&self, x: u64, width: u64) -> u32 {
+        let acc = add_mod_m61(mul_mod_m61(self.bucket[1], x), self.bucket[0]);
+        let h = acc.wrapping_mul(SPREAD);
+        ((u128::from(h) * u128::from(width)) >> 64) as u32
+    }
+
+    /// The row's ±1 sign for a reduced key: bit 62 of the spread degree-3
+    /// polynomial, as in the scalar path.
+    #[inline]
+    fn sign_of(&self, x: u64) -> i64 {
+        let mut acc = self.sign[3];
+        acc = add_mod_m61(mul_mod_m61(acc, x), self.sign[2]);
+        acc = add_mod_m61(mul_mod_m61(acc, x), self.sign[1]);
+        acc = add_mod_m61(mul_mod_m61(acc, x), self.sign[0]);
+        if (acc.wrapping_mul(SPREAD) >> 62) & 1 == 1 {
             1
         } else {
             -1
         }
     }
+}
 
-    #[inline]
-    fn bucket(&self, item: u64) -> usize {
-        self.bucket_hash.hash_range(item, self.counters.len() as u64) as usize
-    }
+/// Reduce an item key into GF(2^61 − 1) once; shared by every polynomial
+/// evaluation of the update.
+#[inline]
+fn reduce_key(item: u64) -> u64 {
+    item % MERSENNE_61
+}
 
-    #[inline]
-    fn update(&mut self, item: u64, weight: i64) {
-        let b = self.bucket(item);
-        let delta = self.sign(item) * weight;
-        self.apply(b, delta);
-    }
+/// The scalar-exact apply kernel: add each `(bucket, delta)` coordinate pair
+/// to the row's counter lane **in stream order**, carrying the running exact
+/// `Σ c²` in a register. The loop is explicitly unrolled 4-wide with
+/// unchecked lane accesses so the compiler keeps all four update chains in
+/// flight without re-checking bounds per counter touch.
+///
+/// # Safety invariant (checked by the caller)
+///
+/// Every value in `buckets` is `< lane.len()`: the coordinates are produced
+/// only by `prepare_batch_into`, whose Lemire reduction maps into
+/// `[0, width)`, and `apply_prepared_range` asserts that the batch's
+/// recorded width equals this sketch's width before any unchecked access.
+#[inline]
+fn apply_row_kernel(lane: &mut [i64], buckets: &[u32], deltas: &[i64], sumsq: &mut i128) {
+    debug_assert_eq!(buckets.len(), deltas.len());
+    debug_assert!(buckets.iter().all(|&b| (b as usize) < lane.len()));
+    let mut acc = *sumsq;
+    let n = buckets.len();
+    let quads = n / 4;
+    for q in 0..quads {
+        let i = q * 4;
+        // SAFETY: `i + 3 < n` by construction of `quads`, and every bucket is
+        // `< lane.len()` per the documented invariant (asserted in debug
+        // builds above). The four updates run strictly in order, so duplicate
+        // buckets within a quad observe each other's writes exactly as the
+        // scalar loop would — this is unrolling, not reordering.
+        unsafe {
+            let b0 = *buckets.get_unchecked(i) as usize;
+            let d0 = *deltas.get_unchecked(i);
+            let c0 = lane.get_unchecked_mut(b0);
+            let o0 = *c0;
+            *c0 = o0 + d0;
+            acc += (2 * o0 as i128 + d0 as i128) * d0 as i128;
 
-    /// Add `delta` to counter `b`, keeping the running sum of squares exact.
-    #[inline]
-    fn apply(&mut self, b: usize, delta: i64) {
-        let old = self.counters[b];
-        self.counters[b] = old + delta;
-        // (c + d)² − c² = (2c + d)·d, evaluated in i128 so it is exact.
-        self.sumsq += (2 * old as i128 + delta as i128) * delta as i128;
-    }
+            let b1 = *buckets.get_unchecked(i + 1) as usize;
+            let d1 = *deltas.get_unchecked(i + 1);
+            let c1 = lane.get_unchecked_mut(b1);
+            let o1 = *c1;
+            *c1 = o1 + d1;
+            acc += (2 * o1 as i128 + d1 as i128) * d1 as i128;
 
-    /// Apply a run of precomputed `(bucket, delta)` coordinates against the
-    /// row's counters as one flat `&mut [i64]` pass: the coordinate slices
-    /// are walked sequentially and `sumsq` is carried in a register instead
-    /// of being re-read through `&mut self` per update.
-    #[inline]
-    fn apply_slice(&mut self, buckets: &[u32], deltas: &[i64]) {
-        let counters: &mut [i64] = &mut self.counters;
-        let mut sumsq = self.sumsq;
-        for (&b, &delta) in buckets.iter().zip(deltas) {
-            let slot = &mut counters[b as usize];
-            let old = *slot;
-            *slot = old + delta;
-            sumsq += (2 * old as i128 + delta as i128) * delta as i128;
+            let b2 = *buckets.get_unchecked(i + 2) as usize;
+            let d2 = *deltas.get_unchecked(i + 2);
+            let c2 = lane.get_unchecked_mut(b2);
+            let o2 = *c2;
+            *c2 = o2 + d2;
+            acc += (2 * o2 as i128 + d2 as i128) * d2 as i128;
+
+            let b3 = *buckets.get_unchecked(i + 3) as usize;
+            let d3 = *deltas.get_unchecked(i + 3);
+            let c3 = lane.get_unchecked_mut(b3);
+            let o3 = *c3;
+            *c3 = o3 + d3;
+            acc += (2 * o3 as i128 + d3 as i128) * d3 as i128;
         }
-        self.sumsq = sumsq;
     }
+    for i in quads * 4..n {
+        let b = buckets[i] as usize;
+        let d = deltas[i];
+        let old = lane[b];
+        lane[b] = old + d;
+        acc += (2 * old as i128 + d as i128) * d as i128;
+    }
+    *sumsq = acc;
+}
 
-    #[inline]
-    fn f2_estimate(&self) -> f64 {
-        self.sumsq as f64
+/// Element-wise `dst[i] += src[i]` over two counter lane segments. Integer
+/// addition is exact and element-independent, so the vector form (under the
+/// `simd` feature) is bit-identical to the portable loop.
+#[inline]
+fn add_lanes(dst: &mut [i64], src: &[i64]) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 availability was just checked at runtime.
+            unsafe { add_lanes_avx2(dst, src) };
+            return;
+        }
     }
+    add_lanes_portable(dst, src);
+}
 
-    /// Rebuild `sumsq` from the counters (used after counter-wise merges,
-    /// which touch every counter anyway).
-    fn recompute_sumsq(&mut self) {
-        self.sumsq = self
-            .counters
-            .iter()
-            .map(|&c| (c as i128) * (c as i128))
-            .sum();
+#[inline]
+fn add_lanes_portable(dst: &mut [i64], src: &[i64]) {
+    for (c, &d) in dst.iter_mut().zip(src) {
+        *c += d;
     }
+}
 
-    /// Point estimate of the signed frequency of `item` from this row.
-    #[inline]
-    fn point_estimate(&self, item: u64) -> f64 {
-        (self.sign(item) * self.counters[self.bucket(item)]) as f64
+/// AVX2 lane addition: four 64-bit counters per vector op. Wrapping on
+/// overflow, matching the portable loop's release-mode semantics (counters
+/// never approach `i64` range in any supported configuration).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn add_lanes_avx2(dst: &mut [i64], src: &[i64]) {
+    use std::arch::x86_64::*;
+    let n = dst.len().min(src.len());
+    let quads = n / 4;
+    let dp = dst.as_mut_ptr();
+    let sp = src.as_ptr();
+    for q in 0..quads {
+        let i = q * 4;
+        // SAFETY: `i + 3 < n ≤ dst.len(), src.len()`; the loads/stores are
+        // the explicitly unaligned variants.
+        let a = _mm256_loadu_si256(dp.add(i) as *const __m256i);
+        let b = _mm256_loadu_si256(sp.add(i) as *const __m256i);
+        _mm256_storeu_si256(dp.add(i) as *mut __m256i, _mm256_add_epi64(a, b));
     }
+    for i in quads * 4..n {
+        *dst.get_unchecked_mut(i) = dst.get_unchecked(i).wrapping_add(*src.get_unchecked(i));
+    }
+}
+
+/// Exact `Σ c²` of a counter lane segment, in `i128`. Integer addition is
+/// associative and exact, so any evaluation order gives the same bits.
+#[inline]
+fn lane_sumsq(lane: &[i64]) -> i128 {
+    lane.iter().map(|&c| (c as i128) * (c as i128)).sum()
 }
 
 /// Fast AMS / CountSketch-bucketed estimator for `F_2`.
 #[derive(Debug, Clone)]
 pub struct FastAmsSketch {
-    rows: Vec<Row>,
+    /// `depth × width` counters, row-major: `lane[r * width + b]`.
+    lane: Vec<i64>,
+    /// Per-row `Σ c²` sideband, maintained on every update so the per-row
+    /// `F_2` estimate is O(1) instead of O(width). Kept in `i128` so the
+    /// running value is *exact* (each counter fits in `i64`, so `c²` fits in
+    /// `i128` with enormous headroom) — the estimate is bit-for-bit the true
+    /// sum of squares, with none of the rounding a recomputed `f64` sum
+    /// would have.
+    sumsq: Vec<i128>,
+    /// Per-row hash coefficients, index-aligned with the lane's rows.
+    hashes: Vec<RowHashes>,
     width: usize,
+    /// Rows the hot update/estimate loops touch (`≤ depth`); rows past this
+    /// are provably all-zero. See the module docs on depth trimming.
+    active: usize,
     seed: u64,
 }
 
@@ -131,7 +278,7 @@ impl FastAmsSketch {
         check_epsilon(epsilon)?;
         check_delta(delta)?;
         let width = ((6.0 / (epsilon * epsilon)).ceil() as usize).max(2);
-        let depth = crate::estimator_util::repetitions_for_delta(delta);
+        let depth = repetitions_for_delta(delta);
         Ok(Self::with_dimensions(width, depth, seed))
     }
 
@@ -139,10 +286,17 @@ impl FastAmsSketch {
     pub fn with_dimensions(width: usize, depth: usize, seed: u64) -> Self {
         let width = width.max(1);
         let depth = depth.max(1);
-        let rows = (0..depth)
-            .map(|r| Row::new(width, derive_seed(seed, r as u64)))
+        let hashes = (0..depth)
+            .map(|r| RowHashes::new(derive_seed(seed, r as u64)))
             .collect();
-        Self { rows, width, seed }
+        Self {
+            lane: vec![0; width * depth],
+            sumsq: vec![0; depth],
+            hashes,
+            width,
+            active: depth,
+            seed,
+        }
     }
 
     /// Buckets per row.
@@ -152,7 +306,7 @@ impl FastAmsSketch {
 
     /// Number of rows.
     pub fn depth(&self) -> usize {
-        self.rows.len()
+        self.sumsq.len()
     }
 
     /// Seed used to derive the hash functions.
@@ -160,40 +314,89 @@ impl FastAmsSketch {
         self.seed
     }
 
+    /// Rows the update/estimate hot loops touch (`≤ depth`); equals the
+    /// depth unless the sketch was trimmed.
+    pub fn active_rows(&self) -> usize {
+        self.active
+    }
+
+    /// Restrict the hot loops to the first `O(log 1/δ)` rows needed for
+    /// failure probability `delta`, if that is fewer than the sketch's
+    /// depth. Returns the resulting active row count.
+    ///
+    /// Must be called before the first update (the skipped rows would
+    /// otherwise have missed part of the stream and poison the median);
+    /// trimming a non-empty sketch is rejected. Merges and prepared-batch
+    /// application require both sides to agree on the trim.
+    pub fn trim_to_delta(&mut self, delta: f64) -> Result<usize> {
+        check_delta(delta)?;
+        if !self.is_empty() {
+            return Err(SketchError::InvalidParameter {
+                name: "delta",
+                detail: "depth can only be trimmed on an empty sketch".into(),
+            });
+        }
+        self.active = repetitions_for_delta(delta).min(self.depth());
+        Ok(self.active)
+    }
+
     /// CountSketch-style point estimate of the signed frequency of `item`
     /// (median over rows). Exposed because the correlated heavy-hitters
     /// structure reuses the same counters for both `F_2` estimation and
     /// per-item frequency estimation, exactly as described in Section 3.3.
     pub fn frequency_estimate(&self, item: u64) -> f64 {
-        let per_row: Vec<f64> = self.rows.iter().map(|r| r.point_estimate(item)).collect();
-        median(&per_row).unwrap_or(0.0)
+        // Small stack buffer: this sits on the heavy-hitters query path,
+        // which probes every candidate — no per-call allocation.
+        const STACK: usize = 32;
+        let x = reduce_key(item);
+        let w = self.width as u64;
+        let point = |r: usize, h: &RowHashes| {
+            let b = h.bucket_of(x, w) as usize;
+            (h.sign_of(x) * self.lane[r * self.width + b]) as f64
+        };
+        let n = self.active;
+        if n <= STACK {
+            let mut buf = [0.0f64; STACK];
+            for (r, (slot, h)) in buf[..n].iter_mut().zip(&self.hashes[..n]).enumerate() {
+                *slot = point(r, h);
+            }
+            median_mut(&mut buf[..n]).unwrap_or(0.0)
+        } else {
+            let mut per_row: Vec<f64> = self.hashes[..n]
+                .iter()
+                .enumerate()
+                .map(|(r, h)| point(r, h))
+                .collect();
+            median_mut(&mut per_row).unwrap_or(0.0)
+        }
     }
 
     /// True iff no update has ever been applied (all counters zero).
     pub fn is_empty(&self) -> bool {
         // sumsq = Σ c² is zero exactly when every counter in the row is zero.
-        self.rows.iter().all(|r| r.sumsq == 0)
+        self.sumsq.iter().all(|&s| s == 0)
     }
 
     /// Snapshot hook: the raw counter lane of each row, in row order.
     pub(crate) fn row_counters(&self) -> impl Iterator<Item = &[i64]> {
-        self.rows.iter().map(|r| r.counters.as_slice())
+        self.lane.chunks_exact(self.width)
     }
 
     /// Snapshot hook: overwrite every row's counters (`None` = all-zero row)
     /// and rebuild the incremental sums of squares. `rows` must match the
     /// sketch's depth and width (the codec validates both before calling).
     pub(crate) fn load_row_counters(&mut self, rows: &[Option<Vec<i64>>]) {
-        debug_assert_eq!(rows.len(), self.rows.len());
-        for (row, loaded) in self.rows.iter_mut().zip(rows) {
+        debug_assert_eq!(rows.len(), self.depth());
+        for (r, loaded) in rows.iter().enumerate() {
+            let row = &mut self.lane[r * self.width..(r + 1) * self.width];
             match loaded {
                 None => {
-                    row.counters.fill(0);
-                    row.sumsq = 0;
+                    row.fill(0);
+                    self.sumsq[r] = 0;
                 }
                 Some(counters) => {
-                    row.counters.copy_from_slice(counters);
-                    row.recompute_sumsq();
+                    row.copy_from_slice(counters);
+                    self.sumsq[r] = lane_sumsq(row);
                 }
             }
         }
@@ -203,8 +406,16 @@ impl FastAmsSketch {
 impl StreamSketch for FastAmsSketch {
     #[inline]
     fn update(&mut self, item: u64, weight: i64) {
-        for row in &mut self.rows {
-            row.update(item, weight);
+        let x = reduce_key(item);
+        let w = self.width as u64;
+        for (r, h) in self.hashes[..self.active].iter().enumerate() {
+            let b = h.bucket_of(x, w) as usize;
+            let delta = h.sign_of(x) * weight;
+            let slot = &mut self.lane[r * self.width + b];
+            let old = *slot;
+            *slot = old + delta;
+            // (c + d)² − c² = (2c + d)·d, evaluated in i128 so it is exact.
+            self.sumsq[r] += (2 * old as i128 + delta as i128) * delta as i128;
         }
     }
 }
@@ -220,6 +431,11 @@ impl StreamSketch for FastAmsSketch {
 /// (median over rows of `Σ c²`) of the decayed frequency vector
 /// `f_decayed(x) = Σ_p g_p · f_p(x)` — no per-item enumeration needed.
 ///
+/// The accumulator mirrors the sketch's flat row-major lane: a fold reads
+/// each non-empty source row as one contiguous `&[i64]` slice against the
+/// matching contiguous `&mut [f64]` segment, and items hash through the same
+/// inline row coefficients the sketch itself uses.
+///
 /// Exact frequency vectors can be folded in too
 /// ([`add_item`](Self::add_item) hashes them through the same rows), so the
 /// hybrid exact/sketched bucket stores of `cora-core` combine seamlessly.
@@ -229,9 +445,11 @@ pub struct DecayedF2Accumulator {
     counters: Vec<f64>,
     width: usize,
     depth: usize,
+    /// Rows the estimate medians over (the proto sketch's active rows).
+    active: usize,
     seed: u64,
-    /// Same-seeded hash rows used to place exact items; carries no counters.
-    proto: FastAmsSketch,
+    /// Same-seeded inline hash rows used to place exact items.
+    hashes: Vec<RowHashes>,
 }
 
 impl DecayedF2Accumulator {
@@ -242,8 +460,9 @@ impl DecayedF2Accumulator {
             counters: vec![0.0; proto.width() * proto.depth()],
             width: proto.width(),
             depth: proto.depth(),
+            active: proto.active_rows(),
             seed: proto.seed(),
-            proto: FastAmsSketch::with_dimensions(proto.width(), proto.depth(), proto.seed()),
+            hashes: proto.hashes.clone(),
         }
     }
 
@@ -269,12 +488,13 @@ impl DecayedF2Accumulator {
         if scale == 0.0 {
             return Ok(());
         }
-        for (r, row) in sketch.rows.iter().enumerate() {
-            if row.sumsq == 0 {
+        for (r, &rowsq) in sketch.sumsq.iter().enumerate() {
+            if rowsq == 0 {
                 continue;
             }
             let base = r * self.width;
-            for (slot, &c) in self.counters[base..base + self.width].iter_mut().zip(&row.counters) {
+            let src = &sketch.lane[base..base + self.width];
+            for (slot, &c) in self.counters[base..base + self.width].iter_mut().zip(src) {
                 *slot += scale * c as f64;
             }
         }
@@ -287,16 +507,18 @@ impl DecayedF2Accumulator {
         if weight == 0.0 {
             return;
         }
-        for (r, row) in self.proto.rows.iter().enumerate() {
-            let b = row.bucket(item);
-            self.counters[r * self.width + b] += row.sign(item) as f64 * weight;
+        let x = reduce_key(item);
+        let w = self.width as u64;
+        for (r, h) in self.hashes.iter().enumerate() {
+            let b = h.bucket_of(x, w) as usize;
+            self.counters[r * self.width + b] += h.sign_of(x) as f64 * weight;
         }
     }
 
     /// The fast-AMS `F_2` estimate of the accumulated (decayed) frequency
     /// vector: the median over rows of the sum of squared scaled counters.
     pub fn estimate(&self) -> f64 {
-        let mut per_row: Vec<f64> = (0..self.depth)
+        let mut per_row: Vec<f64> = (0..self.active)
             .map(|r| {
                 self.counters[r * self.width..(r + 1) * self.width]
                     .iter()
@@ -309,7 +531,7 @@ impl DecayedF2Accumulator {
 }
 
 /// Precomputed per-row coordinates of one fast-AMS update: `(bucket, signed
-/// delta)` for each row. See [`SharedUpdate`].
+/// delta)` for each active row. See [`SharedUpdate`].
 #[derive(Debug, Clone, Default)]
 pub struct FastAmsPrepared {
     rows: Vec<(u32, i64)>,
@@ -319,14 +541,22 @@ pub struct FastAmsPrepared {
 /// **row-major** in two flat arrays: the entry for tuple `i` in row `r` lives
 /// at index `r * len + i`. Applying a contiguous tuple range to a sketch
 /// therefore walks one contiguous coordinate slice per row against that
-/// row's flat counter array, instead of chasing one heap allocation per
-/// tuple.
+/// row's contiguous lane segment.
+///
+/// The batch records the `width` and row count it was prepared with; the
+/// apply path checks them against the target sketch before entering the
+/// bounds-check-free kernel (every bucket value is `< width` by
+/// construction).
 #[derive(Debug, Clone, Default)]
 pub struct FastAmsBatch {
     buckets: Vec<u32>,
     deltas: Vec<i64>,
     /// Number of tuples in the batch (the row stride).
     len: usize,
+    /// Rows prepared (the preparing sketch's active row count).
+    rows: usize,
+    /// Width the buckets were reduced into.
+    width: u32,
 }
 
 impl SharedUpdate for FastAmsSketch {
@@ -334,42 +564,67 @@ impl SharedUpdate for FastAmsSketch {
     type PreparedBatch = FastAmsBatch;
 
     fn prepare_into(&self, item: u64, weight: i64, out: &mut FastAmsPrepared) {
+        let x = reduce_key(item);
+        let w = self.width as u64;
         out.rows.clear();
         out.rows.extend(
-            self.rows
+            self.hashes[..self.active]
                 .iter()
-                .map(|r| (r.bucket(item) as u32, r.sign(item) * weight)),
+                .map(|h| (h.bucket_of(x, w), h.sign_of(x) * weight)),
         );
     }
 
     fn apply_prepared(&mut self, prepared: &FastAmsPrepared) {
-        debug_assert_eq!(prepared.rows.len(), self.rows.len());
-        for (row, &(b, delta)) in self.rows.iter_mut().zip(&prepared.rows) {
-            row.apply(b as usize, delta);
+        debug_assert_eq!(prepared.rows.len(), self.active);
+        for (r, &(b, delta)) in prepared.rows.iter().enumerate() {
+            let slot = &mut self.lane[r * self.width + b as usize];
+            let old = *slot;
+            *slot = old + delta;
+            self.sumsq[r] += (2 * old as i128 + delta as i128) * delta as i128;
         }
     }
 
     fn prepare_batch_into(&self, items: &[(u64, i64)], out: &mut FastAmsBatch) {
-        out.len = items.len();
+        let n = items.len();
+        let rows = self.active;
+        out.len = n;
+        out.rows = rows;
+        out.width = self.width as u32;
         out.buckets.clear();
         out.deltas.clear();
-        out.buckets.reserve(self.rows.len() * items.len());
-        out.deltas.reserve(self.rows.len() * items.len());
-        for row in &self.rows {
-            for &(item, weight) in items {
-                out.buckets.push(row.bucket(item) as u32);
-                out.deltas.push(row.sign(item) * weight);
+        out.buckets.resize(rows * n, 0);
+        out.deltas.resize(rows * n, 0);
+        let w = self.width as u64;
+        let hashes = &self.hashes[..rows];
+        for (i, &(item, weight)) in items.iter().enumerate() {
+            let x = reduce_key(item);
+            for (r, h) in hashes.iter().enumerate() {
+                out.buckets[r * n + i] = h.bucket_of(x, w);
+                out.deltas[r * n + i] = h.sign_of(x) * weight;
             }
         }
     }
 
     fn apply_prepared_range(&mut self, batch: &FastAmsBatch, range: std::ops::Range<usize>) {
-        debug_assert!(range.end <= batch.len);
-        for (r, row) in self.rows.iter_mut().enumerate() {
+        if range.start >= range.end {
+            return;
+        }
+        assert!(range.end <= batch.len, "prepared-batch range out of bounds");
+        // Hard check, not debug: the kernel's unchecked lane indexing is
+        // sound only for buckets reduced into *this* sketch's width.
+        assert_eq!(
+            batch.width as usize, self.width,
+            "prepared batch width does not match sketch width"
+        );
+        debug_assert_eq!(batch.rows, self.active);
+        for r in 0..batch.rows {
             let base = r * batch.len;
-            row.apply_slice(
+            let lane = &mut self.lane[r * self.width..(r + 1) * self.width];
+            apply_row_kernel(
+                lane,
                 &batch.buckets[base + range.start..base + range.end],
                 &batch.deltas[base + range.start..base + range.end],
+                &mut self.sumsq[r],
             );
         }
     }
@@ -382,15 +637,15 @@ impl Estimate for FastAmsSketch {
         // correlated framework checks bucket estimates on every insert)
         // allocation-free.
         const STACK: usize = 32;
-        let n = self.rows.len();
+        let n = self.active;
         if n <= STACK {
             let mut buf = [0.0f64; STACK];
-            for (slot, row) in buf[..n].iter_mut().zip(&self.rows) {
-                *slot = row.f2_estimate();
+            for (slot, &s) in buf[..n].iter_mut().zip(&self.sumsq[..n]) {
+                *slot = s as f64;
             }
             median_mut(&mut buf[..n]).unwrap_or(0.0)
         } else {
-            let mut per_row: Vec<f64> = self.rows.iter().map(Row::f2_estimate).collect();
+            let mut per_row: Vec<f64> = self.sumsq[..n].iter().map(|&s| s as f64).collect();
             median_mut(&mut per_row).unwrap_or(0.0)
         }
     }
@@ -398,36 +653,44 @@ impl Estimate for FastAmsSketch {
 
 impl MergeableSketch for FastAmsSketch {
     fn merge_from(&mut self, other: &Self) -> Result<()> {
-        if self.width != other.width || self.rows.len() != other.rows.len() || self.seed != other.seed
+        if self.width != other.width
+            || self.depth() != other.depth()
+            || self.seed != other.seed
+            || self.active != other.active
         {
             return Err(SketchError::IncompatibleMerge {
                 detail: format!(
-                    "FastAMS dims/seed mismatch: ({}x{}, {:#x}) vs ({}x{}, {:#x})",
-                    self.rows.len(),
+                    "FastAMS dims/seed/trim mismatch: ({}x{}, {:#x}, {} active) vs ({}x{}, {:#x}, {} active)",
+                    self.depth(),
                     self.width,
                     self.seed,
-                    other.rows.len(),
+                    self.active,
+                    other.depth(),
                     other.width,
-                    other.seed
+                    other.seed,
+                    other.active
                 ),
             });
         }
-        for (r, o) in self.rows.iter_mut().zip(other.rows.iter()) {
+        for r in 0..self.depth() {
             // Empty rows contribute nothing; skipping them makes merging a
             // sparse shard (the common case when composing per-bucket
             // sketches at query time) O(1) per row instead of O(width).
-            if o.sumsq == 0 {
+            if other.sumsq[r] == 0 {
                 continue;
             }
-            if r.sumsq == 0 {
-                r.counters.copy_from_slice(&o.counters);
-                r.sumsq = o.sumsq;
+            let base = r * self.width;
+            let src = &other.lane[base..base + self.width];
+            let dst = &mut self.lane[base..base + self.width];
+            if self.sumsq[r] == 0 {
+                dst.copy_from_slice(src);
+                self.sumsq[r] = other.sumsq[r];
                 continue;
             }
-            for (c, d) in r.counters.iter_mut().zip(o.counters.iter()) {
-                *c += d;
-            }
-            r.recompute_sumsq();
+            add_lanes(dst, src);
+            // Rebuild from the merged counters (which were all touched
+            // anyway); exact integer sums are order-independent.
+            self.sumsq[r] = lane_sumsq(&self.lane[base..base + self.width]);
         }
         Ok(())
     }
@@ -435,7 +698,7 @@ impl MergeableSketch for FastAmsSketch {
 
 impl SpaceUsage for FastAmsSketch {
     fn stored_tuples(&self) -> usize {
-        self.rows.len() * self.width
+        self.lane.len()
     }
 
     fn space_bytes(&self) -> usize {
@@ -472,6 +735,28 @@ mod tests {
         let s = FastAmsSketch::with_dimensions(64, 5, 3);
         assert_eq!(s.estimate(), 0.0);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn inline_hashes_match_polynomial_hash() {
+        // The copied-out coefficient arrays must reproduce PolynomialHash's
+        // hash_range and sign bit exactly, key for key.
+        use cora_hash::traits::HashFunction64;
+        for seed in [0u64, 3, 17, 0xDEAD_BEEF] {
+            let h = RowHashes::new(seed);
+            let bucket_hash = PolynomialHash::new(2, derive_seed(seed, 0xB));
+            let sign_hash = PolynomialHash::new(4, derive_seed(seed, 0x5));
+            for key in (0..2000u64).chain([u64::MAX, MERSENNE_61, MERSENNE_61 + 1]) {
+                let x = reduce_key(key);
+                assert_eq!(
+                    h.bucket_of(x, 200) as u64,
+                    bucket_hash.hash_range(key, 200),
+                    "bucket mismatch at key {key}"
+                );
+                let expected_sign = if (sign_hash.hash64(key) >> 62) & 1 == 1 { 1 } else { -1 };
+                assert_eq!(h.sign_of(x), expected_sign, "sign mismatch at key {key}");
+            }
+        }
     }
 
     #[test]
@@ -527,6 +812,8 @@ mod tests {
         }
         let merged = a.merged(&b).unwrap();
         assert_eq!(merged.estimate(), full.estimate());
+        assert_eq!(merged.lane, full.lane);
+        assert_eq!(merged.sumsq, full.sumsq);
     }
 
     #[test]
@@ -536,6 +823,15 @@ mod tests {
         let c = FastAmsSketch::with_dimensions(32, 5, 1);
         assert!(a.merged(&b).is_err());
         assert!(a.merged(&c).is_err());
+    }
+
+    #[test]
+    fn merge_rejects_trim_mismatch() {
+        let mut a = FastAmsSketch::with_dimensions(64, 9, 1);
+        a.trim_to_delta(0.3).unwrap();
+        let b = FastAmsSketch::with_dimensions(64, 9, 1);
+        assert!(a.active_rows() < b.active_rows());
+        assert!(a.merged(&b).is_err());
     }
 
     #[test]
@@ -584,10 +880,67 @@ mod tests {
             batched.apply_prepared_range(&batch, range);
         }
         assert_eq!(scalar.estimate(), batched.estimate());
-        for (a, b) in scalar.rows.iter().zip(&batched.rows) {
-            assert_eq!(a.counters, b.counters);
-            assert_eq!(a.sumsq, b.sumsq);
+        assert_eq!(scalar.lane, batched.lane);
+        assert_eq!(scalar.sumsq, batched.sumsq);
+    }
+
+    #[test]
+    fn kernel_handles_duplicate_buckets_in_quad() {
+        // Four copies of the same item in one quad must accumulate exactly
+        // (the unrolled kernel re-reads each counter it just wrote).
+        let proto = FastAmsSketch::with_dimensions(8, 3, 7);
+        let items: Vec<(u64, i64)> = vec![(42, 1); 8];
+        let mut batch = FastAmsBatch::default();
+        proto.prepare_batch_into(&items, &mut batch);
+        let mut batched = FastAmsSketch::with_dimensions(8, 3, 7);
+        batched.apply_prepared_range(&batch, 0..8);
+        let mut scalar = FastAmsSketch::with_dimensions(8, 3, 7);
+        for &(x, w) in &items {
+            scalar.update(x, w);
         }
+        assert_eq!(scalar.lane, batched.lane);
+        assert_eq!(scalar.sumsq, batched.sumsq);
+        assert_eq!(batched.estimate(), 64.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width does not match")]
+    fn apply_rejects_foreign_width_batch() {
+        let proto = FastAmsSketch::with_dimensions(64, 3, 1);
+        let mut batch = FastAmsBatch::default();
+        proto.prepare_batch_into(&[(1, 1), (2, 1)], &mut batch);
+        let mut wrong = FastAmsSketch::with_dimensions(32, 3, 1);
+        wrong.apply_prepared_range(&batch, 0..2);
+    }
+
+    #[test]
+    fn trimmed_sketch_matches_shallow_sketch() {
+        // A depth-9 sketch trimmed to d' rows must produce exactly the lane
+        // prefix and estimate of a natively depth-d' sketch (rows share
+        // per-row seeds).
+        let mut deep = FastAmsSketch::with_dimensions(64, 9, 5);
+        let trimmed_rows = deep.trim_to_delta(0.3).unwrap();
+        assert!(trimmed_rows < 9, "delta 0.3 should need fewer than 9 rows");
+        let mut shallow = FastAmsSketch::with_dimensions(64, trimmed_rows, 5);
+        for i in 0..500u64 {
+            let (x, w) = (i * 17 % 211, (i % 5) as i64 + 1);
+            deep.update(x, w);
+            shallow.update(x, w);
+        }
+        assert_eq!(deep.estimate(), shallow.estimate());
+        assert_eq!(
+            &deep.lane[..trimmed_rows * 64],
+            &shallow.lane[..],
+        );
+        // Rows past the trim never saw an update.
+        assert!(deep.lane[trimmed_rows * 64..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn trim_rejects_non_empty_sketch() {
+        let mut s = FastAmsSketch::with_dimensions(64, 9, 5);
+        s.update(1, 1);
+        assert!(s.trim_to_delta(0.3).is_err());
     }
 
     #[test]
@@ -672,9 +1025,8 @@ mod tests {
             other.update(state >> 17, 2);
         }
         s.merge_from(&other).unwrap();
-        for row in &s.rows {
-            let direct: i128 = row.counters.iter().map(|&c| (c as i128) * (c as i128)).sum();
-            assert_eq!(row.sumsq, direct);
+        for (row, &sumsq) in s.lane.chunks_exact(s.width).zip(&s.sumsq) {
+            assert_eq!(sumsq, lane_sumsq(row));
         }
     }
 }

@@ -376,7 +376,15 @@ impl<P: WindowPane> PaneRing<P> {
     /// Observe tuple `(x, y)` at timestamp `t` (ticks; arrivals may be out of
     /// order). Tuples older than the retention horizon are dropped and
     /// counted in [`PaneRing::late_dropped`].
+    ///
+    /// The common case — `t` lands in an existing pane and does not advance
+    /// the clock past anything — is just the pane insert plus O(1)
+    /// bookkeeping: expiry can only drop panes when `t_latest` advances, and
+    /// after every pane creation the rebalance pass runs to a fixed point
+    /// (no class over budget), so neither needs to run again until the pane
+    /// set or the clock actually changes.
     pub fn observe(&mut self, x: u64, y: u64, t: u64) -> Result<()> {
+        let panes_before = self.panes.len();
         match self.route(t)? {
             Some(idx) => self.panes[idx].sketch.pane_insert(x, y)?,
             None => {
@@ -387,13 +395,20 @@ impl<P: WindowPane> PaneRing<P> {
                 return Ok(());
             }
         }
-        if !self.has_data || t > self.t_latest {
+        let created = self.panes.len() > panes_before;
+        let advanced = !self.has_data || t > self.t_latest;
+        if advanced {
             self.t_latest = t;
             self.has_data = true;
         }
         self.generation += 1;
-        self.expire();
-        self.rebalance()
+        if advanced {
+            self.expire();
+        }
+        if created {
+            return self.rebalance();
+        }
+        Ok(())
     }
 
     /// Index of the pane owning timestamp `t`, creating a pane if `t` falls
