@@ -35,6 +35,8 @@ fn bench_config() -> ServeConfig {
         pane_retention: None,
         max_connections: 1_024,
         durability: None,
+        auth_token: None,
+        replicate: None,
     }
 }
 

@@ -77,6 +77,14 @@ pub enum SnapshotKind {
     /// sequence high-water marks that make batch replay idempotent
     /// (`cora_serve`'s snapshot bundle and write-ahead journal).
     ServeMeta = 7,
+    /// An incremental **delta** container covering the tuples ingested in a
+    /// generation span `(g_from, g_to]`: a replication header plus tagged
+    /// inner frames, each itself a sealed snapshot of a same-seeded
+    /// structure fed only that span (see [`seal_delta_into`] /
+    /// [`open_delta`]). Because the sketches are mergeable (Property V),
+    /// merging the delta into a base holding everything up to `g_from`
+    /// yields exactly the structure for everything up to `g_to`.
+    Delta = 8,
 }
 
 impl SnapshotKind {
@@ -89,6 +97,7 @@ impl SnapshotKind {
             5 => Some(SnapshotKind::WindowedFramework),
             6 => Some(SnapshotKind::WindowedF0),
             7 => Some(SnapshotKind::ServeMeta),
+            8 => Some(SnapshotKind::Delta),
             _ => None,
         }
     }
@@ -252,6 +261,93 @@ pub fn decode_config(r: &mut ByteReader<'_>) -> CodecResult<CorrelatedConfig> {
     Ok(config)
 }
 
+/// The replication header of a [`SnapshotKind::Delta`] container: which
+/// generation span the inner frames cover and a fingerprint of the
+/// producer's construction parameters. A consumer must refuse a delta whose
+/// fingerprint differs from its own (different seeds or accuracy parameters
+/// make the structures non-mergeable) or whose `g_from` is not its current
+/// high-water generation (the delta would double-count or skip tuples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaHeader {
+    /// The generation the consumer must already hold; `0` means the
+    /// container is a **full** replacement snapshot, not an increment.
+    pub g_from: u64,
+    /// The generation the consumer holds after applying the container.
+    pub g_to: u64,
+    /// Producer-side fingerprint over every construction parameter that
+    /// affects mergeability (accuracy, domains, seed). Opaque to this codec.
+    pub fingerprint: u64,
+}
+
+/// Seal a delta container: the [`DeltaHeader`] plus `sections`, each a
+/// `(tag, bytes)` pair where the tag names the structure (assigned by the
+/// producer) and the bytes are normally themselves a sealed frame. The whole
+/// container is one checksummed [`SnapshotKind::Delta`] frame, so torn or
+/// corrupted deltas are rejected wholesale by [`open_delta`].
+pub fn seal_delta_into(header: &DeltaHeader, sections: &[(u8, &[u8])], out: &mut Vec<u8>) {
+    let mut w = ByteWriter::new();
+    w.put_u64(header.g_from);
+    w.put_u64(header.g_to);
+    w.put_u64(header.fingerprint);
+    w.put_u32(sections.len() as u32);
+    for &(tag, bytes) in sections {
+        w.put_u8(tag);
+        w.put_u64(bytes.len() as u64);
+        w.put_bytes(bytes);
+    }
+    seal_frame_into(SnapshotKind::Delta, w.as_bytes(), out);
+}
+
+/// The `(tag, bytes)` sections of an opened delta container, borrowing from
+/// the container's bytes.
+pub type DeltaSections<'a> = Vec<(u8, &'a [u8])>;
+
+/// Open a delta container sealed by [`seal_delta_into`]: validates the outer
+/// frame (magic, version, kind, length, checksum), then returns the header
+/// and the `(tag, bytes)` sections. A span with `g_from > g_to` is rejected
+/// here; fingerprint and base-generation checks are the consumer's job,
+/// because only it knows its own parameters and high-water mark.
+pub fn open_delta(bytes: &[u8]) -> Result<(DeltaHeader, DeltaSections<'_>)> {
+    let payload = open_frame(bytes, SnapshotKind::Delta)?;
+    let mut r = ByteReader::new(payload);
+    let take = |r: &mut ByteReader<'_>, field: &str| -> Result<u64> {
+        r.get_u64().map_err(|e| CoreError::Snapshot {
+            detail: format!("delta header field {field}: {e}"),
+        })
+    };
+    let g_from = take(&mut r, "g_from")?;
+    let g_to = take(&mut r, "g_to")?;
+    let fingerprint = take(&mut r, "fingerprint")?;
+    if g_from > g_to {
+        return Err(CoreError::Snapshot {
+            detail: format!("delta spans a negative generation range ({g_from}, {g_to}]"),
+        });
+    }
+    let n = r.get_u32().map_err(CoreError::from)? as usize;
+    let mut sections = Vec::with_capacity(n);
+    for i in 0..n {
+        let e = |detail: String| CoreError::Snapshot {
+            detail: format!("delta section {i}: {detail}"),
+        };
+        let tag = r.get_u8().map_err(|err| e(err.to_string()))?;
+        let len = r.get_u64().map_err(|err| e(err.to_string()))? as usize;
+        if len > r.remaining() {
+            return Err(e(format!(
+                "declares {len} bytes but only {} remain",
+                r.remaining()
+            )));
+        }
+        let bytes = r.take(len).map_err(|err| e(err.to_string()))?;
+        sections.push((tag, bytes));
+    }
+    if r.remaining() != 0 {
+        return Err(CoreError::Snapshot {
+            detail: format!("delta has {} trailing bytes after its sections", r.remaining()),
+        });
+    }
+    Ok((DeltaHeader { g_from, g_to, fingerprint }, sections))
+}
+
 /// Map a low-level codec error into the crate error type.
 impl From<CodecError> for CoreError {
     fn from(e: CodecError) -> Self {
@@ -294,6 +390,55 @@ mod tests {
         let mut unknown = frame;
         unknown[6] = 99;
         assert!(open_frame(&unknown, SnapshotKind::F0).is_err());
+    }
+
+    #[test]
+    fn delta_container_round_trip_and_rejections() {
+        let header = DeltaHeader { g_from: 3, g_to: 7, fingerprint: 0xFEED_F00D };
+        let inner = seal_frame(SnapshotKind::F0, b"inner state");
+        let mut out = Vec::new();
+        seal_delta_into(&header, &[(1, b"raw"), (2, &inner)], &mut out);
+        let (decoded, sections) = open_delta(&out).unwrap();
+        assert_eq!(decoded, header);
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0], (1, &b"raw"[..]));
+        assert_eq!(sections[1].0, 2);
+        assert_eq!(
+            open_frame(sections[1].1, SnapshotKind::F0).unwrap(),
+            b"inner state"
+        );
+
+        // Empty container is legal (a heartbeat cut with no new tuples).
+        let mut empty = Vec::new();
+        seal_delta_into(&header, &[], &mut empty);
+        assert!(open_delta(&empty).unwrap().1.is_empty());
+
+        // Torn and corrupted containers are rejected wholesale.
+        assert!(open_delta(&out[..out.len() - 1]).is_err());
+        let mut corrupt = out.clone();
+        corrupt[20] ^= 0x01;
+        assert!(open_delta(&corrupt).is_err());
+        // A non-delta frame is not a delta.
+        assert!(open_delta(&inner).is_err());
+        // Negative generation spans are rejected in the codec.
+        let mut backwards = Vec::new();
+        seal_delta_into(
+            &DeltaHeader { g_from: 9, g_to: 2, fingerprint: 0 },
+            &[],
+            &mut backwards,
+        );
+        assert!(open_delta(&backwards).is_err());
+        // A section length pointing past the payload is rejected.
+        let mut w = ByteWriter::new();
+        w.put_u64(0);
+        w.put_u64(1);
+        w.put_u64(0);
+        w.put_u32(1);
+        w.put_u8(1);
+        w.put_u64(1_000_000);
+        let mut oversize = Vec::new();
+        seal_frame_into(SnapshotKind::Delta, w.as_bytes(), &mut oversize);
+        assert!(open_delta(&oversize).is_err());
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! ```text
 //! cora_serve_node --dir /var/lib/cora [--bind 127.0.0.1:0]
 //!     [--snap-tuples N] [--snap-ms MS] [--no-fsync]
+//!     [--replicate-to ADDR --stream NAME [--repl-interval-ms MS]]
+//!     [--auth-token TOKEN]
 //! ```
 //!
 //! Prints `LISTENING <addr>` on stdout once the socket is bound (the test
@@ -11,8 +13,13 @@
 //! `shutdown` op arrives. The serve configuration is fixed — both sides of
 //! a kill/restart cycle must build identical sketches, and a config plus a
 //! durable directory fully determines a server.
+//!
+//! With `--replicate-to`, the node ships its sketch deltas to an
+//! aggregator (`cora_serve_agg`) under the given stream name.
+//! `--auth-token` both requires the token from this node's clients and
+//! presents it to the aggregator.
 
-use cora_serve::server::{start, DurabilityConfig, ServeConfig};
+use cora_serve::server::{start, DurabilityConfig, ReplicateConfig, ServeConfig};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -20,7 +27,8 @@ fn usage(detail: &str) -> ExitCode {
     eprintln!("error: {detail}");
     eprintln!(
         "usage: cora_serve_node --dir DIR [--bind ADDR] [--snap-tuples N] \
-         [--snap-ms MS] [--no-fsync]"
+         [--snap-ms MS] [--no-fsync] [--replicate-to ADDR --stream NAME \
+         [--repl-interval-ms MS]] [--auth-token TOKEN]"
     );
     ExitCode::FAILURE
 }
@@ -31,6 +39,10 @@ fn main() -> ExitCode {
     let mut snap_tuples: u64 = 200_000;
     let mut snap_ms: u64 = 0;
     let mut fsync = true;
+    let mut replicate_to: Option<String> = None;
+    let mut stream: Option<String> = None;
+    let mut repl_interval_ms: u64 = 200;
+    let mut auth_token: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,11 +68,36 @@ fn main() -> ExitCode {
                 _ => return usage("--snap-ms requires an unsigned integer"),
             },
             "--no-fsync" => fsync = false,
+            "--replicate-to" => match value("--replicate-to") {
+                Ok(v) => replicate_to = Some(v),
+                Err(e) => return usage(&e),
+            },
+            "--stream" => match value("--stream") {
+                Ok(v) => stream = Some(v),
+                Err(e) => return usage(&e),
+            },
+            "--repl-interval-ms" => match value("--repl-interval-ms").map(|v| v.parse()) {
+                Ok(Ok(v)) => repl_interval_ms = v,
+                _ => return usage("--repl-interval-ms requires an unsigned integer"),
+            },
+            "--auth-token" => match value("--auth-token") {
+                Ok(v) => auth_token = Some(v),
+                Err(e) => return usage(&e),
+            },
             other => return usage(&format!("unknown argument {other:?}")),
         }
     }
     let Some(dir) = dir else {
         return usage("--dir is required");
+    };
+    let replicate = match (replicate_to, stream) {
+        (Some(target), Some(stream)) => Some(ReplicateConfig {
+            interval_ms: repl_interval_ms,
+            auth_token: auth_token.clone(),
+            ..ReplicateConfig::new(target, stream)
+        }),
+        (None, None) => None,
+        _ => return usage("--replicate-to and --stream must be given together"),
     };
 
     let config = ServeConfig {
@@ -81,6 +118,8 @@ fn main() -> ExitCode {
             snapshot_interval_ms: snap_ms,
             fsync_each_batch: fsync,
         }),
+        auth_token,
+        replicate,
         ..ServeConfig::default()
     };
 

@@ -25,7 +25,7 @@
 //! serve-smoke step need. Concurrency comes from opening more clients (the
 //! server multiplexes connections over a small worker pool).
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{Request, Response, SetOp};
 use crate::wire::{self, DecodedReply};
 use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -149,18 +149,67 @@ impl ServeClient {
     /// [`RunningServer::local_addr`](crate::server::RunningServer::local_addr))
     /// speaking the newline-JSON line protocol.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
-        Self::connect_mode(addr, Mode::Json)
+        Self::connect_mode(addr, Mode::Json, None)
     }
 
     /// Connect speaking the [binary frame protocol](crate::wire) — same
     /// request surface and byte-identical answers, plus pipelined ingest
     /// ([`Self::ingest_noack`] / [`Self::sync`]).
     pub fn connect_binary<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
-        Self::connect_mode(addr, Mode::Binary)
+        Self::connect_mode(addr, Mode::Binary, None)
     }
 
-    fn connect_mode<A: ToSocketAddrs>(addr: A, mode: Mode) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+    /// [`Self::connect`] with a bound on the TCP connect itself. The plain
+    /// constructors inherit the OS connect timeout (which can be minutes);
+    /// this one fails fast when the server is unreachable, which is what
+    /// retry loops and replication links need.
+    pub fn connect_timeout<A: ToSocketAddrs>(addr: A, timeout: Duration) -> std::io::Result<Self> {
+        Self::connect_mode(addr, Mode::Json, Some(timeout))
+    }
+
+    /// [`Self::connect_binary`] with a bound on the TCP connect itself.
+    pub fn connect_binary_timeout<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Duration,
+    ) -> std::io::Result<Self> {
+        Self::connect_mode(addr, Mode::Binary, Some(timeout))
+    }
+
+    fn connect_mode<A: ToSocketAddrs>(
+        addr: A,
+        mode: Mode,
+        timeout: Option<Duration>,
+    ) -> std::io::Result<Self> {
+        let stream = match timeout {
+            None => TcpStream::connect(addr)?,
+            // `TcpStream::connect_timeout` takes one resolved address, so
+            // walk the candidates (v4/v6) like `connect` does and keep the
+            // last failure for the error message.
+            Some(timeout) => {
+                let mut last_err = None;
+                let mut connected = None;
+                for candidate in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&candidate, timeout) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                match connected {
+                    Some(stream) => stream,
+                    None => {
+                        return Err(last_err.unwrap_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "address resolved to no socket addresses",
+                            )
+                        }))
+                    }
+                }
+            }
+        };
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Self {
@@ -483,6 +532,97 @@ impl ServeClient {
     pub fn shutdown_server(&mut self) -> ClientResult<()> {
         self.request(&Request::Shutdown).map(|_| ())
     }
+
+    /// Present the shared-secret token. On a server started with
+    /// [`ServeConfig::auth_token`](crate::server::ServeConfig::auth_token)
+    /// set, every other op on this connection fails with a `request` error
+    /// until this succeeds; on an open server it is a no-op.
+    pub fn auth(&mut self, token: &str) -> ClientResult<()> {
+        self.request(&Request::Auth { token: token.to_string() }).map(|_| ())
+    }
+
+    /// Set-expression distinct count over two named streams on an
+    /// **aggregator** node: the estimate of `|A op B|` restricted to tuples
+    /// with `y ≤ c`.
+    pub fn set_f0(&mut self, a: &str, b: &str, op: SetOp, c: u64) -> ClientResult<f64> {
+        let response = self.request(&Request::SetF0 {
+            a: a.to_string(),
+            b: b.to_string(),
+            op,
+            c,
+        })?;
+        response.f64_field("value").map_err(ClientError::Protocol)
+    }
+
+    /// The stream names registered on an aggregator node, sorted.
+    pub fn streams(&mut self) -> ClientResult<Vec<String>> {
+        let response = self.request(&Request::Streams)?;
+        let joined = response.str_field("streams").map_err(ClientError::Protocol)?;
+        Ok(if joined.is_empty() {
+            Vec::new()
+        } else {
+            joined.split(',').map(str::to_string).collect()
+        })
+    }
+
+    /// Replication handshake with an aggregator: registers `stream`,
+    /// verifies `fingerprint` compatibility, announces the replica's
+    /// current generation, and returns the aggregator's high-water
+    /// generation for that stream (0 = expects a full snapshot).
+    pub fn repl_hello(&mut self, stream: &str, fingerprint: u64, g_to: u64) -> ClientResult<u64> {
+        let response = self.repl_request(&Request::ReplHello {
+            stream: stream.to_string(),
+            fingerprint,
+            g_to,
+        })?;
+        response.u64_field("high_water").map_err(ClientError::Protocol)
+    }
+
+    /// Ship one sealed delta container (binary connections only); returns
+    /// the aggregator's new high-water generation.
+    pub fn repl_delta(&mut self, stream: &str, frame: Vec<u8>) -> ClientResult<u64> {
+        let response = self.repl_request(&Request::ReplDelta {
+            stream: stream.to_string(),
+            frame,
+        })?;
+        response.u64_field("high_water").map_err(ClientError::Protocol)
+    }
+
+    /// Ship one full replacement snapshot container (`g_from = 0`, binary
+    /// connections only); returns the aggregator's new high-water
+    /// generation.
+    pub fn repl_snapshot(&mut self, stream: &str, frame: Vec<u8>) -> ClientResult<u64> {
+        let response = self.repl_request(&Request::ReplSnapshot {
+            stream: stream.to_string(),
+            frame,
+        })?;
+        response.u64_field("high_water").map_err(ClientError::Protocol)
+    }
+
+    /// Send a replication request. On the binary protocol the server
+    /// answers every `Repl*` request with a `ReplAck` frame (not an echo of
+    /// the request opcode), so this bypasses [`Self::request`]'s
+    /// echo-opcode check.
+    fn repl_request(&mut self, request: &Request) -> ClientResult<Response> {
+        match self.mode {
+            Mode::Json => match request {
+                // The payload-carrying ops cannot travel as JSON; refuse
+                // client-side instead of sending a frame-less stub.
+                Request::ReplDelta { .. } | Request::ReplSnapshot { .. } => {
+                    Err(ClientError::Protocol(
+                        "replication payloads require a binary connection".into(),
+                    ))
+                }
+                _ => self.request_json(request),
+            },
+            Mode::Binary => {
+                let frame = wire::encode_request(request, 0);
+                self.writer.write_all(&frame)?;
+                self.writer.flush()?;
+                self.read_reply(wire::Opcode::ReplAck as u8)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -506,6 +646,8 @@ mod tests {
             pane_retention: None,
             max_connections: 1_024,
             durability: None,
+            auth_token: None,
+            replicate: None,
         }
     }
 

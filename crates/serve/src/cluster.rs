@@ -1,0 +1,1114 @@
+//! Distributed fan-in: the replication link and the aggregator node.
+//!
+//! ## Topology
+//!
+//! ```text
+//!   ingest node A ──┐  REPL_HELLO / REPL_DELTA / REPL_SNAPSHOT
+//!   (ServeConfig::  ├─────────────► aggregator (start_aggregator)
+//!    replicate)     │                 stream "A": F2 + F0 + rarity + HH
+//!   ingest node B ──┘                 stream "B": F2 + F0 + rarity + HH
+//!                                     union composite (lazy, epoch-cached)
+//!        queries (f2/f0/rarity/hh) ───► answered over the union
+//!        set_f0 a=A b=B op=union|intersect|diff ───► inclusion–exclusion
+//! ```
+//!
+//! The whole design rests on **Property V (mergeability)**: sketches built
+//! from the same seed and geometry merge into a valid sketch of the union
+//! stream, carrying the same `(ε, δ)` guarantee. An ingest node therefore
+//! replicates by feeding every tuple to a second, same-seeded *delta*
+//! sketch and periodically shipping that delta
+//! ([`crate::server::ServeConfig::replicate`]); the aggregator merges each
+//! delta into its per-stream state and answers queries with the accuracy
+//! of a server that streamed the tuples directly. (Below the framework's
+//! bucket-eviction threshold the merged state is even *bit-identical* to
+//! direct ingestion — the regime the integration tests pin down exactly;
+//! past it, merged and direct answers are `ε`-equivalent estimates.)
+//!
+//! ## Chain discipline
+//!
+//! Every shipped container carries `(g_from, g_to]` generation bounds and a
+//! configuration fingerprint. The aggregator accepts a delta only when
+//! `g_from` equals its high-water generation for that stream; anything else
+//! is answered with a `request` error and the replica falls back to a
+//! **full resync** (`g_from = 0`, a replacement snapshot). A replica whose
+//! unacked backlog exceeds
+//! [`crate::server::ReplicateConfig::max_pending`] collapses the backlog
+//! into one full resync instead of queueing unboundedly.
+//!
+//! ## Warm standby
+//!
+//! [`start_aggregator_seeded`] pre-loads a stream's state from an upstream
+//! durable directory (newest readable snapshot plus journal replay — the
+//! same recovery walk the ingest node itself performs), so an aggregator
+//! can serve queries for a dead upstream immediately. The seeded stream's
+//! high water stays 0: when the upstream returns, its first handshake sees
+//! `high_water = 0` and ships a full resync, replacing the seeded state
+//! exactly (never double-counting it).
+//!
+//! ## Set-expression accuracy
+//!
+//! `set_f0` estimates `|A ∪ B|` directly from the merged samplers (Property
+//! V, so the union estimate carries the same `(ε, δ)` guarantee as any
+//! single-stream `F_0`). `|A ∩ B|` and `|A ∖ B|` come from
+//! inclusion–exclusion over three estimates, so their *absolute* errors add:
+//! the result is within `ε(|A| + |B| + |A ∪ B|)` of truth, which is only a
+//! weak *relative* guarantee when the intersection is small. The reply
+//! carries the three raw estimates alongside the value so callers can judge.
+
+use crate::client::{ClientError, ServeClient};
+use crate::protocol::{Reply, Request, SetOp, Value};
+use crate::server::{
+    recover, spawn_acceptor, Bundle, ReplCut, ReplicateConfig, RunningServer, ServeConfig,
+    ServeError, ServerCore, ServiceCore, REPL_SECTION_F0, REPL_SECTION_F2, REPL_SECTION_HH,
+    REPL_SECTION_RARITY,
+};
+use cora_core::snapshot::open_delta;
+use cora_core::{
+    CoreError, CorrelatedF0, CorrelatedHeavyHitters, CorrelatedRarity, CorrelatedSketch,
+    F2Aggregate,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::net::TcpListener;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Whether `name` can label a replicated stream: 1–64 bytes of
+/// `[A-Za-z0-9_.-]` (it travels in wire frames and doubles as a map key).
+pub(crate) fn valid_stream_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'))
+}
+
+/// One upstream stream's merged state on the aggregator.
+struct StreamState {
+    f2: CorrelatedSketch<F2Aggregate>,
+    f0: CorrelatedF0,
+    rarity: CorrelatedRarity,
+    hh: CorrelatedHeavyHitters,
+    /// The replication generation this state covers; a delta must chain
+    /// from exactly here. 0 = never shipped to (or seeded out-of-band).
+    high_water: u64,
+    deltas_applied: u64,
+    snapshots_applied: u64,
+}
+
+impl StreamState {
+    fn fresh(config: &ServeConfig) -> Result<Self, CoreError> {
+        Ok(Self {
+            f2: config.fresh_f2_sketch()?,
+            f0: config.fresh_f0()?,
+            rarity: config.fresh_rarity()?,
+            hh: config.fresh_hh()?,
+            high_water: 0,
+            deltas_applied: 0,
+            snapshots_applied: 0,
+        })
+    }
+}
+
+/// The four structures decoded out of one replication container.
+struct Restored {
+    f2: CorrelatedSketch<F2Aggregate>,
+    f0: CorrelatedF0,
+    rarity: CorrelatedRarity,
+    hh: CorrelatedHeavyHitters,
+}
+
+/// Decode a container's sections into fresh structures; every section is
+/// required (the producer always ships all four).
+fn restore_sections(config: &ServeConfig, sections: &[(u8, &[u8])]) -> Result<Restored, String> {
+    let section = |tag: u8, name: &str| -> Result<&[u8], String> {
+        sections
+            .iter()
+            .find(|&&(t, _)| t == tag)
+            .map(|&(_, bytes)| bytes)
+            .ok_or_else(|| format!("replication container is missing its {name} section"))
+    };
+    Ok(Restored {
+        f2: CorrelatedSketch::restore_from(
+            config.f2_aggregate(),
+            section(REPL_SECTION_F2, "F2")?,
+        )
+        .map_err(|e| format!("F2 section: {e}"))?,
+        f0: CorrelatedF0::restore_from(section(REPL_SECTION_F0, "F0")?)
+            .map_err(|e| format!("F0 section: {e}"))?,
+        rarity: CorrelatedRarity::restore_from(section(REPL_SECTION_RARITY, "rarity")?)
+            .map_err(|e| format!("rarity section: {e}"))?,
+        hh: CorrelatedHeavyHitters::restore_from(section(REPL_SECTION_HH, "HH")?)
+            .map_err(|e| format!("heavy-hitters section: {e}"))?,
+    })
+}
+
+/// The cross-stream union composite, rebuilt lazily: `epoch` names the
+/// aggregator state it was built from, so queries between replication
+/// events reuse it without any merging.
+struct UnionCache {
+    epoch: u64,
+    f2: CorrelatedSketch<F2Aggregate>,
+    f0: CorrelatedF0,
+    rarity: CorrelatedRarity,
+    hh: CorrelatedHeavyHitters,
+}
+
+/// Registered streams plus the union cache, under one lock (replication
+/// applies and queries serialize — the aggregator's work per event is a
+/// merge or a cached read, not per-tuple processing).
+struct AggState {
+    streams: BTreeMap<String, StreamState>,
+    /// Bumped on every applied container; invalidates `union`.
+    epoch: u64,
+    union: Option<UnionCache>,
+}
+
+/// The aggregator's service core: answers the query surface of an ingest
+/// node over the **union** of its registered streams, plus the
+/// replication ops and the multi-stream `set_f0` / `streams` ops. Plugged
+/// into the shared transport stack via [`ServiceCore`].
+pub(crate) struct AggCore {
+    config: ServeConfig,
+    fingerprint: u64,
+    state: Mutex<AggState>,
+    requests: AtomicU64,
+    deltas_applied: AtomicU64,
+    snapshots_applied: AtomicU64,
+    repl_rejected: AtomicU64,
+}
+
+impl AggCore {
+    fn new(config: ServeConfig) -> Result<Self, ServeError> {
+        // Fail at start, not at the first handshake, if the parameters
+        // cannot build the sketch family.
+        let _ = StreamState::fresh(&config)?;
+        let fingerprint = config.replication_fingerprint();
+        Ok(Self {
+            config,
+            fingerprint,
+            state: Mutex::new(AggState {
+                streams: BTreeMap::new(),
+                epoch: 0,
+                union: None,
+            }),
+            requests: AtomicU64::new(0),
+            deltas_applied: AtomicU64::new(0),
+            snapshots_applied: AtomicU64::new(0),
+            repl_rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// Run `f` against the up-to-date union composite, rebuilding it first
+    /// if any stream changed since it was cached.
+    fn with_union<T>(
+        &self,
+        f: impl FnOnce(&UnionCache) -> Result<T, CoreError>,
+    ) -> Result<T, CoreError> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let AggState { streams, epoch, union } = &mut *state;
+        let stale = union.as_ref().map(|u| u.epoch) != Some(*epoch);
+        if stale {
+            let mut fresh = UnionCache {
+                epoch: *epoch,
+                f2: self.config.fresh_f2_sketch()?,
+                f0: self.config.fresh_f0()?,
+                rarity: self.config.fresh_rarity()?,
+                hh: self.config.fresh_hh()?,
+            };
+            for stream in streams.values() {
+                fresh.f2.merge_from(&stream.f2)?;
+                fresh.f0.merge_from(&stream.f0)?;
+                fresh.rarity.merge_from(&stream.rarity)?;
+                fresh.hh.merge_from(&stream.hh)?;
+            }
+            *union = Some(fresh);
+        }
+        f(union.as_ref().expect("just built"))
+    }
+
+    /// `set_f0`: inclusion–exclusion over two streams' distinct samplers
+    /// (see the module docs for the accuracy caveat on intersect/diff).
+    fn set_f0(&self, a: &str, b: &str, op: SetOp, c: u64) -> Reply {
+        let cc = c.min(self.config.y_max);
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let unknown = |name: &str| {
+            Reply::request_error(format!(
+                "unknown stream {name:?}: no replica has registered it (see the streams op)"
+            ))
+        };
+        let Some(sa) = state.streams.get(a) else {
+            return unknown(a);
+        };
+        let Some(sb) = state.streams.get(b) else {
+            return unknown(b);
+        };
+        let estimates = (|| -> Result<(f64, f64, f64), CoreError> {
+            let f_a = sa.f0.query(cc)?;
+            let f_b = sb.f0.query(cc)?;
+            let mut merged = self.config.fresh_f0()?;
+            merged.merge_from(&sa.f0)?;
+            merged.merge_from(&sb.f0)?;
+            Ok((f_a, f_b, merged.query(cc)?))
+        })();
+        match estimates {
+            Ok((f_a, f_b, f_union)) => {
+                // Clamp the derived quantities at 0: estimation noise can
+                // push inclusion–exclusion slightly negative.
+                let intersect = (f_a + f_b - f_union).max(0.0);
+                let value = match op {
+                    SetOp::Union => f_union,
+                    SetOp::Intersect => intersect,
+                    SetOp::Diff => (f_a - intersect).max(0.0),
+                };
+                Reply::Ok(vec![
+                    ("value", Value::F64(value)),
+                    ("f_a", Value::F64(f_a)),
+                    ("f_b", Value::F64(f_b)),
+                    ("f_union", Value::F64(f_union)),
+                ])
+            }
+            Err(e) => Reply::sketch_error(e.to_string()),
+        }
+    }
+
+    /// The replication handshake: register (or re-find) the stream and tell
+    /// the replica where the chain stands.
+    fn repl_hello(&self, stream: &str, fingerprint: u64) -> Reply {
+        if !valid_stream_name(stream) {
+            return Reply::request_error(format!(
+                "replication stream name {stream:?} must be 1-64 bytes of [A-Za-z0-9_.-]"
+            ));
+        }
+        if fingerprint != self.fingerprint {
+            self.repl_rejected.fetch_add(1, Ordering::Relaxed);
+            return Reply::request_error(format!(
+                "configuration fingerprint mismatch (replica {fingerprint:#018x}, aggregator \
+                 {:#018x}): sketches built from different parameters or seeds cannot merge",
+                self.fingerprint
+            ));
+        }
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if !state.streams.contains_key(stream) {
+            match StreamState::fresh(&self.config) {
+                Ok(fresh) => {
+                    state.streams.insert(stream.to_string(), fresh);
+                }
+                Err(e) => return Reply::server_error(e.to_string()),
+            }
+        }
+        let high_water = state.streams[stream].high_water;
+        Reply::Ok(vec![("high_water", Value::U64(high_water))])
+    }
+
+    /// Apply one sealed container to `stream`. `snapshot_op` marks frames
+    /// that arrived via `repl_snapshot`, which must be full replacements.
+    fn repl_apply(&self, stream: &str, frame: &[u8], snapshot_op: bool) -> Reply {
+        let reject = |counter: &AtomicU64, message: String| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            Reply::request_error(message)
+        };
+        let (header, sections) = match open_delta(frame) {
+            Ok(opened) => opened,
+            Err(e) => {
+                return reject(
+                    &self.repl_rejected,
+                    format!("unreadable replication container: {e}"),
+                )
+            }
+        };
+        if header.fingerprint != self.fingerprint {
+            return reject(
+                &self.repl_rejected,
+                format!(
+                    "configuration fingerprint mismatch (container {:#018x}, aggregator \
+                     {:#018x})",
+                    header.fingerprint, self.fingerprint
+                ),
+            );
+        }
+        if snapshot_op && header.g_from != 0 {
+            return reject(
+                &self.repl_rejected,
+                format!(
+                    "repl_snapshot requires a full container (g_from = 0), got g_from = {}",
+                    header.g_from
+                ),
+            );
+        }
+        // Restore every structure before touching the stream state, so a
+        // corrupt section rejects the container atomically.
+        let Restored { f2, f0, rarity, hh } = match restore_sections(&self.config, &sections) {
+            Ok(restored) => restored,
+            Err(detail) => return reject(&self.repl_rejected, detail),
+        };
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(stream_state) = state.streams.get_mut(stream) else {
+            return reject(
+                &self.repl_rejected,
+                format!("unknown stream {stream:?}: send repl_hello first"),
+            );
+        };
+        if header.g_from == 0 {
+            // Full replacement: the container *is* the stream's state.
+            stream_state.f2 = f2;
+            stream_state.f0 = f0;
+            stream_state.rarity = rarity;
+            stream_state.hh = hh;
+            stream_state.snapshots_applied += 1;
+            self.snapshots_applied.fetch_add(1, Ordering::Relaxed);
+        } else {
+            if header.g_from != stream_state.high_water {
+                let high_water = stream_state.high_water;
+                drop(state);
+                return reject(
+                    &self.repl_rejected,
+                    format!(
+                        "delta chains from generation {} but stream {stream:?} stands at {} — \
+                         resync with a full snapshot",
+                        header.g_from, high_water
+                    ),
+                );
+            }
+            let merged = stream_state
+                .f2
+                .merge_from(&f2)
+                .and_then(|()| stream_state.f0.merge_from(&f0))
+                .and_then(|()| stream_state.rarity.merge_from(&rarity))
+                .and_then(|()| stream_state.hh.merge_from(&hh));
+            if let Err(e) = merged {
+                // A half-applied merge would corrupt the stream; force the
+                // replica to replace it wholesale.
+                stream_state.high_water = 0;
+                state.epoch += 1;
+                state.union = None;
+                return Reply::sketch_error(format!(
+                    "delta merge failed ({e}); stream {stream:?} reset, resync required"
+                ));
+            }
+            stream_state.deltas_applied += 1;
+            self.deltas_applied.fetch_add(1, Ordering::Relaxed);
+        }
+        stream_state.high_water = header.g_to;
+        state.epoch += 1;
+        state.union = None;
+        Reply::Ok(vec![("high_water", Value::U64(header.g_to))])
+    }
+
+    /// Warm-standby seeding: load `stream` from an upstream's durable
+    /// directory (newest readable snapshot + journal replay). High water
+    /// stays 0, so a returning upstream full-resyncs over this state.
+    fn catch_up_from_dir(&self, stream: &str, dir: &Path) -> Result<(), ServeError> {
+        if !valid_stream_name(stream) {
+            return Err(ServeError::Invalid(format!(
+                "replication stream name {stream:?} must be 1-64 bytes of [A-Za-z0-9_.-]"
+            )));
+        }
+        let storage = crate::journal::disk_storage();
+        let recovered = recover(&storage, dir)?;
+        let mut seeded = match &recovered.bundle {
+            Some(bundle) => Self::stream_from_bundle(&self.config, bundle)?,
+            None => StreamState::fresh(&self.config)?,
+        };
+        for record in &recovered.replay {
+            for &(x, y) in &record.tuples {
+                seeded
+                    .f2
+                    .insert(x, y)
+                    .and_then(|()| seeded.f0.insert(x, y))
+                    .and_then(|()| seeded.rarity.insert(x, y))
+                    .and_then(|()| seeded.hh.insert(x, y))?;
+            }
+        }
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.streams.contains_key(stream) {
+            return Err(ServeError::Invalid(format!(
+                "stream {stream:?} is seeded twice"
+            )));
+        }
+        state.streams.insert(stream.to_string(), seeded);
+        state.epoch += 1;
+        state.union = None;
+        Ok(())
+    }
+
+    /// Rebuild a stream's sketch set from an ingest node's snapshot bundle
+    /// (the windowed and sequence sections do not replicate).
+    fn stream_from_bundle(config: &ServeConfig, bundle: &Bundle) -> Result<StreamState, ServeError> {
+        let state = StreamState {
+            f2: CorrelatedSketch::restore_from(config.f2_aggregate(), &bundle.f2)?,
+            f0: CorrelatedF0::restore_from(&bundle.f0)?,
+            rarity: CorrelatedRarity::restore_from(&bundle.rarity)?,
+            hh: CorrelatedHeavyHitters::restore_from(&bundle.hh)?,
+            high_water: 0,
+            deltas_applied: 0,
+            snapshots_applied: 0,
+        };
+        // The fingerprint covers every mergeable parameter; a bundle from a
+        // differently-configured node must not masquerade as this stream.
+        let fresh = config.fresh_f2_sketch()?;
+        if state.f2.config() != fresh.config() {
+            return Err(ServeError::Invalid(
+                "durable directory was written by a node with different F2 parameters".into(),
+            ));
+        }
+        Ok(state)
+    }
+
+    fn handle(&self, request: Request) -> (Reply, bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let fail = |e: CoreError| (Reply::sketch_error(e.to_string()), false);
+        let not_here = |what: &str| {
+            (
+                Reply::request_error(format!(
+                    "{what} is an ingest-node op; an aggregator only merges replicated streams"
+                )),
+                false,
+            )
+        };
+        match request {
+            Request::Ping => (Reply::ok(), false),
+            Request::Config => {
+                let c = &self.config;
+                (
+                    Reply::Ok(vec![
+                        ("role", Value::Str("aggregator".to_string())),
+                        ("fingerprint", Value::U64(self.fingerprint)),
+                        ("epsilon", Value::F64(c.epsilon)),
+                        ("delta", Value::F64(c.delta)),
+                        ("y_max", Value::U64(c.y_max)),
+                        ("max_stream_len", Value::U64(c.max_stream_len)),
+                        ("seed", Value::U64(c.seed)),
+                        ("phi", Value::F64(c.phi)),
+                        ("x_domain_log2", Value::U64(u64::from(c.x_domain_log2))),
+                        ("max_connections", Value::U64(c.max_connections as u64)),
+                    ]),
+                    false,
+                )
+            }
+            // Reads are always against fully-applied state; flush is the
+            // no-op barrier it promises to be.
+            Request::Flush => (Reply::ok(), false),
+            Request::QueryF2 { c } => match self.with_union(|u| u.f2.query(c)) {
+                Ok(value) => (Reply::Ok(vec![("value", Value::F64(value))]), false),
+                Err(e) => fail(e),
+            },
+            Request::QueryF0 { c } => {
+                match self.with_union(|u| u.f0.query(c.min(self.config.y_max))) {
+                    Ok(value) => (Reply::Ok(vec![("value", Value::F64(value))]), false),
+                    Err(e) => fail(e),
+                }
+            }
+            Request::QueryRarity { c } => {
+                match self.with_union(|u| u.rarity.query(c.min(self.config.y_max))) {
+                    Ok(value) => (Reply::Ok(vec![("value", Value::F64(value))]), false),
+                    Err(e) => fail(e),
+                }
+            }
+            Request::QueryHeavyHitters { c, phi } => {
+                match self.with_union(|u| u.hh.query_heavy_hitters(c, phi)) {
+                    Ok(hitters) => {
+                        let items: Vec<u64> = hitters.iter().map(|h| h.item).collect();
+                        let freqs: Vec<f64> = hitters.iter().map(|h| h.frequency).collect();
+                        let shares: Vec<f64> = hitters.iter().map(|h| h.share).collect();
+                        (
+                            Reply::Ok(vec![
+                                ("items", Value::U64Array(items)),
+                                ("frequencies", Value::F64Array(freqs)),
+                                ("shares", Value::F64Array(shares)),
+                            ]),
+                            false,
+                        )
+                    }
+                    Err(e) => fail(e),
+                }
+            }
+            Request::SetF0 { a, b, op, c } => (self.set_f0(&a, &b, op, c), false),
+            Request::Streams => {
+                let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                let names: Vec<&str> = state.streams.keys().map(String::as_str).collect();
+                (
+                    Reply::Ok(vec![
+                        ("streams", Value::Str(names.join(","))),
+                        ("count", Value::U64(names.len() as u64)),
+                    ]),
+                    false,
+                )
+            }
+            Request::ReplHello { stream, fingerprint, g_to: _ } => {
+                (self.repl_hello(&stream, fingerprint), false)
+            }
+            Request::ReplDelta { stream, frame } => (self.repl_apply(&stream, &frame, false), false),
+            Request::ReplSnapshot { stream, frame } => {
+                (self.repl_apply(&stream, &frame, true), false)
+            }
+            Request::Stats => {
+                let (stream_count, epoch, high_water_sum) = {
+                    let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    let sum = state.streams.values().map(|s| s.high_water).sum::<u64>();
+                    (state.streams.len() as u64, state.epoch, sum)
+                };
+                (
+                    Reply::Ok(vec![
+                        ("requests", Value::U64(self.requests.load(Ordering::Relaxed))),
+                        ("streams", Value::U64(stream_count)),
+                        ("epoch", Value::U64(epoch)),
+                        ("high_water_sum", Value::U64(high_water_sum)),
+                        (
+                            "deltas_applied",
+                            Value::U64(self.deltas_applied.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "snapshots_applied",
+                            Value::U64(self.snapshots_applied.load(Ordering::Relaxed)),
+                        ),
+                        (
+                            "repl_rejected",
+                            Value::U64(self.repl_rejected.load(Ordering::Relaxed)),
+                        ),
+                    ]),
+                    false,
+                )
+            }
+            Request::Auth { .. } => (
+                Reply::request_error(
+                    "auth is handled by the connection transport before dispatch",
+                ),
+                false,
+            ),
+            Request::Ingest { .. } => not_here("ingest"),
+            Request::WindowF2 { .. } | Request::WindowF0 { .. } => {
+                not_here("a windowed query (windows do not replicate)")
+            }
+            Request::Snapshot { .. } => not_here("snapshot"),
+            Request::Shutdown => (Reply::ok(), true),
+        }
+    }
+}
+
+impl ServiceCore for AggCore {
+    fn auth_token(&self) -> Option<&str> {
+        self.config.auth_token.as_deref()
+    }
+
+    fn note_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn handle(&self, request: Request) -> (Reply, bool) {
+        AggCore::handle(self, request)
+    }
+
+    fn ingest_binary(&self, _tuples: &[(u64, u64)], _ts: &[u64], _seq: Option<(u64, u64)>) -> Reply {
+        Reply::request_error(
+            "an aggregator does not accept ingest; send tuples to an ingest node and let \
+             replication fan them in",
+        )
+    }
+}
+
+/// Start an aggregator node on `bind`, speaking both wire protocols over
+/// the same transport stack as an ingest server. `config` must match the
+/// upstream ingest nodes' configuration (the handshake enforces this via
+/// the [`ServeConfig::replication_fingerprint`] check). The
+/// `durability` / `replicate` fields are ignored — an aggregator neither
+/// journals nor replicates onward.
+pub fn start_aggregator(config: ServeConfig, bind: &str) -> Result<RunningServer, ServeError> {
+    start_aggregator_seeded(config, bind, &[])
+}
+
+/// [`start_aggregator`], pre-seeding streams from upstream durable
+/// directories before the listener opens (warm standby — see the module
+/// docs). Each `(stream, dir)` pair runs the ingest node's own recovery
+/// walk: newest readable snapshot, then journal replay.
+pub fn start_aggregator_seeded(
+    config: ServeConfig,
+    bind: &str,
+    seeds: &[(&str, &Path)],
+) -> Result<RunningServer, ServeError> {
+    let max_connections = config.max_connections;
+    let core = Arc::new(AggCore::new(config)?);
+    for &(stream, dir) in seeds {
+        core.catch_up_from_dir(stream, dir)?;
+    }
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let acceptor = spawn_acceptor(core, listener, Arc::clone(&shutdown), max_connections)?;
+    Ok(RunningServer {
+        addr,
+        shutdown,
+        acceptor: Some(acceptor),
+        snapshotter: None,
+        replicator: None,
+    })
+}
+
+/// Progress shared between an ingest node's replication thread and its
+/// observers ([`RunningServer::replication_sync`], shutdown).
+#[derive(Default)]
+struct ReplProgress {
+    /// Highest generation the aggregator has acknowledged.
+    acked_gen: u64,
+    /// Containers acknowledged (deltas and snapshots).
+    shipped: u64,
+    /// Full resyncs performed (chain breaks, reconnects, overflow).
+    full_resyncs: u64,
+    /// Barrier tickets: a sync request bumps `sync_requests`; the loop
+    /// publishes `sync_completions` after a pass that covers the ticket.
+    sync_requests: u64,
+    sync_completions: u64,
+    /// The failure that ended the most recent pass, cleared on success.
+    last_error: Option<String>,
+    stop: bool,
+}
+
+struct ReplShared {
+    progress: Mutex<ReplProgress>,
+    cvar: Condvar,
+}
+
+/// Handle to a running replication thread (one per
+/// [`ServeConfig::replicate`] server).
+pub struct ReplicatorHandle {
+    shared: Arc<ReplShared>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ReplicatorHandle {
+    /// Replication barrier: wake the replication thread, wait until a pass
+    /// requested after this call completes, and return the acknowledged
+    /// generation. A pass that could not reach the aggregator returns its
+    /// error (the thread keeps retrying in the background regardless).
+    pub(crate) fn sync(&self, timeout: Duration) -> Result<u64, String> {
+        let mut progress = self
+            .shared
+            .progress
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        progress.sync_requests += 1;
+        let ticket = progress.sync_requests;
+        self.shared.cvar.notify_all();
+        let deadline = Instant::now() + timeout;
+        while progress.sync_completions < ticket {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(format!(
+                    "replication sync timed out after {timeout:?} (last error: {:?})",
+                    progress.last_error
+                ));
+            }
+            let (guard, _) = self
+                .shared
+                .cvar
+                .wait_timeout(progress, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            progress = guard;
+        }
+        match &progress.last_error {
+            Some(e) => Err(e.clone()),
+            None => Ok(progress.acked_gen),
+        }
+    }
+
+    /// Stop the thread and wait for it to exit.
+    pub(crate) fn stop_and_join(&mut self) {
+        {
+            let mut progress = self
+                .shared
+                .progress
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            progress.stop = true;
+            self.shared.cvar.notify_all();
+        }
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// What woke the replication loop.
+enum Wake {
+    /// The shipping interval elapsed.
+    Tick,
+    /// A [`ReplicatorHandle::sync`] barrier wants a pass; carries its
+    /// ticket.
+    Sync(u64),
+    Stop,
+}
+
+/// Spawn the per-upstream replication thread: every `interval_ms` (or on a
+/// sync barrier) it cuts the accumulated delta and ships it, falling back
+/// to a full resync whenever the chain breaks (see the module docs).
+pub(crate) fn spawn_replicator(
+    core: Arc<ServerCore>,
+    cfg: ReplicateConfig,
+    shutdown: Arc<AtomicBool>,
+) -> ReplicatorHandle {
+    let shared = Arc::new(ReplShared {
+        progress: Mutex::new(ReplProgress::default()),
+        cvar: Condvar::new(),
+    });
+    let thread = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("cora-serve-repl".into())
+            .spawn(move || Replicator::new(core, cfg, shutdown, shared).run())
+            .ok()
+    };
+    ReplicatorHandle { shared, thread }
+}
+
+/// The replica-side state machine living on the replication thread.
+struct Replicator {
+    core: Arc<ServerCore>,
+    cfg: ReplicateConfig,
+    shutdown: Arc<AtomicBool>,
+    shared: Arc<ReplShared>,
+    fingerprint: u64,
+    session: Option<ServeClient>,
+    /// Cut-but-unacknowledged containers, oldest first. Bounded by
+    /// `cfg.max_pending`: overflow collapses into one full resync.
+    pending: VecDeque<ReplCut>,
+    /// The next pass must ship a full replacement (initially true: the
+    /// base state — empty or restored — predates delta tracking).
+    need_full: bool,
+    /// Consecutive failed passes, for backoff.
+    failures: u32,
+}
+
+impl Replicator {
+    fn new(
+        core: Arc<ServerCore>,
+        cfg: ReplicateConfig,
+        shutdown: Arc<AtomicBool>,
+        shared: Arc<ReplShared>,
+    ) -> Self {
+        let fingerprint = core.config().replication_fingerprint();
+        Self {
+            core,
+            cfg,
+            shutdown,
+            shared,
+            fingerprint,
+            session: None,
+            pending: VecDeque::new(),
+            need_full: true,
+            failures: 0,
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            let wait = self.wait_duration();
+            let wake = self.wait(wait);
+            if matches!(wake, Wake::Stop) || self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let ticket = match wake {
+                Wake::Sync(ticket) => Some(ticket),
+                _ => None,
+            };
+            let result = self.pass();
+            let mut progress = self
+                .shared
+                .progress
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            match result {
+                Ok(()) => {
+                    self.failures = 0;
+                    progress.last_error = None;
+                }
+                Err(e) => {
+                    self.failures = self.failures.saturating_add(1);
+                    progress.last_error = Some(e);
+                }
+            }
+            if let Some(ticket) = ticket {
+                progress.sync_completions = progress.sync_completions.max(ticket);
+            }
+            self.shared.cvar.notify_all();
+        }
+    }
+
+    /// Interval plus exponential backoff after failures (capped at 2 s).
+    fn wait_duration(&self) -> Duration {
+        let interval = Duration::from_millis(self.cfg.interval_ms.max(1));
+        if self.failures == 0 {
+            return interval;
+        }
+        let backoff = Duration::from_millis(20)
+            .saturating_mul(1u32 << self.failures.min(7))
+            .min(Duration::from_secs(2));
+        interval.saturating_add(backoff)
+    }
+
+    /// Sleep until the next tick, a sync barrier, or stop.
+    fn wait(&self, wait: Duration) -> Wake {
+        let mut progress = self
+            .shared
+            .progress
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let deadline = Instant::now() + wait;
+        loop {
+            if progress.stop {
+                return Wake::Stop;
+            }
+            if progress.sync_requests > progress.sync_completions {
+                return Wake::Sync(progress.sync_requests);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Wake::Tick;
+            }
+            let (guard, _) = self
+                .shared
+                .cvar
+                .wait_timeout(progress, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            progress = guard;
+        }
+    }
+
+    /// One replication pass: cut, then ship everything pending. Success
+    /// means the aggregator acknowledged every cut taken so far.
+    fn pass(&mut self) -> Result<(), String> {
+        // A second attempt covers exactly one in-session chain rejection
+        // (the aggregator restarted between passes): the retry ships the
+        // full resync the rejection asked for.
+        let mut chain_detail = String::new();
+        for _ in 0..2 {
+            self.cut()?;
+            if self.pending.is_empty() {
+                return Ok(());
+            }
+            match self.ship() {
+                Ok(()) => return Ok(()),
+                Err(ShipError::Chain(detail)) => chain_detail = detail,
+                Err(ShipError::Conn(e)) => return Err(e),
+            }
+        }
+        Err(format!(
+            "replication chain rejected twice in one pass: {chain_detail}"
+        ))
+    }
+
+    /// Take the due cut (incremental, or full when `need_full`), enforcing
+    /// the backlog bound.
+    fn cut(&mut self) -> Result<(), String> {
+        if self.pending.len() >= self.cfg.max_pending.max(1) {
+            self.need_full = true;
+        }
+        if self.need_full {
+            // One full replacement subsumes every queued container.
+            self.pending.clear();
+            let cut = self
+                .core
+                .repl_cut(true)
+                .map_err(|e| format!("full replication cut failed: {e}"))?
+                .expect("a full cut is never skipped as idle");
+            self.pending.push_back(cut);
+            self.need_full = false;
+            let mut progress = self
+                .shared
+                .progress
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            progress.full_resyncs += 1;
+        } else if let Some(cut) = self
+            .core
+            .repl_cut(false)
+            .map_err(|e| format!("replication cut failed: {e}"))?
+        {
+            self.pending.push_back(cut);
+        }
+        Ok(())
+    }
+
+    /// Ship every pending container over the (re)established session.
+    fn ship(&mut self) -> Result<(), ShipError> {
+        let mut session = match self.session.take() {
+            Some(session) => session,
+            None => self.establish()?,
+        };
+        while let Some(front) = self.pending.front() {
+            let result = if front.g_from == 0 {
+                session.repl_snapshot(&self.cfg.stream, front.frame.clone())
+            } else {
+                session.repl_delta(&self.cfg.stream, front.frame.clone())
+            };
+            match result {
+                Ok(_high_water) => {
+                    let acked = self.pending.pop_front().expect("front exists");
+                    let mut progress = self
+                        .shared
+                        .progress
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    progress.acked_gen = acked.g_to;
+                    progress.shipped += 1;
+                }
+                // A `request` rejection means the chain broke (the
+                // aggregator restarted or another replica reset the
+                // stream); the connection itself is fine, so keep it and
+                // resync in-session. Anything else kills the session.
+                Err(ClientError::Server(ref server)) if server.kind == "request" => {
+                    self.need_full = true;
+                    let detail = format!("aggregator rejected the container: {}", server.message);
+                    self.session = Some(session);
+                    return Err(ShipError::Chain(detail));
+                }
+                Err(e) => {
+                    return Err(ShipError::Conn(format!(
+                        "shipping to {}: {e}",
+                        self.cfg.target
+                    )))
+                }
+            }
+        }
+        self.session = Some(session);
+        Ok(())
+    }
+
+    /// Connect, authenticate, and handshake. On a chain mismatch (the
+    /// aggregator's high water is not where our pending queue resumes) the
+    /// next cut is forced full.
+    fn establish(&mut self) -> Result<ServeClient, ShipError> {
+        let conn_err = |e: String| ShipError::Conn(e);
+        let mut session = ServeClient::connect_binary_timeout(
+            &self.cfg.target,
+            Duration::from_secs(5),
+        )
+        .map_err(|e| conn_err(format!("connect to {}: {e}", self.cfg.target)))?;
+        session
+            .set_timeouts(Some(Duration::from_secs(10)), Some(Duration::from_secs(10)))
+            .map_err(|e| conn_err(format!("socket timeouts: {e}")))?;
+        if let Some(token) = &self.cfg.auth_token {
+            session
+                .auth(token)
+                .map_err(|e| conn_err(format!("authentication with the aggregator: {e}")))?;
+        }
+        let chain_gen = self.pending.back().map_or(0, |cut| cut.g_to);
+        let high_water = session
+            .repl_hello(&self.cfg.stream, self.fingerprint, chain_gen)
+            .map_err(|e| conn_err(format!("replication handshake: {e}")))?;
+        let resumes = match self.pending.front() {
+            // A full container applies anywhere; a delta must chain.
+            Some(front) => front.g_from == 0 || front.g_from == high_water,
+            // Idle queue: only valid if the aggregator already holds our
+            // whole chain (a fresh aggregator reports 0 and needs the base).
+            None => high_water == chain_gen && high_water != 0,
+        };
+        if !resumes {
+            self.need_full = true;
+            self.session = Some(session);
+            return Err(ShipError::Chain(format!(
+                "aggregator stands at generation {high_water}, local chain at {chain_gen}"
+            )));
+        }
+        Ok(session)
+    }
+
+}
+
+/// Why a shipping attempt stopped.
+enum ShipError {
+    /// The aggregator rejected the chain; retry with a full resync over
+    /// the same session.
+    Chain(String),
+    /// The session is unusable; reconnect with backoff.
+    Conn(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_names_are_validated() {
+        assert!(valid_stream_name("node-a"));
+        assert!(valid_stream_name("A_b.c-9"));
+        assert!(!valid_stream_name(""));
+        assert!(!valid_stream_name("has space"));
+        assert!(!valid_stream_name("ünïcode"));
+        assert!(!valid_stream_name(&"x".repeat(65)));
+        assert!(valid_stream_name(&"x".repeat(64)));
+    }
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            epsilon: 0.25,
+            delta: 0.1,
+            y_max: 4095,
+            max_stream_len: 100_000,
+            seed: 7,
+            shards: 2,
+            merge_every: 1,
+            phi: 0.05,
+            x_domain_log2: 16,
+            pane_ticks: 256,
+            pane_k: 4,
+            pane_retention: None,
+            max_connections: 64,
+            durability: None,
+            auth_token: None,
+            replicate: None,
+        }
+    }
+
+    #[test]
+    fn hello_registers_and_rejects_mismatched_fingerprints() {
+        let core = AggCore::new(test_config()).unwrap();
+        let fp = test_config().replication_fingerprint();
+        let reply = core.repl_hello("node-a", fp);
+        assert_eq!(reply, Reply::Ok(vec![("high_water", Value::U64(0))]));
+        // Same stream again: still registered, same high water.
+        let reply = core.repl_hello("node-a", fp);
+        assert_eq!(reply, Reply::Ok(vec![("high_water", Value::U64(0))]));
+        // Wrong fingerprint: refused and counted.
+        let reply = core.repl_hello("node-a", fp ^ 1);
+        assert!(matches!(reply, Reply::Error(_)), "{reply:?}");
+        assert_eq!(core.repl_rejected.load(Ordering::Relaxed), 1);
+        // Bad names never register.
+        let reply = core.repl_hello("no spaces", fp);
+        assert!(matches!(reply, Reply::Error(_)), "{reply:?}");
+    }
+
+    #[test]
+    fn apply_rejects_garbage_unknown_streams_and_broken_chains() {
+        let core = AggCore::new(test_config()).unwrap();
+        let fp = test_config().replication_fingerprint();
+        // Garbage container.
+        let reply = core.repl_apply("node-a", b"garbage", false);
+        assert!(matches!(reply, Reply::Error(_)), "{reply:?}");
+        // Unknown stream with a structurally valid (but empty) container.
+        let header = cora_core::DeltaHeader { g_from: 0, g_to: 1, fingerprint: fp };
+        let mut frame = Vec::new();
+        cora_core::snapshot::seal_delta_into(&header, &[], &mut frame);
+        let reply = core.repl_apply("node-a", &frame, true);
+        assert!(matches!(reply, Reply::Error(_)), "{reply:?}");
+        // Registered stream, but the container is missing its sections.
+        core.repl_hello("node-a", fp);
+        let reply = core.repl_apply("node-a", &frame, true);
+        assert!(matches!(reply, Reply::Error(_)), "{reply:?}");
+        // A snapshot op must carry g_from = 0.
+        let header = cora_core::DeltaHeader { g_from: 3, g_to: 4, fingerprint: fp };
+        let mut frame = Vec::new();
+        cora_core::snapshot::seal_delta_into(&header, &[], &mut frame);
+        let reply = core.repl_apply("node-a", &frame, true);
+        assert!(matches!(reply, Reply::Error(_)), "{reply:?}");
+        assert!(core.repl_rejected.load(Ordering::Relaxed) >= 4);
+    }
+
+    #[test]
+    fn set_f0_requires_known_streams() {
+        let core = AggCore::new(test_config()).unwrap();
+        let reply = core.set_f0("a", "b", SetOp::Union, 100);
+        assert!(matches!(reply, Reply::Error(_)), "{reply:?}");
+    }
+}

@@ -5,7 +5,7 @@
 //! answering queries with bounded staleness and without ever blocking on a
 //! composite rebuild, and surviving restarts through snapshots.
 //!
-//! Three cooperating pieces:
+//! Four cooperating pieces:
 //!
 //! * [`merger`] — a **background merger**: a dedicated thread that watches a
 //!   [`cora_stream::ShardedIngest`]'s shard generations through a
@@ -40,7 +40,17 @@
 //!   multiplexed over a small fixed worker pool and bounded by
 //!   [`server::ServeConfig::max_connections`]. The blocking
 //!   [`client::ServeClient`] speaks either protocol and is used by the
-//!   `serve_demo` example and the `serve_latency` bench.
+//!   `serve_demo` example and the `serve_latency` bench;
+//! * [`cluster`] — **distributed fan-in**: ingest nodes replicate their
+//!   sketch state as checksummed delta containers over the binary wire
+//!   ([`server::ServeConfig::replicate`]) into an aggregator
+//!   ([`start_aggregator`] / the `cora_serve_agg` binary) that serves
+//!   every query family over the union of all streams (Property V
+//!   mergeability) plus `set_f0` set-expression queries
+//!   (`|A ∪ B|`, `|A ∩ B|`, `|A ∖ B|` under `y ≤ c`), with chain-checked
+//!   deltas, full-resync fallback, warm standby from a dead upstream's
+//!   durable directory, and an optional shared-secret auth gate
+//!   ([`server::ServeConfig::auth_token`]) on both transports.
 //!
 //! ## Consistency model
 //!
@@ -70,6 +80,7 @@
 #![warn(clippy::all)]
 
 pub mod client;
+pub mod cluster;
 pub mod faults;
 pub mod journal;
 pub mod merger;
@@ -79,11 +90,12 @@ pub mod server;
 pub mod wire;
 
 pub use client::ServeClient;
+pub use cluster::{start_aggregator, start_aggregator_seeded};
 pub use faults::{FaultPlan, FaultyStorage};
 pub use journal::{DiskStorage, JournalWriter, Storage};
 pub use merger::BackgroundMerger;
 pub use retry::{RetryPolicy, RetryingClient};
 pub use server::{
-    start, start_restored, start_with_storage, DurabilityConfig, RunningServer, ServeConfig,
-    ServeError,
+    start, start_restored, start_with_storage, DurabilityConfig, ReplicateConfig, RunningServer,
+    ServeConfig, ServeError,
 };

@@ -23,6 +23,15 @@
 //! | `stats`         | —                       | counters + composite epoch/staleness    |
 //! | `snapshot`      | `path`                  | writes a snapshot bundle server-side    |
 //! | `shutdown`      | —                       | acknowledges, then stops the listener   |
+//! | `auth`          | `token`                 | unlocks a connection when the server has an `auth_token` |
+//! | `set_f0`        | `a`, `b`, `set_op`, `c` | distinct-count estimate of `A∪B` / `A∩B` / `A∖B` under `y ≤ c` (aggregator) |
+//! | `streams`       | —                       | the registered upstream stream names (aggregator) |
+//! | `repl_hello`    | `stream`, `fingerprint`, `g_to` | replication handshake; replies with the aggregator's `high_water` |
+//!
+//! The replication payload ops `repl_delta` and `repl_snapshot` exist only
+//! on the binary protocol — their payloads are sealed binary delta
+//! containers that JSON lines cannot carry; sending their op names over
+//! JSON answers a structured `request` error naming the binary protocol.
 //!
 //! The optional `ts` array on `ingest` carries per-tuple timestamps (ticks)
 //! for the windowed structures; without it the server assigns each tuple the
@@ -39,6 +48,53 @@
 //! reconnect answers `duplicate:1` instead of double-counting.
 
 use cora_stream::json;
+
+/// A set expression over two named streams, evaluated by the aggregator's
+/// `set_f0` op via inclusion–exclusion over per-stream distinct-count
+/// sketches (see `cora_serve::cluster`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SetOp {
+    /// `|A ∪ B|`, estimated from the merged samplers (Property V).
+    Union = 0,
+    /// `|A ∩ B| = |A| + |B| − |A ∪ B|` (inclusion–exclusion).
+    Intersect = 1,
+    /// `|A ∖ B| = |A| − |A ∩ B|`.
+    Diff = 2,
+}
+
+impl SetOp {
+    /// The wire name of this operator.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SetOp::Union => "union",
+            SetOp::Intersect => "intersect",
+            SetOp::Diff => "diff",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "union" => Ok(SetOp::Union),
+            "intersect" => Ok(SetOp::Intersect),
+            "diff" => Ok(SetOp::Diff),
+            other => Err(format!(
+                "unknown set_op {other:?} (expected union, intersect, or diff)"
+            )),
+        }
+    }
+
+    /// Decode the binary tag (the `#[repr(u8)]` discriminant).
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(SetOp::Union),
+            1 => Some(SetOp::Intersect),
+            2 => Some(SetOp::Diff),
+            _ => None,
+        }
+    }
+}
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,6 +166,52 @@ pub enum Request {
     },
     /// Stop accepting connections after acknowledging.
     Shutdown,
+    /// Present the shared-secret token. When the server is configured with
+    /// an `auth_token`, every other op on an unauthenticated connection is
+    /// refused with a structured `request` error.
+    Auth {
+        /// The shared secret (compared constant-time server-side).
+        token: String,
+    },
+    /// Set-expression distinct count over two named streams (aggregator
+    /// only): `|A op B|` restricted to tuples with `y ≤ c`.
+    SetF0 {
+        /// Left stream name.
+        a: String,
+        /// Right stream name.
+        b: String,
+        /// The set operator.
+        op: SetOp,
+        /// Query threshold.
+        c: u64,
+    },
+    /// List the registered upstream stream names (aggregator only).
+    Streams,
+    /// Replication handshake: registers `stream` and verifies the replica
+    /// and aggregator were built from compatible configurations.
+    ReplHello {
+        /// Upstream stream name (`[A-Za-z0-9_.-]`, at most 64 bytes).
+        stream: String,
+        /// The replica's configuration fingerprint; must match the
+        /// aggregator's or the handshake is refused (non-mergeable state).
+        fingerprint: u64,
+        /// The replica's current replication generation.
+        g_to: u64,
+    },
+    /// Ship an incremental delta container (binary protocol only).
+    ReplDelta {
+        /// Upstream stream name.
+        stream: String,
+        /// The sealed `SnapshotKind::Delta` container.
+        frame: Vec<u8>,
+    },
+    /// Ship a full replacement snapshot container (binary protocol only).
+    ReplSnapshot {
+        /// Upstream stream name.
+        stream: String,
+        /// The sealed `SnapshotKind::Delta` container with `g_from = 0`.
+        frame: Vec<u8>,
+    },
 }
 
 /// Emit a JSON array of unsigned integers (lossless, unlike float arrays).
@@ -179,6 +281,31 @@ impl Request {
                 format!(r#"{{"op":"snapshot","path":{}}}"#, json::escape(path))
             }
             Request::Shutdown => r#"{"op":"shutdown"}"#.to_string(),
+            Request::Auth { token } => {
+                format!(r#"{{"op":"auth","token":{}}}"#, json::escape(token))
+            }
+            Request::SetF0 { a, b, op, c } => format!(
+                r#"{{"op":"set_f0","a":{},"b":{},"set_op":{},"c":{c}}}"#,
+                json::escape(a),
+                json::escape(b),
+                json::escape(op.as_str())
+            ),
+            Request::Streams => r#"{"op":"streams"}"#.to_string(),
+            Request::ReplHello { stream, fingerprint, g_to } => format!(
+                r#"{{"op":"repl_hello","stream":{},"fingerprint":{fingerprint},"g_to":{g_to}}}"#,
+                json::escape(stream)
+            ),
+            // The payload ops cannot travel as JSON (their frames are raw
+            // binary); rendering just the op name lets a JSON server answer
+            // with its structured binary-only refusal.
+            Request::ReplDelta { stream, .. } => format!(
+                r#"{{"op":"repl_delta","stream":{}}}"#,
+                json::escape(stream)
+            ),
+            Request::ReplSnapshot { stream, .. } => format!(
+                r#"{{"op":"repl_snapshot","stream":{}}}"#,
+                json::escape(stream)
+            ),
         }
     }
 
@@ -259,6 +386,25 @@ impl Request {
                 path: json::parse_string(get("path")?)?,
             }),
             "shutdown" => Ok(Request::Shutdown),
+            "auth" => Ok(Request::Auth {
+                token: json::parse_string(get("token")?)?,
+            }),
+            "set_f0" => Ok(Request::SetF0 {
+                a: json::parse_string(get("a")?)?,
+                b: json::parse_string(get("b")?)?,
+                op: SetOp::parse(&json::parse_string(get("set_op")?)?)?,
+                c: json::parse_u64(get("c")?)?,
+            }),
+            "streams" => Ok(Request::Streams),
+            "repl_hello" => Ok(Request::ReplHello {
+                stream: json::parse_string(get("stream")?)?,
+                fingerprint: json::parse_u64(get("fingerprint")?)?,
+                g_to: json::parse_u64(get("g_to")?)?,
+            }),
+            "repl_delta" | "repl_snapshot" => Err(format!(
+                "{op} is only available on the binary protocol \
+                 (its payload is a sealed binary delta container)"
+            )),
             other => Err(format!("unknown op {other:?}")),
         }
     }
@@ -279,6 +425,8 @@ pub enum Value {
     F64Array(Vec<f64>),
     /// An absent/optional value (`null` in JSON).
     Null,
+    /// A string value (escaped in JSON, length-prefixed in binary).
+    Str(String),
 }
 
 impl Value {
@@ -292,6 +440,7 @@ impl Value {
             Value::U64Array(vs) => u64_array(vs),
             Value::F64Array(vs) => json::float_array(vs),
             Value::Null => "null".to_string(),
+            Value::Str(s) => json::escape(s),
         }
     }
 }
@@ -558,11 +707,41 @@ mod tests {
                 path: "/tmp/with \"quotes\".snap".to_string(),
             },
             Request::Shutdown,
+            Request::Auth { token: "hunter\"2\"".to_string() },
+            Request::SetF0 {
+                a: "node-a".to_string(),
+                b: "node-b".to_string(),
+                op: SetOp::Intersect,
+                c: 100,
+            },
+            Request::Streams,
+            Request::ReplHello {
+                stream: "node-a".to_string(),
+                fingerprint: u64::MAX,
+                g_to: 17,
+            },
         ];
         for request in requests {
             let line = request.encode();
             assert_eq!(Request::parse(&line).unwrap(), request, "line: {line}");
         }
+    }
+
+    #[test]
+    fn repl_payload_ops_are_binary_only_over_json() {
+        for request in [
+            Request::ReplDelta { stream: "a".into(), frame: vec![1, 2, 3] },
+            Request::ReplSnapshot { stream: "a".into(), frame: vec![] },
+        ] {
+            let e = Request::parse(&request.encode()).unwrap_err();
+            assert!(e.contains("binary protocol"), "{e}");
+        }
+        for op in ["union", "intersect", "diff"] {
+            assert_eq!(SetOp::parse(op).unwrap().as_str(), op);
+        }
+        assert!(SetOp::parse("xor").is_err());
+        assert_eq!(SetOp::from_tag(2), Some(SetOp::Diff));
+        assert_eq!(SetOp::from_tag(3), None);
     }
 
     #[test]

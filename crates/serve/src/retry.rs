@@ -37,6 +37,11 @@ pub struct RetryPolicy {
     pub base_delay: Duration,
     /// Backoff ceiling.
     pub max_delay: Duration,
+    /// Bound on each TCP connect attempt (see
+    /// [`ServeClient::connect_binary_timeout`]) — without it a reconnect
+    /// to a black-holed address can block for the OS connect timeout
+    /// (minutes), starving the backoff loop.
+    pub connect_timeout: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -45,6 +50,7 @@ impl Default for RetryPolicy {
             attempts: 6,
             base_delay: Duration::from_millis(20),
             max_delay: Duration::from_secs(1),
+            connect_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -137,7 +143,7 @@ impl RetryingClient {
         let mut last: Option<std::io::Error> = None;
         for attempt in 0..self.policy.attempts {
             thread::sleep(self.policy.delay(attempt));
-            match ServeClient::connect_binary(&self.target) {
+            match ServeClient::connect_binary_timeout(&self.target, self.policy.connect_timeout) {
                 Ok(conn) => {
                     self.conn = Some(conn);
                     self.sent_on_current = 0;
@@ -312,6 +318,7 @@ mod tests {
             attempts: 8,
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(50),
+            connect_timeout: Duration::from_secs(5),
         };
         let delays: Vec<u64> = (0..6).map(|a| policy.delay(a).as_millis() as u64).collect();
         assert_eq!(delays, vec![0, 10, 20, 40, 50, 50]);

@@ -76,7 +76,7 @@ use crate::journal::{
 use crate::merger::BackgroundMerger;
 use crate::protocol::{self, Reply, Request, Value};
 use crate::wire::{self, Opcode};
-use cora_core::snapshot::{open_frame, seal_frame_into};
+use cora_core::snapshot::{open_frame, seal_delta_into, seal_frame_into, DeltaHeader};
 use cora_core::{
     CoreError, CorrelatedConfig, CorrelatedF0, CorrelatedHeavyHitters, CorrelatedRarity,
     F2Aggregate, SnapshotKind,
@@ -169,6 +169,50 @@ pub struct ServeConfig {
     /// snapshots in the configured directory (`None` = in-memory only, the
     /// historical behavior).
     pub durability: Option<DurabilityConfig>,
+    /// Shared-secret authentication: when set, every connection (both wire
+    /// protocols) must present this token via the `auth` op before any
+    /// other request is served; unauthenticated requests get a structured
+    /// `request` error and the connection stays open for a retry.
+    pub auth_token: Option<String>,
+    /// Continuous replication to a downstream aggregator node
+    /// (`None` = standalone, the historical behavior).
+    pub replicate: Option<ReplicateConfig>,
+}
+
+/// Replication parameters: where the downstream aggregator lives, what this
+/// node's stream is called there, and how the delta shipping is paced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicateConfig {
+    /// Aggregator address (`host:port`); the replication link speaks the
+    /// binary protocol.
+    pub target: String,
+    /// Stream name this node registers under on the aggregator
+    /// (`[A-Za-z0-9_.-]`, at most 64 bytes).
+    pub stream: String,
+    /// Milliseconds between delta cuts while new tuples keep arriving
+    /// (idle periods cut nothing — the generation counter only advances
+    /// when a delta actually ships).
+    pub interval_ms: u64,
+    /// Auth token presented to the aggregator, when it requires one.
+    pub auth_token: Option<String>,
+    /// Unacknowledged delta cuts buffered while the link is down before
+    /// the replicator gives up on the chain and falls back to a full
+    /// snapshot resync (bounds replica-side memory).
+    pub max_pending: usize,
+}
+
+impl ReplicateConfig {
+    /// Replicate to `target` as `stream` with the default pacing: cut every
+    /// 200 ms, buffer up to 32 unacked cuts, no auth.
+    pub fn new(target: impl Into<String>, stream: impl Into<String>) -> Self {
+        Self {
+            target: target.into(),
+            stream: stream.into(),
+            interval_ms: 200,
+            auth_token: None,
+            max_pending: 32,
+        }
+    }
 }
 
 /// Durability parameters: where the journal and snapshots live and when the
@@ -220,13 +264,71 @@ impl Default for ServeConfig {
             pane_retention: None,
             max_connections: 1_024,
             durability: None,
+            auth_token: None,
+            replicate: None,
         }
     }
 }
 
 impl ServeConfig {
+    /// Fingerprint of every parameter that must agree across replication
+    /// peers for Property-V mergeability: sketches built from the same
+    /// seed and geometry merge into the sketch of the union, so a delta
+    /// cut here restores and merges cleanly on the aggregator. Transport
+    /// settings (shards, merge cadence, pane geometry, connection limits,
+    /// durability, auth) are deliberately excluded — they may differ per
+    /// node.
+    pub fn replication_fingerprint(&self) -> u64 {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.epsilon.to_bits());
+        w.put_u64(self.delta.to_bits());
+        w.put_u64(self.y_max);
+        w.put_u64(self.max_stream_len);
+        w.put_u64(self.seed);
+        w.put_u64(self.phi.to_bits());
+        w.put_u64(u64::from(self.x_domain_log2));
+        cora_sketch::codec::fnv1a64(w.as_bytes())
+    }
+
+    /// A fresh correlated-`F_0` sampler with this config's parameters.
+    pub(crate) fn fresh_f0(&self) -> Result<CorrelatedF0, CoreError> {
+        CorrelatedF0::with_seed(
+            self.epsilon,
+            self.delta,
+            self.x_domain_log2,
+            self.y_max,
+            self.seed,
+        )
+    }
+
+    /// A fresh correlated-rarity sampler with this config's parameters.
+    pub(crate) fn fresh_rarity(&self) -> Result<CorrelatedRarity, CoreError> {
+        CorrelatedRarity::with_seed(self.epsilon, self.x_domain_log2, self.y_max, self.seed)
+    }
+
+    /// A fresh correlated heavy-hitters sketch with this config's
+    /// parameters.
+    pub(crate) fn fresh_hh(&self) -> Result<CorrelatedHeavyHitters, CoreError> {
+        CorrelatedHeavyHitters::with_seed(
+            self.epsilon,
+            self.delta,
+            self.phi,
+            self.y_max,
+            self.max_stream_len,
+            self.seed,
+        )
+    }
+
+    /// A fresh (empty) correlated-`F_2` framework sketch with this config's
+    /// parameters — the aggregator's per-stream and union composite shape.
+    pub(crate) fn fresh_f2_sketch(
+        &self,
+    ) -> Result<cora_core::CorrelatedSketch<F2Aggregate>, CoreError> {
+        cora_core::CorrelatedSketch::new(self.f2_aggregate(), self.f2_config()?)
+    }
+
     /// The derived correlated-`F_2` aggregate.
-    fn f2_aggregate(&self) -> F2Aggregate {
+    pub(crate) fn f2_aggregate(&self) -> F2Aggregate {
         F2Aggregate::new(self.epsilon, self.delta, self.seed)
     }
 
@@ -262,11 +364,19 @@ struct WindowState {
     clock: u64,
 }
 
-/// The auxiliary sketches updated synchronously on every ingest.
+/// The auxiliary sketches updated synchronously on every ingest, plus —
+/// while replication is enabled — since-last-cut delta copies fed the same
+/// tuples. [`ServerCore::repl_cut`] swaps the deltas for fresh ones, so each
+/// cut covers exactly the tuples between two cuts (Property V makes merging
+/// such a delta on the aggregator equivalent to having streamed the tuples
+/// there directly).
 struct AuxSketches {
     f0: CorrelatedF0,
     rarity: CorrelatedRarity,
     hh: CorrelatedHeavyHitters,
+    f0_delta: Option<CorrelatedF0>,
+    rarity_delta: Option<CorrelatedRarity>,
+    hh_delta: Option<CorrelatedHeavyHitters>,
 }
 
 /// The live durability machinery: the open journal plus rotation state.
@@ -288,7 +398,7 @@ struct DurableState {
 }
 
 /// Shared server state.
-struct ServerCore {
+pub(crate) struct ServerCore {
     config: ServeConfig,
     sharded: Mutex<ShardedIngest<F2Aggregate>>,
     aux: Mutex<AuxSketches>,
@@ -308,6 +418,38 @@ struct ServerCore {
     journal_bytes: AtomicU64,
     auto_snapshots: AtomicU64,
     snapshot_errors: AtomicU64,
+    /// `items_accepted` as of the last replication cut — lets the
+    /// replicator skip cutting (and skip advancing the generation counter)
+    /// while nothing new has arrived.
+    repl_cut_items: AtomicU64,
+}
+
+/// Section tags inside a replication delta container
+/// ([`SnapshotKind::Delta`](cora_core::SnapshotKind)), one per replicated
+/// structure. The windowed pane rings and the per-writer sequence map are
+/// deliberately *not* replicated: the aggregator serves whole-stream
+/// queries over the union, and idempotency is a per-upstream concern.
+pub(crate) const REPL_SECTION_F2: u8 = 1;
+/// Delta container section tag: the `F_0` sampler frame.
+pub(crate) const REPL_SECTION_F0: u8 = 2;
+/// Delta container section tag: the rarity sampler frame.
+pub(crate) const REPL_SECTION_RARITY: u8 = 3;
+/// Delta container section tag: the heavy-hitters frame.
+pub(crate) const REPL_SECTION_HH: u8 = 4;
+
+/// One replication cut: a sealed [`SnapshotKind::Delta`] container plus the
+/// generation span `(g_from, g_to]` it covers. `g_from == 0` marks a full
+/// replacement snapshot (shipped via `repl_snapshot`), anything else an
+/// incremental delta that must chain onto the aggregator's high water.
+pub(crate) struct ReplCut {
+    /// Exclusive lower generation bound (0 = full replacement).
+    pub g_from: u64,
+    /// Inclusive upper generation bound — the aggregator's high water after
+    /// applying this cut.
+    pub g_to: u64,
+    /// The sealed delta container (checksummed outer frame, per-structure
+    /// sections).
+    pub frame: Vec<u8>,
 }
 
 /// Magic bytes of a snapshot bundle file.
@@ -327,14 +469,14 @@ const SECTION_WINDOW_F0: u8 = 6;
 const SECTION_SEQS: u8 = 7;
 
 /// Decoded snapshot bundle: one `cora_core::snapshot` frame per structure.
-struct Bundle {
-    f2: Vec<u8>,
-    f0: Vec<u8>,
-    rarity: Vec<u8>,
-    hh: Vec<u8>,
-    window_f2: Vec<u8>,
-    window_f0: Vec<u8>,
-    seqs: Vec<u8>,
+pub(crate) struct Bundle {
+    pub(crate) f2: Vec<u8>,
+    pub(crate) f0: Vec<u8>,
+    pub(crate) rarity: Vec<u8>,
+    pub(crate) hh: Vec<u8>,
+    pub(crate) window_f2: Vec<u8>,
+    pub(crate) window_f0: Vec<u8>,
+    pub(crate) seqs: Vec<u8>,
 }
 
 fn encode_bundle(bundle: &Bundle) -> Vec<u8> {
@@ -358,7 +500,7 @@ fn encode_bundle(bundle: &Bundle) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn decode_bundle(bytes: &[u8]) -> Result<Bundle, ServeError> {
+pub(crate) fn decode_bundle(bytes: &[u8]) -> Result<Bundle, ServeError> {
     let invalid = |detail: String| ServeError::Invalid(detail);
     let mut r = ByteReader::new(bytes);
     let magic = r
@@ -531,27 +673,12 @@ impl ServerCore {
             None => {
                 let sharded = ShardedIngest::new(agg, f2_config, config.shards)?;
                 let aux = AuxSketches {
-                    f0: CorrelatedF0::with_seed(
-                        config.epsilon,
-                        config.delta,
-                        config.x_domain_log2,
-                        config.y_max,
-                        config.seed,
-                    )?,
-                    rarity: CorrelatedRarity::with_seed(
-                        config.epsilon,
-                        config.x_domain_log2,
-                        config.y_max,
-                        config.seed,
-                    )?,
-                    hh: CorrelatedHeavyHitters::with_seed(
-                        config.epsilon,
-                        config.delta,
-                        config.phi,
-                        config.y_max,
-                        config.max_stream_len,
-                        config.seed,
-                    )?,
+                    f0: config.fresh_f0()?,
+                    rarity: config.fresh_rarity()?,
+                    hh: config.fresh_hh()?,
+                    f0_delta: None,
+                    rarity_delta: None,
+                    hh_delta: None,
                 };
                 (sharded, aux, fresh_windows()?)
             }
@@ -571,6 +698,9 @@ impl ServerCore {
                     f0: CorrelatedF0::restore_from(&bundle.f0)?,
                     rarity: CorrelatedRarity::restore_from(&bundle.rarity)?,
                     hh: CorrelatedHeavyHitters::restore_from(&bundle.hh)?,
+                    f0_delta: None,
+                    rarity_delta: None,
+                    hh_delta: None,
                 };
                 // Every restored structure must match what this config would
                 // build fresh — including the fields the F2 check cannot see
@@ -645,7 +775,102 @@ impl ServerCore {
             journal_bytes: AtomicU64::new(0),
             auto_snapshots: AtomicU64::new(0),
             snapshot_errors: AtomicU64::new(0),
+            repl_cut_items: AtomicU64::new(0),
         })
+    }
+
+    /// This server's construction parameters (the replicator reads the
+    /// replication target and fingerprint from here).
+    pub(crate) fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Turn on replication tracking: per-shard `F_2` deltas in the sharded
+    /// ingest plus delta copies of the auxiliary sketches. Everything
+    /// already ingested stays out of the deltas (the first shipped cut is a
+    /// full snapshot, so nothing is lost). Idempotent; called once at start
+    /// when [`ServeConfig::replicate`] is set.
+    pub(crate) fn enable_replication(&self) -> Result<(), ServeError> {
+        let mut sharded = self.sharded.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
+        sharded.enable_delta_tracking()?;
+        if aux.f0_delta.is_none() {
+            aux.f0_delta = Some(self.config.fresh_f0()?);
+            aux.rarity_delta = Some(self.config.fresh_rarity()?);
+            aux.hh_delta = Some(self.config.fresh_hh()?);
+        }
+        Ok(())
+    }
+
+    /// Cut one replication unit under the ingest lock order (`sharded` →
+    /// `aux`), so the cut is atomic with respect to batches: every tuple
+    /// lands entirely in this cut or entirely in the next one.
+    ///
+    /// `full` builds a replacement snapshot of the live structures
+    /// (`g_from = 0`); otherwise an incremental delta covering exactly the
+    /// tuples since the previous cut. Returns `Ok(None)` when nothing new
+    /// arrived and `full` is false — the generation counter does not
+    /// advance, so an idle server never creates a hole in the delta chain.
+    pub(crate) fn repl_cut(&self, full: bool) -> Result<Option<ReplCut>, ServeError> {
+        let fingerprint = self.config.replication_fingerprint();
+        let mut sharded = self.sharded.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut aux = self.aux.lock().unwrap_or_else(PoisonError::into_inner);
+        if !sharded.delta_tracking_enabled() {
+            return Err(ServeError::Invalid(
+                "replication tracking is not enabled on this server".into(),
+            ));
+        }
+        // `items_accepted` needs the flush barrier to be exact, but staleness
+        // here only delays a cut by one interval — never loses tuples.
+        sharded.flush();
+        if !full && sharded.items_accepted() == self.repl_cut_items.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        // Build every replacement before swapping anything, so a failed
+        // allocation leaves the trackers untouched and consistent.
+        let fresh_f0 = self.config.fresh_f0()?;
+        let fresh_rarity = self.config.fresh_rarity()?;
+        let fresh_hh = self.config.fresh_hh()?;
+        let (g_from_cut, g_to, f2_delta) = sharded.take_delta()?;
+        let f0_delta = aux.f0_delta.replace(fresh_f0).expect("replication enabled");
+        let rarity_delta = aux.rarity_delta.replace(fresh_rarity).expect("replication enabled");
+        let hh_delta = aux.hh_delta.replace(fresh_hh).expect("replication enabled");
+        self.repl_cut_items.store(sharded.items_accepted(), Ordering::Release);
+        let (g_from, f2, f0, rarity, hh) = if full {
+            // Replacement cut: snapshot the live structures. The delta
+            // trackers were still reset above, so the next incremental cut
+            // chains cleanly from `g_to`.
+            (
+                0,
+                sharded.snapshot()?,
+                aux.f0.snapshot(),
+                aux.rarity.snapshot(),
+                aux.hh.snapshot(),
+            )
+        } else {
+            (
+                g_from_cut,
+                f2_delta.snapshot(),
+                f0_delta.snapshot(),
+                rarity_delta.snapshot(),
+                hh_delta.snapshot(),
+            )
+        };
+        drop(aux);
+        drop(sharded);
+        let header = DeltaHeader { g_from, g_to, fingerprint };
+        let mut frame = Vec::new();
+        seal_delta_into(
+            &header,
+            &[
+                (REPL_SECTION_F2, f2.as_slice()),
+                (REPL_SECTION_F0, f0.as_slice()),
+                (REPL_SECTION_RARITY, rarity.as_slice()),
+                (REPL_SECTION_HH, hh.as_slice()),
+            ],
+            &mut frame,
+        );
+        Ok(Some(ReplCut { g_from, g_to, frame }))
     }
 
     /// Encode the full bundle from already-locked structures, so the caller
@@ -867,12 +1092,28 @@ impl ServerCore {
             if let Err(e) = sharded.ingest(tuples) {
                 return fail(e.to_string());
             }
+            let aux = &mut *aux;
             for &(x, y) in tuples {
+                // The replication deltas (present while replication is on)
+                // see exactly the tuples the live sketches see, under the
+                // same lock — a cut can never split a batch.
                 if let Err(e) = aux
                     .f0
                     .insert(x, y)
                     .and_then(|()| aux.rarity.insert(x, y))
                     .and_then(|()| aux.hh.insert(x, y))
+                    .and_then(|()| match aux.f0_delta.as_mut() {
+                        Some(d) => d.insert(x, y),
+                        None => Ok(()),
+                    })
+                    .and_then(|()| match aux.rarity_delta.as_mut() {
+                        Some(d) => d.insert(x, y),
+                        None => Ok(()),
+                    })
+                    .and_then(|()| match aux.hh_delta.as_mut() {
+                        Some(d) => d.insert(x, y),
+                        None => Ok(()),
+                    })
                 {
                     return fail(format!("auxiliary sketch rejected a tuple: {e}"));
                 }
@@ -1109,9 +1350,85 @@ impl ServerCore {
                 ),
                 Err(e) => fail(e.to_string()),
             },
+            Request::Auth { .. } => {
+                // The transport layer intercepts `auth` before dispatch (the
+                // gate is per-connection state); reaching here means the op
+                // was issued where it has no meaning.
+                (
+                    Reply::request_error(
+                        "auth is handled by the connection transport before dispatch",
+                    ),
+                    false,
+                )
+            }
+            Request::SetF0 { .. } | Request::Streams => (
+                Reply::request_error(
+                    "set-expression queries are answered by an aggregator node \
+                     (cora_serve_agg), not by an ingest server",
+                ),
+                false,
+            ),
+            Request::ReplHello { .. }
+            | Request::ReplDelta { .. }
+            | Request::ReplSnapshot { .. } => (
+                Reply::request_error(
+                    "replication frames are accepted by an aggregator node \
+                     (cora_serve_agg), not by an ingest server",
+                ),
+                false,
+            ),
             Request::Shutdown => (Reply::ok(), true),
         }
     }
+}
+
+/// The protocol-agnostic service surface a connection dispatches into —
+/// implemented by [`ServerCore`] (an ingest node) and by the aggregator
+/// core in [`crate::cluster`]. The connection state machine, the worker
+/// pool, and the acceptor are generic over this trait, so both node kinds
+/// share one transport stack (first-byte protocol sniffing, auth gating,
+/// pipelining, connection limits).
+pub(crate) trait ServiceCore: Send + Sync + 'static {
+    /// The configured shared-secret token, when authentication is required.
+    fn auth_token(&self) -> Option<&str>;
+    /// Count one request (called by the transport for requests it answers
+    /// itself: `auth` handling and unauthenticated rejections).
+    fn note_request(&self);
+    /// Handle one request; the bool asks the listener to shut down.
+    fn handle(&self, request: Request) -> (Reply, bool);
+    /// The binary ingest fast path (tuples decoded into connection scratch).
+    fn ingest_binary(&self, tuples: &[(u64, u64)], ts: &[u64], seq: Option<(u64, u64)>) -> Reply;
+}
+
+impl ServiceCore for ServerCore {
+    fn auth_token(&self) -> Option<&str> {
+        self.config.auth_token.as_deref()
+    }
+
+    fn note_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn handle(&self, request: Request) -> (Reply, bool) {
+        ServerCore::handle(self, request)
+    }
+
+    fn ingest_binary(&self, tuples: &[(u64, u64)], ts: &[u64], seq: Option<(u64, u64)>) -> Reply {
+        self.ingest_tuples(tuples, ts, seq)
+    }
+}
+
+/// Compare a presented auth token against the configured one without an
+/// early exit on the first differing byte — neither the token length nor
+/// its content leaks through response timing.
+pub(crate) fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
 }
 
 /// Poll interval for the accept loop's shutdown checks and the deepest
@@ -1125,6 +1442,11 @@ const IDLE_SPINS: u32 = 256;
 
 /// First sleep tier after the spin budget; doubles up to [`NET_TICK`].
 const IDLE_SLEEP_FLOOR: Duration = Duration::from_micros(200);
+
+/// The structured refusal an unauthenticated request is answered with while
+/// an auth token is configured.
+const UNAUTHENTICATED: &str =
+    "authentication required: send the auth op with the shared token first";
 
 /// Which protocol a connection speaks, decided once by its first byte.
 enum ConnMode {
@@ -1157,13 +1479,17 @@ struct Conn {
     outpos: usize,
     /// Close once `outbuf` has drained (protocol abuse or shutdown ack).
     close_after_flush: bool,
+    /// Whether this connection has passed the auth gate. Starts `true`
+    /// when the core has no token configured; otherwise flips on a
+    /// successful `auth` op.
+    authed: bool,
     /// Reused binary-ingest decode targets.
     tuples: Vec<(u64, u64)>,
     ts: Vec<u64>,
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Self {
+    fn new(stream: TcpStream, authed: bool) -> Self {
         Self {
             stream,
             mode: ConnMode::Sniffing,
@@ -1171,9 +1497,37 @@ impl Conn {
             outbuf: Vec::new(),
             outpos: 0,
             close_after_flush: false,
+            authed,
             tuples: Vec::new(),
             ts: Vec::new(),
         }
+    }
+
+    /// Dispatch one parsed request through the per-connection auth gate:
+    /// `auth` is consumed here (constant-time token compare), and while a
+    /// token is configured every other op on an unauthenticated connection
+    /// is refused with a structured `request` error — the connection stays
+    /// open so the client can authenticate and retry.
+    fn dispatch<C: ServiceCore>(&mut self, core: &C, request: Request) -> (Reply, bool) {
+        if let Request::Auth { token } = &request {
+            core.note_request();
+            let reply = match core.auth_token() {
+                // No token configured: accept the op as a no-op so clients
+                // can send auth unconditionally.
+                None => Reply::ok(),
+                Some(expected) if constant_time_eq(expected.as_bytes(), token.as_bytes()) => {
+                    self.authed = true;
+                    Reply::ok()
+                }
+                Some(_) => Reply::request_error("authentication failed: token mismatch"),
+            };
+            return (reply, false);
+        }
+        if !self.authed {
+            core.note_request();
+            return (Reply::request_error(UNAUTHENTICATED), false);
+        }
+        core.handle(request)
     }
 
     fn queue(&mut self, bytes: &[u8]) {
@@ -1231,9 +1585,9 @@ impl Conn {
 
     /// One service pass: flush, read, then handle every complete message
     /// sitting in the inbound buffer.
-    fn step(
+    fn step<C: ServiceCore>(
         &mut self,
-        core: &ServerCore,
+        core: &C,
         shutdown: &Arc<AtomicBool>,
         listener_addr: SocketAddr,
         chunk: &mut [u8],
@@ -1300,7 +1654,7 @@ impl Conn {
                     }
                     progress = true;
                     let (reply, stop) = match Request::parse(trimmed) {
-                        Ok(request) => core.handle(request),
+                        Ok(request) => self.dispatch(core, request),
                         Err(e) => (Reply::request_error(format!("bad request: {e}")), false),
                     };
                     let line = reply.render_json();
@@ -1340,7 +1694,7 @@ impl Conn {
                     progress = true;
                     let no_ack = header.flags & wire::FLAG_NO_ACK != 0;
                     match Opcode::from_byte(header.opcode) {
-                        Some(Opcode::Ingest) => {
+                        Some(Opcode::Ingest) if self.authed => {
                             // The hot path: decode straight into this
                             // connection's scratch, no per-tuple allocation,
                             // and skip the ack entirely when pipelined.
@@ -1351,8 +1705,8 @@ impl Conn {
                                 &mut self.ts,
                             ) {
                                 Ok(meta) => {
-                                    core.requests.fetch_add(1, Ordering::Relaxed);
-                                    core.ingest_tuples(&self.tuples, &self.ts, meta.seq)
+                                    core.note_request();
+                                    core.ingest_binary(&self.tuples, &self.ts, meta.seq)
                                 }
                                 Err(e) => Reply::request_error(format!("bad ingest frame: {e}")),
                             };
@@ -1361,17 +1715,35 @@ impl Conn {
                                 self.queue(&wire::encode_reply(header.opcode, &reply));
                             }
                         }
+                        Some(Opcode::Ingest) => {
+                            // Unauthenticated fast-path ingest is refused
+                            // without decoding; errors are never suppressed,
+                            // so even a NO_ACK pipeline hears about it.
+                            core.note_request();
+                            self.queue(&wire::encode_reply(
+                                header.opcode,
+                                &Reply::request_error(UNAUTHENTICATED),
+                            ));
+                        }
                         Some(opcode) => {
                             let payload = &self.inbuf[payload_start..pos];
                             let (reply, stop) = match wire::decode_request(opcode, payload) {
-                                Ok(request) => core.handle(request),
+                                Ok(request) => self.dispatch(core, request),
                                 Err(e) => {
                                     (Reply::request_error(format!("bad request frame: {e}")), false)
                                 }
                             };
+                            // Replication requests are acknowledged with the
+                            // dedicated REPL_ACK opcode instead of an echo.
+                            let reply_opcode = match opcode {
+                                Opcode::ReplHello | Opcode::ReplDelta | Opcode::ReplSnapshot => {
+                                    Opcode::ReplAck as u8
+                                }
+                                _ => header.opcode,
+                            };
                             let suppress = no_ack && matches!(reply, Reply::Ok(_)) && !stop;
                             if !suppress {
-                                self.queue(&wire::encode_reply(header.opcode, &reply));
+                                self.queue(&wire::encode_reply(reply_opcode, &reply));
                             }
                             if stop {
                                 self.begin_shutdown(shutdown, listener_addr);
@@ -1438,13 +1810,15 @@ impl Conn {
 /// clients cost failed `read` syscalls on a few threads, not thousands of
 /// parked stacks.
 #[allow(clippy::needless_pass_by_value)]
-fn worker_loop(
-    core: Arc<ServerCore>,
+fn worker_loop<C: ServiceCore>(
+    core: Arc<C>,
     shutdown: Arc<AtomicBool>,
     rx: std::sync::mpsc::Receiver<TcpStream>,
     live: Arc<AtomicU64>,
     listener_addr: SocketAddr,
 ) {
+    // With no token configured every connection starts authenticated.
+    let open = core.auth_token().is_none();
     let mut conns: Vec<Conn> = Vec::new();
     let mut chunk = vec![0u8; 16 * 1024];
     let mut spins = 0u32;
@@ -1457,12 +1831,12 @@ fn worker_loop(
         while let Ok(stream) = rx.try_recv() {
             let _ = stream.set_nonblocking(true);
             let _ = stream.set_nodelay(true);
-            conns.push(Conn::new(stream));
+            conns.push(Conn::new(stream, open));
         }
         let mut progress = false;
         let mut index = 0;
         while index < conns.len() {
-            match conns[index].step(&core, &shutdown, listener_addr, &mut chunk) {
+            match conns[index].step(core.as_ref(), &shutdown, listener_addr, &mut chunk) {
                 ConnStep::Progress => {
                     progress = true;
                     index += 1;
@@ -1486,7 +1860,7 @@ fn worker_loop(
             if let Ok(stream) = rx.recv_timeout(NET_TICK) {
                 let _ = stream.set_nonblocking(true);
                 let _ = stream.set_nodelay(true);
-                conns.push(Conn::new(stream));
+                conns.push(Conn::new(stream, open));
             }
             continue;
         }
@@ -1503,16 +1877,32 @@ fn worker_loop(
 /// A running server: the bound address plus shutdown plumbing. Dropping it
 /// shuts the listener down and joins every service thread.
 pub struct RunningServer {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    acceptor: Option<thread::JoinHandle<()>>,
-    snapshotter: Option<thread::JoinHandle<()>>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) acceptor: Option<thread::JoinHandle<()>>,
+    pub(crate) snapshotter: Option<thread::JoinHandle<()>>,
+    pub(crate) replicator: Option<crate::cluster::ReplicatorHandle>,
 }
 
 impl RunningServer {
     /// The address the listener is bound to (use port 0 to let the OS pick).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Replication barrier (servers started with [`ServeConfig::replicate`]
+    /// only): block until every tuple accepted before the call has been
+    /// cut, shipped, and acknowledged by the downstream aggregator, or
+    /// `timeout` elapses. Returns the acknowledged generation — the
+    /// deterministic hook the replication tests and the fan-in demo use
+    /// instead of sleeping.
+    pub fn replication_sync(&self, timeout: Duration) -> Result<u64, ServeError> {
+        match &self.replicator {
+            Some(handle) => handle.sync(timeout).map_err(ServeError::Invalid),
+            None => Err(ServeError::Invalid(
+                "this server was not started with ServeConfig::replicate".into(),
+            )),
+        }
     }
 
     /// Block until the server is asked to stop (the `shutdown` op or a
@@ -1532,6 +1922,9 @@ impl RunningServer {
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Release);
+        if let Some(mut replicator) = self.replicator.take() {
+            replicator.stop_and_join();
+        }
         if let Some(acceptor) = self.acceptor.take() {
             // Wake a blocking accept with a throwaway connection.
             let _ = TcpStream::connect(self.addr);
@@ -1551,14 +1944,14 @@ impl Drop for RunningServer {
 
 /// What recovery found in a durable directory: the state to restore, the
 /// journal batches to replay onto it, and where the fresh generation opens.
-struct Recovered {
-    bundle: Option<Bundle>,
+pub(crate) struct Recovered {
+    pub(crate) bundle: Option<Bundle>,
     /// Generation of the snapshot `bundle` came from (the retention floor).
-    restored_generation: Option<u64>,
-    replay: Vec<JournalRecord>,
+    pub(crate) restored_generation: Option<u64>,
+    pub(crate) replay: Vec<JournalRecord>,
     /// The generation to open next — past every file on disk, so recovery
     /// never appends to (or overwrites) a file it just read.
-    open_generation: u64,
+    pub(crate) open_generation: u64,
 }
 
 /// Probe the durable directory: newest readable snapshot wins (torn or
@@ -1568,7 +1961,10 @@ struct Recovered {
 /// Refuses to start only when proceeding would mean *silent* loss of
 /// previously-acked data: no snapshot is readable and the journal history
 /// does not reach back to generation 0.
-fn recover(storage: &Arc<dyn Storage>, dir: &std::path::Path) -> Result<Recovered, ServeError> {
+pub(crate) fn recover(
+    storage: &Arc<dyn Storage>,
+    dir: &std::path::Path,
+) -> Result<Recovered, ServeError> {
     storage.create_dir_all(dir)?;
     let listing = list_generations(storage.as_ref(), dir)?;
     let mut restored: Option<(u64, Bundle)> = None;
@@ -1697,6 +2093,7 @@ fn start_inner(
 ) -> Result<RunningServer, ServeError> {
     let max_connections = config.max_connections;
     let durability = config.durability.clone();
+    let config_replicate = config.replicate.clone();
     let storage = durability
         .as_ref()
         .map(|_| storage.unwrap_or_else(crate::journal::disk_storage));
@@ -1720,15 +2117,18 @@ fn start_inner(
         );
         core.open_durable(storage, d, recovered.open_generation, recovered.restored_generation)?;
     }
+    if let Some(replicate) = &config_replicate {
+        if !crate::cluster::valid_stream_name(&replicate.stream) {
+            return Err(ServeError::Invalid(format!(
+                "replication stream name {:?} must be 1-64 bytes of [A-Za-z0-9_.-]",
+                replicate.stream
+            )));
+        }
+        core.enable_replication()?;
+    }
     let listener = TcpListener::bind(bind)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    // A small fixed worker pool services every connection with non-blocking
-    // reads; the acceptor only hands sockets over. Thousands of idle clients
-    // therefore cost a few polling threads, not thousands of parked stacks.
-    let workers = thread::available_parallelism()
-        .map_or(2, |n| n.get().clamp(2, 4));
-    let live = Arc::new(AtomicU64::new(0));
     // The background snapshotter: polls the rotation triggers while the
     // server runs. Spawned before the acceptor moves `core`.
     let snapshotter = match &durability {
@@ -1756,8 +2156,37 @@ fn start_inner(
         }
         _ => None,
     };
-    let acceptor_shutdown = Arc::clone(&shutdown);
-    let acceptor = thread::Builder::new()
+    let replicator = config_replicate.map(|replicate| {
+        crate::cluster::spawn_replicator(Arc::clone(&core), replicate, Arc::clone(&shutdown))
+    });
+    let acceptor = spawn_acceptor(core, listener, Arc::clone(&shutdown), max_connections)?;
+    Ok(RunningServer {
+        addr,
+        shutdown,
+        acceptor: Some(acceptor),
+        snapshotter,
+        replicator,
+    })
+}
+
+/// Bind the shared transport stack — a fixed worker pool of non-blocking
+/// connection pollers fed by one accept thread — over any [`ServiceCore`].
+/// Used by [`start`] (ingest nodes) and by
+/// [`crate::cluster::start_aggregator`].
+pub(crate) fn spawn_acceptor<C: ServiceCore>(
+    core: Arc<C>,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    max_connections: usize,
+) -> Result<thread::JoinHandle<()>, ServeError> {
+    let addr = listener.local_addr()?;
+    // A small fixed worker pool services every connection with non-blocking
+    // reads; the acceptor only hands sockets over. Thousands of idle clients
+    // therefore cost a few polling threads, not thousands of parked stacks.
+    let workers = thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 4));
+    let live = Arc::new(AtomicU64::new(0));
+    let acceptor_shutdown = shutdown;
+    thread::Builder::new()
         .name("cora-serve-accept".into())
         .spawn(move || {
             let mut txs = Vec::with_capacity(workers);
@@ -1823,13 +2252,7 @@ fn start_inner(
                 let _ = handle.join();
             }
         })
-        .map_err(|e| ServeError::Invalid(format!("could not spawn the accept loop: {e}")))?;
-    Ok(RunningServer {
-        addr,
-        shutdown,
-        acceptor: Some(acceptor),
-        snapshotter,
-    })
+        .map_err(|e| ServeError::Invalid(format!("could not spawn the accept loop: {e}")))
 }
 
 #[cfg(test)]

@@ -52,6 +52,20 @@
 //! | 0x0B   | `stats`         | —                                                |
 //! | 0x0C   | `snapshot`      | `str path` (u64 length + UTF-8 bytes)            |
 //! | 0x0D   | `shutdown`      | —                                                |
+//! | 0x0E   | `auth`          | `str token`                                      |
+//! | 0x0F   | `set_f0`        | `str a`, `str b`, `u8 op` (0 ∪, 1 ∩, 2 ∖), `u64 c` |
+//! | 0x10   | `streams`       | —                                                |
+//! | 0x11   | `repl_hello`    | `str stream`, `u64 fingerprint`, `u64 g_to`      |
+//! | 0x12   | `repl_delta`    | `str stream`, then the sealed delta container    |
+//! | 0x13   | `repl_snapshot` | `str stream`, then the sealed full container     |
+//! | 0x14   | `repl_ack`      | *response-only*: the aggregator answers every repl request with this opcode, carrying its `high_water` generation |
+//!
+//! The three `repl_*` requests are answered with opcode `0x14 REPL_ACK`
+//! instead of an echo, so a replica can pattern-match acknowledgements
+//! without tracking which request is in flight. A full snapshot container
+//! is still one frame, so replicated state is capped at
+//! [`MAX_FRAME_BYTES`] (16 MiB) — far above any sketch-only bundle, but a
+//! hard error (not silent truncation) if exceeded.
 //!
 //! The ingest `meta` byte carries bit 0 = explicit timestamps follow the y
 //! lane, bit 1 = a `(writer, seq)` idempotency pair precedes the x lane
@@ -61,9 +75,9 @@
 //! `kind` is an [`crate::protocol::ErrorKind`] wire name, mirroring the
 //! JSON `kind` field) or a field list: `u8 nfields`, then per field
 //! `str key`, `u8 tag`, value — tags 0 `u64`, 1 `f64` (IEEE bits),
-//! 2 `u64` array (`u32 n` + values), 3 `f64` array, 4 null. Field lists
-//! mirror the JSON object fields one-for-one, so both transports answer
-//! identically.
+//! 2 `u64` array (`u32 n` + values), 3 `f64` array, 4 null, 5 `str`. Field
+//! lists mirror the JSON object fields one-for-one, so both transports
+//! answer identically.
 //!
 //! ## Pipelining
 //!
@@ -132,6 +146,21 @@ pub enum Opcode {
     Snapshot = 0x0C,
     /// Stop the listener after acknowledging.
     Shutdown = 0x0D,
+    /// Present the shared-secret auth token.
+    Auth = 0x0E,
+    /// Multi-stream set-expression distinct-count query (aggregator only).
+    SetF0 = 0x0F,
+    /// List the registered upstream streams (aggregator only).
+    Streams = 0x10,
+    /// Replication handshake: name the stream, prove config compatibility.
+    ReplHello = 0x11,
+    /// Ship an incremental delta container for a stream.
+    ReplDelta = 0x12,
+    /// Ship a full replacement snapshot container for a stream.
+    ReplSnapshot = 0x13,
+    /// Response-only: acknowledges a repl request with the aggregator's
+    /// high-water generation.
+    ReplAck = 0x14,
 }
 
 impl Opcode {
@@ -151,6 +180,13 @@ impl Opcode {
             0x0B => Opcode::Stats,
             0x0C => Opcode::Snapshot,
             0x0D => Opcode::Shutdown,
+            0x0E => Opcode::Auth,
+            0x0F => Opcode::SetF0,
+            0x10 => Opcode::Streams,
+            0x11 => Opcode::ReplHello,
+            0x12 => Opcode::ReplDelta,
+            0x13 => Opcode::ReplSnapshot,
+            0x14 => Opcode::ReplAck,
             _ => return None,
         })
     }
@@ -295,6 +331,34 @@ pub fn encode_request(request: &Request, flags: u8) -> Vec<u8> {
             Opcode::Snapshot
         }
         Request::Shutdown => Opcode::Shutdown,
+        Request::Auth { token } => {
+            w.put_str(token);
+            Opcode::Auth
+        }
+        Request::SetF0 { a, b, op, c } => {
+            w.put_str(a);
+            w.put_str(b);
+            w.put_u8(*op as u8);
+            w.put_u64(*c);
+            Opcode::SetF0
+        }
+        Request::Streams => Opcode::Streams,
+        Request::ReplHello { stream, fingerprint, g_to } => {
+            w.put_str(stream);
+            w.put_u64(*fingerprint);
+            w.put_u64(*g_to);
+            Opcode::ReplHello
+        }
+        Request::ReplDelta { stream, frame: bytes } => {
+            w.put_str(stream);
+            w.put_bytes(bytes);
+            Opcode::ReplDelta
+        }
+        Request::ReplSnapshot { stream, frame: bytes } => {
+            w.put_str(stream);
+            w.put_bytes(bytes);
+            Opcode::ReplSnapshot
+        }
     };
     frame(opcode as u8, flags, w.as_bytes())
 }
@@ -435,6 +499,34 @@ pub fn decode_request(opcode: Opcode, payload: &[u8]) -> Result<Request, String>
         Opcode::Stats => Request::Stats,
         Opcode::Snapshot => Request::Snapshot { path: r.get_str().map_err(e)? },
         Opcode::Shutdown => Request::Shutdown,
+        Opcode::Auth => Request::Auth { token: r.get_str().map_err(e)? },
+        Opcode::SetF0 => {
+            let a = r.get_str().map_err(e)?;
+            let b = r.get_str().map_err(e)?;
+            let tag = r.get_u8().map_err(e)?;
+            let op = crate::protocol::SetOp::from_tag(tag)
+                .ok_or_else(|| format!("unknown set_f0 op tag {tag}"))?;
+            Request::SetF0 { a, b, op, c: r.get_u64().map_err(e)? }
+        }
+        Opcode::Streams => Request::Streams,
+        Opcode::ReplHello => Request::ReplHello {
+            stream: r.get_str().map_err(e)?,
+            fingerprint: r.get_u64().map_err(e)?,
+            g_to: r.get_u64().map_err(e)?,
+        },
+        Opcode::ReplDelta => {
+            let stream = r.get_str().map_err(e)?;
+            let bytes = r.take(r.remaining()).map_err(e)?.to_vec();
+            Request::ReplDelta { stream, frame: bytes }
+        }
+        Opcode::ReplSnapshot => {
+            let stream = r.get_str().map_err(e)?;
+            let bytes = r.take(r.remaining()).map_err(e)?.to_vec();
+            Request::ReplSnapshot { stream, frame: bytes }
+        }
+        Opcode::ReplAck => {
+            return Err("REPL_ACK is a response-only opcode".into());
+        }
     };
     r.expect_end().map_err(e)?;
     Ok(request)
@@ -446,6 +538,7 @@ const TAG_F64: u8 = 1;
 const TAG_U64_ARRAY: u8 = 2;
 const TAG_F64_ARRAY: u8 = 3;
 const TAG_NULL: u8 = 4;
+const TAG_STR: u8 = 5;
 
 /// Encode one reply as a complete response frame echoing `opcode`.
 pub fn encode_reply(opcode: u8, reply: &Reply) -> Vec<u8> {
@@ -485,6 +578,10 @@ pub fn encode_reply(opcode: u8, reply: &Reply) -> Vec<u8> {
                     }
                     Value::Null => {
                         w.put_u8(TAG_NULL);
+                    }
+                    Value::Str(s) => {
+                        w.put_u8(TAG_STR);
+                        w.put_str(s);
                     }
                 }
             }
@@ -547,6 +644,7 @@ pub fn decode_reply(flags: u8, payload: &[u8]) -> Result<DecodedReply, String> {
                 )
             }
             TAG_NULL => Value::Null,
+            TAG_STR => Value::Str(r.get_str().map_err(e)?),
             other => return Err(format!("unknown response field tag {other}")),
         };
         fields.push((key, value));
@@ -593,6 +691,27 @@ mod tests {
             Request::Stats,
             Request::Snapshot { path: "/tmp/bundle \"x\".snap".to_string() },
             Request::Shutdown,
+            Request::Auth { token: "s3cret \"quoted\"".to_string() },
+            Request::SetF0 {
+                a: "left".to_string(),
+                b: "right".to_string(),
+                op: crate::protocol::SetOp::Diff,
+                c: 512,
+            },
+            Request::Streams,
+            Request::ReplHello {
+                stream: "node-a".to_string(),
+                fingerprint: 0xFEED_F00D_DEAD_BEEF,
+                g_to: 42,
+            },
+            Request::ReplDelta {
+                stream: "node-a".to_string(),
+                frame: vec![0xCA, 0xFE, 0x00, 0x42],
+            },
+            Request::ReplSnapshot {
+                stream: "node-b".to_string(),
+                frame: vec![],
+            },
         ];
         for request in requests {
             let bytes = encode_request(&request, 0);
@@ -641,6 +760,7 @@ mod tests {
                 ("items", Value::U64Array(vec![7, 9])),
                 ("freqs", Value::F64Array(vec![0.25, 0.75])),
                 ("retention", Value::Null),
+                ("streams", Value::Str("node-a,node-b".to_string())),
             ]),
             Reply::sketch_error("y 5000 out of range"),
             Reply::io_error("journal append failed: disk full"),
@@ -721,5 +841,14 @@ mod tests {
         let mut padded = q[HEADER_BYTES..].to_vec();
         padded.push(0);
         assert!(decode_request(Opcode::HeavyHitters, &padded).is_err());
+        // REPL_ACK only travels server -> client.
+        assert!(decode_request(Opcode::ReplAck, &[]).is_err());
+        // An unknown set-op tag is rejected.
+        let mut w = ByteWriter::new();
+        w.put_str("a");
+        w.put_str("b");
+        w.put_u8(9);
+        w.put_u64(1);
+        assert!(decode_request(Opcode::SetF0, w.as_bytes()).is_err());
     }
 }

@@ -67,6 +67,7 @@ fn fast_policy() -> RetryPolicy {
         attempts: 3,
         base_delay: Duration::from_millis(5),
         max_delay: Duration::from_millis(20),
+        connect_timeout: Duration::from_secs(5),
     }
 }
 

@@ -32,6 +32,8 @@ fn test_config() -> ServeConfig {
         pane_retention: None,
         max_connections: 1_024,
         durability: None,
+        auth_token: None,
+        replicate: None,
     }
 }
 

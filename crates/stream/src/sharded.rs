@@ -156,6 +156,11 @@ impl<T> Drop for SpscRing<T> {
 struct Shard<A: CorrelatedAggregate> {
     ring: SpscRing<Vec<(u64, u64)>>,
     sketch: Mutex<CorrelatedSketch<A>>,
+    /// A second, same-seeded sketch fed only the batches applied since the
+    /// last [`ShardedIngest::take_delta`] cut — the per-shard half of the
+    /// replication delta. `None` until delta tracking is enabled; the extra
+    /// sketch work runs on the worker thread, off the producer's path.
+    delta: Mutex<Option<CorrelatedSketch<A>>>,
     /// Batches fully applied to `sketch` — the shard's update *generation*,
     /// read by the composite cache for invalidation and by `flush` as its
     /// progress barrier.
@@ -176,9 +181,20 @@ impl<A: CorrelatedAggregate> Shard<A> {
                 .update_batch(batch)
                 .expect("y values validated before dispatch");
         }
+        {
+            let mut delta = self
+                .delta
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(delta) = delta.as_mut() {
+                delta
+                    .update_batch(batch)
+                    .expect("y values validated before dispatch");
+            }
+        }
         // Release: a reader that observes the new generation must also see
-        // the sketch contents it describes (the mutex already orders the
-        // sketch itself; the counter rides behind it).
+        // the sketch contents it describes (the mutexes already order the
+        // sketches themselves; the counter rides behind them).
         self.processed.fetch_add(1, Ordering::Release);
     }
 }
@@ -338,6 +354,13 @@ where
     /// Rebuild the composite only once this many new batches have been
     /// applied since it was built (1 = always fresh).
     merge_every: u64,
+    /// Whether the shards carry per-shard delta sketches (see
+    /// [`Self::enable_delta_tracking`]).
+    delta_tracking: bool,
+    /// Replication generation: the number of delta cuts taken so far. A cut
+    /// covers the tuples applied in the span `(g_from, g_to]` of this
+    /// counter.
+    delta_gen: u64,
 }
 
 impl<A> ShardedIngest<A>
@@ -382,6 +405,7 @@ where
             let shard = Arc::new(Shard {
                 ring: SpscRing::new(RING_CAPACITY),
                 sketch: Mutex::new(sketch),
+                delta: Mutex::new(None),
                 processed: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
             });
@@ -417,6 +441,8 @@ where
             padded_y_max,
             composite: Mutex::new(GenCache::new(1)),
             merge_every: 1,
+            delta_tracking: false,
+            delta_gen: 0,
         })
     }
 
@@ -646,6 +672,74 @@ where
     /// Structure statistics of the merged composite.
     pub fn stats(&self) -> Result<SketchStats> {
         self.with_composite(CorrelatedSketch::stats)
+    }
+
+    /// Whether the shards are tracking per-shard replication deltas.
+    pub fn delta_tracking_enabled(&self) -> bool {
+        self.delta_tracking
+    }
+
+    /// The replication generation: how many delta cuts have been taken. The
+    /// next [`Self::take_delta`] covers `(delta_generation(), +1]`.
+    pub fn delta_generation(&self) -> u64 {
+        self.delta_gen
+    }
+
+    /// Start tracking replication deltas: each shard gets a second
+    /// same-seeded sketch fed every batch applied from now on, so
+    /// [`Self::take_delta`] can cut an incremental sketch covering exactly
+    /// the tuples since the previous cut. Flushes first, so tuples accepted
+    /// before this call belong to the pre-tracking base, never to a delta.
+    /// Idempotent; the extra per-batch sketch work runs on the worker
+    /// threads.
+    pub fn enable_delta_tracking(&mut self) -> Result<()> {
+        if self.delta_tracking {
+            return Ok(());
+        }
+        self.flush();
+        let mut fresh = Vec::with_capacity(self.shards.len());
+        for _ in 0..self.shards.len() {
+            fresh.push(CorrelatedSketch::new(self.agg.clone(), self.config.clone())?);
+        }
+        for (shard, sketch) in self.shards.iter().zip(fresh) {
+            *shard.delta.lock().unwrap_or_else(PoisonError::into_inner) = Some(sketch);
+        }
+        self.delta_tracking = true;
+        Ok(())
+    }
+
+    /// Cut a replication delta: flush (barrier), swap every shard's delta
+    /// sketch for a fresh one, and merge the swapped-out sketches into one
+    /// composite covering exactly the tuples applied in `(g_from, g_to]`.
+    /// Returns `(g_from, g_to, delta)`; merging `delta` into any structure
+    /// holding everything up to `g_from` yields the structure for
+    /// everything up to `g_to` (Property V). Requires
+    /// [`Self::enable_delta_tracking`] first.
+    pub fn take_delta(&mut self) -> Result<(u64, u64, CorrelatedSketch<A>)> {
+        if !self.delta_tracking {
+            return Err(CoreError::InvalidParameter {
+                name: "delta_tracking",
+                detail: "enable_delta_tracking() must be called before take_delta()".into(),
+            });
+        }
+        self.flush();
+        // Build the replacements before touching any shard, so a constructor
+        // failure leaves every delta tracker intact.
+        let mut fresh = Vec::with_capacity(self.shards.len());
+        for _ in 0..self.shards.len() {
+            fresh.push(CorrelatedSketch::new(self.agg.clone(), self.config.clone())?);
+        }
+        let mut delta = CorrelatedSketch::new(self.agg.clone(), self.config.clone())?;
+        for (shard, replacement) in self.shards.iter().zip(fresh) {
+            let taken = {
+                let mut slot = shard.delta.lock().unwrap_or_else(PoisonError::into_inner);
+                slot.replace(replacement)
+            };
+            delta.merge_from(&taken.expect("delta tracking enabled above"))?;
+        }
+        let g_from = self.delta_gen;
+        self.delta_gen += 1;
+        Ok((g_from, self.delta_gen, delta))
     }
 }
 
@@ -996,6 +1090,53 @@ mod tests {
         let mid = corrupt.len() / 2;
         corrupt[mid] ^= 4;
         assert!(ShardedIngest::restore_from(agg, 2, &corrupt).is_err());
+    }
+
+    #[test]
+    fn delta_cuts_cover_disjoint_spans_and_recompose_the_stream() {
+        let mut sharded = sharded_correlated_f2(0.3, 0.1, 1023, 10_000, 7, 3)
+            .unwrap()
+            .with_batch_size(32);
+        // Cutting before enabling is an error; enabling twice is fine.
+        assert!(sharded.take_delta().is_err());
+        // Tuples accepted before enabling belong to the base, not a delta.
+        for i in 0..300u64 {
+            sharded.insert(i % 30, i % 1024).unwrap();
+        }
+        sharded.enable_delta_tracking().unwrap();
+        sharded.enable_delta_tracking().unwrap();
+        assert!(sharded.delta_tracking_enabled());
+        assert_eq!(sharded.delta_generation(), 0);
+        let base = sharded.composite_sketch().unwrap();
+
+        // Replay the base + each delta into an independent replica and check
+        // it matches the live front-end exactly (small stream: exact stores,
+        // so answers are bit-identical).
+        let agg = F2Aggregate::new(0.3, 0.1, 7);
+        let mut replica =
+            CorrelatedSketch::new(agg, sharded.config().clone()).unwrap();
+        replica.merge_from(&base).unwrap();
+        let mut items_replayed = base.items_processed();
+        for round in 0..3u64 {
+            for i in 0..200u64 {
+                let v = round * 1000 + i;
+                sharded.insert(v % 50, (v * 7) % 1024).unwrap();
+            }
+            let (g_from, g_to, delta) = sharded.take_delta().unwrap();
+            assert_eq!((g_from, g_to), (round, round + 1));
+            assert_eq!(delta.items_processed(), 200);
+            items_replayed += delta.items_processed();
+            replica.merge_from(&delta).unwrap();
+        }
+        // An empty span cuts an empty (but valid) delta.
+        let (_, _, empty) = sharded.take_delta().unwrap();
+        assert_eq!(empty.items_processed(), 0);
+        replica.merge_from(&empty).unwrap();
+        assert_eq!(replica.items_processed(), items_replayed);
+        sharded.flush();
+        for c in (0..1024u64).step_by(128) {
+            assert_eq!(replica.query(c).unwrap(), sharded.query(c).unwrap(), "c={c}");
+        }
     }
 
     #[test]

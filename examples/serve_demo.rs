@@ -31,6 +31,8 @@ fn main() {
         pane_retention: None,
         max_connections: 1_024,
         durability: None,
+        auth_token: None,
+        replicate: None,
     };
 
     // --- Phase 1: a fresh server takes ingest and answers queries. -------

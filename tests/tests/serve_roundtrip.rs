@@ -27,6 +27,8 @@ fn config() -> ServeConfig {
         pane_retention: None,
         max_connections: 1_024,
         durability: None,
+        auth_token: None,
+        replicate: None,
     }
 }
 
